@@ -1,0 +1,122 @@
+// Command busd runs an Information Bus host in its own OS process, over
+// real UDP sockets, with an interactive console: the per-host daemon of
+// §3.1 plus a small shell for publishing and subscribing.
+//
+// Start a two-host bus in two terminals:
+//
+//	busd -listen 127.0.0.1:7001 -peers 127.0.0.1:7002
+//	busd -listen 127.0.0.1:7002 -peers 127.0.0.1:7001
+//
+// Console commands:
+//
+//	sub <pattern>            subscribe ("news.>", "fab5.*.temp", ...)
+//	pub <subject> <text>     publish a string object
+//	pubn <subject> <number>  publish an int object
+//	stats                    daemon and protocol counters
+//	quit
+//
+// Anything received on a subscription is pretty-printed through the
+// generic introspective print utility, whatever its type (P2).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"infobus"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7001", "UDP listen address of this host")
+	peers := flag.String("peers", "", "comma-separated UDP addresses of the other hosts")
+	name := flag.String("name", "busd", "host name")
+	flag.Parse()
+
+	seg := infobus.NewStaticUDPSegment(*listen, strings.Split(*peers, ","))
+	host, err := infobus.NewHost(seg, *name, infobus.HostConfig{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "busd: %v\n", err)
+		os.Exit(1)
+	}
+	defer host.Close()
+	bus, err := host.NewBus("console")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "busd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("busd: host %q on %s (peers: %s)\n", *name, *listen, *peers)
+	fmt.Println("busd: commands: sub <pattern> | pub <subject> <text> | pubn <subject> <n> | stats | quit")
+
+	subs := make(map[string]*infobus.Subscription)
+	printer := make(chan string, 64)
+	go func() {
+		for line := range printer {
+			fmt.Println(line)
+		}
+	}()
+
+	in := bufio.NewScanner(os.Stdin)
+	for in.Scan() {
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "sub":
+			if len(fields) != 2 {
+				fmt.Println("usage: sub <pattern>")
+				continue
+			}
+			pattern := fields[1]
+			if _, dup := subs[pattern]; dup {
+				fmt.Println("already subscribed")
+				continue
+			}
+			sub, err := bus.Subscribe(pattern)
+			if err != nil {
+				fmt.Printf("sub: %v\n", err)
+				continue
+			}
+			subs[pattern] = sub
+			go func(pattern string, sub *infobus.Subscription) {
+				for ev := range sub.C {
+					printer <- fmt.Sprintf("<- [%s] %s", ev.Subject, infobus.Print(ev.Value))
+				}
+			}(pattern, sub)
+			fmt.Printf("subscribed to %s\n", pattern)
+		case "pub", "pubn":
+			if len(fields) < 3 {
+				fmt.Printf("usage: %s <subject> <value>\n", fields[0])
+				continue
+			}
+			var value infobus.Value
+			if fields[0] == "pubn" {
+				n, err := strconv.ParseInt(fields[2], 10, 64)
+				if err != nil {
+					fmt.Printf("pubn: %v\n", err)
+					continue
+				}
+				value = n
+			} else {
+				value = strings.Join(fields[2:], " ")
+			}
+			if err := bus.Publish(fields[1], value); err != nil {
+				fmt.Printf("pub: %v\n", err)
+				continue
+			}
+			fmt.Printf("-> [%s] %s\n", fields[1], infobus.Print(value))
+		case "stats":
+			d := host.Daemon()
+			fmt.Printf("daemon: %+v\n", d.Stats())
+			fmt.Printf("reliable: %+v\n", d.Conn().Stats())
+		default:
+			fmt.Printf("unknown command %q\n", fields[0])
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Command ibbench regenerates the paper's performance appendix — Figures
+// 5, 6, 7, and 8 — and the two stated invariants (I1: latency independent
+// of consumer count; I2: cumulative throughput proportional to subscriber
+// count) on the simulated 10 Mb/s Ethernet testbed.
+//
+// Usage:
+//
+//	ibbench -fig all                  # every figure (slow, high fidelity)
+//	ibbench -fig 5                    # latency vs message size
+//	ibbench -fig 6 -msgs 3000         # throughput, more samples
+//	ibbench -fig 8 -subjects 10000    # the full 10k-subject sweep
+//	ibbench -fig i1                   # invariant I1
+//	ibbench -speedup 50               # faster run, lower fidelity
+//
+// All reported numbers are in modelled network time, so -speedup trades
+// run time against measurement fidelity (host CPU becomes visible at high
+// speedups), not against the shape of the curves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"infobus/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to run: 5, 6, 7, 8, i1, i2, or all")
+	consumers := flag.Int("consumers", 14, "number of consumer hosts")
+	speedup := flag.Float64("speedup", 20, "simulation speedup factor")
+	msgs := flag.Int("msgs", 1000, "messages per throughput point")
+	latMsgs := flag.Int("latmsgs", 100, "messages per latency point")
+	subjects := flag.Int("subjects", 10000, "subject count for figure 8")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Consumers = *consumers
+	cfg.Net.Speedup = *speedup
+
+	start := time.Now()
+	run := func(name string, f func() error) {
+		switch *fig {
+		case "all", name:
+			if err := f(); err != nil {
+				fmt.Fprintf(os.Stderr, "ibbench: figure %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+
+	run("5", func() error {
+		rows, err := bench.Figure5(cfg, bench.PaperSizes, *latMsgs)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigure5(os.Stdout, rows)
+		return nil
+	})
+
+	var thr []bench.ThroughputResult
+	run("6", func() error {
+		var err error
+		thr, err = bench.Figure67(cfg, bench.PaperSizes, *msgs)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigure6(os.Stdout, thr)
+		return nil
+	})
+	run("7", func() error {
+		if thr == nil {
+			var err error
+			thr, err = bench.Figure67(cfg, bench.PaperSizes, *msgs)
+			if err != nil {
+				return err
+			}
+		}
+		bench.PrintFigure7(os.Stdout, thr)
+		return nil
+	})
+	run("8", func() error {
+		// The subject-count experiment stresses matching, not fan-out:
+		// fewer consumers keep memory bounded at 10k subjects x N hosts
+		// without changing what the figure demonstrates.
+		f8cfg := cfg
+		if f8cfg.Consumers > 4 {
+			f8cfg.Consumers = 4
+		}
+		counts := []int{1, *subjects}
+		sizes := []int{64, 512, 1024, 4096, 10240}
+		results, err := bench.Figure8(f8cfg, sizes, *msgs, counts)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigure8(os.Stdout, results, counts)
+		return nil
+	})
+	run("i1", func() error {
+		counts := []int{1, 2, 4, 8, 14}
+		rows, cs, err := bench.InvariantLatencyVsConsumers(cfg, counts, 1024, *latMsgs)
+		if err != nil {
+			return err
+		}
+		bench.PrintInvariantI1(os.Stdout, rows, cs)
+		return nil
+	})
+	run("i2", func() error {
+		counts := []int{1, 2, 4, 8, 14}
+		rows, err := bench.InvariantThroughputVsSubscribers(cfg, counts, 1024, *msgs)
+		if err != nil {
+			return err
+		}
+		bench.PrintInvariantI2(os.Stdout, rows)
+		return nil
+	})
+
+	fmt.Printf("ibbench: completed in %v (speedup %.0fx, %d consumers)\n",
+		time.Since(start).Round(time.Millisecond), *speedup, *consumers)
+}

@@ -1,0 +1,65 @@
+// Command ibmon is a bus monitor (sniffer): it joins a multi-process UDP
+// bus, subscribes to the given patterns, and pretty-prints every received
+// object through the introspective print utility — objects of types the
+// monitor has never seen included, since types travel self-describing
+// (P2).
+//
+//	ibmon -listen 127.0.0.1:7009 -peers 127.0.0.1:7001,127.0.0.1:7002 -sub '>'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"infobus"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7009", "UDP listen address")
+	peers := flag.String("peers", "", "comma-separated UDP addresses of bus hosts")
+	subFlag := flag.String("sub", ">", "comma-separated subscription patterns")
+	flag.Parse()
+
+	seg := infobus.NewStaticUDPSegment(*listen, strings.Split(*peers, ","))
+	host, err := infobus.NewHost(seg, "ibmon", infobus.HostConfig{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibmon: %v\n", err)
+		os.Exit(1)
+	}
+	defer host.Close()
+	bus, err := host.NewBus("monitor")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibmon: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, pattern := range strings.Split(*subFlag, ",") {
+		pattern = strings.TrimSpace(pattern)
+		if pattern == "" {
+			continue
+		}
+		sub, err := bus.Subscribe(pattern)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibmon: subscribe %q: %v\n", pattern, err)
+			os.Exit(1)
+		}
+		fmt.Printf("ibmon: watching %s\n", pattern)
+		go func() {
+			for ev := range sub.C {
+				qos := ""
+				if ev.Guaranteed {
+					qos = " (guaranteed)"
+				}
+				fmt.Printf("[%s]%s %s\n", ev.Subject, qos, infobus.Print(ev.Value))
+			}
+		}()
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	fmt.Println("ibmon: bye")
+}

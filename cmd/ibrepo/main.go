@@ -1,0 +1,84 @@
+// Command ibrepo runs the Object Repository (§4) as a standalone process
+// on a multi-process UDP bus, in both configurations at once:
+//
+//   - capture server: every object published under the -capture patterns
+//     is decomposed into relations and stored, generating tables on the
+//     fly for never-before-seen types;
+//   - query server: the repository's RMI interface (store / load /
+//     queryByType / queryEq / count) is served on the -service subject.
+//
+// Example:
+//
+//	ibrepo -listen 127.0.0.1:7005 -peers 127.0.0.1:7001 -capture 'news.>'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"infobus"
+	"infobus/internal/relstore"
+	"infobus/internal/repository"
+	"infobus/internal/rmi"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7005", "UDP listen address")
+	peers := flag.String("peers", "", "comma-separated UDP addresses of bus hosts")
+	capture := flag.String("capture", "news.>", "comma-separated capture subject patterns")
+	service := flag.String("service", "svc.repository", "RMI service subject of the query server")
+	flag.Parse()
+
+	seg := infobus.NewStaticUDPSegment(*listen, strings.Split(*peers, ","))
+	host, err := infobus.NewHost(seg, "ibrepo", infobus.HostConfig{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibrepo: %v\n", err)
+		os.Exit(1)
+	}
+	defer host.Close()
+	bus, err := host.NewBus("repository")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibrepo: %v\n", err)
+		os.Exit(1)
+	}
+
+	repo := repository.New(relstore.NewDB(), bus.Registry())
+	var patterns []string
+	for _, p := range strings.Split(*capture, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			patterns = append(patterns, p)
+		}
+	}
+	cs, err := repository.NewCaptureServer(repo, bus, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibrepo: capture: %v\n", err)
+		os.Exit(1)
+	}
+	defer cs.Close()
+	qs, err := repository.NewQueryServer(repo, bus, seg, *service, rmi.ServerOptions{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibrepo: query server: %v\n", err)
+		os.Exit(1)
+	}
+	defer qs.Close()
+	fmt.Printf("ibrepo: capturing %v, serving %q on %s\n", patterns, *service, *listen)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Printf("ibrepo: captured %d objects into tables %v\n", cs.Captured(), repo.DB().Tables())
+			return
+		case <-ticker.C:
+			fmt.Printf("ibrepo: captured=%d errors=%d tables=%d\n",
+				cs.Captured(), cs.Errors(), len(repo.DB().Tables()))
+		}
+	}
+}

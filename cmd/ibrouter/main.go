@@ -1,0 +1,82 @@
+// Command ibrouter runs an information router (§3.1) bridging two
+// multi-process UDP buses: publications cross only when the far side holds
+// a matching subscription, with optional subject-prefix rewriting.
+//
+//	ibrouter \
+//	  -a.listen 127.0.0.1:7101 -a.peers 127.0.0.1:7001 \
+//	  -b.listen 127.0.0.1:7102 -b.peers 127.0.0.1:8001 \
+//	  -b.rewrite fab5=plants.east.fab5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"infobus"
+	"infobus/internal/router"
+	"infobus/internal/subject"
+)
+
+func main() {
+	aListen := flag.String("a.listen", "127.0.0.1:7101", "side A listen address")
+	aPeers := flag.String("a.peers", "", "side A bus hosts")
+	aRewrite := flag.String("a.rewrite", "", "prefix rewrite applied to traffic forwarded ONTO side A (from=to)")
+	bListen := flag.String("b.listen", "127.0.0.1:7102", "side B listen address")
+	bPeers := flag.String("b.peers", "", "side B bus hosts")
+	bRewrite := flag.String("b.rewrite", "", "prefix rewrite applied to traffic forwarded ONTO side B (from=to)")
+	verbose := flag.Bool("v", false, "log every forwarded message")
+	flag.Parse()
+
+	segA := infobus.NewStaticUDPSegment(*aListen, strings.Split(*aPeers, ","))
+	segB := infobus.NewStaticUDPSegment(*bListen, strings.Split(*bPeers, ","))
+
+	opts := infobus.RouterOptions{Name: "ibrouter"}
+	if *verbose {
+		opts.Log = os.Stdout
+	}
+	r, err := infobus.NewRouter(opts,
+		infobus.RouterAttachment{Segment: segA, Name: "A", Rules: parseRules(*aRewrite)},
+		infobus.RouterAttachment{Segment: segB, Name: "B", Rules: parseRules(*bRewrite)},
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibrouter: %v\n", err)
+		os.Exit(1)
+	}
+	defer r.Close()
+	fmt.Printf("ibrouter: bridging A(%s) <-> B(%s)\n", *aListen, *bListen)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Printf("ibrouter: final stats %+v\n", r.Stats())
+			return
+		case <-ticker.C:
+			fmt.Printf("ibrouter: stats %+v\n", r.Stats())
+		}
+	}
+}
+
+func parseRules(spec string) []router.Rule {
+	if spec == "" {
+		return nil
+	}
+	from, to, ok := strings.Cut(spec, "=")
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ibrouter: bad rewrite %q (want from=to)\n", spec)
+		os.Exit(1)
+	}
+	match, err := subject.ParsePattern(from + ".>")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibrouter: bad rewrite prefix %q: %v\n", from, err)
+		os.Exit(1)
+	}
+	return []router.Rule{{Match: match, FromPrefix: from, ToPrefix: to}}
+}

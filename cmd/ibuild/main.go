@@ -1,0 +1,59 @@
+// Command ibuild is the text-mode Graphical Application Builder (§5.1):
+// point it at any RMI service subject on a multi-process UDP bus and it
+// constructs a user interface for the service entirely from the
+// introspected interface — menu of operations, a prompt per parameter,
+// results printed through the generic print utility. "This whole process
+// requires only a few minutes, and typically no compilation is involved."
+//
+//	ibuild -listen 127.0.0.1:7008 -peers 127.0.0.1:7001 -service svc.repository
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"infobus"
+	"infobus/internal/appbuilder"
+	"infobus/internal/rmi"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7008", "UDP listen address")
+	peers := flag.String("peers", "", "comma-separated UDP addresses of bus hosts")
+	service := flag.String("service", "", "RMI service subject to build a UI for")
+	flag.Parse()
+	if *service == "" {
+		fmt.Fprintln(os.Stderr, "ibuild: -service is required")
+		os.Exit(2)
+	}
+
+	seg := infobus.NewStaticUDPSegment(*listen, strings.Split(*peers, ","))
+	host, err := infobus.NewHost(seg, "ibuild", infobus.HostConfig{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibuild: %v\n", err)
+		os.Exit(1)
+	}
+	defer host.Close()
+	bus, err := host.NewBus("builder")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibuild: %v\n", err)
+		os.Exit(1)
+	}
+	ui, err := appbuilder.Build(bus, seg, *service, rmi.DialOptions{
+		DiscoveryWindow: 500 * time.Millisecond,
+		Timeout:         2 * time.Second,
+		Retries:         2,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibuild: %v\n", err)
+		os.Exit(1)
+	}
+	defer ui.Close()
+	if err := ui.Run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "ibuild: %v\n", err)
+		os.Exit(1)
+	}
+}

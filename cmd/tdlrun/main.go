@@ -1,0 +1,121 @@
+// Command tdlrun runs TDL programs — the interpreted dynamic-classing
+// language of principle P3 — from files or as an interactive REPL.
+//
+//	tdlrun program.tdl          # run a file
+//	tdlrun                      # REPL (one expression per line)
+//	echo '(+ 1 2)' | tdlrun -
+//
+// Classes defined in a session register into one shared type registry, so
+// a REPL session can defclass, make-instance, defmethod, and introspect
+// exactly as a running bus application would.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"infobus"
+	"infobus/internal/tdl"
+)
+
+func main() {
+	flag.Parse()
+	reg := infobus.NewRegistry()
+	interp := tdl.New(reg, os.Stdout)
+
+	args := flag.Args()
+	if len(args) == 0 {
+		repl(interp)
+		return
+	}
+	for _, path := range args {
+		var src []byte
+		var err error
+		if path == "-" {
+			src, err = io.ReadAll(os.Stdin)
+		} else {
+			src, err = os.ReadFile(path)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdlrun: %v\n", err)
+			os.Exit(1)
+		}
+		v, err := interp.EvalString(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tdlrun: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if v != nil {
+			fmt.Println(tdl.FormatValue(v))
+		}
+	}
+}
+
+func repl(interp *tdl.Interp) {
+	fmt.Println("tdlrun: TDL REPL — (defclass ...), (make-instance 'C ...), (describe 'C); ctrl-D to exit")
+	in := bufio.NewScanner(os.Stdin)
+	depth := 0
+	var pending string
+	for {
+		if depth > 0 {
+			fmt.Print("...> ")
+		} else {
+			fmt.Print("tdl> ")
+		}
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := in.Text()
+		pending += line + "\n"
+		depth = parenDepth(pending)
+		if depth > 0 {
+			continue // expression continues on the next line
+		}
+		src := pending
+		pending = ""
+		if len(src) == 0 || src == "\n" {
+			continue
+		}
+		v, err := interp.EvalString(src)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			continue
+		}
+		fmt.Println(tdl.FormatValue(v))
+	}
+}
+
+// parenDepth counts unbalanced parentheses outside string literals.
+func parenDepth(s string) int {
+	depth := 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == ';': // comment to end of line
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		}
+	}
+	if depth < 0 {
+		return 0 // let the parser report the error
+	}
+	return depth
+}

@@ -1,0 +1,45 @@
+package infobus_test
+
+import (
+	"fmt"
+	"time"
+
+	"infobus"
+)
+
+// The README quick start, runnable: two hosts on a simulated Ethernet, a
+// wildcard subscription, a run-time-defined class, anonymous delivery.
+func Example() {
+	netCfg := infobus.DefaultNetConfig()
+	netCfg.Speedup = 2000
+	seg := infobus.NewSimSegment(netCfg)
+	defer seg.Close()
+
+	deskHost, _ := infobus.NewHost(seg, "trader-desk", infobus.HostConfig{})
+	defer deskHost.Close()
+	deskBus, _ := deskHost.NewBus("monitor")
+	sub, _ := deskBus.Subscribe("news.equity.*")
+
+	feedHost, _ := infobus.NewHost(seg, "feed", infobus.HostConfig{})
+	defer feedHost.Close()
+	feedBus, _ := feedHost.NewBus("adapter")
+
+	story, _ := infobus.NewClass("Story", nil, []infobus.Attr{
+		{Name: "headline", Type: infobus.String},
+	}, nil)
+	obj, _ := infobus.NewObject(story)
+	obj.MustSet("headline", "GM surges on earnings")
+	_ = feedBus.Publish("news.equity.gmc", obj)
+
+	select {
+	case ev := <-sub.C:
+		fmt.Printf("[%s]\n%s\n", ev.Subject, infobus.Print(ev.Value))
+	case <-time.After(10 * time.Second):
+		fmt.Println("timeout")
+	}
+	// Output:
+	// [news.equity.gmc]
+	// Story {
+	//   headline: "GM surges on earnings"
+	// }
+}

@@ -1,0 +1,169 @@
+// Dynamic system evolution: the paper's two headline demonstrations of R1
+// (continuous operation) and R2 (dynamic evolution), live in one process.
+//
+//  1. A NEW TYPE enters the running system through TDL (P3): a class
+//     defined from source text at run time is instantiated and published;
+//     an already-running generic consumer prints it through introspection
+//     (P2) — no recompilation, no relinking, anywhere.
+//
+//  2. A LIVE SOFTWARE UPGRADE (R1): a v2 server starts as a hot standby
+//     for the same service subject, is promoted, and the v1 server
+//     retires after serving its outstanding requests. A client that
+//     redials binds to v2 transparently (P4: subjects, not addresses),
+//     while v1's existing client keeps working until it disconnects.
+//
+//     go run ./examples/evolution
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"infobus"
+	"infobus/internal/mop"
+)
+
+func main() {
+	netCfg := infobus.DefaultNetConfig()
+	netCfg.Speedup = 100
+	seg := infobus.NewSimSegment(netCfg)
+	defer seg.Close()
+
+	newBus := func(hostname string) *infobus.Bus {
+		h, err := infobus.NewHost(seg, hostname, infobus.HostConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := h.NewBus(hostname)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return b
+	}
+
+	// ---- Part 1: a new type enters the running system (P2 + P3) ----------
+	fmt.Println("=== part 1: a new TDL-defined type enters the running system ===")
+	consumerBus := newBus("old-consumer")
+	sub, err := consumerBus.Subscribe("fab5.alerts")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	producerBus := newBus("new-producer")
+	interp := infobus.NewTDL(producerBus.Registry())
+	// Dynamic classing from source text, at run time.
+	if _, err := interp.EvalString(`
+	  (defclass EquipmentAlert ()
+	    ((station string)
+	     (severity int)
+	     (message string)))
+
+	  (defmethod headline ((a EquipmentAlert))
+	    (concat "[" (slot-value a 'station) "] " (slot-value a 'message)))
+
+	  (define alert (make-instance 'EquipmentAlert
+	                  'station "litho8"
+	                  'severity 3
+	                  'message "focus drift beyond tolerance"))
+	`); err != nil {
+		log.Fatal(err)
+	}
+	alertV, err := interp.Call("headline", mustEval(interp, "alert"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("producer-side TDL method: %v\n", alertV)
+
+	if err := producerBus.Publish("fab5.alerts", mustEval(interp, "alert")); err != nil {
+		log.Fatal(err)
+	}
+	select {
+	case ev := <-sub.C:
+		fmt.Printf("\nold consumer received an instance of a type it never knew:\n%s\n",
+			infobus.Print(ev.Value))
+		t := ev.Value.(*mop.Object).Type()
+		fmt.Printf("reconstructed on the consumer host:\n%s", infobus.Describe(t))
+	case <-time.After(10 * time.Second):
+		log.Fatal("alert never arrived")
+	}
+
+	// ---- Part 2: live server upgrade (R1) ---------------------------------
+	fmt.Println("\n=== part 2: live software upgrade of the quote service ===")
+	iface := mop.MustNewClass("QuoteService", nil, nil, []mop.Operation{
+		{Name: "quote", Params: []mop.Param{{Name: "ticker", Type: mop.String}}, Result: mop.String},
+	})
+	v1Bus := newBus("quote-v1")
+	v1, err := infobus.NewRMIServer(v1Bus, seg, "svc.quotes", iface,
+		func(op string, args []infobus.Value) (infobus.Value, error) {
+			return args[0].(string) + " = 101 (v1)", nil
+		}, infobus.RMIServerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer v1.Close()
+
+	dialOpts := infobus.RMIDialOptions{
+		DiscoveryWindow: 100 * time.Millisecond,
+		Timeout:         time.Second,
+		Retries:         3,
+	}
+	clientBus := newBus("trading-app")
+	c1, err := infobus.DialRMI(clientBus, seg, "svc.quotes", dialOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c1.Close()
+	res, err := c1.Invoke("quote", "GMC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client via v1: %v\n", res)
+
+	// v2 comes up as a hot standby (it does NOT answer discovery yet).
+	v2Bus := newBus("quote-v2")
+	v2, err := infobus.NewRMIServer(v2Bus, seg, "svc.quotes", iface,
+		func(op string, args []infobus.Value) (infobus.Value, error) {
+			return args[0].(string) + " = 103 (v2, improved model)", nil
+		}, infobus.RMIServerOptions{Standby: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer v2.Close()
+
+	// The upgrade moment: promote v2, retire v1. Nothing restarts; the
+	// subject "svc.quotes" simply rebinds (more general than late binding).
+	if err := v2.Promote(); err != nil {
+		log.Fatal(err)
+	}
+	v1.Retire()
+	fmt.Println("upgrade: v2 promoted, v1 retired (still serving old clients)")
+
+	// The old client still works against retired v1...
+	res, err = c1.Invoke("quote", "GMC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("old client, still on v1: %v\n", res)
+
+	// ...while any new binding lands on v2.
+	c2, err := infobus.DialRMI(clientBus, seg, "svc.quotes", dialOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c2.Close()
+	res, err = c2.Invoke("quote", "GMC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("new client, on v2:     %v\n", res)
+	fmt.Println("\nthe service subject never changed; no client was told anything (P4)")
+}
+
+func mustEval(interp *infobus.TDL, src string) infobus.Value {
+	v, err := interp.EvalString(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}

@@ -1,0 +1,92 @@
+// Quickstart: the smallest complete Information Bus program.
+//
+// Two hosts on a simulated 10 Mb/s Ethernet. One defines a class at run
+// time and publishes instances under hierarchical subjects; the other
+// subscribes with a wildcard and receives self-describing objects it can
+// introspect without ever having linked against the type.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"infobus"
+)
+
+func main() {
+	// The network: the paper's testbed, sped up 100x.
+	netCfg := infobus.DefaultNetConfig()
+	netCfg.Speedup = 100
+	seg := infobus.NewSimSegment(netCfg)
+	defer seg.Close()
+
+	// Two workstations, each with its own daemon and type registry.
+	sensorHost, err := infobus.NewHost(seg, "fab5-cell-controller", infobus.HostConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sensorHost.Close()
+	deskHost, err := infobus.NewHost(seg, "operator-desk", infobus.HostConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer deskHost.Close()
+
+	// The consumer subscribes by subject pattern. It knows nothing about
+	// producers (P4) or the types they will publish (P2).
+	deskBus, err := deskHost.NewBus("dashboard")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, err := deskBus.Subscribe("fab5.cc.*.thick")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The producer defines a class — at run time, P3 — and publishes.
+	thickness, err := infobus.NewClass("WaferThickness", nil, []infobus.Attr{
+		{Name: "station", Type: infobus.String},
+		{Name: "microns", Type: infobus.Float},
+		{Name: "sampled", Type: infobus.Time},
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sensorBus, err := sensorHost.NewBus("litho-sensor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, station := range []string{"litho8", "litho9"} {
+		obj, err := infobus.NewObject(thickness)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obj.MustSet("station", station).
+			MustSet("microns", 12.5+float64(i)).
+			MustSet("sampled", time.Now().UTC())
+		subject := "fab5.cc." + station + ".thick"
+		if err := sensorBus.Publish(subject, obj); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published on %s\n", subject)
+	}
+
+	// The desk receives both objects; their class arrived on the wire.
+	for i := 0; i < 2; i++ {
+		select {
+		case ev := <-sub.C:
+			fmt.Printf("\nreceived on %s:\n%s\n", ev.Subject, infobus.Print(ev.Value))
+		case <-time.After(10 * time.Second):
+			log.Fatal("timed out waiting for publication")
+		}
+	}
+	// The reconstructed type is introspectable on the desk host.
+	t, err := deskHost.Registry().Lookup("WaferThickness")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntype as reconstructed on the subscriber host:\n%s", infobus.Describe(t))
+}

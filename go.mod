@@ -1,0 +1,3 @@
+module infobus
+
+go 1.22

@@ -1,0 +1,371 @@
+package adapter
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"infobus/internal/core"
+	"infobus/internal/feeds"
+	"infobus/internal/mop"
+	"infobus/internal/netsim"
+	"infobus/internal/reliable"
+	"infobus/internal/transport"
+)
+
+func fastSeg() *transport.SimSegment {
+	cfg := netsim.DefaultConfig()
+	cfg.Speedup = 5000
+	return transport.NewSimSegment(cfg)
+}
+
+func newBus(t *testing.T, seg transport.Segment, host string) *core.Bus {
+	t.Helper()
+	h, err := core.NewHost(seg, host, core.HostConfig{Reliable: reliable.Config{
+		NakInterval:        2 * time.Millisecond,
+		GapTimeout:         300 * time.Millisecond,
+		RetransmitInterval: 3 * time.Millisecond,
+		HeartbeatInterval:  5 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = h.Close() })
+	b, err := h.NewBus("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func defTypes(t *testing.T) NewsTypes {
+	t.Helper()
+	types, err := DefineNewsTypes(mop.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return types
+}
+
+// factsMatch asserts that a parsed story matches the generator's ground
+// truth for the fields both vendors carry.
+func factsMatch(t *testing.T, obj *mop.Object, f feeds.StoryFacts) {
+	t.Helper()
+	if obj.MustGet("headline") != f.Headline {
+		t.Errorf("headline = %v, want %v", obj.MustGet("headline"), f.Headline)
+	}
+	if obj.MustGet("body") != f.Body {
+		t.Errorf("body mismatch")
+	}
+	if obj.MustGet("category") != f.Category {
+		t.Errorf("category = %v", obj.MustGet("category"))
+	}
+	if obj.MustGet("urgent") != f.Urgent {
+		t.Errorf("urgent = %v, want %v", obj.MustGet("urgent"), f.Urgent)
+	}
+	srcs := obj.MustGet("sources").(mop.List)
+	if len(srcs) != len(f.Sources) {
+		t.Fatalf("sources = %v, want %v", srcs, f.Sources)
+	}
+	for i, s := range f.Sources {
+		if srcs[i] != s {
+			t.Errorf("source %d = %v, want %v", i, srcs[i], s)
+		}
+	}
+	groups := obj.MustGet("groups").(mop.List)
+	if len(groups) != len(f.Groups) {
+		t.Fatalf("groups = %d, want %d", len(groups), len(f.Groups))
+	}
+	for i, g := range f.Groups {
+		got := groups[i].(*mop.Object)
+		if got.MustGet("code") != g.Code {
+			t.Errorf("group %d code = %v, want %v", i, got.MustGet("code"), g.Code)
+		}
+		w := got.MustGet("weight").(float64)
+		if w < g.Weight-0.005 || w > g.Weight+0.005 {
+			t.Errorf("group %d weight = %v, want ~%v", i, w, g.Weight)
+		}
+	}
+	pub := obj.MustGet("published").(time.Time)
+	if pub.Unix() != f.Published.Unix() {
+		t.Errorf("published = %v, want %v", pub, f.Published)
+	}
+}
+
+func TestParseDJAgainstGenerator(t *testing.T) {
+	types := defTypes(t)
+	gen := feeds.NewGenerator(7)
+	for i := 0; i < 25; i++ {
+		f := gen.Next()
+		obj, err := ParseDJ(feeds.DJRaw(f), types)
+		if err != nil {
+			t.Fatalf("story %d: %v", i, err)
+		}
+		if obj.Type() != types.DJ {
+			t.Fatalf("parsed class = %s", obj.Type().Name())
+		}
+		factsMatch(t, obj, f)
+		if obj.MustGet("djCode") != f.DJCode {
+			t.Errorf("djCode = %v", obj.MustGet("djCode"))
+		}
+		subj, err := StorySubject(obj)
+		if err != nil || subj != f.Subject() {
+			t.Errorf("subject = %q, want %q (%v)", subj, f.Subject(), err)
+		}
+	}
+}
+
+func TestParseReutersAgainstGenerator(t *testing.T) {
+	types := defTypes(t)
+	gen := feeds.NewGenerator(11)
+	for i := 0; i < 25; i++ {
+		f := gen.Next()
+		obj, err := ParseReuters(feeds.ReutersRaw(f), types)
+		if err != nil {
+			t.Fatalf("story %d: %v", i, err)
+		}
+		if obj.Type() != types.Reuters {
+			t.Fatalf("parsed class = %s", obj.Type().Name())
+		}
+		if obj.MustGet("headline") != f.Headline {
+			t.Errorf("headline mismatch")
+		}
+		if obj.MustGet("slug") != f.ReutersSlug {
+			t.Errorf("slug = %v", obj.MustGet("slug"))
+		}
+		if obj.MustGet("priority") != f.Priority {
+			t.Errorf("priority = %v", obj.MustGet("priority"))
+		}
+		// Reuters urgency is derived from priority.
+		if obj.MustGet("urgent") != (f.Priority <= 1) {
+			t.Errorf("urgent = %v with priority %d", obj.MustGet("urgent"), f.Priority)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	types := defTypes(t)
+	djCases := []string{
+		"",
+		".START\n.BOGUS x\n.END\n",
+		".START\n.TIME not-a-time\n.END\n",
+		".START\n.IND AUTO\n.END\n",
+		"no framing at all",
+	}
+	for _, raw := range djCases {
+		if _, err := ParseDJ(raw, types); !errors.Is(err, ErrBadFeedData) {
+			t.Errorf("ParseDJ(%q) error = %v", raw, err)
+		}
+	}
+	reutersCases := []string{
+		"",
+		"ZCZC\nPRIORITY abc\nNNNN\n",
+		"ZCZC\nINDUSTRIES AUTO\nNNNN\n",
+		"ZCZC\nUNKNOWNFIELD x\nNNNN\n",
+	}
+	for _, raw := range reutersCases {
+		if _, err := ParseReuters(raw, types); !errors.Is(err, ErrBadFeedData) {
+			t.Errorf("ParseReuters(%q) error = %v", raw, err)
+		}
+	}
+}
+
+func TestBothVendorsAreSubtypesOfStory(t *testing.T) {
+	types := defTypes(t)
+	if !types.DJ.IsSubtypeOf(types.Story) || !types.Reuters.IsSubtypeOf(types.Story) {
+		t.Fatal("vendor classes must subtype Story")
+	}
+	// Re-defining against the same registry reuses the registered types.
+	reg := mop.NewRegistry()
+	t1, err := DefineNewsTypes(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := DefineNewsTypes(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Story != t2.Story {
+		t.Error("second DefineNewsTypes should reuse registered classes")
+	}
+}
+
+func TestFeedAdapterPublishes(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	adapterBus := newBus(t, seg, "adapter-host")
+	consumerBus := newBus(t, seg, "consumer-host")
+	types, err := DefineNewsTypes(adapterBus.Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := consumerBus.Subscribe("news.>")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen := feeds.NewGenerator(3)
+	in := make(chan string, 8)
+	fa := NewFeedAdapter("dj", adapterBus, types, ParseDJ, in)
+	defer fa.Close()
+
+	var want []feeds.StoryFacts
+	for i := 0; i < 5; i++ {
+		f := gen.Next()
+		want = append(want, f)
+		in <- feeds.DJRaw(f)
+	}
+	in <- "garbage that will not parse"
+	close(in)
+
+	for i, f := range want {
+		select {
+		case ev := <-sub.C:
+			if ev.Subject.String() != f.Subject() {
+				t.Errorf("story %d subject = %s, want %s", i, ev.Subject, f.Subject())
+			}
+			obj := ev.Value.(*mop.Object)
+			if obj.MustGet("headline") != f.Headline {
+				t.Errorf("story %d headline mismatch", i)
+			}
+			// The consumer host reconstructs the vendor subtype (P2/P3).
+			if obj.Type().Name() != "DowJonesStory" {
+				t.Errorf("story %d class = %s", i, obj.Type().Name())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("story %d never arrived", i)
+		}
+	}
+	fa.Wait()
+	if fa.Published() != 5 || fa.Rejected() != 1 {
+		t.Errorf("published=%d rejected=%d", fa.Published(), fa.Rejected())
+	}
+}
+
+func TestLegacyWIPTerminal(t *testing.T) {
+	sys := NewLegacyWIP()
+	s := sys.NewSession()
+	if !strings.Contains(s.Screen(), "1. MOVE LOT") {
+		t.Fatalf("main menu missing: %q", s.Screen())
+	}
+	// Unknown selection.
+	if scr := s.SendLine("9"); !strings.Contains(scr, "INVALID SELECTION") {
+		t.Errorf("screen = %q", scr)
+	}
+	// Query before any move: not found.
+	s.SendLine("2")
+	if scr := s.SendLine("L42"); !strings.Contains(scr, "LOT L42 NOT FOUND") {
+		t.Errorf("screen = %q", scr)
+	}
+	s.SendLine("")
+	// Move a lot.
+	s.SendLine("1")
+	s.SendLine("L42")
+	if scr := s.SendLine("litho8"); !strings.Contains(scr, "LOT L42 MOVED TO LITHO8 - OK") {
+		t.Errorf("screen = %q", scr)
+	}
+	s.SendLine("")
+	// Query again.
+	s.SendLine("2")
+	if scr := s.SendLine("L42"); !strings.Contains(scr, "LOT L42 AT LITHO8 MOVES 1") {
+		t.Errorf("screen = %q", scr)
+	}
+	s.SendLine("")
+	// Empty lot id re-prompts.
+	s.SendLine("1")
+	if scr := s.SendLine(""); !strings.Contains(scr, "LOT ID REQUIRED") {
+		t.Errorf("screen = %q", scr)
+	}
+	// Logoff.
+	s.SendLine("L1")
+	s.SendLine("etch2")
+	s.SendLine("")
+	if scr := s.SendLine("3"); !strings.Contains(scr, "SESSION ENDED") {
+		t.Errorf("screen = %q", scr)
+	}
+}
+
+func TestWIPAdapterActsAsVirtualUser(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	adapterBus := newBus(t, seg, "adapter-host")
+	appBus := newBus(t, seg, "app-host")
+
+	legacy := NewLegacyWIP()
+	wa, err := NewWIPAdapter(adapterBus, legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wa.Close()
+
+	statusSub, err := appBus.Subscribe(WIPStatusSubject + ".>")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	move := mop.MustNew(WIPMoveType).MustSet("lot", "L7").MustSet("station", "diffusion3")
+	if err := appBus.Publish(WIPMoveSubject, move); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case ev := <-statusSub.C:
+		st := ev.Value.(*mop.Object)
+		if st.MustGet("lot") != "L7" || st.MustGet("station") != "DIFFUSION3" || st.MustGet("moves") != int64(1) {
+			t.Errorf("status = %s", mop.Sprint(st))
+		}
+		if ev.Subject.String() != WIPStatusSubject+".l7" {
+			t.Errorf("status subject = %s", ev.Subject)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("status never published")
+	}
+	if wa.Moves() != 1 {
+		t.Errorf("Moves = %d", wa.Moves())
+	}
+
+	// Second move bumps the move counter inside the legacy system.
+	move2 := mop.MustNew(WIPMoveType).MustSet("lot", "L7").MustSet("station", "litho1")
+	if err := appBus.Publish(WIPMoveSubject, move2); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-statusSub.C:
+		st := ev.Value.(*mop.Object)
+		if st.MustGet("moves") != int64(2) || st.MustGet("station") != "LITHO1" {
+			t.Errorf("status = %s", mop.Sprint(st))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second status never published")
+	}
+
+	// Malformed command counts as an error, does not wedge the adapter.
+	bad := mop.MustNew(WIPMoveType).MustSet("lot", "").MustSet("station", "x")
+	if err := appBus.Publish(WIPMoveSubject, bad); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for wa.Errors() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("error never counted")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+func TestParseQueryScreenErrors(t *testing.T) {
+	if _, err := parseQueryScreen("LOT X NOT FOUND\n"); !errors.Is(err, ErrLegacyRejected) {
+		t.Errorf("not found error = %v", err)
+	}
+	if _, err := parseQueryScreen("LOT L1 WEIRD LINE\n"); !errors.Is(err, ErrBadFeedData) {
+		t.Errorf("weird line error = %v", err)
+	}
+	if _, err := parseQueryScreen("nothing relevant\n"); !errors.Is(err, ErrBadFeedData) {
+		t.Errorf("no lot line error = %v", err)
+	}
+	if _, err := parseQueryScreen("LOT L1 AT S1 MOVES notanumber\n"); !errors.Is(err, ErrBadFeedData) {
+		t.Errorf("bad moves error = %v", err)
+	}
+}

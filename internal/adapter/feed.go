@@ -1,0 +1,116 @@
+package adapter
+
+import (
+	"fmt"
+	"sync"
+
+	"infobus/internal/core"
+	"infobus/internal/mop"
+)
+
+// ParseFunc converts one raw vendor chunk into a Story object.
+type ParseFunc func(raw string, types NewsTypes) (*mop.Object, error)
+
+// FeedAdapter pumps a raw vendor feed onto the bus: parse each chunk into
+// the vendor's Story subtype and publish it under the subject of its
+// primary topic. This is the left edge of Figure 3.
+type FeedAdapter struct {
+	name  string
+	bus   *core.Bus
+	types NewsTypes
+	parse ParseFunc
+
+	mu        sync.Mutex
+	published uint64
+	rejected  uint64
+	closed    bool
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewFeedAdapter creates an adapter that consumes raw chunks from in and
+// publishes parsed stories. It runs until in closes or Close is called.
+func NewFeedAdapter(name string, bus *core.Bus, types NewsTypes, parse ParseFunc, in <-chan string) *FeedAdapter {
+	fa := &FeedAdapter{
+		name:  name,
+		bus:   bus,
+		types: types,
+		parse: parse,
+		done:  make(chan struct{}),
+	}
+	fa.wg.Add(1)
+	go fa.pump(in)
+	return fa
+}
+
+// Name returns the adapter's label.
+func (fa *FeedAdapter) Name() string { return fa.name }
+
+// Published returns how many stories were parsed and published.
+func (fa *FeedAdapter) Published() uint64 {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	return fa.published
+}
+
+// Rejected returns how many raw chunks failed to parse or publish.
+func (fa *FeedAdapter) Rejected() uint64 {
+	fa.mu.Lock()
+	defer fa.mu.Unlock()
+	return fa.rejected
+}
+
+// Close stops the adapter.
+func (fa *FeedAdapter) Close() {
+	fa.mu.Lock()
+	if fa.closed {
+		fa.mu.Unlock()
+		return
+	}
+	fa.closed = true
+	fa.mu.Unlock()
+	close(fa.done)
+	fa.wg.Wait()
+}
+
+// Wait blocks until the input channel has been drained (closed and
+// processed), for batch-style runs.
+func (fa *FeedAdapter) Wait() { fa.wg.Wait() }
+
+func (fa *FeedAdapter) pump(in <-chan string) {
+	defer fa.wg.Done()
+	for {
+		select {
+		case <-fa.done:
+			return
+		case raw, ok := <-in:
+			if !ok {
+				return
+			}
+			if err := fa.handle(raw); err != nil {
+				fa.mu.Lock()
+				fa.rejected++
+				fa.mu.Unlock()
+			} else {
+				fa.mu.Lock()
+				fa.published++
+				fa.mu.Unlock()
+			}
+		}
+	}
+}
+
+func (fa *FeedAdapter) handle(raw string) error {
+	story, err := fa.parse(raw, fa.types)
+	if err != nil {
+		return err
+	}
+	subj, err := StorySubject(story)
+	if err != nil {
+		return err
+	}
+	if err := fa.bus.Publish(subj, story); err != nil {
+		return fmt.Errorf("adapter %s: publishing: %w", fa.name, err)
+	}
+	return nil
+}

@@ -1,0 +1,320 @@
+// Package adapter implements the adapter layer of §4: "To integrate
+// existing applications into the Information Bus we use software modules
+// called adapters. These adapters convert information from the data
+// objects of the Information Bus into data understood by the applications,
+// and vice versa. Adapters must live in two worlds at once, translating
+// communication mechanisms and data schemas."
+//
+// Three adapters are provided:
+//
+//   - a Dow-Jones-like feed adapter and a Reuters-like feed adapter, each
+//     parsing its vendor's raw wire format into a vendor-specific subtype
+//     of the common Story supertype and publishing under a subject for
+//     the story's primary topic (§5, Figure 3);
+//   - a terminal adapter that integrates a simulated legacy WIP
+//     (work-in-process) system whose only interface is a screen-oriented
+//     terminal — the adapter "acts as a virtual user to the terminal
+//     interface".
+package adapter
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"infobus/internal/mop"
+)
+
+// NewsTypes holds the Story class hierarchy of the trading-floor example.
+type NewsTypes struct {
+	Group   *mop.Type // IndustryGroup{code, weight}
+	Story   *mop.Type // common supertype
+	DJ      *mop.Type // DowJonesStory : Story
+	Reuters *mop.Type // ReutersStory : Story
+}
+
+// DefineNewsTypes builds and registers the Story hierarchy in a registry.
+// Calling it twice with the same registry returns the registered types.
+func DefineNewsTypes(reg *mop.Registry) (NewsTypes, error) {
+	if reg.Has("Story") {
+		story, err := reg.Lookup("Story")
+		if err != nil {
+			return NewsTypes{}, err
+		}
+		group, err := reg.Lookup("IndustryGroup")
+		if err != nil {
+			return NewsTypes{}, err
+		}
+		dj, err := reg.Lookup("DowJonesStory")
+		if err != nil {
+			return NewsTypes{}, err
+		}
+		reuters, err := reg.Lookup("ReutersStory")
+		if err != nil {
+			return NewsTypes{}, err
+		}
+		return NewsTypes{Group: group, Story: story, DJ: dj, Reuters: reuters}, nil
+	}
+	group := mop.MustNewClass("IndustryGroup", nil, []mop.Attr{
+		{Name: "code", Type: mop.String},
+		{Name: "weight", Type: mop.Float},
+	}, nil)
+	story := mop.MustNewClass("Story", nil, []mop.Attr{
+		{Name: "headline", Type: mop.String},
+		{Name: "body", Type: mop.String},
+		{Name: "category", Type: mop.String},
+		{Name: "ticker", Type: mop.String},
+		{Name: "sources", Type: mop.ListOf(mop.String)},
+		{Name: "countryCodes", Type: mop.ListOf(mop.String)},
+		{Name: "groups", Type: mop.ListOf(group)},
+		{Name: "published", Type: mop.Time},
+		{Name: "urgent", Type: mop.Bool},
+	}, []mop.Operation{
+		{Name: "summary", Result: mop.String},
+	})
+	dj := mop.MustNewClass("DowJonesStory", []*mop.Type{story}, []mop.Attr{
+		{Name: "djCode", Type: mop.String},
+	}, nil)
+	reuters := mop.MustNewClass("ReutersStory", []*mop.Type{story}, []mop.Attr{
+		{Name: "slug", Type: mop.String},
+		{Name: "priority", Type: mop.Int},
+	}, nil)
+	for _, t := range []*mop.Type{group, story, dj, reuters} {
+		if err := reg.Register(t); err != nil {
+			return NewsTypes{}, err
+		}
+	}
+	return NewsTypes{Group: group, Story: story, DJ: dj, Reuters: reuters}, nil
+}
+
+// PropertyType is the general Property concept of §5.2 (after the OMG
+// Object Services nomenclature): "a name-value pair that can be
+// dynamically defined and associated with an object". Ref carries the
+// headline of the story a property annotates.
+var PropertyType = mop.MustNewClass("Property", nil, []mop.Attr{
+	{Name: "name", Type: mop.String},
+	{Name: "ref", Type: mop.String},
+	{Name: "value", Type: mop.Any},
+}, nil)
+
+// Parse errors.
+var (
+	ErrBadFeedData = errors.New("adapter: malformed feed data")
+)
+
+// StorySubject derives the publication subject from a parsed story object
+// ("news.equity.gmc").
+func StorySubject(story *mop.Object) (string, error) {
+	cat, err := story.Get("category")
+	if err != nil {
+		return "", err
+	}
+	tick, err := story.Get("ticker")
+	if err != nil {
+		return "", err
+	}
+	c, _ := cat.(string)
+	tk, _ := tick.(string)
+	if c == "" || tk == "" {
+		return "", fmt.Errorf("story lacks category/ticker: %w", ErrBadFeedData)
+	}
+	return "news." + c + "." + strings.ToLower(tk), nil
+}
+
+// ---------------------------------------------------------------------------
+// Dow-Jones-like format
+
+// ParseDJ parses one Dow-Jones-format story (see feeds.DJRaw) into a
+// DowJonesStory object.
+func ParseDJ(raw string, types NewsTypes) (*mop.Object, error) {
+	lines := strings.Split(raw, "\n")
+	obj := mop.MustNew(types.DJ)
+	inText := false
+	var body []string
+	sawStart, sawEnd := false, false
+	for _, line := range lines {
+		if inText {
+			if line == ".END" {
+				inText = false
+				sawEnd = true
+				continue
+			}
+			body = append(body, line)
+			continue
+		}
+		switch {
+		case line == ".START":
+			sawStart = true
+		case line == ".TEXT":
+			inText = true
+		case line == ".END":
+			sawEnd = true
+		case line == "":
+		case strings.HasPrefix(line, "."):
+			key, val, _ := strings.Cut(line[1:], " ")
+			if err := djField(obj, types, key, val); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("unexpected line %q: %w", line, ErrBadFeedData)
+		}
+	}
+	if !sawStart || !sawEnd {
+		return nil, fmt.Errorf("missing .START/.END framing: %w", ErrBadFeedData)
+	}
+	obj.MustSet("body", strings.Join(body, "\n"))
+	return obj, nil
+}
+
+func djField(obj *mop.Object, types NewsTypes, key, val string) error {
+	switch key {
+	case "CODE":
+		obj.MustSet("djCode", val)
+		obj.MustSet("ticker", val)
+	case "CAT":
+		obj.MustSet("category", val)
+	case "HEAD":
+		obj.MustSet("headline", val)
+	case "TIME":
+		ts, err := time.Parse(time.RFC3339, val)
+		if err != nil {
+			return fmt.Errorf(".TIME %q: %w", val, ErrBadFeedData)
+		}
+		obj.MustSet("published", ts)
+	case "URG":
+		obj.MustSet("urgent", val == "1")
+	case "IND":
+		var groups mop.List
+		if val != "" {
+			for _, part := range strings.Split(val, ",") {
+				code, w, ok := strings.Cut(part, ":")
+				if !ok {
+					return fmt.Errorf(".IND %q: %w", val, ErrBadFeedData)
+				}
+				weight, err := strconv.ParseFloat(w, 64)
+				if err != nil {
+					return fmt.Errorf(".IND weight %q: %w", w, ErrBadFeedData)
+				}
+				g := mop.MustNew(types.Group).MustSet("code", code).MustSet("weight", weight)
+				groups = append(groups, g)
+			}
+		}
+		obj.MustSet("groups", groups)
+	case "SRC":
+		obj.MustSet("sources", splitList(val, ";"))
+	case "CTY":
+		obj.MustSet("countryCodes", splitList(val, ","))
+	default:
+		return fmt.Errorf("unknown directive .%s: %w", key, ErrBadFeedData)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Reuters-like format
+
+// ParseReuters parses one Reuters-format story (see feeds.ReutersRaw) into
+// a ReutersStory object.
+func ParseReuters(raw string, types NewsTypes) (*mop.Object, error) {
+	lines := strings.Split(raw, "\n")
+	obj := mop.MustNew(types.Reuters)
+	inText := false
+	var body []string
+	framed := false
+	closed := false
+	for _, line := range lines {
+		if inText {
+			if line == "NNNN" {
+				inText = false
+				closed = true
+				continue
+			}
+			body = append(body, line)
+			continue
+		}
+		switch {
+		case line == "ZCZC":
+			framed = true
+		case line == "TEXT":
+			inText = true
+		case line == "NNNN":
+			closed = true
+		case line == "":
+		default:
+			key, val, ok := strings.Cut(line, " ")
+			if !ok {
+				return nil, fmt.Errorf("field line %q: %w", line, ErrBadFeedData)
+			}
+			if err := reutersField(obj, types, key, val); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !framed || !closed {
+		return nil, fmt.Errorf("missing ZCZC/NNNN framing: %w", ErrBadFeedData)
+	}
+	obj.MustSet("body", strings.Join(body, "\n"))
+	return obj, nil
+}
+
+func reutersField(obj *mop.Object, types NewsTypes, key, val string) error {
+	switch key {
+	case "SLUG":
+		obj.MustSet("slug", val)
+	case "PRIORITY":
+		p, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("PRIORITY %q: %w", val, ErrBadFeedData)
+		}
+		obj.MustSet("priority", p)
+		obj.MustSet("urgent", p <= 1)
+	case "HEADLINE":
+		obj.MustSet("headline", val)
+	case "CATEGORY":
+		obj.MustSet("category", val)
+	case "TICKER":
+		obj.MustSet("ticker", val)
+	case "TIMESTAMP":
+		sec, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("TIMESTAMP %q: %w", val, ErrBadFeedData)
+		}
+		obj.MustSet("published", time.Unix(sec, 0).UTC())
+	case "SOURCES":
+		obj.MustSet("sources", splitList(val, " "))
+	case "COUNTRIES":
+		obj.MustSet("countryCodes", splitList(val, " "))
+	case "INDUSTRIES":
+		var groups mop.List
+		if val != "" {
+			for _, part := range strings.Fields(val) {
+				code, w, ok := strings.Cut(part, "=")
+				if !ok {
+					return fmt.Errorf("INDUSTRIES %q: %w", val, ErrBadFeedData)
+				}
+				weight, err := strconv.ParseFloat(w, 64)
+				if err != nil {
+					return fmt.Errorf("INDUSTRIES weight %q: %w", w, ErrBadFeedData)
+				}
+				g := mop.MustNew(types.Group).MustSet("code", code).MustSet("weight", weight)
+				groups = append(groups, g)
+			}
+		}
+		obj.MustSet("groups", groups)
+	default:
+		return fmt.Errorf("unknown field %s: %w", key, ErrBadFeedData)
+	}
+	return nil
+}
+
+func splitList(val, sep string) mop.List {
+	var out mop.List
+	for _, s := range strings.Split(val, sep) {
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+// Package appbuilder implements the application builder of §5.1: "an
+// interpreter-driven, user interface toolkit ... It is possible to examine
+// the list of available services on the Information Bus ... Services are
+// self-describing, so users can inspect the interface description for each
+// service. Using that information, a user can quickly construct a basic
+// user interface for any service. This whole process requires only a few
+// minutes, and typically no compilation is involved."
+//
+// This is the text-mode equivalent: point it at a service subject and it
+// discovers the service, introspects the interface that travelled in the
+// discovery reply (P2), renders an operation menu, generates a prompt-per-
+// parameter dialogue from each operation's signature (§5.2: "dialogue
+// boxes that are based on the operations' signatures can lead the user
+// through interactions with the new service"), and invokes over RMI. No
+// part of it knows any service ahead of time.
+package appbuilder
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"infobus/internal/core"
+	"infobus/internal/mop"
+	"infobus/internal/rmi"
+	"infobus/internal/transport"
+)
+
+// UI errors.
+var (
+	ErrNoInterface = errors.New("appbuilder: service published no interface")
+	ErrBadInput    = errors.New("appbuilder: cannot convert input to parameter type")
+	ErrUnsupported = errors.New("appbuilder: parameter type has no text input form")
+)
+
+// UI is a generated service user interface.
+type UI struct {
+	client  *rmi.Client
+	service string
+	iface   *mop.Type
+	ops     []mop.Operation
+}
+
+// Build dials the service and constructs its UI from the remotely
+// introspected interface.
+func Build(bus *core.Bus, seg transport.Segment, service string, opts rmi.DialOptions) (*UI, error) {
+	client, err := rmi.Dial(bus, seg, service, opts)
+	if err != nil {
+		return nil, err
+	}
+	iface := client.Interface()
+	if iface == nil {
+		_ = client.Close()
+		return nil, fmt.Errorf("%q: %w", service, ErrNoInterface)
+	}
+	ops := append([]mop.Operation(nil), iface.Operations()...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Name < ops[j].Name })
+	return &UI{client: client, service: service, iface: iface, ops: ops}, nil
+}
+
+// Close releases the RMI connection.
+func (u *UI) Close() error { return u.client.Close() }
+
+// Interface returns the introspected service interface.
+func (u *UI) Interface() *mop.Type { return u.iface }
+
+// Menu renders the operation menu, one numbered entry per operation with
+// its full signature.
+func (u *UI) Menu() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s (%s) ===\n", u.service, u.iface.Name())
+	for i, op := range u.ops {
+		fmt.Fprintf(&b, "%2d. %s\n", i+1, op.Signature())
+	}
+	b.WriteString(" q. quit\n")
+	return b.String()
+}
+
+// Operations returns the menu's operations in display order.
+func (u *UI) Operations() []mop.Operation { return u.ops }
+
+// Run drives the full interactive loop: print menu, read a selection,
+// prompt per parameter, invoke, print the result; repeat until "q" or EOF.
+func (u *UI) Run(in io.Reader, out io.Writer) error {
+	r := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, u.Menu())
+		fmt.Fprint(out, "select: ")
+		if !r.Scan() {
+			fmt.Fprintln(out)
+			return nil
+		}
+		choice := strings.TrimSpace(r.Text())
+		if choice == "q" || choice == "quit" {
+			return nil
+		}
+		idx, err := strconv.Atoi(choice)
+		if err != nil || idx < 1 || idx > len(u.ops) {
+			fmt.Fprintf(out, "no such entry %q\n\n", choice)
+			continue
+		}
+		op := u.ops[idx-1]
+		args, err := u.promptArgs(op, r, out)
+		if err != nil {
+			fmt.Fprintf(out, "input error: %v\n\n", err)
+			continue
+		}
+		result, err := u.client.Invoke(op.Name, args...)
+		if err != nil {
+			fmt.Fprintf(out, "invocation failed: %v\n\n", err)
+			continue
+		}
+		fmt.Fprintf(out, "-> %s\n\n", mop.Sprint(result))
+	}
+}
+
+// promptArgs generates the per-parameter dialogue from the signature.
+func (u *UI) promptArgs(op mop.Operation, r *bufio.Scanner, out io.Writer) ([]mop.Value, error) {
+	args := make([]mop.Value, 0, len(op.Params))
+	for _, p := range op.Params {
+		fmt.Fprintf(out, "  %s (%s): ", p.Name, p.Type.Name())
+		if !r.Scan() {
+			return nil, io.ErrUnexpectedEOF
+		}
+		v, err := ParseValue(p.Type, strings.TrimSpace(r.Text()))
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	return args, nil
+}
+
+// ParseValue converts one line of user input into a value of the declared
+// parameter type. Lists are comma-separated; Any tries int, float, bool,
+// then falls back to string.
+func ParseValue(t *mop.Type, text string) (mop.Value, error) {
+	switch t.Kind() {
+	case mop.KindString:
+		return text, nil
+	case mop.KindInt:
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q as int: %w", text, ErrBadInput)
+		}
+		return n, nil
+	case mop.KindFloat:
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q as float: %w", text, ErrBadInput)
+		}
+		return f, nil
+	case mop.KindBool:
+		switch strings.ToLower(text) {
+		case "true", "t", "yes", "y", "1":
+			return true, nil
+		case "false", "f", "no", "n", "0":
+			return false, nil
+		}
+		return nil, fmt.Errorf("%q as bool: %w", text, ErrBadInput)
+	case mop.KindList:
+		if text == "" {
+			return mop.List{}, nil
+		}
+		parts := strings.Split(text, ",")
+		out := make(mop.List, 0, len(parts))
+		for _, part := range parts {
+			v, err := ParseValue(t.Elem(), strings.TrimSpace(part))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case mop.KindAny:
+		if n, err := strconv.ParseInt(text, 10, 64); err == nil {
+			return n, nil
+		}
+		if f, err := strconv.ParseFloat(text, 64); err == nil {
+			return f, nil
+		}
+		if text == "true" || text == "false" {
+			return text == "true", nil
+		}
+		return text, nil
+	default:
+		return nil, fmt.Errorf("%s: %w", t.Name(), ErrUnsupported)
+	}
+}

@@ -1,0 +1,236 @@
+package appbuilder
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"infobus/internal/core"
+	"infobus/internal/mop"
+	"infobus/internal/netsim"
+	"infobus/internal/reliable"
+	"infobus/internal/rmi"
+	"infobus/internal/transport"
+)
+
+func fastReliable() reliable.Config {
+	return reliable.Config{
+		NakInterval:        2 * time.Millisecond,
+		GapTimeout:         300 * time.Millisecond,
+		RetransmitInterval: 3 * time.Millisecond,
+		HeartbeatInterval:  5 * time.Millisecond,
+	}
+}
+
+func newBus(t *testing.T, seg transport.Segment, host string) *core.Bus {
+	t.Helper()
+	h, err := core.NewHost(seg, host, core.HostConfig{Reliable: fastReliable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = h.Close() })
+	b, err := h.NewBus("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func dialOpts() rmi.DialOptions {
+	return rmi.DialOptions{
+		DiscoveryWindow: 200 * time.Millisecond,
+		Timeout:         400 * time.Millisecond,
+		Retries:         3,
+		Reliable:        fastReliable(),
+	}
+}
+
+// startFactoryConfig serves a small "Factory Configuration System"-style
+// service the builder has never seen.
+func startFactoryConfig(t *testing.T, seg transport.Segment) {
+	t.Helper()
+	iface := mop.MustNewClass("FactoryConfig", nil, nil, []mop.Operation{
+		{Name: "setLimit", Params: []mop.Param{
+			{Name: "station", Type: mop.String},
+			{Name: "celsius", Type: mop.Float},
+		}, Result: mop.Bool},
+		{Name: "stations", Result: mop.ListOf(mop.String)},
+		{Name: "scale", Params: []mop.Param{
+			{Name: "values", Type: mop.ListOf(mop.Int)},
+			{Name: "by", Type: mop.Int},
+		}, Result: mop.ListOf(mop.Int)},
+	})
+	bus := newBus(t, seg, "config-server")
+	limits := map[string]float64{}
+	srv, err := rmi.NewServer(bus, seg, "svc.factoryconfig", iface,
+		func(op string, args []mop.Value) (mop.Value, error) {
+			switch op {
+			case "setLimit":
+				limits[args[0].(string)] = args[1].(float64)
+				return true, nil
+			case "stations":
+				out := mop.List{}
+				for s := range limits {
+					out = append(out, s)
+				}
+				return out, nil
+			case "scale":
+				in := args[0].(mop.List)
+				by := args[1].(int64)
+				out := make(mop.List, len(in))
+				for i, v := range in {
+					out[i] = v.(int64) * by
+				}
+				return out, nil
+			default:
+				return nil, rmi.ErrBadOp
+			}
+		}, rmi.ServerOptions{Reliable: fastReliable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+}
+
+func fastSeg() *transport.SimSegment {
+	cfg := netsim.DefaultConfig()
+	cfg.Speedup = 5000
+	return transport.NewSimSegment(cfg)
+}
+
+func TestBuildMenuFromIntrospection(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	startFactoryConfig(t, seg)
+	ui, err := Build(newBus(t, seg, "builder"), seg, "svc.factoryconfig", dialOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ui.Close()
+	menu := ui.Menu()
+	for _, want := range []string{
+		"FactoryConfig",
+		"setLimit(station string, celsius float) -> bool",
+		"stations() -> list<string>",
+		"scale(values list<int>, by int) -> list<int>",
+	} {
+		if !strings.Contains(menu, want) {
+			t.Errorf("menu missing %q:\n%s", want, menu)
+		}
+	}
+	if len(ui.Operations()) != 3 {
+		t.Errorf("operations = %d", len(ui.Operations()))
+	}
+}
+
+func TestRunDrivesServiceThroughGeneratedDialogue(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	startFactoryConfig(t, seg)
+	ui, err := Build(newBus(t, seg, "builder"), seg, "svc.factoryconfig", dialOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ui.Close()
+
+	// The menu is sorted: 1=scale, 2=setLimit, 3=stations. The scripted
+	// user sets a limit, lists stations, scales a list, then quits.
+	script := strings.Join([]string{
+		"2",        // setLimit
+		"litho8",   // station
+		"23.5",     // celsius
+		"3",        // stations
+		"1",        // scale
+		"1, 2, 3",  // values (comma list)
+		"10",       // by
+		"nonsense", // invalid selection handled gracefully
+		"q",
+	}, "\n")
+	var out strings.Builder
+	if err := ui.Run(strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"station (string):",
+		"celsius (float):",
+		"-> true",
+		`-> ["litho8"]`,
+		"-> [10, 20, 30]",
+		`no such entry "nonsense"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("session missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunReportsBadInputAndRemoteErrors(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	startFactoryConfig(t, seg)
+	ui, err := Build(newBus(t, seg, "builder"), seg, "svc.factoryconfig", dialOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ui.Close()
+	script := "2\nlitho8\nnot-a-float\nq\n"
+	var out strings.Builder
+	if err := ui.Run(strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "input error:") {
+		t.Errorf("bad input not reported:\n%s", out.String())
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		t    *mop.Type
+		in   string
+		want mop.Value
+		ok   bool
+	}{
+		{mop.String, "hello", "hello", true},
+		{mop.Int, "42", int64(42), true},
+		{mop.Int, "x", nil, false},
+		{mop.Float, "2.5", 2.5, true},
+		{mop.Float, "x", nil, false},
+		{mop.Bool, "yes", true, true},
+		{mop.Bool, "0", false, true},
+		{mop.Bool, "maybe", nil, false},
+		{mop.ListOf(mop.Int), "1,2, 3", mop.List{int64(1), int64(2), int64(3)}, true},
+		{mop.ListOf(mop.Int), "1,x", nil, false},
+		{mop.ListOf(mop.String), "", mop.List{}, true},
+		{mop.Any, "7", int64(7), true},
+		{mop.Any, "7.5", 7.5, true},
+		{mop.Any, "true", true, true},
+		{mop.Any, "word", "word", true},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.t, c.in)
+		if c.ok {
+			if err != nil || !mop.EqualValues(got, c.want) {
+				t.Errorf("ParseValue(%s, %q) = %v, %v; want %v", c.t.Name(), c.in, got, err, c.want)
+			}
+		} else if !errors.Is(err, ErrBadInput) {
+			t.Errorf("ParseValue(%s, %q) error = %v, want ErrBadInput", c.t.Name(), c.in, err)
+		}
+	}
+	// Unsupported parameter kinds are reported, not guessed.
+	cls := mop.MustNewClass("X", nil, nil, nil)
+	if _, err := ParseValue(cls, "x"); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("class param error = %v", err)
+	}
+}
+
+func TestBuildFailsWithoutServer(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	opts := dialOpts()
+	opts.DiscoveryWindow = 50 * time.Millisecond
+	if _, err := Build(newBus(t, seg, "builder"), seg, "svc.ghost", opts); !errors.Is(err, rmi.ErrNoServer) {
+		t.Errorf("Build error = %v", err)
+	}
+}

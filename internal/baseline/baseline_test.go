@@ -1,0 +1,241 @@
+package baseline
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"infobus/internal/netsim"
+	"infobus/internal/transport"
+)
+
+func TestTupleSpaceOutRd(t *testing.T) {
+	ts := NewTupleSpace()
+	defer ts.Close()
+	if err := ts.Out(Tuple{"quote", "GMC", int64(101)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Out(Tuple{"quote", "IBM", int64(88)}); err != nil {
+		t.Fatal(err)
+	}
+	// Exact match.
+	got, ok := ts.RdP(Tuple{"quote", "GMC", int64(101)})
+	if !ok || got[2] != int64(101) {
+		t.Fatalf("RdP exact = %v, %v", got, ok)
+	}
+	// Formal (wildcard) fields.
+	got, ok = ts.RdP(Tuple{"quote", "IBM", Wildcard{Kind: "int"}})
+	if !ok || got[2] != int64(88) {
+		t.Fatalf("RdP formal = %v, %v", got, ok)
+	}
+	// Kind mismatch does not match.
+	if _, ok := ts.RdP(Tuple{"quote", "IBM", Wildcard{Kind: "string"}}); ok {
+		t.Error("wrong-kind wildcard matched")
+	}
+	// Arity must match.
+	if _, ok := ts.RdP(Tuple{"quote", "GMC"}); ok {
+		t.Error("shorter template matched")
+	}
+	if ts.Len() != 2 {
+		t.Errorf("Rd must not remove: Len = %d", ts.Len())
+	}
+}
+
+func TestTupleSpaceInRemoves(t *testing.T) {
+	ts := NewTupleSpace()
+	defer ts.Close()
+	_ = ts.Out(Tuple{"job", int64(1)})
+	_ = ts.Out(Tuple{"job", int64(2)})
+	got, ok := ts.InP(Tuple{"job", Wildcard{Kind: "int"}})
+	if !ok || got[0] != "job" {
+		t.Fatalf("InP = %v, %v", got, ok)
+	}
+	if ts.Len() != 1 {
+		t.Errorf("Len after In = %d", ts.Len())
+	}
+	if _, ok := ts.InP(Tuple{"nosuch"}); ok {
+		t.Error("InP matched nothing")
+	}
+}
+
+func TestTupleSpaceBlockingIn(t *testing.T) {
+	ts := NewTupleSpace()
+	defer ts.Close()
+	done := make(chan Tuple, 1)
+	go func() {
+		done <- ts.In(Tuple{"result", Wildcard{}})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := ts.Out(Tuple{"result", 3.14}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if got[1] != 3.14 {
+			t.Errorf("In = %v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked In never woke")
+	}
+	// The tuple was consumed by the waiter, not stored.
+	if ts.Len() != 0 {
+		t.Errorf("Len = %d", ts.Len())
+	}
+}
+
+func TestTupleSpaceBlockingRdKeepsTuple(t *testing.T) {
+	ts := NewTupleSpace()
+	defer ts.Close()
+	done := make(chan Tuple, 1)
+	go func() { done <- ts.Rd(Tuple{"x", Wildcard{}}) }()
+	time.Sleep(10 * time.Millisecond)
+	_ = ts.Out(Tuple{"x", int64(1)})
+	<-done
+	if ts.Len() != 1 {
+		t.Errorf("Rd waiter consumed the tuple: Len = %d", ts.Len())
+	}
+}
+
+func TestTupleSpaceCloseWakesWaiters(t *testing.T) {
+	ts := NewTupleSpace()
+	done := make(chan Tuple, 1)
+	go func() { done <- ts.In(Tuple{"never"}) }()
+	time.Sleep(10 * time.Millisecond)
+	ts.Close()
+	select {
+	case got := <-done:
+		if got != nil {
+			t.Errorf("In after close = %v", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke on close")
+	}
+	if err := ts.Out(Tuple{"x"}); err != ErrSpaceClosed {
+		t.Errorf("Out after close = %v", err)
+	}
+}
+
+func TestTupleSpaceConcurrent(t *testing.T) {
+	ts := NewTupleSpace()
+	defer ts.Close()
+	var wg sync.WaitGroup
+	const n = 50
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				_ = ts.Out(Tuple{"work", int64(w), int64(i)})
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				ts.In(Tuple{"work", Wildcard{Kind: "int"}, Wildcard{Kind: "int"}})
+			}
+		}()
+	}
+	wg.Wait()
+	if ts.Len() != 0 {
+		t.Errorf("Len = %d after balanced produce/consume", ts.Len())
+	}
+}
+
+func TestBrokerPubSub(t *testing.T) {
+	cfg := netsim.DefaultConfig()
+	cfg.Speedup = 5000
+	seg := transport.NewSimSegment(cfg)
+	defer seg.Close()
+	broker, err := NewBroker(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+
+	var clients []*BrokerClient
+	for i := 0; i < 3; i++ {
+		c, err := NewBrokerClient(seg, broker.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Subscribe("news.>"); err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	pub, err := NewBrokerClient(seg, broker.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	// Give the subscriptions time to reach the central database.
+	deadline := time.After(5 * time.Second)
+	for broker.Stats().Subscribes < 3 {
+		select {
+		case <-deadline:
+			t.Fatalf("subscribes = %d", broker.Stats().Subscribes)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+
+	if err := pub.Publish("news.equity.gmc", []byte("story")); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range clients {
+		subj, payload, ok := c.Recv()
+		if !ok || subj != "news.equity.gmc" || string(payload) != "story" {
+			t.Fatalf("client %d recv = %q %q %v", i, subj, payload, ok)
+		}
+	}
+	st := broker.Stats()
+	// The centralized design's cost: one publication, N unicast copies.
+	if st.Publications != 1 || st.Deliveries != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBrokerFiltersBySubject(t *testing.T) {
+	cfg := netsim.DefaultConfig()
+	cfg.Speedup = 5000
+	seg := transport.NewSimSegment(cfg)
+	defer seg.Close()
+	broker, _ := NewBroker(seg)
+	defer broker.Close()
+	c, _ := NewBrokerClient(seg, broker.Addr())
+	defer c.Close()
+	_ = c.Subscribe("sports.*")
+	deadline := time.After(5 * time.Second)
+	for broker.Stats().Subscribes < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("subscribe lost")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	pub, _ := NewBrokerClient(seg, broker.Addr())
+	defer pub.Close()
+	_ = pub.Publish("news.equity.gmc", []byte("x"))
+	_ = pub.Publish("sports.hockey", []byte("goal"))
+	subj, payload, ok := c.Recv()
+	if !ok || subj != "sports.hockey" || string(payload) != "goal" {
+		t.Fatalf("recv = %q %q %v", subj, payload, ok)
+	}
+}
+
+func TestBrokerMsgCodec(t *testing.T) {
+	enc := encodeBrokerMsg(brokerPub, "a.b", "payload")
+	kind, fields, err := decodeBrokerMsg(enc)
+	if err != nil || kind != brokerPub || fields[0] != "a.b" || fields[1] != "payload" {
+		t.Fatalf("round trip = %c %v %v", kind, fields, err)
+	}
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := decodeBrokerMsg(enc[:i]); err == nil {
+			t.Fatalf("truncated message of %d bytes decoded", i)
+		}
+	}
+	if _, _, err := decodeBrokerMsg(append(enc, 1)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

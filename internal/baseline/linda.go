@@ -1,0 +1,228 @@
+// Package baseline implements two comparison systems from the paper's
+// related-work section (§6), used by the ablation benchmarks:
+//
+//   - a Linda-style tuple space (Carriero & Gelernter): generative
+//     communication with attribute-qualification matching. The paper
+//     argues this "is more general than most applications require ...
+//     subject names are quite adequate for our needs, and they are far
+//     easier to implement than attribute qualification. We also argue
+//     that subject-based addressing scales more easily, and has better
+//     performance"; BenchmarkAblationSubjectVsTuple quantifies that.
+//
+//   - a Zephyr-style centralized notification broker: subscriptions live
+//     in a central location database and every publication is unicast
+//     from the broker to each subscriber — "this mechanism is inefficient
+//     if the number of interested clients is very large";
+//     BenchmarkAblationBroadcastVsBroker quantifies that against the
+//     bus's single Ethernet broadcast.
+package baseline
+
+import (
+	"errors"
+	"sync"
+)
+
+// Tuple is an ordered list of typed fields (Linda tuples "are lists of
+// typed data fields").
+type Tuple []any
+
+// Wildcard is a formal (typed placeholder) field in a template: it matches
+// any value of the given kind.
+type Wildcard struct {
+	// Kind names the Go dynamic type required: "int", "float", "string",
+	// "bool", "bytes". Empty matches anything.
+	Kind string
+}
+
+// TupleSpace errors.
+var (
+	ErrSpaceClosed = errors.New("baseline: tuple space closed")
+)
+
+// TupleSpace is an in-memory Linda tuple space. Tuples persist until
+// explicitly removed with In.
+type TupleSpace struct {
+	mu      sync.Mutex
+	tuples  []Tuple
+	waiters []*waiter
+	closed  bool
+}
+
+type waiter struct {
+	template Tuple
+	remove   bool
+	ch       chan Tuple
+}
+
+// NewTupleSpace creates an empty tuple space.
+func NewTupleSpace() *TupleSpace {
+	return &TupleSpace{}
+}
+
+// Out stores a tuple in tuple space ("like one process broadcasting a
+// tuple to many other processes").
+func (ts *TupleSpace) Out(t Tuple) error {
+	cp := append(Tuple(nil), t...)
+	ts.mu.Lock()
+	if ts.closed {
+		ts.mu.Unlock()
+		return ErrSpaceClosed
+	}
+	// A blocked In/Rd may be waiting for exactly this tuple.
+	for i, w := range ts.waiters {
+		if matches(w.template, cp) {
+			ts.waiters = append(ts.waiters[:i], ts.waiters[i+1:]...)
+			if !w.remove {
+				ts.tuples = append(ts.tuples, cp)
+			}
+			ts.mu.Unlock()
+			w.ch <- cp
+			return nil
+		}
+	}
+	ts.tuples = append(ts.tuples, cp)
+	ts.mu.Unlock()
+	return nil
+}
+
+// InP removes and returns a tuple matching the template without blocking.
+func (ts *TupleSpace) InP(template Tuple) (Tuple, bool) {
+	return ts.take(template, true)
+}
+
+// RdP returns (without removing) a matching tuple without blocking.
+func (ts *TupleSpace) RdP(template Tuple) (Tuple, bool) {
+	return ts.take(template, false)
+}
+
+// In removes and returns a matching tuple, blocking until one exists or
+// the space closes (nil return).
+func (ts *TupleSpace) In(template Tuple) Tuple {
+	return ts.block(template, true)
+}
+
+// Rd returns a matching tuple without removing it, blocking until one
+// exists or the space closes (nil return).
+func (ts *TupleSpace) Rd(template Tuple) Tuple {
+	return ts.block(template, false)
+}
+
+// Len returns the number of stored tuples.
+func (ts *TupleSpace) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.tuples)
+}
+
+// Close wakes all blocked operations with nil results.
+func (ts *TupleSpace) Close() {
+	ts.mu.Lock()
+	if ts.closed {
+		ts.mu.Unlock()
+		return
+	}
+	ts.closed = true
+	waiters := ts.waiters
+	ts.waiters = nil
+	ts.mu.Unlock()
+	for _, w := range waiters {
+		close(w.ch)
+	}
+}
+
+func (ts *TupleSpace) take(template Tuple, remove bool) (Tuple, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	// Attribute qualification: linear scan over the whole space — this is
+	// precisely the cost the paper contrasts with subject addressing.
+	for i, t := range ts.tuples {
+		if matches(template, t) {
+			if remove {
+				ts.tuples = append(ts.tuples[:i], ts.tuples[i+1:]...)
+			}
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (ts *TupleSpace) block(template Tuple, remove bool) Tuple {
+	ts.mu.Lock()
+	if ts.closed {
+		ts.mu.Unlock()
+		return nil
+	}
+	for i, t := range ts.tuples {
+		if matches(template, t) {
+			if remove {
+				ts.tuples = append(ts.tuples[:i], ts.tuples[i+1:]...)
+			}
+			ts.mu.Unlock()
+			return t
+		}
+	}
+	w := &waiter{template: append(Tuple(nil), template...), remove: remove, ch: make(chan Tuple, 1)}
+	ts.waiters = append(ts.waiters, w)
+	ts.mu.Unlock()
+	return <-w.ch
+}
+
+// matches implements per-field attribute qualification: actual fields by
+// equality, Wildcard formals by dynamic kind.
+func matches(template, t Tuple) bool {
+	if len(template) != len(t) {
+		return false
+	}
+	for i, f := range template {
+		if w, ok := f.(Wildcard); ok {
+			if !kindMatches(w.Kind, t[i]) {
+				return false
+			}
+			continue
+		}
+		if !fieldEqual(f, t[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func kindMatches(kind string, v any) bool {
+	switch kind {
+	case "":
+		return true
+	case "int":
+		_, ok := v.(int64)
+		return ok
+	case "float":
+		_, ok := v.(float64)
+		return ok
+	case "string":
+		_, ok := v.(string)
+		return ok
+	case "bool":
+		_, ok := v.(bool)
+		return ok
+	case "bytes":
+		_, ok := v.([]byte)
+		return ok
+	default:
+		return false
+	}
+}
+
+func fieldEqual(a, b any) bool {
+	if ab, ok := a.([]byte); ok {
+		bb, ok := b.([]byte)
+		if !ok || len(ab) != len(bb) {
+			return false
+		}
+		for i := range ab {
+			if ab[i] != bb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return a == b
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// PaperSizes are the message sizes swept in the appendix figures (bytes),
+// 64 B up to 10 KB.
+var PaperSizes = []int{64, 128, 256, 512, 1024, 2048, 4096, 5120, 8192, 10240}
+
+// Figure5 sweeps message sizes for the latency experiment.
+func Figure5(cfg Config, sizes []int, perSize int) ([]LatencyResult, error) {
+	out := make([]LatencyResult, 0, len(sizes))
+	for _, size := range sizes {
+		r, err := MeasureLatency(cfg, size, perSize)
+		if err != nil {
+			return nil, fmt.Errorf("bench: figure 5 size %d: %w", size, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PrintFigure5 renders the latency table in the shape of Figure 5.
+func PrintFigure5(w io.Writer, rows []LatencyResult) {
+	fmt.Fprintln(w, "FIGURE 5. Latency vs Msg Size — publish/subscribe, batching off")
+	fmt.Fprintln(w, "  1 publisher, 14 consumers, 15 nodes, 10 Mb/s Ethernet (simulated)")
+	fmt.Fprintf(w, "%10s %10s %12s %12s %14s\n", "size(B)", "samples", "mean(ms)", "std(ms)", "99%CI±(ms)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10d %10d %12.3f %12.3f %14.3f\n",
+			r.MsgSize, r.Samples, r.MeanMs, r.StdMs, r.CI99Ms)
+	}
+}
+
+// Figure67 sweeps message sizes for the throughput experiment; the same
+// data yields Figure 6 (msgs/sec) and Figure 7 (bytes/sec).
+func Figure67(cfg Config, sizes []int, nMsgs int) ([]ThroughputResult, error) {
+	out := make([]ThroughputResult, 0, len(sizes))
+	for _, size := range sizes {
+		r, err := MeasureThroughput(cfg, size, nMsgs, 1)
+		if err != nil {
+			return nil, fmt.Errorf("bench: figure 6/7 size %d: %w", size, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PrintFigure6 renders msgs/sec vs size.
+func PrintFigure6(w io.Writer, rows []ThroughputResult) {
+	fmt.Fprintln(w, "FIGURE 6. Throughput (Msgs/Sec) vs Msg Size — batching on")
+	fmt.Fprintf(w, "%10s %10s %14s\n", "size(B)", "msgs", "msgs/sec")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10d %10d %14.1f\n", r.MsgSize, r.Messages, r.MsgsPerSec)
+	}
+}
+
+// PrintFigure7 renders bytes/sec vs size (same data as Figure 6).
+func PrintFigure7(w io.Writer, rows []ThroughputResult) {
+	fmt.Fprintln(w, "FIGURE 7. Throughput (Bytes/Sec) vs Msg Size — batching on")
+	fmt.Fprintf(w, "%10s %14s %18s\n", "size(B)", "bytes/sec", "cumulative(x14)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10d %14.0f %18.0f\n", r.MsgSize, r.BytesPerSec, r.CumulativeBytesPerSec)
+	}
+}
+
+// Figure8 repeats the throughput sweep with the publisher cycling over
+// many distinct subjects and all consumers subscribed to all of them. The
+// appendix used 10 000 subjects; the result must track the single-subject
+// curve ("the number of subjects has an insignificant influence").
+func Figure8(cfg Config, sizes []int, nMsgs int, subjectCounts []int) (map[int][]ThroughputResult, error) {
+	out := make(map[int][]ThroughputResult, len(subjectCounts))
+	for _, nSubj := range subjectCounts {
+		rows := make([]ThroughputResult, 0, len(sizes))
+		for _, size := range sizes {
+			r, err := MeasureThroughput(cfg, size, nMsgs, nSubj)
+			if err != nil {
+				return nil, fmt.Errorf("bench: figure 8 subjects %d size %d: %w", nSubj, size, err)
+			}
+			rows = append(rows, r)
+		}
+		out[nSubj] = rows
+	}
+	return out, nil
+}
+
+// PrintFigure8 renders the subject-count comparison.
+func PrintFigure8(w io.Writer, results map[int][]ThroughputResult, subjectCounts []int) {
+	fmt.Fprintln(w, "FIGURE 8. Throughput (Bytes/Sec) — effect of the number of subjects")
+	fmt.Fprintf(w, "%10s", "size(B)")
+	for _, n := range subjectCounts {
+		fmt.Fprintf(w, " %14s", fmt.Sprintf("%d subj", n))
+	}
+	fmt.Fprintln(w)
+	if len(subjectCounts) == 0 {
+		return
+	}
+	rows := len(results[subjectCounts[0]])
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(w, "%10d", results[subjectCounts[0]][i].MsgSize)
+		for _, n := range subjectCounts {
+			fmt.Fprintf(w, " %14.0f", results[n][i].BytesPerSec)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// InvariantLatencyVsConsumers measures the appendix claim "the latency is
+// independent of the number of consumers".
+func InvariantLatencyVsConsumers(cfg Config, consumerCounts []int, msgSize, perCount int) ([]LatencyResult, []int, error) {
+	out := make([]LatencyResult, 0, len(consumerCounts))
+	for _, n := range consumerCounts {
+		c := cfg
+		c.Consumers = n
+		r, err := MeasureLatency(c, msgSize, perCount)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: invariant I1 consumers %d: %w", n, err)
+		}
+		out = append(out, r)
+	}
+	return out, consumerCounts, nil
+}
+
+// PrintInvariantI1 renders latency vs consumer count.
+func PrintInvariantI1(w io.Writer, rows []LatencyResult, counts []int) {
+	fmt.Fprintln(w, "INVARIANT I1. Latency vs number of consumers (should be flat)")
+	fmt.Fprintf(w, "%12s %12s %14s\n", "consumers", "mean(ms)", "99%CI±(ms)")
+	for i, r := range rows {
+		fmt.Fprintf(w, "%12d %12.3f %14.3f\n", counts[i], r.MeanMs, r.CI99Ms)
+	}
+}
+
+// InvariantThroughputVsSubscribers measures the appendix claim "the
+// publication rate is independent of the number of subscribers. Therefore,
+// the cumulative throughput over all subscribers is proportional to the
+// number of subscribers."
+func InvariantThroughputVsSubscribers(cfg Config, consumerCounts []int, msgSize, nMsgs int) ([]ThroughputResult, error) {
+	out := make([]ThroughputResult, 0, len(consumerCounts))
+	for _, n := range consumerCounts {
+		c := cfg
+		c.Consumers = n
+		r, err := MeasureThroughput(c, msgSize, nMsgs, 1)
+		if err != nil {
+			return nil, fmt.Errorf("bench: invariant I2 consumers %d: %w", n, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PrintInvariantI2 renders per-subscriber and cumulative rates vs
+// subscriber count.
+func PrintInvariantI2(w io.Writer, rows []ThroughputResult) {
+	fmt.Fprintln(w, "INVARIANT I2. Publication rate vs number of subscribers")
+	fmt.Fprintf(w, "%12s %14s %18s\n", "subscribers", "msgs/sec", "cumulative B/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12d %14.1f %18.0f\n", r.Consumers, r.MsgsPerSec, r.CumulativeBytesPerSec)
+	}
+}

@@ -1,0 +1,25 @@
+package busproto
+
+import "testing"
+
+// FuzzDecode: arbitrary bytes never panic; decodable envelopes round-trip.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(Envelope{Kind: KindPublish, Subject: "a.b", Payload: []byte("x")}))
+	f.Add(Encode(Envelope{Kind: KindGuaranteed, ID: 9, Origin: "o", Subject: "s", Payload: nil}))
+	f.Add(Encode(Envelope{Kind: KindGuarAck, ID: 1, Origin: "o"}))
+	f.Add(Encode(Envelope{Kind: KindInterest, Patterns: []string{"a.>", "*"}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Decode(data)
+		if err != nil {
+			return
+		}
+		got, err := Decode(Encode(e))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if got.Kind != e.Kind || got.Subject != e.Subject || got.ID != e.ID || got.Origin != e.Origin {
+			t.Fatalf("round trip mismatch: %+v vs %+v", e, got)
+		}
+	})
+}

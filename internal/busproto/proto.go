@@ -1,0 +1,178 @@
+// Package busproto defines the bus-level envelope format shared by host
+// daemons (internal/daemon) and information routers (internal/router): a
+// subject, an opaque payload (the wire-marshalled data object), and the
+// metadata the distributed machinery needs — hop counts for forwarding-loop
+// prevention, origin tokens for routing guaranteed-delivery
+// acknowledgements back across bridged segments, and aggregate interest
+// advertisements that routers use to forward only wanted traffic (§3.1).
+package busproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Envelope kinds carried inside reliable messages.
+const (
+	KindPublish    = 1 // ordinary reliable publication
+	KindGuaranteed = 2 // guaranteed publication (expects acknowledgement)
+	KindGuarAck    = 3 // guaranteed-delivery acknowledgement
+	KindInterest   = 4 // aggregate subscription advertisement (for routers)
+)
+
+// MaxHops bounds how many routers a publication may cross.
+const MaxHops = 8
+
+// Envelope is the bus-level message format: a subject plus an opaque
+// payload (the wire-marshalled data object).
+type Envelope struct {
+	Kind     byte
+	Hops     uint8  // KindPublish, KindGuaranteed
+	ID       uint64 // KindGuaranteed, KindGuarAck: ledger id at the origin
+	Origin   string // KindGuaranteed, KindGuarAck: origin daemon identity
+	Subject  string
+	Payload  []byte
+	Patterns []string // KindInterest
+}
+
+// Envelope errors.
+var (
+	ErrEnvelopeCorrupt = errors.New("busproto: corrupt envelope")
+)
+
+const (
+	maxSubjectLen  = 1 << 10
+	maxOriginLen   = 256
+	maxPatternsLen = 1 << 16
+)
+
+func Encode(e Envelope) []byte {
+	b := []byte{e.Kind}
+	switch e.Kind {
+	case KindPublish:
+		b = append(b, e.Hops)
+		b = appendString(b, e.Subject)
+		b = append(b, e.Payload...)
+	case KindGuaranteed:
+		b = append(b, e.Hops)
+		b = binary.AppendUvarint(b, e.ID)
+		b = appendString(b, e.Origin)
+		b = appendString(b, e.Subject)
+		b = append(b, e.Payload...)
+	case KindGuarAck:
+		b = binary.AppendUvarint(b, e.ID)
+		b = appendString(b, e.Origin)
+	case KindInterest:
+		b = binary.AppendUvarint(b, uint64(len(e.Patterns)))
+		for _, p := range e.Patterns {
+			b = appendString(b, p)
+		}
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+type envReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *envReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, ErrEnvelopeCorrupt
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *envReader) str(maxLen int) (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(maxLen) || r.pos+int(n) > len(r.data) {
+		return "", ErrEnvelopeCorrupt
+	}
+	s := string(r.data[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *envReader) byteVal() (byte, error) {
+	if r.pos >= len(r.data) {
+		return 0, ErrEnvelopeCorrupt
+	}
+	c := r.data[r.pos]
+	r.pos++
+	return c, nil
+}
+
+func Decode(data []byte) (Envelope, error) {
+	if len(data) == 0 {
+		return Envelope{}, ErrEnvelopeCorrupt
+	}
+	e := Envelope{Kind: data[0]}
+	r := &envReader{data: data, pos: 1}
+	var err error
+	switch e.Kind {
+	case KindPublish:
+		if e.Hops, err = r.byteVal(); err != nil {
+			return Envelope{}, err
+		}
+		if e.Subject, err = r.str(maxSubjectLen); err != nil {
+			return Envelope{}, err
+		}
+		e.Payload = data[r.pos:]
+	case KindGuaranteed:
+		if e.Hops, err = r.byteVal(); err != nil {
+			return Envelope{}, err
+		}
+		if e.ID, err = r.uvarint(); err != nil {
+			return Envelope{}, err
+		}
+		if e.Origin, err = r.str(maxOriginLen); err != nil {
+			return Envelope{}, err
+		}
+		if e.Subject, err = r.str(maxSubjectLen); err != nil {
+			return Envelope{}, err
+		}
+		e.Payload = data[r.pos:]
+	case KindGuarAck:
+		if e.ID, err = r.uvarint(); err != nil {
+			return Envelope{}, err
+		}
+		if e.Origin, err = r.str(maxOriginLen); err != nil {
+			return Envelope{}, err
+		}
+		if r.pos != len(data) {
+			return Envelope{}, ErrEnvelopeCorrupt
+		}
+	case KindInterest:
+		count, err := r.uvarint()
+		if err != nil {
+			return Envelope{}, err
+		}
+		if count > maxPatternsLen {
+			return Envelope{}, ErrEnvelopeCorrupt
+		}
+		for i := uint64(0); i < count; i++ {
+			p, err := r.str(maxSubjectLen)
+			if err != nil {
+				return Envelope{}, err
+			}
+			e.Patterns = append(e.Patterns, p)
+		}
+		if r.pos != len(data) {
+			return Envelope{}, ErrEnvelopeCorrupt
+		}
+	default:
+		return Envelope{}, fmt.Errorf("kind %d: %w", e.Kind, ErrEnvelopeCorrupt)
+	}
+	return e, nil
+}

@@ -1,0 +1,72 @@
+package busproto
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	cases := []Envelope{
+		{Kind: KindPublish, Subject: "a.b", Payload: []byte("data")},
+		{Kind: KindPublish, Hops: 3, Subject: "x", Payload: nil},
+		{Kind: KindGuaranteed, Hops: 1, ID: 42, Origin: "sim:0#abc", Subject: "g.s", Payload: []byte{1, 2}},
+		{Kind: KindGuarAck, ID: 7, Origin: "sim:9#def"},
+		{Kind: KindInterest, Patterns: []string{"a.>", "b.*", "c"}},
+		{Kind: KindInterest, Patterns: nil},
+	}
+	for _, e := range cases {
+		enc := Encode(e)
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", e, err)
+		}
+		if got.Kind != e.Kind || got.ID != e.ID || got.Subject != e.Subject ||
+			got.Origin != e.Origin || got.Hops != e.Hops ||
+			string(got.Payload) != string(e.Payload) || len(got.Patterns) != len(e.Patterns) {
+			t.Errorf("round trip %+v -> %+v", e, got)
+		}
+		for i := range e.Patterns {
+			if got.Patterns[i] != e.Patterns[i] {
+				t.Errorf("pattern %d: %q vs %q", i, got.Patterns[i], e.Patterns[i])
+			}
+		}
+	}
+}
+
+func TestEnvelopeCorrupt(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrEnvelopeCorrupt) {
+		t.Errorf("nil error = %v", err)
+	}
+	if _, err := Decode([]byte{77}); !errors.Is(err, ErrEnvelopeCorrupt) {
+		t.Errorf("unknown kind error = %v", err)
+	}
+	good := Encode(Envelope{Kind: KindGuarAck, ID: 9, Origin: "o"})
+	for i := 1; i < len(good); i++ {
+		if _, err := Decode(good[:i]); err == nil {
+			t.Errorf("truncated ack envelope of %d bytes decoded", i)
+		}
+	}
+	// Trailing garbage on fixed-layout kinds is rejected.
+	if _, err := Decode(append(good, 1)); !errors.Is(err, ErrEnvelopeCorrupt) {
+		t.Errorf("trailing bytes error = %v", err)
+	}
+}
+
+// Property: Decode never panics on arbitrary input, and Encode/Decode
+// round-trips arbitrary publish envelopes.
+func TestQuickEnvelopeRobust(t *testing.T) {
+	if err := quick.Check(func(data []byte) bool {
+		_, _ = Decode(data)
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(payload []byte, hops uint8) bool {
+		e := Envelope{Kind: KindPublish, Hops: hops, Subject: "q.t", Payload: payload}
+		got, err := Decode(Encode(e))
+		return err == nil && got.Hops == hops && string(got.Payload) == string(payload)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,475 @@
+// Package core implements the Information Bus itself — the paper's primary
+// contribution. A Bus gives an application:
+//
+//   - Publish: label a self-describing data object with a subject and
+//     disseminate it (reliable delivery; P1, P4);
+//   - PublishGuaranteed: the stronger quality of service that logs to
+//     non-volatile storage first and retransmits until acknowledged;
+//   - Subscribe: receive objects by subject pattern, anonymously — no
+//     knowledge of who produces them (P4);
+//   - Registry: the host's type universe, automatically extended by
+//     incoming self-describing objects (P2, P3).
+//
+// The architecture below a Bus mirrors the paper: every simulated host
+// runs one daemon (internal/daemon) over the reliable protocol
+// (internal/reliable) over broadcast datagrams (internal/transport,
+// internal/netsim). Applications on a host attach to the daemon through
+// Host.NewBus.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"infobus/internal/daemon"
+	"infobus/internal/ledger"
+	"infobus/internal/mop"
+	"infobus/internal/reliable"
+	"infobus/internal/subject"
+	"infobus/internal/transport"
+	"infobus/internal/wire"
+)
+
+// Host is one workstation on the bus: a transport endpoint, its daemon,
+// and the process-wide type registry shared by the applications on it.
+type Host struct {
+	name   string
+	daemon *daemon.Daemon
+	reg    *mop.Registry
+
+	mu     sync.Mutex
+	ledger *ledger.Ledger
+	retry  *guaranteeRetrier
+	buses  []*Bus
+	closed bool
+}
+
+// HostConfig tunes a host.
+type HostConfig struct {
+	// Reliable tunes the reliable-delivery protocol (batching included).
+	Reliable reliable.Config
+	// LedgerPath enables guaranteed delivery: the write-ahead log file for
+	// publications awaiting acknowledgement. Empty disables
+	// PublishGuaranteed on this host.
+	LedgerPath string
+	// LedgerSync forces an fsync per guaranteed publication.
+	LedgerSync bool
+	// RetryInterval is how often unacknowledged guaranteed publications
+	// are retransmitted. Default 100ms.
+	RetryInterval time.Duration
+	// Registry lets several hosts share one type universe (common in
+	// tests). Nil creates a fresh registry.
+	Registry *mop.Registry
+}
+
+// Bus errors.
+var (
+	ErrClosed        = errors.New("core: closed")
+	ErrNoLedger      = errors.New("core: guaranteed delivery requires a ledger (set HostConfig.LedgerPath)")
+	ErrNotDataObject = errors.New("core: value cannot travel on the bus")
+)
+
+// NewHost attaches a workstation to a network segment.
+func NewHost(seg transport.Segment, name string, cfg HostConfig) (*Host, error) {
+	ep, err := seg.NewEndpoint(name)
+	if err != nil {
+		return nil, err
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = mop.NewRegistry()
+	}
+	h := &Host{
+		name:   name,
+		daemon: daemon.New(ep, cfg.Reliable),
+		reg:    reg,
+	}
+	if cfg.LedgerPath != "" {
+		led, err := ledger.Open(cfg.LedgerPath, ledger.Options{Sync: cfg.LedgerSync})
+		if err != nil {
+			_ = h.daemon.Close()
+			return nil, err
+		}
+		h.ledger = led
+		h.retry = newGuaranteeRetrier(h.daemon, led, cfg.RetryInterval)
+	}
+	return h, nil
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Addr returns the host daemon's transport address.
+func (h *Host) Addr() string { return h.daemon.Addr() }
+
+// Registry returns the host's type registry.
+func (h *Host) Registry() *mop.Registry { return h.reg }
+
+// Daemon exposes the host daemon, mainly for statistics.
+func (h *Host) Daemon() *daemon.Daemon { return h.daemon }
+
+// PendingGuaranteed returns the guaranteed publications not yet
+// acknowledged (from the ledger), including entries recovered after a
+// restart.
+func (h *Host) PendingGuaranteed() []ledger.Entry {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ledger == nil {
+		return nil
+	}
+	return h.ledger.Pending()
+}
+
+// Close shuts down the host: its buses, daemon, retrier, and ledger.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	buses := append([]*Bus(nil), h.buses...)
+	h.mu.Unlock()
+	for _, b := range buses {
+		_ = b.Close()
+	}
+	if h.retry != nil {
+		h.retry.stop()
+	}
+	err := h.daemon.Close()
+	if h.ledger != nil {
+		if cerr := h.ledger.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// NewBus attaches an application to the host's daemon. appName labels the
+// application in monitoring output.
+func (h *Host) NewBus(appName string) (*Bus, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrClosed
+	}
+	client, err := h.daemon.NewClient(appName)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bus{
+		host:   h,
+		client: client,
+		done:   make(chan struct{}),
+		subs:   subject.NewTrie[*Subscription](),
+	}
+	go b.dispatchLoop()
+	h.buses = append(h.buses, b)
+	return b, nil
+}
+
+// ---------------------------------------------------------------------------
+// Bus
+
+// Bus is one application's handle on the Information Bus.
+type Bus struct {
+	host   *Host
+	client *daemon.Client
+	done   chan struct{}
+
+	mu     sync.Mutex
+	subs   *subject.Trie[*Subscription]
+	all    []*Subscription
+	closed bool
+}
+
+// Event is one received publication, decoded back into a self-describing
+// object.
+type Event struct {
+	// Subject the object was published under.
+	Subject subject.Subject
+	// Value is the decoded data object (any mop.Value).
+	Value mop.Value
+	// From is the transport address of the publishing host's daemon; note
+	// that applications normally ignore it (P4: anonymous communication).
+	From string
+	// Guaranteed marks guaranteed-delivery publications.
+	Guaranteed bool
+}
+
+// Subscription is a live subject subscription. Events arrive on C. Cancel
+// to stop; C closes when the subscription or the bus closes.
+type Subscription struct {
+	// C delivers matching publications in per-publisher FIFO order.
+	C <-chan Event
+
+	pattern subject.Pattern
+	bus     *Bus
+	ch      chan Event
+	done    chan struct{}
+	sendMu  sync.Mutex // held around sends so close never races a sender
+	once    sync.Once
+}
+
+// deliver hands an event to the subscription, giving up if the
+// subscription or the bus shuts down while the buffer is full.
+func (s *Subscription) deliver(ev Event, busDone <-chan struct{}) {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	select {
+	case s.ch <- ev:
+	case <-s.done:
+	case <-busDone:
+	}
+}
+
+// shutdown closes the subscription exactly once, after any in-flight
+// delivery has drained.
+func (s *Subscription) shutdown() {
+	s.once.Do(func() {
+		close(s.done)
+		s.sendMu.Lock()
+		close(s.ch)
+		s.sendMu.Unlock()
+	})
+}
+
+// Pattern returns the subscription's subject pattern.
+func (s *Subscription) Pattern() subject.Pattern { return s.pattern }
+
+// Cancel stops the subscription and closes C.
+func (s *Subscription) Cancel() {
+	s.bus.removeSub(s)
+}
+
+// Host returns the host this bus is attached to.
+func (b *Bus) Host() *Host { return b.host }
+
+// Registry returns the host's type registry.
+func (b *Bus) Registry() *mop.Registry { return b.host.reg }
+
+// Publish labels a data object with a subject and disseminates it with
+// reliable delivery.
+func (b *Bus) Publish(subj string, value mop.Value) error {
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	s, err := subject.Parse(subj)
+	if err != nil {
+		return err
+	}
+	payload, err := wire.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNotDataObject, err)
+	}
+	return b.host.daemon.Publish(s, payload)
+}
+
+// PublishGuaranteed logs the object to the host ledger, then disseminates
+// it, retransmitting until some consumer acknowledges. It returns the
+// ledger id, which leaves the pending set once acknowledged.
+func (b *Bus) PublishGuaranteed(subj string, value mop.Value) (uint64, error) {
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	s, err := subject.Parse(subj)
+	if err != nil {
+		return 0, err
+	}
+	b.host.mu.Lock()
+	led, retry := b.host.ledger, b.host.retry
+	b.host.mu.Unlock()
+	if led == nil {
+		return 0, ErrNoLedger
+	}
+	payload, err := wire.Marshal(value)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrNotDataObject, err)
+	}
+	// Log before sending (§3.1).
+	id, err := led.Append(s.String(), payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := b.host.daemon.PublishGuaranteed(s, payload, id); err != nil {
+		return id, err
+	}
+	_ = retry // the retrier re-publishes on its timer until the ack lands
+	return id, nil
+}
+
+// Subscribe registers interest in a subject pattern ("news.equity.*",
+// "fab5.>", ...). The returned subscription's channel receives every
+// matching publication from any producer, current or future.
+func (b *Bus) Subscribe(pattern string) (*Subscription, error) {
+	pat, err := subject.ParsePattern(pattern)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	// A modest buffer decouples the dispatcher from a briefly busy
+	// subscriber without making large subscription populations (Figure 8
+	// subscribes to 10 000 subjects per consumer) expensive to keep live.
+	ch := make(chan Event, 32)
+	sub := &Subscription{pattern: pat, bus: b, ch: ch, done: make(chan struct{})}
+	sub.C = ch
+	if err := b.client.Subscribe(pat); err != nil {
+		return nil, err
+	}
+	b.subs.Add(pat, sub)
+	b.all = append(b.all, sub)
+	return sub, nil
+}
+
+func (b *Bus) removeSub(s *Subscription) {
+	b.mu.Lock()
+	removed := b.subs.Remove(s.pattern, s)
+	if removed {
+		for i, x := range b.all {
+			if x == s {
+				b.all = append(b.all[:i], b.all[i+1:]...)
+				break
+			}
+		}
+		// Drop the daemon-side subscription only if no other subscription
+		// of this bus uses the same pattern.
+		samePattern := false
+		for _, x := range b.all {
+			if x.pattern.String() == s.pattern.String() {
+				samePattern = true
+				break
+			}
+		}
+		if !samePattern && !b.closed {
+			_ = b.client.Unsubscribe(s.pattern)
+		}
+	}
+	b.mu.Unlock()
+	if removed {
+		s.shutdown()
+	}
+}
+
+// Flush pushes batched publications onto the wire immediately.
+func (b *Bus) Flush() error { return b.host.daemon.Flush() }
+
+// Close detaches the application from the bus and closes all of its
+// subscriptions.
+func (b *Bus) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	subs := append([]*Subscription(nil), b.all...)
+	b.all = nil
+	b.mu.Unlock()
+	close(b.done)
+	err := b.client.Close()
+	for _, s := range subs {
+		s.shutdown()
+	}
+	return err
+}
+
+// dispatchLoop decodes daemon deliveries and fans them out to matching
+// subscriptions.
+func (b *Bus) dispatchLoop() {
+	for {
+		dv, ok := b.client.Next(b.done)
+		if !ok {
+			return
+		}
+		value, err := wire.Unmarshal(dv.Payload, b.host.reg)
+		if err != nil {
+			continue // undecodable object: drop (foreign/corrupt payload)
+		}
+		ev := Event{
+			Subject:    dv.Subject,
+			Value:      value,
+			From:       dv.From,
+			Guaranteed: dv.Guaranteed,
+		}
+		b.mu.Lock()
+		targets := b.subs.Match(dv.Subject)
+		b.mu.Unlock()
+		for _, sub := range targets {
+			sub.deliver(ev, b.done)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Guaranteed-delivery retrier
+
+// guaranteeRetrier periodically re-publishes ledger entries that no
+// consumer has acknowledged yet — including entries recovered from the
+// ledger after a crash ("regardless of failures").
+type guaranteeRetrier struct {
+	d        *daemon.Daemon
+	led      *ledger.Ledger
+	interval time.Duration
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+func newGuaranteeRetrier(d *daemon.Daemon, led *ledger.Ledger, interval time.Duration) *guaranteeRetrier {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	r := &guaranteeRetrier{
+		d:        d,
+		led:      led,
+		interval: interval,
+		done:     make(chan struct{}),
+	}
+	d.OnGuaranteeAck(func(id uint64, _ string) { _ = led.Ack(id) })
+	r.wg.Add(1)
+	go r.loop()
+	return r
+}
+
+func (r *guaranteeRetrier) stop() {
+	close(r.done)
+	r.wg.Wait()
+}
+
+func (r *guaranteeRetrier) loop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-ticker.C:
+		}
+		for _, e := range r.led.Pending() {
+			subj, err := subject.Parse(e.Subject)
+			if err != nil {
+				continue
+			}
+			if err := r.d.PublishGuaranteed(subj, e.Payload, e.ID); err != nil {
+				break // daemon closed or backpressure; retry next tick
+			}
+		}
+	}
+}

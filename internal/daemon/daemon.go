@@ -1,0 +1,611 @@
+// Package daemon implements the per-host Information Bus daemon. "In our
+// implementation of subject-based addressing, we use a daemon on every
+// host. Each application registers with its local daemon, and tells the
+// daemon to which subjects it has subscribed. The daemon forwards each
+// message to each application that has subscribed. It uses the subject
+// contained in the message to decide which application receives which
+// message." (§3.1)
+//
+// One Daemon owns one reliable connection to the network segment. Local
+// applications attach as Clients, subscribe with wildcard patterns, and
+// receive matching publications — whether they originated remotely or from
+// another application on the same host. The daemon also participates in
+// the guaranteed-delivery handshake: it acknowledges guaranteed messages
+// that it delivered to at least one local subscriber, and it periodically
+// advertises its aggregate subscription interest for information routers.
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"infobus/internal/busproto"
+	"infobus/internal/reliable"
+	"infobus/internal/subject"
+	"infobus/internal/transport"
+)
+
+// Delivery is one publication handed to a subscribed client.
+type Delivery struct {
+	Subject subject.Subject
+	Payload []byte
+	// From is the transport address of the publishing daemon.
+	From string
+	// Guaranteed marks a guaranteed-delivery publication; ID is its
+	// publisher-side ledger identifier.
+	Guaranteed bool
+	ID         uint64
+}
+
+// Daemon errors.
+var (
+	ErrClosed = errors.New("daemon: closed")
+)
+
+// InterestInterval is how often a daemon re-broadcasts its aggregate
+// subscription interest for information routers. Advertisements are also
+// sent immediately on every subscription change.
+const InterestInterval = 250 * time.Millisecond
+
+// Daemon routes publications between the network and local clients.
+type Daemon struct {
+	conn     *reliable.Conn
+	identity string // globally unique origin token for guaranteed acks
+
+	mu      sync.Mutex
+	subs    *subject.Trie[*Client]
+	clients map[*Client]struct{}
+	onAck   func(id uint64, from string)
+	closed  bool
+	done    chan struct{}
+	kick    chan struct{} // debounced interest re-advertisement requests
+	wg      sync.WaitGroup
+
+	// Cached, aggregated interest advertisement; recomputed only when the
+	// subscription set changes (a full trie walk is too expensive to run
+	// on every periodic re-advertisement with tens of thousands of
+	// subscriptions).
+	advCache []string
+	advDirty bool
+
+	// Guaranteed-delivery duplicate suppression: a publisher retransmits
+	// until acknowledged, so the same (origin, id) may arrive many times;
+	// consumers see it once ("if there is no failure, then the message
+	// will be delivered exactly once", §3.1).
+	guarSeen  map[string]struct{}
+	guarOrder []string
+
+	stats Stats
+}
+
+// guarSeenCap bounds the duplicate-suppression window.
+const guarSeenCap = 8192
+
+// Stats counts daemon-level events.
+type Stats struct {
+	PublishedLocal uint64 // publications submitted by local clients
+	Inbound        uint64 // publications received from the network
+	DeliveredLocal uint64 // deliveries to local clients (fan-out counted)
+	NoSubscriber   uint64 // inbound publications matching no local client
+	GuarAcksSent   uint64
+	GuarAcksRecv   uint64
+	CorruptDropped uint64
+}
+
+// New starts a daemon over a transport endpoint. cfg tunes the underlying
+// reliable protocol.
+func New(ep transport.Endpoint, cfg reliable.Config) *Daemon {
+	d := &Daemon{
+		conn:     reliable.New(ep, cfg),
+		identity: fmt.Sprintf("%s#%016x", ep.Addr(), rand.Uint64()),
+		subs:     subject.NewTrie[*Client](),
+		clients:  make(map[*Client]struct{}),
+		done:     make(chan struct{}),
+		kick:     make(chan struct{}, 1),
+		guarSeen: make(map[string]struct{}),
+		advDirty: true,
+	}
+	d.wg.Add(2)
+	go d.recvLoop()
+	go d.interestLoop()
+	return d
+}
+
+// Identity returns the daemon's unique origin token. Guaranteed-delivery
+// acknowledgements carry it so routers can steer them back to this daemon.
+func (d *Daemon) Identity() string { return d.identity }
+
+// Addr returns the daemon's transport address (the publisher identity
+// subscribers see).
+func (d *Daemon) Addr() string { return d.conn.Addr() }
+
+// Conn exposes the underlying reliable connection for protocol statistics.
+func (d *Daemon) Conn() *reliable.Conn { return d.conn }
+
+// Stats returns a snapshot of the daemon counters.
+func (d *Daemon) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// OnGuaranteeAck registers the callback invoked when a guaranteed
+// publication of this daemon is acknowledged by some consumer. Used by the
+// bus layer to mark ledger entries delivered.
+func (d *Daemon) OnGuaranteeAck(f func(id uint64, from string)) {
+	d.mu.Lock()
+	d.onAck = f
+	d.mu.Unlock()
+}
+
+// Close shuts the daemon and all its clients down.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	close(d.done)
+	clients := make([]*Client, 0, len(d.clients))
+	for c := range d.clients {
+		clients = append(clients, c)
+	}
+	d.mu.Unlock()
+	err := d.conn.Close()
+	d.wg.Wait()
+	for _, c := range clients {
+		c.shutdown()
+	}
+	return err
+}
+
+// Publish sends an ordinary reliable publication and routes it to local
+// subscribers (network broadcast does not loop back).
+func (d *Daemon) Publish(subj subject.Subject, payload []byte) error {
+	env := busproto.Encode(busproto.Envelope{Kind: busproto.KindPublish, Subject: subj.String(), Payload: payload})
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	d.stats.PublishedLocal++
+	d.mu.Unlock()
+	if err := d.conn.Publish(env); err != nil {
+		return err
+	}
+	d.routeLocal(Delivery{Subject: subj, Payload: payload, From: d.Addr()})
+	return nil
+}
+
+// PublishGuaranteed sends a guaranteed publication carrying the caller's
+// ledger id. The caller is responsible for logging before calling and for
+// retransmitting until the ack callback fires (see the bus layer).
+func (d *Daemon) PublishGuaranteed(subj subject.Subject, payload []byte, id uint64) error {
+	env := busproto.Encode(busproto.Envelope{
+		Kind: busproto.KindGuaranteed, ID: id, Origin: d.identity,
+		Subject: subj.String(), Payload: payload,
+	})
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	d.stats.PublishedLocal++
+	onAck := d.onAck
+	d.mu.Unlock()
+	if err := d.conn.Publish(env); err != nil {
+		return err
+	}
+	if d.guarAlreadyDelivered(d.identity, id) {
+		// A retransmission: remote daemons that missed it will take it
+		// from the broadcast; local subscribers already received it.
+		return nil
+	}
+	delivered := d.routeLocal(Delivery{
+		Subject: subj, Payload: payload, From: d.Addr(), Guaranteed: true, ID: id,
+	})
+	if delivered > 0 {
+		d.guarRecordDelivered(d.identity, id)
+		if onAck != nil {
+			// A local subscriber consumed it: self-acknowledge.
+			onAck(id, d.Addr())
+		}
+	}
+	return nil
+}
+
+// Flush forces batched publications onto the wire.
+func (d *Daemon) Flush() error { return d.conn.Flush() }
+
+// ---------------------------------------------------------------------------
+// Clients
+
+// Client is one local application's attachment to the daemon.
+type Client struct {
+	name   string
+	d      *Daemon
+	mu     sync.Mutex
+	queue  []Delivery
+	signal chan struct{}
+	closed bool
+	pats   map[string]subject.Pattern
+}
+
+// NewClient registers a local application with the daemon.
+func (d *Daemon) NewClient(name string) (*Client, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	c := &Client{
+		name:   name,
+		d:      d,
+		signal: make(chan struct{}, 1),
+		pats:   make(map[string]subject.Pattern),
+	}
+	d.clients[c] = struct{}{}
+	return c, nil
+}
+
+// Name returns the application name given at registration.
+func (c *Client) Name() string { return c.name }
+
+// Subscribe adds a subscription pattern. Matching publications — local or
+// remote — will appear on Deliveries. Subscribing the same pattern twice
+// is a no-op.
+func (c *Client) Subscribe(pat subject.Pattern) error {
+	c.d.mu.Lock()
+	defer c.d.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.d.closed {
+		return ErrClosed
+	}
+	c.pats[pat.String()] = pat
+	c.d.subs.Add(pat, c)
+	c.d.advDirty = true
+	c.d.kickInterest()
+	return nil
+}
+
+// Unsubscribe removes a subscription pattern.
+func (c *Client) Unsubscribe(pat subject.Pattern) error {
+	c.d.mu.Lock()
+	defer c.d.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.d.closed {
+		return ErrClosed
+	}
+	delete(c.pats, pat.String())
+	c.d.subs.Remove(pat, c)
+	c.d.advDirty = true
+	c.d.kickInterest()
+	return nil
+}
+
+// Patterns returns the client's current subscription patterns.
+func (c *Client) Patterns() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.pats))
+	for p := range c.pats {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Next blocks until a delivery is available or the client closes. ok is
+// false after close once the queue is drained.
+func (c *Client) Next(stop <-chan struct{}) (Delivery, bool) {
+	for {
+		c.mu.Lock()
+		if len(c.queue) > 0 {
+			dv := c.queue[0]
+			c.queue = c.queue[1:]
+			c.mu.Unlock()
+			return dv, true
+		}
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return Delivery{}, false
+		}
+		select {
+		case <-c.signal:
+		case <-stop:
+			return Delivery{}, false
+		}
+	}
+}
+
+// TryNext returns a pending delivery without blocking.
+func (c *Client) TryNext() (Delivery, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) == 0 {
+		return Delivery{}, false
+	}
+	dv := c.queue[0]
+	c.queue = c.queue[1:]
+	return dv, true
+}
+
+// Pending returns the number of queued deliveries.
+func (c *Client) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// Close detaches the client from the daemon.
+func (c *Client) Close() error {
+	c.d.mu.Lock()
+	if !c.d.closed {
+		c.mu.Lock()
+		for _, p := range c.pats {
+			c.d.subs.Remove(p, c)
+		}
+		c.pats = map[string]subject.Pattern{}
+		c.mu.Unlock()
+		delete(c.d.clients, c)
+	}
+	c.d.mu.Unlock()
+	c.shutdown()
+	return nil
+}
+
+func (c *Client) shutdown() {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+	}
+	c.mu.Unlock()
+	select {
+	case c.signal <- struct{}{}:
+	default:
+	}
+}
+
+// enqueue appends a delivery to the client's unbounded queue. The queue is
+// unbounded so one slow application cannot stall the host daemon (the
+// trade-off the paper's daemon makes by dropping; we prefer losslessness
+// and expose Pending for monitoring).
+func (c *Client) enqueue(dv Delivery) bool {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
+	c.queue = append(c.queue, dv)
+	c.mu.Unlock()
+	select {
+	case c.signal <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Inbound routing
+
+func (d *Daemon) recvLoop() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.done:
+			return
+		case m, ok := <-d.conn.Recv():
+			if !ok {
+				return
+			}
+			d.handleMessage(m)
+		}
+	}
+}
+
+func (d *Daemon) handleMessage(m reliable.Message) {
+	env, err := busproto.Decode(m.Payload)
+	if err != nil {
+		d.mu.Lock()
+		d.stats.CorruptDropped++
+		d.mu.Unlock()
+		return
+	}
+	switch env.Kind {
+	case busproto.KindPublish, busproto.KindGuaranteed:
+		subj, err := subject.Parse(env.Subject)
+		if err != nil {
+			d.mu.Lock()
+			d.stats.CorruptDropped++
+			d.mu.Unlock()
+			return
+		}
+		d.mu.Lock()
+		d.stats.Inbound++
+		d.mu.Unlock()
+		if env.Kind == busproto.KindGuaranteed && d.guarAlreadyDelivered(env.Origin, env.ID) {
+			// Already delivered locally; re-acknowledge in case the
+			// publisher missed our first ack, but do not re-deliver.
+			ack := busproto.Encode(busproto.Envelope{Kind: busproto.KindGuarAck, ID: env.ID, Origin: env.Origin})
+			_ = d.conn.SendTo(m.From, ack)
+			return
+		}
+		dv := Delivery{
+			Subject:    subj,
+			Payload:    env.Payload,
+			From:       m.From,
+			Guaranteed: env.Kind == busproto.KindGuaranteed,
+			ID:         env.ID,
+		}
+		delivered := d.routeLocal(dv)
+		if env.Kind == busproto.KindGuaranteed && delivered > 0 {
+			d.guarRecordDelivered(env.Origin, env.ID)
+			// Acknowledge on behalf of our subscribers, unicast to the
+			// publisher.
+			ack := busproto.Encode(busproto.Envelope{Kind: busproto.KindGuarAck, ID: env.ID, Origin: env.Origin})
+			d.mu.Lock()
+			d.stats.GuarAcksSent++
+			d.mu.Unlock()
+			_ = d.conn.SendTo(m.From, ack)
+		}
+	case busproto.KindGuarAck:
+		if env.Origin != d.identity {
+			return // ack for some other publisher's message
+		}
+		d.mu.Lock()
+		d.stats.GuarAcksRecv++
+		onAck := d.onAck
+		d.mu.Unlock()
+		if onAck != nil {
+			onAck(env.ID, m.From)
+		}
+	}
+}
+
+// routeLocal fans a delivery out to every matching local client.
+func (d *Daemon) routeLocal(dv Delivery) int {
+	matches := d.subs.Match(dv.Subject)
+	delivered := 0
+	for _, c := range matches {
+		if c.enqueue(dv) {
+			delivered++
+		}
+	}
+	d.mu.Lock()
+	if delivered == 0 {
+		d.stats.NoSubscriber++
+	} else {
+		d.stats.DeliveredLocal += uint64(delivered)
+	}
+	d.mu.Unlock()
+	return delivered
+}
+
+// ---------------------------------------------------------------------------
+// Interest advertisement (consumed by information routers)
+
+// maxAdvertisedPatterns bounds the size of one interest advertisement. A
+// host with thousands of subscriptions (Figure 8 subscribes to 10 000
+// subjects) must not occupy the shared medium with its interest chatter,
+// so large sets are aggregated to wildcard prefixes — routers may then
+// over-forward slightly, which is safe, instead of the wire drowning.
+const maxAdvertisedPatterns = 64
+
+// AdvertiseInterest broadcasts the daemon's aggregate subscription pattern
+// set immediately. It is also called periodically and on every
+// subscription change.
+func (d *Daemon) AdvertiseInterest() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	if d.advDirty {
+		d.advCache = aggregateInterest(d.subs.Patterns(), maxAdvertisedPatterns)
+		d.advDirty = false
+	}
+	patterns := d.advCache
+	d.mu.Unlock()
+	if len(patterns) == 0 {
+		return
+	}
+	env := busproto.Encode(busproto.Envelope{Kind: busproto.KindInterest, Patterns: patterns})
+	_ = d.conn.Publish(env)
+	_ = d.conn.Flush()
+}
+
+// aggregateInterest collapses an oversized pattern set to first-element
+// wildcard prefixes ("bench.>"), and to a single ">" if even that is too
+// many. Aggregation only widens interest, never narrows it.
+func aggregateInterest(patterns []string, cap int) []string {
+	if len(patterns) <= cap {
+		return patterns
+	}
+	prefixes := make(map[string]struct{})
+	for _, p := range patterns {
+		first, _, found := strings.Cut(p, ".")
+		if !found {
+			first = p
+		}
+		if first == subject.WildcardOne || first == subject.WildcardRest {
+			return []string{subject.WildcardRest}
+		}
+		prefixes[first] = struct{}{}
+	}
+	if len(prefixes) > cap {
+		return []string{subject.WildcardRest}
+	}
+	out := make([]string, 0, len(prefixes))
+	for p := range prefixes {
+		out = append(out, p+"."+subject.WildcardRest)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// guarAlreadyDelivered reports whether a guaranteed publication was
+// already delivered to local subscribers.
+func (d *Daemon) guarAlreadyDelivered(origin string, id uint64) bool {
+	key := origin + "/" + strconv.FormatUint(id, 10)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, seen := d.guarSeen[key]
+	return seen
+}
+
+// guarRecordDelivered marks a guaranteed publication as delivered, so
+// publisher retransmissions are suppressed ("if there is no failure, then
+// the message will be delivered exactly once"). Only delivered messages
+// are recorded: a daemon with no matching subscriber keeps accepting
+// retries, so a subscriber that appears later still receives the message.
+func (d *Daemon) guarRecordDelivered(origin string, id uint64) {
+	key := origin + "/" + strconv.FormatUint(id, 10)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.guarSeen[key] = struct{}{}
+	d.guarOrder = append(d.guarOrder, key)
+	for len(d.guarOrder) > guarSeenCap {
+		delete(d.guarSeen, d.guarOrder[0])
+		d.guarOrder = d.guarOrder[1:]
+	}
+}
+
+// kickInterest schedules a prompt advertisement without blocking the
+// caller; bursts of subscription changes collapse into one broadcast.
+func (d *Daemon) kickInterest() {
+	select {
+	case d.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (d *Daemon) interestLoop() {
+	defer d.wg.Done()
+	ticker := time.NewTicker(InterestInterval)
+	defer ticker.Stop()
+	debounce := time.NewTimer(time.Hour)
+	debounce.Stop()
+	for {
+		select {
+		case <-d.done:
+			return
+		case <-d.kick:
+			// Let a burst of Subscribe calls settle briefly, then send one
+			// advertisement covering them all.
+			debounce.Reset(2 * time.Millisecond)
+		case <-debounce.C:
+			d.AdvertiseInterest()
+		case <-ticker.C:
+			d.AdvertiseInterest()
+		}
+	}
+}

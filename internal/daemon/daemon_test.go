@@ -1,0 +1,299 @@
+package daemon
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"infobus/internal/netsim"
+	"infobus/internal/reliable"
+	"infobus/internal/subject"
+	"infobus/internal/transport"
+)
+
+func newPair(t *testing.T) (*Daemon, *Daemon) {
+	t.Helper()
+	cfg := netsim.DefaultConfig()
+	cfg.Speedup = 5000
+	seg := transport.NewSimSegment(cfg)
+	rcfg := reliable.Config{
+		NakInterval:        2 * time.Millisecond,
+		GapTimeout:         300 * time.Millisecond,
+		RetransmitInterval: 3 * time.Millisecond,
+		HeartbeatInterval:  5 * time.Millisecond,
+	}
+	epA, err := seg.NewEndpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := seg.NewEndpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db := New(epA, rcfg), New(epB, rcfg)
+	t.Cleanup(func() {
+		_ = da.Close()
+		_ = db.Close()
+		_ = seg.Close()
+	})
+	return da, db
+}
+
+func nextDelivery(t *testing.T, c *Client, within time.Duration) Delivery {
+	t.Helper()
+	stop := make(chan struct{})
+	timer := time.AfterFunc(within, func() { close(stop) })
+	defer timer.Stop()
+	dv, ok := c.Next(stop)
+	if !ok {
+		t.Fatal("no delivery within deadline")
+	}
+	return dv
+}
+
+func TestSubjectRoutingBetweenDaemons(t *testing.T) {
+	da, db := newPair(t)
+	cb, err := db.NewClient("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.Subscribe(subject.MustParsePattern("fab5.>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := da.Publish(subject.MustParse("fab5.cc.temp"), []byte("98")); err != nil {
+		t.Fatal(err)
+	}
+	dv := nextDelivery(t, cb, 5*time.Second)
+	if dv.Subject.String() != "fab5.cc.temp" || string(dv.Payload) != "98" {
+		t.Errorf("delivery = %+v", dv)
+	}
+	if dv.From != da.Addr() {
+		t.Errorf("from = %q", dv.From)
+	}
+	// Non-matching subject is filtered by the daemon (stats, no delivery).
+	if err := da.Publish(subject.MustParse("other.topic"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if cb.Pending() != 0 {
+		t.Errorf("pending = %d after non-matching publish", cb.Pending())
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	da, db := newPair(t)
+	cb, _ := db.NewClient("app")
+	pat := subject.MustParsePattern("s.t")
+	_ = cb.Subscribe(pat)
+	_ = da.Publish(subject.MustParse("s.t"), []byte("1"))
+	nextDelivery(t, cb, 5*time.Second)
+	_ = cb.Unsubscribe(pat)
+	_ = da.Publish(subject.MustParse("s.t"), []byte("2"))
+	time.Sleep(30 * time.Millisecond)
+	if cb.Pending() != 0 {
+		t.Error("delivery after unsubscribe")
+	}
+}
+
+func TestLocalLoopbackAndFanout(t *testing.T) {
+	da, _ := newPair(t)
+	c1, _ := da.NewClient("one")
+	c2, _ := da.NewClient("two")
+	_ = c1.Subscribe(subject.MustParsePattern("local.x"))
+	_ = c2.Subscribe(subject.MustParsePattern("local.>"))
+	if err := da.Publish(subject.MustParse("local.x"), []byte("loop")); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*Client{c1, c2} {
+		dv := nextDelivery(t, c, 5*time.Second)
+		if string(dv.Payload) != "loop" {
+			t.Errorf("payload = %q", dv.Payload)
+		}
+	}
+	st := da.Stats()
+	if st.DeliveredLocal != 2 {
+		t.Errorf("DeliveredLocal = %d", st.DeliveredLocal)
+	}
+}
+
+func TestGuaranteedAckFlow(t *testing.T) {
+	da, db := newPair(t)
+	acked := make(chan uint64, 1)
+	da.OnGuaranteeAck(func(id uint64, from string) { acked <- id })
+
+	cb, _ := db.NewClient("db-writer")
+	_ = cb.Subscribe(subject.MustParsePattern("g.>"))
+	if err := da.PublishGuaranteed(subject.MustParse("g.row"), []byte("insert"), 77); err != nil {
+		t.Fatal(err)
+	}
+	dv := nextDelivery(t, cb, 5*time.Second)
+	if !dv.Guaranteed || dv.ID != 77 {
+		t.Errorf("delivery = %+v", dv)
+	}
+	select {
+	case id := <-acked:
+		if id != 77 {
+			t.Errorf("acked id = %d", id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ack never arrived")
+	}
+	if db.Stats().GuarAcksSent != 1 {
+		t.Errorf("consumer stats = %+v", db.Stats())
+	}
+}
+
+func TestGuaranteedNoAckWithoutSubscriber(t *testing.T) {
+	da, db := newPair(t)
+	acked := make(chan uint64, 1)
+	da.OnGuaranteeAck(func(id uint64, from string) { acked <- id })
+	// db has no subscribing client.
+	if err := da.PublishGuaranteed(subject.MustParse("g.row"), []byte("x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case id := <-acked:
+		t.Errorf("spurious ack %d", id)
+	case <-time.After(50 * time.Millisecond):
+	}
+	_ = db
+}
+
+func TestGuaranteedLocalSelfAck(t *testing.T) {
+	da, _ := newPair(t)
+	acked := make(chan uint64, 1)
+	da.OnGuaranteeAck(func(id uint64, from string) { acked <- id })
+	c, _ := da.NewClient("local-db")
+	_ = c.Subscribe(subject.MustParsePattern("g.x"))
+	if err := da.PublishGuaranteed(subject.MustParse("g.x"), []byte("v"), 9); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case id := <-acked:
+		if id != 9 {
+			t.Errorf("acked id = %d", id)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("local self-ack missing")
+	}
+}
+
+func TestClientCloseAndDaemonClose(t *testing.T) {
+	da, db := newPair(t)
+	c, _ := db.NewClient("app")
+	_ = c.Subscribe(subject.MustParsePattern("s.>"))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe(subject.MustParsePattern("t.>")); !errors.Is(err, ErrClosed) {
+		t.Errorf("subscribe after close = %v", err)
+	}
+	_ = da.Publish(subject.MustParse("s.x"), []byte("gone"))
+	time.Sleep(30 * time.Millisecond)
+	if c.Pending() != 0 {
+		t.Error("delivery to closed client")
+	}
+	if _, ok := c.TryNext(); ok {
+		t.Error("TryNext on closed empty client")
+	}
+	// Daemon close rejects new clients and publishes.
+	_ = db.Close()
+	if _, err := db.NewClient("late"); !errors.Is(err, ErrClosed) {
+		t.Errorf("NewClient after close = %v", err)
+	}
+	if err := db.Publish(subject.MustParse("a.b"), nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Publish after close = %v", err)
+	}
+}
+
+func TestGuaranteedRetransmissionDeduplicated(t *testing.T) {
+	da, db := newPair(t)
+	cb, _ := db.NewClient("db-writer")
+	_ = cb.Subscribe(subject.MustParsePattern("g.dup"))
+	// The publisher retransmits the same (origin, id) three times, as the
+	// guaranteed-delivery retrier does until an ack lands.
+	for i := 0; i < 3; i++ {
+		if err := da.PublishGuaranteed(subject.MustParse("g.dup"), []byte("once"), 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dv := nextDelivery(t, cb, 5*time.Second)
+	if string(dv.Payload) != "once" {
+		t.Fatalf("payload = %q", dv.Payload)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if cb.Pending() != 0 {
+		t.Errorf("retransmissions delivered %d duplicate(s)", cb.Pending())
+	}
+	// A DIFFERENT id is a new message and must be delivered.
+	if err := da.PublishGuaranteed(subject.MustParse("g.dup"), []byte("two"), 6); err != nil {
+		t.Fatal(err)
+	}
+	if dv := nextDelivery(t, cb, 5*time.Second); string(dv.Payload) != "two" {
+		t.Fatalf("second payload = %q", dv.Payload)
+	}
+}
+
+func TestGuaranteedLateSubscriberStillServed(t *testing.T) {
+	da, db := newPair(t)
+	// First transmission has no subscriber anywhere: not recorded as
+	// delivered, so a later retry must still deliver.
+	if err := da.PublishGuaranteed(subject.MustParse("g.late"), []byte("v"), 9); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	cb, _ := db.NewClient("late-db")
+	_ = cb.Subscribe(subject.MustParsePattern("g.late"))
+	// The retry (same id) reaches the late subscriber.
+	if err := da.PublishGuaranteed(subject.MustParse("g.late"), []byte("v"), 9); err != nil {
+		t.Fatal(err)
+	}
+	if dv := nextDelivery(t, cb, 5*time.Second); string(dv.Payload) != "v" {
+		t.Fatalf("payload = %q", dv.Payload)
+	}
+}
+
+func TestAggregateInterest(t *testing.T) {
+	// Small sets pass through unchanged.
+	small := []string{"a.b", "c.>"}
+	got := aggregateInterest(small, 64)
+	if len(got) != 2 || got[0] != "a.b" {
+		t.Errorf("small set = %v", got)
+	}
+	// Oversized sets collapse to first-element prefixes.
+	var big []string
+	for i := 0; i < 1000; i++ {
+		big = append(big, "bench.s"+string(rune('a'+i%26))+".data")
+	}
+	got = aggregateInterest(big, 64)
+	if len(got) != 1 || got[0] != "bench.>" {
+		t.Errorf("aggregated = %v, want [bench.>]", got)
+	}
+	// Too many distinct prefixes collapse to ">".
+	var wide []string
+	for i := 0; i < 200; i++ {
+		wide = append(wide, "p"+string(rune('a'+i%26))+string(rune('a'+i/26))+".x")
+	}
+	got = aggregateInterest(wide, 64)
+	if len(got) != 1 || got[0] != ">" {
+		t.Errorf("wide aggregated = %v, want [>]", got)
+	}
+	// A leading wildcard forces the universal pattern.
+	got = aggregateInterest(append(big, ">"), 64)
+	if len(got) != 1 || got[0] != ">" {
+		t.Errorf("wildcard aggregated = %v", got)
+	}
+	// Aggregation only widens: every original pattern's matches are
+	// covered by some aggregated pattern.
+	agg := aggregateInterest(big, 64)
+	s := subject.MustParse("bench.sa.data")
+	covered := false
+	for _, a := range agg {
+		if subject.MustParsePattern(a).Matches(s) {
+			covered = true
+		}
+	}
+	if !covered {
+		t.Error("aggregation narrowed interest")
+	}
+}

@@ -1,0 +1,204 @@
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"infobus/internal/core"
+	"infobus/internal/mop"
+	"infobus/internal/netsim"
+	"infobus/internal/reliable"
+	"infobus/internal/transport"
+)
+
+func newBus(t *testing.T, seg transport.Segment, host string) *core.Bus {
+	t.Helper()
+	h, err := core.NewHost(seg, host, core.HostConfig{Reliable: reliable.Config{
+		NakInterval:        2 * time.Millisecond,
+		GapTimeout:         300 * time.Millisecond,
+		RetransmitInterval: 3 * time.Millisecond,
+		HeartbeatInterval:  5 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = h.Close() })
+	b, err := h.NewBus("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func fastSeg() *transport.SimSegment {
+	cfg := netsim.DefaultConfig()
+	cfg.Speedup = 5000
+	return transport.NewSimSegment(cfg)
+}
+
+func TestDiscoverFindsAllAnnouncers(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	var names []string
+	for i := 0; i < 3; i++ {
+		b := newBus(t, seg, fmt.Sprintf("server%d", i))
+		name := fmt.Sprintf("srv-%d", i)
+		names = append(names, name)
+		a, err := Announce(b, "quotes.service", func() mop.Value { return name })
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+	}
+	client := newBus(t, seg, "client")
+	found, err := Discover(client, "quotes.service", Options{Window: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 3 {
+		t.Fatalf("found %d participants, want 3: %+v", len(found), found)
+	}
+	var got []string
+	for _, f := range found {
+		got = append(got, f.Info.(string))
+	}
+	sort.Strings(got)
+	sort.Strings(names)
+	if fmt.Sprint(got) != fmt.Sprint(names) {
+		t.Errorf("infos = %v, want %v", got, names)
+	}
+}
+
+func TestDiscoverServiceScoping(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	bQuotes := newBus(t, seg, "q-server")
+	aq, _ := Announce(bQuotes, "svc.quotes", func() mop.Value { return "quotes" })
+	defer aq.Close()
+	bNews := newBus(t, seg, "n-server")
+	an, _ := Announce(bNews, "svc.news", func() mop.Value { return "news" })
+	defer an.Close()
+
+	client := newBus(t, seg, "client")
+	found, err := Discover(client, "svc.quotes", Options{Window: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 1 || found[0].Info != "quotes" {
+		t.Fatalf("found = %+v", found)
+	}
+}
+
+func TestDiscoverNobodyOutThere(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	client := newBus(t, seg, "client")
+	found, err := Discover(client, "svc.ghost", Options{Window: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 0 {
+		t.Fatalf("found = %+v, want none", found)
+	}
+}
+
+func TestDiscoverMaxStopsEarly(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	for i := 0; i < 4; i++ {
+		b := newBus(t, seg, fmt.Sprintf("s%d", i))
+		a, _ := Announce(b, "svc.many", nil)
+		defer a.Close()
+	}
+	client := newBus(t, seg, "client")
+	start := time.Now()
+	found, err := Discover(client, "svc.many", Options{Window: 5 * time.Second, Max: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 2 {
+		t.Fatalf("found = %d, want 2", len(found))
+	}
+	if time.Since(start) >= 5*time.Second {
+		t.Error("Max did not stop collection early")
+	}
+	// nil info announcements surface as nil Info.
+	if found[0].Info != nil {
+		t.Errorf("info = %v, want nil", found[0].Info)
+	}
+}
+
+func TestAnnouncerCloseStopsReplies(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	server := newBus(t, seg, "server")
+	a, err := Announce(server, "svc.x", func() mop.Value { return "up" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := newBus(t, seg, "client")
+	found, _ := Discover(client, "svc.x", Options{Window: 300 * time.Millisecond})
+	if len(found) != 1 {
+		t.Fatalf("before close: found = %+v", found)
+	}
+	if a.Replies() == 0 {
+		t.Errorf("Replies = %d, want at least one (re-asked queries may add more)", a.Replies())
+	}
+	a.Close()
+	a.Close() // idempotent
+	found, _ = Discover(client, "svc.x", Options{Window: 100 * time.Millisecond})
+	if len(found) != 0 {
+		t.Fatalf("after close: found = %+v", found)
+	}
+}
+
+func TestConcurrentDiscoveriesDoNotCross(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	server := newBus(t, seg, "server")
+	a, _ := Announce(server, "svc.shared", func() mop.Value { return "one" })
+	defer a.Close()
+
+	c1 := newBus(t, seg, "client1")
+	c2 := newBus(t, seg, "client2")
+	type res struct {
+		found []Found
+		err   error
+	}
+	ch := make(chan res, 2)
+	for _, c := range []*core.Bus{c1, c2} {
+		go func(b *core.Bus) {
+			f, err := Discover(b, "svc.shared", Options{Window: 300 * time.Millisecond})
+			ch <- res{f, err}
+		}(c)
+	}
+	for i := 0; i < 2; i++ {
+		r := <-ch
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if len(r.found) != 1 {
+			t.Errorf("round %d found %d", i, len(r.found))
+		}
+	}
+}
+
+func TestTwoAnnouncersSameHostBothFound(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	b := newBus(t, seg, "multi")
+	a1, _ := Announce(b, "svc.m", func() mop.Value { return "first" })
+	defer a1.Close()
+	a2, _ := Announce(b, "svc.m", func() mop.Value { return "second" })
+	defer a2.Close()
+	client := newBus(t, seg, "client")
+	found, err := Discover(client, "svc.m", Options{Window: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 2 {
+		t.Fatalf("found = %+v, want both announcers on one host", found)
+	}
+}

@@ -1,0 +1,212 @@
+// Package feeds generates synthetic raw news-feed traffic in two distinct
+// vendor wire formats, standing in for the Dow Jones and Reuters
+// communication feeds of the paper's trading-floor example (§5). "Each raw
+// news service defines its own news format" — the two formats here differ
+// in framing, field naming, and list encodings, so the adapters
+// (internal/adapter) genuinely translate rather than relabel.
+//
+// Generation is deterministic for a given seed, which lets tests compare
+// the adapter's parse output against the generator's ground truth.
+package feeds
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// StoryFacts is the ground truth behind one generated story, used by tests
+// and by the adapters' golden checks.
+type StoryFacts struct {
+	Ticker    string
+	Category  string // equity, bond, commodity
+	Headline  string
+	Body      string
+	Sources   []string
+	Countries []string
+	Groups    []GroupFact
+	Published time.Time
+	Urgent    bool
+	// Vendor-specific extras.
+	DJCode      string // Dow-Jones-like feeds
+	ReutersSlug string // Reuters-like feeds
+	Priority    int64  // Reuters-like feeds
+}
+
+// GroupFact is one industry-group weighting.
+type GroupFact struct {
+	Code   string
+	Weight float64
+}
+
+var (
+	tickers    = []string{"GMC", "IBM", "TKN", "SUNW", "HPQ", "AAPL", "F", "BA", "KO", "GE"}
+	categories = []string{"equity", "bond", "commodity"}
+	verbs      = []string{"surges", "slips", "announces record earnings", "recalls product line",
+		"names new chief executive", "expands fabrication capacity", "settles patent dispute"}
+	groupCodes = []string{"AUTO", "FIN", "TECH", "AERO", "ENRG", "CHEM"}
+	countries  = []string{"US", "DE", "JP", "GB", "FR", "KR"}
+	sources    = []string{"wire-1", "wire-7", "floor-desk", "overseas-bureau"}
+	bodyBits   = []string{
+		"Analysts said the move had been widely anticipated.",
+		"Trading volume was heavy through the afternoon session.",
+		"The company declined further comment.",
+		"Institutional investors reacted cautiously.",
+		"The announcement follows months of speculation.",
+		"Competitors are expected to respond within the quarter.",
+	}
+)
+
+// Generator produces deterministic synthetic stories.
+type Generator struct {
+	rng  *rand.Rand
+	seq  int
+	base time.Time
+}
+
+// NewGenerator creates a generator seeded for reproducibility. Stories are
+// timestamped starting at the paper's publication era.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{
+		rng:  rand.New(rand.NewSource(seed)),
+		base: time.Date(1993, time.December, 6, 9, 30, 0, 0, time.UTC),
+	}
+}
+
+// Next produces the facts of the next story.
+func (g *Generator) Next() StoryFacts {
+	g.seq++
+	ticker := tickers[g.rng.Intn(len(tickers))]
+	verb := verbs[g.rng.Intn(len(verbs))]
+	nGroups := 1 + g.rng.Intn(2)
+	var groups []GroupFact
+	used := map[string]bool{}
+	remaining := 1.0
+	for i := 0; i < nGroups; i++ {
+		code := groupCodes[g.rng.Intn(len(groupCodes))]
+		if used[code] {
+			continue
+		}
+		used[code] = true
+		w := remaining
+		if i < nGroups-1 {
+			w = float64(int(remaining*0.6*100)) / 100
+			remaining -= w
+		}
+		groups = append(groups, GroupFact{Code: code, Weight: w})
+	}
+	nBody := 2 + g.rng.Intn(3)
+	var body []string
+	for i := 0; i < nBody; i++ {
+		body = append(body, bodyBits[g.rng.Intn(len(bodyBits))])
+	}
+	f := StoryFacts{
+		Ticker:      ticker,
+		Category:    categories[g.rng.Intn(len(categories))],
+		Headline:    fmt.Sprintf("%s %s", ticker, verb),
+		Body:        strings.Join(body, " "),
+		Sources:     pick(g.rng, sources, 1+g.rng.Intn(2)),
+		Countries:   pick(g.rng, countries, 1+g.rng.Intn(3)),
+		Groups:      groups,
+		Published:   g.base.Add(time.Duration(g.seq) * 37 * time.Second),
+		Urgent:      g.rng.Intn(5) == 0,
+		DJCode:      ticker,
+		ReutersSlug: strings.ToLower(ticker) + fmt.Sprintf("-%04d", g.seq),
+		Priority:    int64(1 + g.rng.Intn(3)),
+	}
+	return f
+}
+
+func pick(rng *rand.Rand, pool []string, n int) []string {
+	idx := rng.Perm(len(pool))
+	out := make([]string, 0, n)
+	for _, i := range idx[:n] {
+		out = append(out, pool[i])
+	}
+	return out
+}
+
+// Subject returns the bus subject for a story, per the paper's convention:
+// "news.equity.gmc" for stories on General Motors.
+func (f StoryFacts) Subject() string {
+	return "news." + f.Category + "." + strings.ToLower(f.Ticker)
+}
+
+// ---------------------------------------------------------------------------
+// Vendor formats
+
+// DJRaw renders the facts in the Dow-Jones-like dot-directive format:
+//
+//	.START
+//	.CODE GMC
+//	.CAT equity
+//	.HEAD GMC surges
+//	.TIME 1993-12-06T09:30:37Z
+//	.URG 1
+//	.IND AUTO:0.60,FIN:0.40
+//	.SRC wire-1;floor-desk
+//	.CTY US,DE
+//	.TEXT
+//	body...
+//	.END
+func DJRaw(f StoryFacts) string {
+	var b strings.Builder
+	b.WriteString(".START\n")
+	fmt.Fprintf(&b, ".CODE %s\n", f.DJCode)
+	fmt.Fprintf(&b, ".CAT %s\n", f.Category)
+	fmt.Fprintf(&b, ".HEAD %s\n", f.Headline)
+	fmt.Fprintf(&b, ".TIME %s\n", f.Published.UTC().Format(time.RFC3339))
+	urg := 0
+	if f.Urgent {
+		urg = 1
+	}
+	fmt.Fprintf(&b, ".URG %d\n", urg)
+	var inds []string
+	for _, g := range f.Groups {
+		inds = append(inds, fmt.Sprintf("%s:%.2f", g.Code, g.Weight))
+	}
+	fmt.Fprintf(&b, ".IND %s\n", strings.Join(inds, ","))
+	fmt.Fprintf(&b, ".SRC %s\n", strings.Join(f.Sources, ";"))
+	fmt.Fprintf(&b, ".CTY %s\n", strings.Join(f.Countries, ","))
+	b.WriteString(".TEXT\n")
+	b.WriteString(f.Body)
+	b.WriteString("\n.END\n")
+	return b.String()
+}
+
+// ReutersRaw renders the facts in the Reuters-like ZCZC framing:
+//
+//	ZCZC
+//	SLUG gmc-0001
+//	PRIORITY 2
+//	HEADLINE GMC surges
+//	CATEGORY equity
+//	TIMESTAMP 749900437
+//	SOURCES wire-1 floor-desk
+//	COUNTRIES US DE
+//	INDUSTRIES AUTO=0.60 FIN=0.40
+//	TEXT
+//	body...
+//	NNNN
+func ReutersRaw(f StoryFacts) string {
+	var b strings.Builder
+	b.WriteString("ZCZC\n")
+	fmt.Fprintf(&b, "SLUG %s\n", f.ReutersSlug)
+	fmt.Fprintf(&b, "PRIORITY %d\n", f.Priority)
+	fmt.Fprintf(&b, "HEADLINE %s\n", f.Headline)
+	fmt.Fprintf(&b, "CATEGORY %s\n", f.Category)
+	fmt.Fprintf(&b, "TICKER %s\n", f.Ticker)
+	fmt.Fprintf(&b, "TIMESTAMP %d\n", f.Published.Unix())
+	fmt.Fprintf(&b, "SOURCES %s\n", strings.Join(f.Sources, " "))
+	fmt.Fprintf(&b, "COUNTRIES %s\n", strings.Join(f.Countries, " "))
+	var inds []string
+	for _, g := range f.Groups {
+		inds = append(inds, fmt.Sprintf("%s=%.2f", g.Code, g.Weight))
+	}
+	fmt.Fprintf(&b, "INDUSTRIES %s\n", strings.Join(inds, " "))
+	b.WriteString("TEXT\n")
+	b.WriteString(f.Body)
+	b.WriteString("\nNNNN\n")
+	return b.String()
+}

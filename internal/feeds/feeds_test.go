@@ -1,0 +1,81 @@
+package feeds
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a, b := NewGenerator(42), NewGenerator(42)
+	for i := 0; i < 20; i++ {
+		fa, fb := a.Next(), b.Next()
+		if fa.Headline != fb.Headline || fa.Subject() != fb.Subject() || fa.Body != fb.Body {
+			t.Fatalf("story %d differs across same-seed generators", i)
+		}
+	}
+	c := NewGenerator(43)
+	same := 0
+	a2 := NewGenerator(42)
+	for i := 0; i < 20; i++ {
+		if a2.Next().Headline == c.Next().Headline {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestFactsWellFormed(t *testing.T) {
+	g := NewGenerator(7)
+	for i := 0; i < 100; i++ {
+		f := g.Next()
+		if f.Headline == "" || f.Body == "" || f.Ticker == "" {
+			t.Fatalf("story %d has empty core fields: %+v", i, f)
+		}
+		if len(f.Sources) == 0 || len(f.Countries) == 0 || len(f.Groups) == 0 {
+			t.Fatalf("story %d has empty lists: %+v", i, f)
+		}
+		if !strings.HasPrefix(f.Subject(), "news.") {
+			t.Fatalf("subject = %q", f.Subject())
+		}
+		if f.Priority < 1 || f.Priority > 3 {
+			t.Fatalf("priority = %d", f.Priority)
+		}
+		total := 0.0
+		for _, gr := range f.Groups {
+			if gr.Weight <= 0 || gr.Weight > 1 {
+				t.Fatalf("group weight = %v", gr.Weight)
+			}
+			total += gr.Weight
+		}
+		if total > 1.001 {
+			t.Fatalf("weights sum to %v", total)
+		}
+	}
+}
+
+func TestVendorFormatsDiffer(t *testing.T) {
+	g := NewGenerator(1)
+	f := g.Next()
+	dj, re := DJRaw(f), ReutersRaw(f)
+	if !strings.HasPrefix(dj, ".START\n") || !strings.Contains(dj, ".END") {
+		t.Errorf("DJ framing missing:\n%s", dj)
+	}
+	if !strings.HasPrefix(re, "ZCZC\n") || !strings.Contains(re, "NNNN") {
+		t.Errorf("Reuters framing missing:\n%s", re)
+	}
+	// The two formats must genuinely differ in structure.
+	if strings.Contains(re, ".HEAD") || strings.Contains(dj, "HEADLINE ") {
+		t.Error("vendor formats leak each other's field syntax")
+	}
+	// Both carry the headline content.
+	if !strings.Contains(dj, f.Headline) || !strings.Contains(re, f.Headline) {
+		t.Error("headline missing from raw output")
+	}
+	// Monotonic timestamps.
+	f2 := g.Next()
+	if !f2.Published.After(f.Published) {
+		t.Error("timestamps not increasing")
+	}
+}

@@ -1,0 +1,269 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T) (*Ledger, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "guaranteed.log")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	return l, path
+}
+
+func TestAppendAckPending(t *testing.T) {
+	l, _ := openTemp(t)
+	id1, err := l.Append("fab5.wip", []byte("lot-42"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := l.Append("fab5.wip", []byte("lot-43"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatal("ids must be unique")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if err := l.Ack(id1); err != nil {
+		t.Fatal(err)
+	}
+	pending := l.Pending()
+	if len(pending) != 1 || pending[0].ID != id2 || string(pending[0].Payload) != "lot-43" {
+		t.Fatalf("Pending = %+v", pending)
+	}
+	// Duplicate ack is idempotent.
+	if err := l.Ack(id1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Ack(99999); err != nil {
+		t.Fatal("acking unknown id should be a no-op")
+	}
+}
+
+func TestReplayAfterRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.log")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []uint64
+	for i := 0; i < 5; i++ {
+		id, err := l.Append("s.a", []byte(fmt.Sprintf("m%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := l.Ack(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Ack(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": reopen and check exactly the unacked set is pending.
+	l2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	pending := l2.Pending()
+	if len(pending) != 3 {
+		t.Fatalf("pending after replay = %+v", pending)
+	}
+	want := map[uint64]string{ids[0]: "m0", ids[2]: "m2", ids[4]: "m4"}
+	for _, e := range pending {
+		if want[e.ID] != string(e.Payload) || e.Subject != "s.a" {
+			t.Errorf("entry %+v unexpected", e)
+		}
+	}
+	// IDs continue monotonically after restart.
+	newID, err := l2.Append("s.a", []byte("post"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID <= ids[4] {
+		t.Errorf("id %d not monotonic after restart (last was %d)", newID, ids[4])
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.log")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("s", []byte("whole")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: write half a record.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := encodeRecord(record{typ: recMessage, id: 9, subject: "s", payload: []byte("torn")})
+	if _, err := f.Write(full[:len(full)/2]); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	l2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	defer l2.Close()
+	pending := l2.Pending()
+	if len(pending) != 1 || string(pending[0].Payload) != "whole" {
+		t.Fatalf("pending = %+v", pending)
+	}
+	// The file must have been truncated back to the valid prefix, so
+	// appends go to the right place.
+	if _, err := l2.Append("s", []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.log")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("s", []byte("aaaaaaaaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append("s", []byte("bbbbbbbbbb")); err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Close()
+	// Flip a byte inside the first record's body.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[12] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Open of corrupted ledger = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.log")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var keep uint64
+	for i := 0; i < 100; i++ {
+		id, err := l.Append("s", make([]byte, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 50 {
+			keep = id
+		} else if err := l.Ack(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := os.Stat(path)
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Errorf("compaction did not shrink file: %d -> %d", before.Size(), after.Size())
+	}
+	pending := l.Pending()
+	if len(pending) != 1 || pending[0].ID != keep {
+		t.Fatalf("pending after compact = %+v", pending)
+	}
+	// Ledger still usable after compaction; state survives reopen.
+	if _, err := l.Append("s", []byte("post-compact")); err != nil {
+		t.Fatal(err)
+	}
+	_ = l.Close()
+	l2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Len() != 2 {
+		t.Errorf("Len after reopen = %d, want 2", l2.Len())
+	}
+}
+
+func TestClosedErrors(t *testing.T) {
+	l, _ := openTemp(t)
+	_ = l.Close()
+	if _, err := l.Append("s", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Append after close = %v", err)
+	}
+	if err := l.Ack(0); !errors.Is(err, ErrClosed) {
+		t.Errorf("Ack after close = %v", err)
+	}
+	if err := l.Compact(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Compact after close = %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+}
+
+func TestSyncOption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.log")
+	l, err := Open(path, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append("s", []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: record encode/decode round-trips for arbitrary subjects and
+// payloads, and parse never panics on arbitrary byte prefixes.
+func TestQuickRecordRoundTrip(t *testing.T) {
+	f := func(id uint64, subject string, payload []byte) bool {
+		enc := encodeRecord(record{typ: recMessage, id: id, subject: subject, payload: payload})
+		rec, n, err := parseRecord(enc)
+		if err != nil || n != len(enc) {
+			return false
+		}
+		if rec.id != id || rec.subject != subject || len(rec.payload) != len(payload) {
+			return false
+		}
+		// Any truncation must be reported torn, not panic.
+		for cut := 0; cut < len(enc); cut += 7 {
+			if _, _, err := parseRecord(enc[:cut]); err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,245 @@
+// Package monitor implements the News Monitor of §5: it "subscribes to and
+// displays all stories of interest to its user. Incoming stories are first
+// displayed in a 'headline summary list'. This list format is defined by a
+// 'view' that specifies a set of named attributes from incoming objects and
+// formatting information. When the user selects a story in the summary
+// list, the entire story is displayed" — rendered via the meta-object
+// protocol, iterating over whatever attributes the object's type declares
+// (P2), so stories of types the monitor has never seen display correctly.
+//
+// Per §5.2, the monitor also accepts Property objects arriving on the same
+// subjects, associates them with the stories they reference, and shows
+// them alongside the object's own attributes — which is how the Keyword
+// Generator's output appears the moment that service comes on-line.
+package monitor
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"infobus/internal/adapter"
+	"infobus/internal/core"
+	"infobus/internal/mop"
+)
+
+// View defines the headline summary list format: a set of named attributes
+// and column widths. Attributes missing from an object render blank — the
+// view never fails on unknown types.
+type View struct {
+	Columns []ViewColumn
+}
+
+// ViewColumn is one summary column.
+type ViewColumn struct {
+	Attr  string
+	Width int
+}
+
+// DefaultView shows headline, ticker, and publication time.
+func DefaultView() View {
+	return View{Columns: []ViewColumn{
+		{Attr: "published", Width: 20},
+		{Attr: "ticker", Width: 6},
+		{Attr: "headline", Width: 48},
+	}}
+}
+
+// RenderRow formats one object according to the view, via introspection.
+func (v View) RenderRow(o *mop.Object) string {
+	parts := make([]string, len(v.Columns))
+	for i, col := range v.Columns {
+		cell := ""
+		if _, ok := o.Type().Attr(col.Attr); ok {
+			cell = mop.Sprint(o.MustGet(col.Attr))
+			cell = strings.Trim(cell, `"`)
+		}
+		if len(cell) > col.Width {
+			cell = cell[:col.Width-1] + "…"
+		}
+		parts[i] = fmt.Sprintf("%-*s", col.Width, cell)
+	}
+	return strings.TrimRight(strings.Join(parts, " "), " ")
+}
+
+// entry is one story held by the monitor with its accumulated properties.
+type entry struct {
+	story *mop.Object
+	props []*mop.Object
+}
+
+// Monitor is the running news monitor.
+type Monitor struct {
+	bus  *core.Bus
+	view View
+	sub  *core.Subscription
+
+	mu      sync.Mutex
+	entries []*entry
+	byRef   map[string]*entry // headline -> entry
+	orphans map[string][]*mop.Object
+	closed  bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New starts a monitor subscribed to the given subject pattern.
+func New(bus *core.Bus, pattern string, view View) (*Monitor, error) {
+	sub, err := bus.Subscribe(pattern)
+	if err != nil {
+		return nil, err
+	}
+	m := &Monitor{
+		bus:     bus,
+		view:    view,
+		sub:     sub,
+		byRef:   make(map[string]*entry),
+		orphans: make(map[string][]*mop.Object),
+		done:    make(chan struct{}),
+	}
+	m.wg.Add(1)
+	go m.loop()
+	return m, nil
+}
+
+// Close stops the monitor.
+func (m *Monitor) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.done)
+	m.sub.Cancel()
+	m.wg.Wait()
+}
+
+func (m *Monitor) loop() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.done:
+			return
+		case ev, ok := <-m.sub.C:
+			if !ok {
+				return
+			}
+			obj, isObj := ev.Value.(*mop.Object)
+			if !isObj {
+				continue
+			}
+			if obj.Type().Name() == adapter.PropertyType.Name() {
+				m.addProperty(obj)
+			} else {
+				m.addStory(obj)
+			}
+		}
+	}
+}
+
+func (m *Monitor) addStory(o *mop.Object) {
+	ref := refOf(o)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := &entry{story: o}
+	m.entries = append(m.entries, e)
+	if ref != "" {
+		m.byRef[ref] = e
+		// Properties that arrived before their story attach now.
+		if waiting, ok := m.orphans[ref]; ok {
+			e.props = append(e.props, waiting...)
+			delete(m.orphans, ref)
+		}
+	}
+}
+
+func (m *Monitor) addProperty(p *mop.Object) {
+	refV, err := p.Get("ref")
+	if err != nil {
+		return
+	}
+	ref, _ := refV.(string)
+	if ref == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.byRef[ref]; ok {
+		e.props = append(e.props, p)
+		return
+	}
+	// The property may outrun its story (different publishers): hold it.
+	m.orphans[ref] = append(m.orphans[ref], p)
+}
+
+// refOf extracts the association key of a story (its headline), via
+// introspection so any story-shaped type works.
+func refOf(o *mop.Object) string {
+	if _, ok := o.Type().Attr("headline"); !ok {
+		return ""
+	}
+	h, _ := o.MustGet("headline").(string)
+	return h
+}
+
+// SetView swaps the summary list format at run time — "each customer has
+// different needs, and they change frequently" (§5.1); nothing restarts.
+func (m *Monitor) SetView(v View) {
+	m.mu.Lock()
+	m.view = v
+	m.mu.Unlock()
+}
+
+// Len returns the number of stories held.
+func (m *Monitor) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Headlines renders the summary list through the monitor's view.
+func (m *Monitor) Headlines() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.entries))
+	for i, e := range m.entries {
+		out[i] = m.view.RenderRow(e.story)
+	}
+	return out
+}
+
+// PropertyCount returns how many properties are attached to story i.
+func (m *Monitor) PropertyCount(i int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if i < 0 || i >= len(m.entries) {
+		return 0
+	}
+	return len(m.entries[i].props)
+}
+
+// Select renders the full display of story i: every attribute of the
+// object (recursively, via the generic print utility) followed by any
+// associated properties — exactly the §5.2 behaviour.
+func (m *Monitor) Select(i int) (string, error) {
+	m.mu.Lock()
+	if i < 0 || i >= len(m.entries) {
+		m.mu.Unlock()
+		return "", fmt.Errorf("monitor: no story %d (have %d)", i, len(m.entries))
+	}
+	e := m.entries[i]
+	story := e.story
+	props := append([]*mop.Object(nil), e.props...)
+	m.mu.Unlock()
+
+	var b strings.Builder
+	b.WriteString(mop.Sprint(story))
+	b.WriteString("\n")
+	for _, p := range props {
+		name, _ := p.MustGet("name").(string)
+		fmt.Fprintf(&b, "property %s: %s\n", name, mop.Sprint(p.MustGet("value")))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,39 @@
+package mop
+
+import "testing"
+
+// BenchmarkObjectAccess measures attribute get/set through the meta-object
+// protocol.
+func BenchmarkObjectAccess(b *testing.B) {
+	_, dj := storyType(&testing.T{})
+	o := MustNew(dj)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := o.Set("headline", "h"); err != nil {
+			b.Fatal(err)
+		}
+		if o.MustGet("headline") != "h" {
+			b.Fatal("mismatch")
+		}
+	}
+}
+
+// BenchmarkPrint measures the generic recursive print utility on a nested
+// object.
+func BenchmarkPrint(b *testing.B) {
+	group := MustNewClass("BG", nil, []Attr{{Name: "code", Type: String}}, nil)
+	holder := MustNewClass("BH", nil, []Attr{
+		{Name: "name", Type: String},
+		{Name: "groups", Type: ListOf(group)},
+	}, nil)
+	o := MustNew(holder).MustSet("name", "x").MustSet("groups", List{
+		MustNew(group).MustSet("code", "A"),
+		MustNew(group).MustSet("code", "B"),
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Sprint(o) == "" {
+			b.Fatal("empty")
+		}
+	}
+}

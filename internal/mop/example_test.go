@@ -1,0 +1,51 @@
+package mop_test
+
+import (
+	"fmt"
+
+	"infobus/internal/mop"
+)
+
+// Classes are defined at run time; instances are created, mutated, and
+// introspected entirely through the meta-object protocol.
+func ExampleNewClass() {
+	group, _ := mop.NewClass("IndustryGroup", nil, []mop.Attr{
+		{Name: "code", Type: mop.String},
+		{Name: "weight", Type: mop.Float},
+	}, nil)
+	story, _ := mop.NewClass("Story", nil, []mop.Attr{
+		{Name: "headline", Type: mop.String},
+		{Name: "groups", Type: mop.ListOf(group)},
+	}, nil)
+
+	obj := mop.MustNew(story).
+		MustSet("headline", "GM announces record earnings").
+		MustSet("groups", mop.List{
+			mop.MustNew(group).MustSet("code", "AUTO").MustSet("weight", 0.8),
+		})
+
+	// The generic print utility needs only the fundamental kinds, yet
+	// renders any composed type (P2).
+	fmt.Println(mop.Sprint(obj))
+	// Output:
+	// Story {
+	//   headline: "GM announces record earnings"
+	//   groups: [IndustryGroup {
+	//     code: "AUTO"
+	//     weight: 0.8
+	//   }]
+	// }
+}
+
+// Introspection walks a type's full interface: attributes and operation
+// signatures.
+func ExampleDescribeString() {
+	service, _ := mop.NewClass("QuoteService", nil, nil, []mop.Operation{
+		{Name: "quote", Params: []mop.Param{{Name: "ticker", Type: mop.String}}, Result: mop.Float},
+	})
+	fmt.Print(mop.DescribeString(service))
+	// Output:
+	// class QuoteService {
+	//   quote(ticker string) -> float
+	// }
+}

@@ -1,0 +1,129 @@
+package mop
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Print is the generic print utility from §3 of the paper: it accepts any
+// value of any type and produces a text description, using only the
+// meta-object protocol. It examines the value to determine its type and
+// recursively descends into the components of complex objects. It
+// understands only the fundamental kinds, yet prints objects of any type
+// composed of them — the canonical demonstration of principle P2.
+func Print(w io.Writer, v Value) error {
+	p := printer{w: w}
+	p.value(v, 0)
+	return p.err
+}
+
+// Sprint renders a value to a string using Print.
+func Sprint(v Value) string {
+	var b strings.Builder
+	_ = Print(&b, v)
+	return b.String()
+}
+
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *printer) value(v Value, depth int) {
+	switch x := v.(type) {
+	case nil:
+		p.printf("nil")
+	case bool:
+		p.printf("%t", x)
+	case int64:
+		p.printf("%d", x)
+	case float64:
+		p.printf("%g", x)
+	case string:
+		p.printf("%q", x)
+	case []byte:
+		p.printf("bytes[%d]", len(x))
+	case time.Time:
+		p.printf("%s", x.UTC().Format(time.RFC3339Nano))
+	case List:
+		p.printf("[")
+		for i, e := range x {
+			if i > 0 {
+				p.printf(", ")
+			}
+			p.value(e, depth)
+		}
+		p.printf("]")
+	case *Object:
+		p.object(x, depth)
+	default:
+		p.printf("<unprintable %T>", v)
+	}
+}
+
+func (p *printer) object(o *Object, depth int) {
+	if o == nil {
+		p.printf("nil")
+		return
+	}
+	indent := strings.Repeat("  ", depth+1)
+	p.printf("%s {\n", o.Type().Name())
+	for _, a := range o.Type().Attrs() {
+		p.printf("%s%s: ", indent, a.Name)
+		p.value(o.MustGet(a.Name), depth+1)
+		p.printf("\n")
+	}
+	p.printf("%s}", strings.Repeat("  ", depth))
+}
+
+// Describe renders a type's full interface — name, supertypes, attributes
+// with their types, and operation signatures — as the introspection tools
+// (class browsers, the Graphical Application Builder) would show it.
+func Describe(w io.Writer, t *Type) error {
+	if t == nil {
+		_, err := io.WriteString(w, "<nil type>\n")
+		return err
+	}
+	var b strings.Builder
+	switch t.Kind() {
+	case KindClass:
+		b.WriteString("class " + t.Name())
+		if len(t.Supertypes()) > 0 {
+			names := make([]string, len(t.Supertypes()))
+			for i, s := range t.Supertypes() {
+				names[i] = s.Name()
+			}
+			b.WriteString(" : " + strings.Join(names, ", "))
+		}
+		b.WriteString(" {\n")
+		for _, a := range t.Attrs() {
+			fmt.Fprintf(&b, "  %s %s\n", a.Name, a.Type.Name())
+		}
+		for _, op := range t.Operations() {
+			fmt.Fprintf(&b, "  %s\n", op.Signature())
+		}
+		b.WriteString("}\n")
+	case KindList:
+		fmt.Fprintf(&b, "list of %s\n", t.Elem().Name())
+	default:
+		fmt.Fprintf(&b, "fundamental type %s\n", t.Name())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// DescribeString is Describe to a string.
+func DescribeString(t *Type) string {
+	var b strings.Builder
+	_ = Describe(&b, t)
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package mop
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry maps type names to class descriptors. It is the run-time type
+// universe of one application or service: TDL definitions, wire decoding,
+// and the Object Repository all register and look up classes here.
+//
+// A Registry is safe for concurrent use. Fundamental type names are
+// implicitly present and cannot be redefined.
+type Registry struct {
+	mu      sync.RWMutex
+	classes map[string]*Type
+	watch   []chan *Type
+}
+
+// Registry errors.
+var (
+	ErrTypeExists   = errors.New("mop: type already registered")
+	ErrTypeUnknown  = errors.New("mop: unknown type")
+	ErrReservedName = errors.New("mop: name reserved for a fundamental type")
+	ErrNotAClass    = errors.New("mop: only class types can be registered")
+)
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{classes: make(map[string]*Type)}
+}
+
+// Register adds a class under its name, along with every class it
+// references transitively — supertypes, attribute types, and operation
+// parameter/result types — so that a registered interface makes its whole
+// type closure resolvable. Registering the identical descriptor again is a
+// no-op; registering a different class under an existing name fails (types
+// are immutable; evolution happens by defining subtypes or new types, not
+// mutating old ones).
+func (r *Registry) Register(t *Type) error {
+	return r.register(t, make(map[*Type]bool))
+}
+
+func (r *Registry) register(t *Type, visiting map[*Type]bool) error {
+	if t == nil || t.kind != KindClass {
+		return ErrNotAClass
+	}
+	if visiting[t] {
+		return nil
+	}
+	visiting[t] = true
+	if isFundamentalName(t.name) {
+		return fmt.Errorf("%q: %w", t.name, ErrReservedName)
+	}
+	r.mu.Lock()
+	prev, ok := r.classes[t.name]
+	if ok && prev != t {
+		r.mu.Unlock()
+		return fmt.Errorf("%q: %w", t.name, ErrTypeExists)
+	}
+	var watchers []chan *Type
+	if !ok {
+		r.classes[t.name] = t
+		watchers = append([]chan *Type(nil), r.watch...)
+	}
+	r.mu.Unlock()
+	for _, ch := range watchers {
+		select {
+		case ch <- t:
+		default: // a slow watcher must not block type registration
+		}
+	}
+	if ok {
+		return nil // closure was registered when t first arrived
+	}
+	// Register the referenced classes.
+	for _, s := range t.supers {
+		if err := r.register(s, visiting); err != nil {
+			return err
+		}
+	}
+	regRef := func(rt *Type) error {
+		for rt != nil && rt.kind == KindList {
+			rt = rt.elem
+		}
+		if rt != nil && rt.kind == KindClass {
+			return r.register(rt, visiting)
+		}
+		return nil
+	}
+	for _, a := range t.own {
+		if err := regRef(a.Type); err != nil {
+			return err
+		}
+	}
+	for _, op := range t.ops {
+		for _, p := range op.Params {
+			if err := regRef(p.Type); err != nil {
+				return err
+			}
+		}
+		if err := regRef(op.Result); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lookup resolves a type name: fundamental names, list<...> names of
+// resolvable element types, and registered classes.
+func (r *Registry) Lookup(name string) (*Type, error) {
+	if t := fundamentalByName(name); t != nil {
+		return t, nil
+	}
+	if inner, ok := listElemName(name); ok {
+		elem, err := r.Lookup(inner)
+		if err != nil {
+			return nil, err
+		}
+		return ListOf(elem), nil
+	}
+	r.mu.RLock()
+	t, ok := r.classes[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", name, ErrTypeUnknown)
+	}
+	return t, nil
+}
+
+// Has reports whether a class name is registered (fundamentals excluded).
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.classes[name]
+	return ok
+}
+
+// Classes returns all registered classes sorted by name.
+func (r *Registry) Classes() []*Type {
+	r.mu.RLock()
+	out := make([]*Type, 0, len(r.classes))
+	for _, t := range r.classes {
+		out = append(out, t)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Len returns the number of registered classes.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.classes)
+}
+
+// SubtypesOf returns every registered class that is a subtype of base
+// (including base itself, if registered). The Object Repository uses this
+// to answer supertype queries over the type hierarchy (§4).
+func (r *Registry) SubtypesOf(base *Type) []*Type {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*Type
+	for _, t := range r.classes {
+		if t.IsSubtypeOf(base) {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Watch returns a channel receiving every class registered after the call.
+// Services that adapt to new types at run time (repository capture servers,
+// monitors) subscribe here. The channel is buffered; extremely slow
+// consumers may miss notifications and should rescan with Classes.
+func (r *Registry) Watch() <-chan *Type {
+	ch := make(chan *Type, 64)
+	r.mu.Lock()
+	r.watch = append(r.watch, ch)
+	r.mu.Unlock()
+	return ch
+}
+
+func isFundamentalName(name string) bool {
+	return fundamentalByName(name) != nil
+}
+
+func fundamentalByName(name string) *Type {
+	for _, t := range Fundamentals() {
+		if t.name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// listElemName extracts E from "list<E>".
+func listElemName(name string) (string, bool) {
+	const pre = "list<"
+	if len(name) > len(pre)+1 && name[:len(pre)] == pre && name[len(name)-1] == '>' {
+		return name[len(pre) : len(name)-1], true
+	}
+	return "", false
+}

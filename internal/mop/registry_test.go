@@ -1,0 +1,156 @@
+package mop
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	story, dj := storyType(t)
+	if err := r.Register(story); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(dj); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Lookup("Story")
+	if err != nil || got != story {
+		t.Fatalf("Lookup(Story) = %v, %v", got, err)
+	}
+	if _, err := r.Lookup("Missing"); !errors.Is(err, ErrTypeUnknown) {
+		t.Errorf("Lookup(Missing) error = %v", err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if !r.Has("DowJonesStory") || r.Has("int") {
+		t.Error("Has misbehaves")
+	}
+}
+
+func TestRegistryFundamentalsAndLists(t *testing.T) {
+	r := NewRegistry()
+	for _, f := range Fundamentals() {
+		got, err := r.Lookup(f.Name())
+		if err != nil || got != f {
+			t.Errorf("Lookup(%s) = %v, %v", f.Name(), got, err)
+		}
+	}
+	lt, err := r.Lookup("list<string>")
+	if err != nil || lt.Kind() != KindList || !Same(lt.Elem(), String) {
+		t.Fatalf("Lookup(list<string>) = %v, %v", lt, err)
+	}
+	nested, err := r.Lookup("list<list<int>>")
+	if err != nil || !Same(nested.Elem().Elem(), Int) {
+		t.Fatalf("Lookup(list<list<int>>) = %v, %v", nested, err)
+	}
+	story, _ := storyType(t)
+	if err := r.Register(story); err != nil {
+		t.Fatal(err)
+	}
+	ls, err := r.Lookup("list<Story>")
+	if err != nil || ls.Elem() != story {
+		t.Fatalf("Lookup(list<Story>) = %v, %v", ls, err)
+	}
+	if _, err := r.Lookup("list<Nope>"); !errors.Is(err, ErrTypeUnknown) {
+		t.Errorf("Lookup(list<Nope>) error = %v", err)
+	}
+}
+
+func TestRegistryConflicts(t *testing.T) {
+	r := NewRegistry()
+	story, _ := storyType(t)
+	if err := r.Register(story); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-registration of the identical descriptor.
+	if err := r.Register(story); err != nil {
+		t.Errorf("re-registering same descriptor: %v", err)
+	}
+	// A different class under the same name is rejected.
+	imposter := MustNewClass("Story", nil, nil, nil)
+	if err := r.Register(imposter); !errors.Is(err, ErrTypeExists) {
+		t.Errorf("conflicting registration error = %v", err)
+	}
+	if err := r.Register(Int); !errors.Is(err, ErrNotAClass) {
+		t.Errorf("registering fundamental error = %v", err)
+	}
+	bad := MustNewClass("bool2", nil, nil, nil)
+	_ = bad
+	reserved := MustNewClass("X", nil, nil, nil)
+	_ = reserved
+	// A class deliberately named like a fundamental is rejected.
+	if fake, err := NewClass("int", nil, nil, nil); err == nil {
+		if err := r.Register(fake); !errors.Is(err, ErrReservedName) {
+			t.Errorf("registering class named 'int' error = %v", err)
+		}
+	}
+}
+
+func TestRegistrySubtypesOf(t *testing.T) {
+	r := NewRegistry()
+	story, dj := storyType(t)
+	reuters := MustNewClass("ReutersStory", []*Type{story}, nil, nil)
+	other := MustNewClass("Unrelated", nil, nil, nil)
+	for _, c := range []*Type{story, dj, reuters, other} {
+		if err := r.Register(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	subs := r.SubtypesOf(story)
+	if len(subs) != 3 {
+		t.Fatalf("SubtypesOf(Story) = %v", subs)
+	}
+	names := fmt.Sprint(subs[0].Name(), subs[1].Name(), subs[2].Name())
+	if names != "DowJonesStoryReutersStoryStory" {
+		t.Errorf("SubtypesOf order = %v", names)
+	}
+}
+
+func TestRegistryWatch(t *testing.T) {
+	r := NewRegistry()
+	ch := r.Watch()
+	story, _ := storyType(t)
+	if err := r.Register(story); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-ch:
+		if got != story {
+			t.Errorf("watch delivered %v", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("watch notification not delivered")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c := MustNewClass(fmt.Sprintf("C%d_%d", w, i), nil, nil, nil)
+				if err := r.Register(c); err != nil {
+					t.Errorf("Register: %v", err)
+					return
+				}
+				if _, err := r.Lookup(c.Name()); err != nil {
+					t.Errorf("Lookup: %v", err)
+					return
+				}
+				r.Classes()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Errorf("Len = %d, want 800", r.Len())
+	}
+}

@@ -1,0 +1,199 @@
+package mop
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func storyType(t *testing.T) (*Type, *Type) {
+	t.Helper()
+	story, err := NewClass("Story", nil, []Attr{
+		{Name: "headline", Type: String},
+		{Name: "body", Type: String},
+		{Name: "sources", Type: ListOf(String)},
+	}, []Operation{
+		{Name: "summary", Result: String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, err := NewClass("DowJonesStory", []*Type{story}, []Attr{
+		{Name: "djCode", Type: String},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return story, dj
+}
+
+func TestNewClassBasics(t *testing.T) {
+	story, dj := storyType(t)
+	if story.Kind() != KindClass {
+		t.Fatalf("Kind = %v", story.Kind())
+	}
+	if story.NumAttrs() != 3 {
+		t.Errorf("Story attrs = %d, want 3", story.NumAttrs())
+	}
+	if dj.NumAttrs() != 4 {
+		t.Errorf("DowJonesStory attrs = %d, want 4 (inherited + own)", dj.NumAttrs())
+	}
+	// Inherited attributes come first, preserving supertype slot order.
+	attrs := dj.Attrs()
+	wantOrder := []string{"headline", "body", "sources", "djCode"}
+	for i, w := range wantOrder {
+		if attrs[i].Name != w {
+			t.Errorf("attr[%d] = %q, want %q", i, attrs[i].Name, w)
+		}
+	}
+	if a, ok := dj.Attr("headline"); !ok || !Same(a.Type, String) {
+		t.Error("inherited attribute lookup failed")
+	}
+	if _, ok := dj.Attr("nope"); ok {
+		t.Error("Attr should fail for unknown name")
+	}
+	if op, ok := dj.Operation("summary"); !ok || op.Name != "summary" {
+		t.Error("inherited operation lookup failed")
+	}
+}
+
+func TestNewClassErrors(t *testing.T) {
+	story, _ := storyType(t)
+	cases := []struct {
+		name   string
+		supers []*Type
+		attrs  []Attr
+		want   error
+	}{
+		{"", nil, nil, ErrBadTypeName},
+		{"has space", nil, nil, ErrBadTypeName},
+		{"has<angle", nil, nil, ErrBadTypeName},
+		{"Dup", nil, []Attr{{Name: "x", Type: Int}, {Name: "x", Type: Int}}, ErrDupAttr},
+		{"NilType", nil, []Attr{{Name: "x", Type: nil}}, ErrNilAttrType},
+		{"EmptyAttr", nil, []Attr{{Name: "", Type: Int}}, ErrEmptyAttrName},
+		{"BadSuper", []*Type{Int}, nil, ErrBadSupertype},
+		{"BadSuperNil", []*Type{nil}, nil, ErrBadSupertype},
+		{"Conflict", []*Type{story}, []Attr{{Name: "headline", Type: Int}}, ErrAttrConflict},
+	}
+	for _, c := range cases {
+		_, err := NewClass(c.name, c.supers, c.attrs, nil)
+		if !errors.Is(err, c.want) {
+			t.Errorf("NewClass(%q) error = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRedeclareInheritedSameType(t *testing.T) {
+	story, _ := storyType(t)
+	sub, err := NewClass("Sub", []*Type{story}, []Attr{{Name: "headline", Type: String}}, nil)
+	if err != nil {
+		t.Fatalf("redeclaring with same type should be allowed: %v", err)
+	}
+	if sub.NumAttrs() != 3 {
+		t.Errorf("attrs = %d, want 3 (no duplicate slot)", sub.NumAttrs())
+	}
+}
+
+func TestMultipleInheritance(t *testing.T) {
+	a := MustNewClass("A", nil, []Attr{{Name: "x", Type: Int}}, []Operation{{Name: "f", Result: Int}})
+	b := MustNewClass("B", nil, []Attr{{Name: "y", Type: Int}}, []Operation{{Name: "f", Result: String}, {Name: "g"}})
+	c, err := NewClass("C", []*Type{a, b}, []Attr{{Name: "z", Type: Int}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumAttrs() != 3 {
+		t.Errorf("attrs = %d, want 3", c.NumAttrs())
+	}
+	// Leftmost supertype's operation shadows, CLOS-style.
+	op, ok := c.Operation("f")
+	if !ok || !Same(op.Result, Int) {
+		t.Errorf("operation f = %+v, want result int from leftmost supertype", op)
+	}
+	if _, ok := c.Operation("g"); !ok {
+		t.Error("operation g should be inherited")
+	}
+	if !c.IsSubtypeOf(a) || !c.IsSubtypeOf(b) || !c.IsSubtypeOf(c) {
+		t.Error("subtype relation broken under multiple inheritance")
+	}
+	if a.IsSubtypeOf(c) {
+		t.Error("supertype must not be a subtype of its subtype")
+	}
+}
+
+func TestDiamondInheritance(t *testing.T) {
+	root := MustNewClass("Root", nil, []Attr{{Name: "id", Type: Int}}, nil)
+	l := MustNewClass("L", []*Type{root}, []Attr{{Name: "lv", Type: Int}}, nil)
+	r := MustNewClass("R", []*Type{root}, []Attr{{Name: "rv", Type: Int}}, nil)
+	d, err := NewClass("D", []*Type{l, r}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "id" arrives via both paths but must occupy a single slot.
+	if d.NumAttrs() != 3 {
+		t.Errorf("attrs = %d, want 3 (id, lv, rv)", d.NumAttrs())
+	}
+	if !d.IsSubtypeOf(root) {
+		t.Error("diamond subtype relation broken")
+	}
+}
+
+func TestSameAndAssignable(t *testing.T) {
+	story, dj := storyType(t)
+	if !Same(ListOf(String), ListOf(String)) {
+		t.Error("structurally identical list types should be Same")
+	}
+	if Same(ListOf(String), ListOf(Int)) {
+		t.Error("lists of different elements are not Same")
+	}
+	if Same(story, dj) {
+		t.Error("distinct classes are not Same")
+	}
+	other := MustNewClass("Story2", nil, []Attr{{Name: "headline", Type: String}}, nil)
+	if Same(story, other) {
+		t.Error("classes are nominal: same shape is still a different class")
+	}
+	if !dj.AssignableTo(story) {
+		t.Error("subtype should be assignable to supertype")
+	}
+	if story.AssignableTo(dj) {
+		t.Error("supertype must not be assignable to subtype")
+	}
+	if !Int.AssignableTo(Any) || !story.AssignableTo(Any) {
+		t.Error("everything is assignable to any")
+	}
+	if Int.AssignableTo(Float) {
+		t.Error("int is not assignable to float")
+	}
+}
+
+func TestOperationSignature(t *testing.T) {
+	op := Operation{
+		Name:   "lookup",
+		Params: []Param{{Name: "key", Type: String}, {Name: "max", Type: Int}},
+		Result: ListOf(String),
+	}
+	want := "lookup(key string, max int) -> list<string>"
+	if got := op.Signature(); got != want {
+		t.Errorf("Signature = %q, want %q", got, want)
+	}
+	noResult := Operation{Name: "ping"}
+	if got := noResult.Signature(); got != "ping()" {
+		t.Errorf("Signature = %q", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	_, dj := storyType(t)
+	s := DescribeString(dj)
+	for _, want := range []string{"class DowJonesStory : Story", "headline string", "djCode string", "summary() -> string"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe output missing %q:\n%s", want, s)
+		}
+	}
+	if got := DescribeString(ListOf(Int)); !strings.Contains(got, "list of int") {
+		t.Errorf("Describe list = %q", got)
+	}
+	if got := DescribeString(Int); !strings.Contains(got, "fundamental type int") {
+		t.Errorf("Describe fundamental = %q", got)
+	}
+}

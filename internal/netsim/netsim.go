@@ -1,0 +1,550 @@
+// Package netsim simulates the network substrate of the paper's evaluation:
+// a shared 10 Mb/s broadcast Ethernet connecting a rack of workstations
+// (SPARCstation 2s and IPXs in the original). The Information Bus stack is
+// measured on this simulator because the 1993 testbed is unavailable; the
+// simulator reproduces the properties the appendix figures depend on:
+//
+//   - a shared medium: one frame on the wire at a time, so aggregate
+//     throughput saturates at the device bandwidth (Figure 7);
+//   - true broadcast: delivering a frame to N hosts costs the same as
+//     delivering it to one (the "publication rate is independent of the
+//     number of subscribers" invariant);
+//   - per-fragment overhead mirroring Ethernet/UDP framing, so small
+//     messages are overhead-dominated (Figure 6's msgs/sec curve);
+//   - collision-style degradation under unrelated load (the dip between
+//     5 KB and 10 KB in Figure 7);
+//   - unreliable datagram semantics: loss, duplication, reordering, and
+//     bounded receive buffers that drop on overflow, exactly the failure
+//     model §2 assumes; plus link partitions.
+//
+// The simulation runs in real time scaled by Config.Speedup, so the bus
+// protocol stack above it runs as ordinary concurrent goroutines with no
+// special instrumentation. All randomness is drawn from a seeded generator;
+// with Speedup kept moderate, runs are statistically reproducible.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// NodeID identifies a host on the network.
+type NodeID int32
+
+// Broadcast is the destination for broadcast sends.
+const Broadcast NodeID = -1
+
+// MaxDatagram bounds a single datagram, mirroring the UDP maximum.
+const MaxDatagram = 64 << 10
+
+// Ethernet framing constants used for transmission-time accounting.
+const (
+	mtu           = 1500 // IP MTU on Ethernet
+	ipUDPHeader   = 28   // IP (20) + UDP (8)
+	frameOverhead = 38   // Ethernet preamble+header+FCS+interframe gap
+	fragPayload   = mtu - ipUDPHeader
+)
+
+// Config describes the simulated network.
+type Config struct {
+	// BandwidthBPS is the shared medium's capacity in bits per second.
+	// The paper's network: 10 Mb/s Ethernet.
+	BandwidthBPS float64
+	// BaseLatency is the fixed per-hop propagation plus kernel/daemon cost
+	// added to each delivery.
+	BaseLatency time.Duration
+	// JitterLatency is the maximum uniform random addition to BaseLatency.
+	JitterLatency time.Duration
+	// LossProb, DupProb, ReorderProb are per-delivery probabilities in
+	// [0, 1]. Reordered packets are delayed by up to 4x BaseLatency.
+	LossProb, DupProb, ReorderProb float64
+	// BackgroundLoad in [0, 1) models unrelated traffic occupying the
+	// medium: effective bandwidth shrinks and, above ~30%, collision-style
+	// loss and delay variance appear (the Figure 7 dip).
+	BackgroundLoad float64
+	// RecvBuffer is each node's inbound packet queue length; packets
+	// arriving at a full queue are dropped, like a UDP socket buffer.
+	RecvBuffer int
+	// Speedup divides all simulated durations: 10 means the simulation
+	// runs 10x faster than the modelled network. Values <= 0 default to 1.
+	Speedup float64
+	// Seed for the deterministic random source.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's testbed: lightly loaded 10 Mb/s
+// Ethernet, sub-millisecond base latency.
+func DefaultConfig() Config {
+	return Config{
+		BandwidthBPS:  10e6,
+		BaseLatency:   200 * time.Microsecond,
+		JitterLatency: 100 * time.Microsecond,
+		RecvBuffer:    512,
+		Speedup:       1,
+		Seed:          1,
+	}
+}
+
+// Packet is a received datagram.
+type Packet struct {
+	From    NodeID
+	To      NodeID // Broadcast for broadcast frames
+	Payload []byte
+}
+
+// Stats are cumulative network counters.
+type Stats struct {
+	Sent            uint64 // datagrams handed to the medium
+	Delivered       uint64 // datagram copies placed in receive queues
+	LostRandom      uint64 // dropped by the loss model
+	LostCollision   uint64 // dropped by collision under background load
+	LostOverflow    uint64 // dropped at a full receive buffer
+	LostPartition   uint64 // suppressed across a partition
+	Duplicated      uint64 // extra copies injected
+	Reordered       uint64 // deliveries delayed out of order
+	BytesOnWire     uint64 // payload bytes transmitted
+	WireTimeNanos   uint64 // cumulative medium occupancy (unscaled model time)
+	OversizeRejects uint64 // sends rejected for exceeding MaxDatagram
+}
+
+// Network is the shared medium. Create nodes with NewNode, then send.
+type Network struct {
+	cfg Config
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu      sync.Mutex
+	nodes   map[NodeID]*Node
+	nextID  NodeID
+	groups  map[NodeID]int // partition group; default group 0
+	closed  bool
+	sendQ   chan outgoing
+	done    chan struct{}
+	stats   Stats
+	statsMu sync.Mutex
+}
+
+type outgoing struct {
+	pkt Packet
+}
+
+// Errors.
+var (
+	ErrClosed   = errors.New("netsim: network closed")
+	ErrOversize = errors.New("netsim: datagram exceeds MaxDatagram")
+)
+
+// NewNetwork starts a network with the given configuration.
+func NewNetwork(cfg Config) *Network {
+	if cfg.Speedup <= 0 {
+		cfg.Speedup = 1
+	}
+	if cfg.BandwidthBPS <= 0 {
+		cfg.BandwidthBPS = 10e6
+	}
+	if cfg.RecvBuffer <= 0 {
+		cfg.RecvBuffer = 512
+	}
+	n := &Network{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		nodes:  make(map[NodeID]*Node),
+		groups: make(map[NodeID]int),
+		sendQ:  make(chan outgoing, 4096),
+		done:   make(chan struct{}),
+	}
+	go n.wire()
+	return n
+}
+
+// Close shuts the medium down; pending packets are discarded and all node
+// receive channels are closed.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	close(n.done)
+	nodes := make([]*Node, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		nodes = append(nodes, nd)
+	}
+	n.mu.Unlock()
+	for _, nd := range nodes {
+		nd.close()
+	}
+}
+
+// Node is one simulated host's network interface.
+type Node struct {
+	id    NodeID
+	name  string
+	net   *Network
+	inbox chan Packet
+
+	// deliveryQ models the NIC/kernel receive path: packets to one
+	// destination arrive in the order the wire carried them (FIFO), each
+	// after its propagation latency. Explicit reordering (ReorderProb)
+	// bypasses this queue.
+	deliveryQ chan delayedPacket
+
+	closeMu sync.Mutex
+	closed  bool
+}
+
+type delayedPacket struct {
+	pkt      Packet
+	arriveAt time.Time
+}
+
+// deliveryLoop applies per-packet latency sequentially, preserving
+// per-destination FIFO order.
+func (nd *Node) deliveryLoop() {
+	for {
+		select {
+		case <-nd.net.done:
+			return
+		case dp, ok := <-nd.deliveryQ:
+			if !ok {
+				return
+			}
+			if wait := time.Until(dp.arriveAt); wait > 0 {
+				preciseSleep(wait, nd.net.done)
+			}
+			if nd.deliver(dp.pkt) {
+				nd.net.bump(func(s *Stats) { s.Delivered++ })
+			} else {
+				nd.net.bump(func(s *Stats) { s.LostOverflow++ })
+			}
+		}
+	}
+}
+
+// deliver places a packet in the inbox unless the node is closed or the
+// queue is full. The mutex serialises delivery against close so the
+// channel is never closed mid-send.
+func (nd *Node) deliver(pkt Packet) bool {
+	nd.closeMu.Lock()
+	defer nd.closeMu.Unlock()
+	if nd.closed {
+		return false
+	}
+	select {
+	case nd.inbox <- pkt:
+		return true
+	default:
+		return false
+	}
+}
+
+func (nd *Node) close() {
+	nd.closeMu.Lock()
+	defer nd.closeMu.Unlock()
+	if !nd.closed {
+		nd.closed = true
+		close(nd.inbox)
+	}
+}
+
+// NewNode attaches a host to the network.
+func (n *Network) NewNode(name string) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	id := n.nextID
+	n.nextID++
+	nd := &Node{
+		id: id, name: name, net: n,
+		inbox:     make(chan Packet, n.cfg.RecvBuffer),
+		deliveryQ: make(chan delayedPacket, 4*n.cfg.RecvBuffer),
+	}
+	n.nodes[id] = nd
+	n.groups[id] = 0
+	go nd.deliveryLoop()
+	return nd
+}
+
+// ID returns the node's network identifier.
+func (nd *Node) ID() NodeID { return nd.id }
+
+// Name returns the host name given at creation.
+func (nd *Node) Name() string { return nd.name }
+
+// Recv returns the node's receive channel. It is closed when the network
+// closes.
+func (nd *Node) Recv() <-chan Packet { return nd.inbox }
+
+// Send transmits a unicast datagram. Delivery is unreliable.
+func (nd *Node) Send(to NodeID, payload []byte) error {
+	return nd.net.enqueue(Packet{From: nd.id, To: to, Payload: payload})
+}
+
+// SendBroadcast transmits a broadcast datagram to every node (including
+// none; the sender does not receive its own broadcasts, matching a socket
+// with loopback disabled).
+func (nd *Node) SendBroadcast(payload []byte) error {
+	return nd.net.enqueue(Packet{From: nd.id, To: Broadcast, Payload: payload})
+}
+
+func (n *Network) enqueue(pkt Packet) error {
+	if len(pkt.Payload) > MaxDatagram {
+		n.bump(func(s *Stats) { s.OversizeRejects++ })
+		return fmt.Errorf("%d bytes: %w", len(pkt.Payload), ErrOversize)
+	}
+	// Copy the payload: the sender may reuse its buffer immediately.
+	cp := append([]byte(nil), pkt.Payload...)
+	pkt.Payload = cp
+	// Check closure first: a two-way select could otherwise enqueue into
+	// the buffered channel even after Close.
+	select {
+	case <-n.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-n.done:
+		return ErrClosed
+	case n.sendQ <- outgoing{pkt: pkt}:
+		n.bump(func(s *Stats) { s.Sent++ })
+		return nil
+	}
+}
+
+// wire is the medium: it serialises transmissions, charging each frame its
+// transmission time, then fans copies out to receivers.
+func (n *Network) wire() {
+	for {
+		select {
+		case <-n.done:
+			return
+		case out := <-n.sendQ:
+			n.transmit(out.pkt)
+		}
+	}
+}
+
+// transmissionTime models the medium occupancy of one datagram, including
+// IP fragmentation and Ethernet framing overhead, shrunk by background
+// load.
+func (n *Network) transmissionTime(size int) time.Duration {
+	frags := (size + fragPayload - 1) / fragPayload
+	if frags == 0 {
+		frags = 1
+	}
+	bits := float64(size+frags*(ipUDPHeader+frameOverhead)) * 8
+	bw := n.cfg.BandwidthBPS * (1 - n.backgroundLoad())
+	return time.Duration(bits / bw * float64(time.Second))
+}
+
+// backgroundLoad reads the (runtime-adjustable) unrelated-traffic level.
+func (n *Network) backgroundLoad() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.BackgroundLoad
+}
+
+func (n *Network) transmit(pkt Packet) {
+	occupancy := n.transmissionTime(len(pkt.Payload))
+	n.bump(func(s *Stats) {
+		s.BytesOnWire += uint64(len(pkt.Payload))
+		s.WireTimeNanos += uint64(occupancy)
+	})
+	// Collision model: under background load, some frames are lost and
+	// retransmission jitter stretches occupancy. Kicks in softly above
+	// ~30% unrelated utilisation.
+	collisionP := 0.0
+	if bl := n.backgroundLoad(); bl > 0.3 {
+		collisionP = (bl - 0.3) * 0.5
+	}
+	if collisionP > 0 && n.chance(collisionP) {
+		occupancy += time.Duration(n.randFloat() * float64(occupancy))
+		if n.chance(0.5) {
+			n.sleep(occupancy)
+			n.bump(func(s *Stats) { s.LostCollision++ })
+			return
+		}
+	}
+	n.sleep(occupancy)
+
+	n.mu.Lock()
+	srcGroup := n.groups[pkt.From]
+	var dests []*Node
+	if pkt.To == Broadcast {
+		for id, nd := range n.nodes {
+			if id != pkt.From && n.groups[id] == srcGroup {
+				dests = append(dests, nd)
+			}
+		}
+		// Count cross-partition suppressions for observability.
+		for id := range n.nodes {
+			if id != pkt.From && n.groups[id] != srcGroup {
+				n.statsMu.Lock()
+				n.stats.LostPartition++
+				n.statsMu.Unlock()
+			}
+		}
+	} else {
+		nd, ok := n.nodes[pkt.To]
+		if ok && n.groups[pkt.To] == srcGroup {
+			dests = append(dests, nd)
+		} else if ok {
+			n.statsMu.Lock()
+			n.stats.LostPartition++
+			n.statsMu.Unlock()
+		}
+	}
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+
+	for _, dst := range dests {
+		n.deliverModel(pkt, dst)
+	}
+}
+
+// deliverModel applies the loss/dup/reorder model and schedules delivery.
+func (n *Network) deliverModel(pkt Packet, dst *Node) {
+	if n.cfg.LossProb > 0 && n.chance(n.cfg.LossProb) {
+		n.bump(func(s *Stats) { s.LostRandom++ })
+		return
+	}
+	copies := 1
+	if n.cfg.DupProb > 0 && n.chance(n.cfg.DupProb) {
+		copies = 2
+		n.bump(func(s *Stats) { s.Duplicated++ })
+	}
+	for c := 0; c < copies; c++ {
+		lat := n.cfg.BaseLatency
+		if n.cfg.JitterLatency > 0 {
+			lat += time.Duration(n.randFloat() * float64(n.cfg.JitterLatency))
+		}
+		outOfOrder := false
+		if n.cfg.ReorderProb > 0 && n.chance(n.cfg.ReorderProb) {
+			lat += time.Duration(n.randFloat() * 4 * float64(n.cfg.BaseLatency+n.cfg.JitterLatency))
+			n.bump(func(s *Stats) { s.Reordered++ })
+			outOfOrder = true
+		}
+		n.scheduleDelivery(pkt, dst, lat, outOfOrder)
+	}
+}
+
+func (n *Network) scheduleDelivery(pkt Packet, dst *Node, lat time.Duration, outOfOrder bool) {
+	d := n.scale(lat)
+	if outOfOrder {
+		// Explicit reordering: bypass the FIFO delivery queue.
+		go func() {
+			preciseSleep(d, n.done)
+			select {
+			case <-n.done:
+				return
+			default:
+			}
+			if dst.deliver(pkt) {
+				n.bump(func(s *Stats) { s.Delivered++ })
+			} else {
+				n.bump(func(s *Stats) { s.LostOverflow++ })
+			}
+		}()
+		return
+	}
+	select {
+	case dst.deliveryQ <- delayedPacket{pkt: pkt, arriveAt: time.Now().Add(d)}:
+	default:
+		n.bump(func(s *Stats) { s.LostOverflow++ })
+	}
+}
+
+// preciseSleep waits for d with sub-timer-slack accuracy: a coarse timer
+// covers all but the tail, which is spun. It returns early if done closes
+// during the coarse phase.
+func preciseSleep(d time.Duration, done <-chan struct{}) {
+	const slack = time.Millisecond
+	start := time.Now()
+	if d > slack {
+		timer := time.NewTimer(d - slack)
+		select {
+		case <-timer.C:
+		case <-done:
+			timer.Stop()
+			return
+		}
+	}
+	for time.Since(start) < d {
+		runtime.Gosched()
+	}
+}
+
+// Partition splits the network: every listed node moves to an isolated
+// group; all other nodes remain in group 0. Packets do not cross groups.
+func (n *Network) Partition(isolated ...NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id := range n.groups {
+		n.groups[id] = 0
+	}
+	for _, id := range isolated {
+		n.groups[id] = 1
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id := range n.groups {
+		n.groups[id] = 0
+	}
+}
+
+// SetBackgroundLoad adjusts the unrelated-traffic model at run time, used
+// by the Figure 7 collision-dip experiment.
+func (n *Network) SetBackgroundLoad(load float64) {
+	n.mu.Lock()
+	n.cfg.BackgroundLoad = load
+	n.mu.Unlock()
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (n *Network) Stats() Stats {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.stats
+}
+
+// WireTime converts the cumulative medium occupancy into a duration of
+// modelled (unscaled) network time.
+func (s Stats) WireTime() time.Duration { return time.Duration(s.WireTimeNanos) }
+
+func (n *Network) bump(f func(*Stats)) {
+	n.statsMu.Lock()
+	f(&n.stats)
+	n.statsMu.Unlock()
+}
+
+func (n *Network) chance(p float64) bool { return n.randFloat() < p }
+
+func (n *Network) randFloat() float64 {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rng.Float64()
+}
+
+func (n *Network) scale(d time.Duration) time.Duration {
+	return time.Duration(float64(d) / n.cfg.Speedup)
+}
+
+func (n *Network) sleep(d time.Duration) {
+	d = n.scale(d)
+	if d <= 0 {
+		return
+	}
+	preciseSleep(d, n.done)
+}

@@ -1,0 +1,372 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fastConfig returns a configuration quick enough for unit tests while
+// still exercising the full code path.
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Speedup = 2000
+	return cfg
+}
+
+func recvOne(t *testing.T, nd *Node, within time.Duration) Packet {
+	t.Helper()
+	select {
+	case p, ok := <-nd.Recv():
+		if !ok {
+			t.Fatal("receive channel closed")
+		}
+		return p
+	case <-time.After(within):
+		t.Fatal("timed out waiting for packet")
+		return Packet{}
+	}
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	net := NewNetwork(fastConfig())
+	defer net.Close()
+	a := net.NewNode("a")
+	b := net.NewNode("b")
+	if err := a.Send(b.ID(), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	p := recvOne(t, b, 2*time.Second)
+	if string(p.Payload) != "hello" || p.From != a.ID() || p.To != b.ID() {
+		t.Errorf("packet = %+v", p)
+	}
+	// No stray delivery to the sender.
+	select {
+	case p := <-a.Recv():
+		t.Errorf("sender received %+v", p)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestBroadcastReachesAllButSender(t *testing.T) {
+	net := NewNetwork(fastConfig())
+	defer net.Close()
+	nodes := make([]*Node, 15) // the paper's 15-node subnet
+	for i := range nodes {
+		nodes[i] = net.NewNode("host")
+	}
+	if err := nodes[0].SendBroadcast([]byte("pub")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(nodes); i++ {
+		p := recvOne(t, nodes[i], 2*time.Second)
+		if string(p.Payload) != "pub" || p.To != Broadcast {
+			t.Errorf("node %d packet = %+v", i, p)
+		}
+	}
+	select {
+	case p := <-nodes[0].Recv():
+		t.Errorf("sender received own broadcast: %+v", p)
+	case <-time.After(20 * time.Millisecond):
+	}
+	st := net.Stats()
+	if st.Sent != 1 || st.Delivered != 14 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPayloadCopiedOnSend(t *testing.T) {
+	net := NewNetwork(fastConfig())
+	defer net.Close()
+	a, b := net.NewNode("a"), net.NewNode("b")
+	buf := []byte("original")
+	if err := a.Send(b.ID(), buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "XXXXXXXX") // sender reuses its buffer immediately
+	p := recvOne(t, b, 2*time.Second)
+	if string(p.Payload) != "original" {
+		t.Errorf("payload = %q; send must copy", p.Payload)
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	net := NewNetwork(fastConfig())
+	defer net.Close()
+	a, b := net.NewNode("a"), net.NewNode("b")
+	err := a.Send(b.ID(), make([]byte, MaxDatagram+1))
+	if !errors.Is(err, ErrOversize) {
+		t.Errorf("oversize error = %v", err)
+	}
+	if net.Stats().OversizeRejects != 1 {
+		t.Error("oversize not counted")
+	}
+}
+
+func TestLossModel(t *testing.T) {
+	cfg := fastConfig()
+	cfg.LossProb = 1.0
+	net := NewNetwork(cfg)
+	defer net.Close()
+	a, b := net.NewNode("a"), net.NewNode("b")
+	for i := 0; i < 10; i++ {
+		if err := a.Send(b.ID(), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(time.Second)
+	for net.Stats().LostRandom < 10 {
+		select {
+		case <-deadline:
+			t.Fatalf("loss not applied: %+v", net.Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	select {
+	case p := <-b.Recv():
+		t.Errorf("packet delivered despite 100%% loss: %+v", p)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestDuplicationModel(t *testing.T) {
+	cfg := fastConfig()
+	cfg.DupProb = 1.0
+	net := NewNetwork(cfg)
+	defer net.Close()
+	a, b := net.NewNode("a"), net.NewNode("b")
+	if err := a.Send(b.ID(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, 2*time.Second)
+	recvOne(t, b, 2*time.Second) // the duplicate
+	if net.Stats().Duplicated != 1 {
+		t.Errorf("stats = %+v", net.Stats())
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	net := NewNetwork(fastConfig())
+	defer net.Close()
+	a, b := net.NewNode("a"), net.NewNode("b")
+	net.Partition(b.ID())
+
+	if err := a.Send(b.ID(), []byte("blocked")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendBroadcast([]byte("alsoBlocked")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-b.Recv():
+		t.Errorf("packet crossed partition: %+v", p)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if net.Stats().LostPartition < 2 {
+		t.Errorf("stats = %+v", net.Stats())
+	}
+
+	net.Heal()
+	if err := a.Send(b.ID(), []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	p := recvOne(t, b, 2*time.Second)
+	if string(p.Payload) != "after" {
+		t.Errorf("post-heal payload = %q", p.Payload)
+	}
+}
+
+func TestReceiveBufferOverflow(t *testing.T) {
+	cfg := fastConfig()
+	cfg.RecvBuffer = 2
+	net := NewNetwork(cfg)
+	defer net.Close()
+	a, b := net.NewNode("a"), net.NewNode("b")
+	for i := 0; i < 20; i++ {
+		if err := a.Send(b.ID(), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(2 * time.Second)
+	for {
+		st := net.Stats()
+		if st.Delivered+st.LostOverflow == 20 {
+			if st.LostOverflow == 0 {
+				t.Errorf("expected overflow drops with buffer=2: %+v", st)
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("packets unaccounted for: %+v", st)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestTransmissionTimeModel(t *testing.T) {
+	net := NewNetwork(Config{BandwidthBPS: 10e6, Speedup: 1e9})
+	defer net.Close()
+	small := net.transmissionTime(100)
+	big := net.transmissionTime(10000)
+	if big <= small {
+		t.Errorf("transmission time not increasing: %v vs %v", small, big)
+	}
+	// 10 KB at 10 Mb/s is at least 8 ms of wire time plus framing.
+	if big < 8*time.Millisecond {
+		t.Errorf("10KB occupancy = %v, want >= 8ms", big)
+	}
+	// Per-fragment overhead: 7 fragments for 10 KB.
+	withOverhead := float64(10000+7*(ipUDPHeader+frameOverhead)) * 8 / 10e6
+	want := time.Duration(withOverhead * float64(time.Second))
+	if big != want {
+		t.Errorf("occupancy = %v, want %v", big, want)
+	}
+}
+
+func TestBackgroundLoadShrinksBandwidth(t *testing.T) {
+	net := NewNetwork(Config{BandwidthBPS: 10e6, Speedup: 1e9})
+	defer net.Close()
+	idle := net.transmissionTime(5000)
+	net.SetBackgroundLoad(0.5)
+	loaded := net.transmissionTime(5000)
+	if loaded <= idle {
+		t.Errorf("background load should stretch occupancy: %v vs %v", loaded, idle)
+	}
+}
+
+func TestCloseIdempotentAndRejectsSends(t *testing.T) {
+	net := NewNetwork(fastConfig())
+	a, b := net.NewNode("a"), net.NewNode("b")
+	net.Close()
+	net.Close()
+	if err := a.Send(b.ID(), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close error = %v", err)
+	}
+	if _, ok := <-b.Recv(); ok {
+		t.Error("receive channel should be closed")
+	}
+}
+
+func TestSharedMediumSerialises(t *testing.T) {
+	// Two senders share the medium: total wire time equals the sum of
+	// their occupancy, demonstrating the bandwidth ceiling.
+	cfg := Config{BandwidthBPS: 10e6, Speedup: 200, RecvBuffer: 64, Seed: 7}
+	net := NewNetwork(cfg)
+	defer net.Close()
+	a, b, c := net.NewNode("a"), net.NewNode("b"), net.NewNode("c")
+	const n = 20
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := a.Send(c.ID(), make([]byte, 1000)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Send(c.ID(), make([]byte, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	timeout := time.After(5 * time.Second)
+	for got < 2*n {
+		select {
+		case <-c.Recv():
+			got++
+		case <-timeout:
+			t.Fatalf("received %d of %d", got, 2*n)
+		}
+	}
+	elapsed := time.Since(start)
+	// 40 KB at 10 Mb/s is ~34 ms of model time, /200 speedup ≈ 170 µs floor.
+	// Mostly this asserts we did not deliver instantly in parallel.
+	if elapsed <= 0 {
+		t.Error("elapsed time not positive")
+	}
+	if st := net.Stats(); st.WireTime() < 30*time.Millisecond {
+		t.Errorf("wire occupancy = %v, want >= 30ms of model time", st.WireTime())
+	}
+}
+
+func TestCollisionModelUnderBackgroundLoad(t *testing.T) {
+	cfg := Config{BandwidthBPS: 10e6, Speedup: 5000, BackgroundLoad: 0.9, Seed: 3, RecvBuffer: 256}
+	net := NewNetwork(cfg)
+	defer net.Close()
+	a, b := net.NewNode("a"), net.NewNode("b")
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send(b.ID(), make([]byte, 500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		st := net.Stats()
+		if st.Delivered+st.LostCollision+st.LostOverflow == n {
+			if st.LostCollision == 0 {
+				t.Errorf("no collision losses at 90%% background load: %+v", st)
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("packets unaccounted for: %+v", st)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestPerDestinationFIFO(t *testing.T) {
+	// Without explicit reordering, packets to one destination arrive in
+	// send order even under heavy goroutine load — the property the
+	// reliable protocol's stream sync depends on.
+	cfg := DefaultConfig()
+	cfg.Speedup = 5000
+	cfg.JitterLatency = 300 * time.Microsecond
+	net := NewNetwork(cfg)
+	defer net.Close()
+	a, b := net.NewNode("a"), net.NewNode("b")
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := a.Send(b.ID(), []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		p := recvOne(t, b, 5*time.Second)
+		got := int(p.Payload[0]) | int(p.Payload[1])<<8
+		if got != i {
+			t.Fatalf("packet %d arrived as %d: FIFO violated", i, got)
+		}
+	}
+}
+
+func TestExplicitReorderingBypassesFIFO(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Speedup = 500
+	cfg.ReorderProb = 0.5
+	cfg.Seed = 77
+	net := NewNetwork(cfg)
+	defer net.Close()
+	a, b := net.NewNode("a"), net.NewNode("b")
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send(b.ID(), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	outOfOrder := false
+	last := -1
+	for i := 0; i < n; i++ {
+		p := recvOne(t, b, 5*time.Second)
+		got := int(p.Payload[0])
+		if got < last {
+			outOfOrder = true
+		}
+		last = got
+	}
+	if !outOfOrder {
+		t.Error("ReorderProb=0.5 produced perfectly ordered delivery")
+	}
+	if net.Stats().Reordered == 0 {
+		t.Error("no reordering counted")
+	}
+}

@@ -1,0 +1,706 @@
+package reliable
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"infobus/internal/transport"
+)
+
+// Config tunes the reliable delivery protocol. Zero values select the
+// defaults noted on each field.
+type Config struct {
+	// Window is the number of recently sent messages retained for
+	// retransmission per stream. A NAK for a message that has left the
+	// window cannot be served; the receiver will eventually skip it.
+	// Default 1024.
+	Window int
+	// Batching enables the appendix's batch parameter: small publications
+	// are gathered and sent as one datagram.
+	Batching bool
+	// BatchDelay bounds how long a small publication may wait for
+	// companions. Default 2ms.
+	BatchDelay time.Duration
+	// BatchMaxBytes flushes the batch when its payload bytes reach this
+	// size. Default 32 KB.
+	BatchMaxBytes int
+	// NakInterval is the cadence for re-sending gap reports. Default 20ms.
+	NakInterval time.Duration
+	// GapTimeout is how long a receiver waits for a missing message before
+	// skipping it (the at-most-once escape hatch). Default 500ms.
+	GapTimeout time.Duration
+	// RetransmitInterval is the cadence for re-sending unacked unicast
+	// messages. Default 30ms.
+	RetransmitInterval time.Duration
+	// HeartbeatInterval is the cadence at which an idle publisher
+	// re-advertises its highest sequence number, so receivers detect loss
+	// of the final messages of a burst. Default 25ms.
+	HeartbeatInterval time.Duration
+	// JoinGrace is how long a receiver buffers messages from a sender it
+	// has not seen before, so that network reordering around the first
+	// observed message cannot misorder the stream. Default: NakInterval.
+	JoinGrace time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 1024
+	}
+	if c.BatchDelay <= 0 {
+		c.BatchDelay = 2 * time.Millisecond
+	}
+	if c.BatchMaxBytes <= 0 {
+		c.BatchMaxBytes = 32 << 10
+	}
+	if c.NakInterval <= 0 {
+		c.NakInterval = 20 * time.Millisecond
+	}
+	if c.GapTimeout <= 0 {
+		c.GapTimeout = 500 * time.Millisecond
+	}
+	if c.RetransmitInterval <= 0 {
+		c.RetransmitInterval = 30 * time.Millisecond
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 25 * time.Millisecond
+	}
+	if c.JoinGrace <= 0 {
+		c.JoinGrace = c.NakInterval
+	}
+	return c
+}
+
+// Message is one reliably delivered payload.
+type Message struct {
+	// From is the transport address of the sending Conn.
+	From string
+	// Payload is the message body; the receiver owns it.
+	Payload []byte
+}
+
+// Stats counts protocol events.
+type Stats struct {
+	Published      uint64 // broadcast messages submitted
+	Sent           uint64 // broadcast messages put on the wire (first copy)
+	Delivered      uint64 // messages handed to the application
+	Retransmits    uint64 // messages re-sent in response to NAKs or timers
+	NaksSent       uint64
+	NaksReceived   uint64
+	Duplicates     uint64 // inbound duplicates suppressed
+	Skipped        uint64 // messages abandoned after GapTimeout
+	BatchesFlushed uint64
+	AcksSent       uint64
+}
+
+// Conn errors.
+var (
+	ErrClosed       = errors.New("reliable: connection closed")
+	ErrBackpressure = errors.New("reliable: too many unacknowledged messages")
+)
+
+// Conn layers the reliable protocol over one transport endpoint. A Conn
+// carries one outbound broadcast stream (Publish), any number of outbound
+// unicast streams (SendTo), and delivers all reliably received messages —
+// broadcast and unicast — on Recv in per-sender FIFO order.
+type Conn struct {
+	ep    transport.Endpoint
+	cfg   Config
+	epoch uint64
+	out   chan Message
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	mu sync.Mutex
+	// Outbound broadcast stream.
+	nextSeq    uint64
+	window     map[uint64][]byte
+	windowMin  uint64 // smallest seq still retained
+	batch      []msg
+	batchBytes int
+	batchSince time.Time
+	lastBcast  time.Time // last data or heartbeat broadcast
+	sentSeq    uint64    // highest seq actually broadcast (batching may lag nextSeq)
+	// Inbound state per remote sender.
+	bPeers map[string]*bcastRecv
+	uPeers map[string]*ucastRecv
+	// Outbound unicast per destination.
+	uSend map[string]*ucastSend
+
+	closed bool
+	stats  Stats
+}
+
+// bcastRecv is inbound broadcast-stream state for one sender.
+type bcastRecv struct {
+	epoch     uint64
+	next      uint64            // next expected seq (0 while syncing)
+	pending   map[uint64][]byte // out-of-order buffer
+	maxSeen   uint64            // highest seq observed (data or heartbeat)
+	syncUntil time.Time         // join-grace deadline; zero once synced
+	gapSince  time.Time
+	lastNak   time.Time
+}
+
+func (pr *bcastRecv) syncing() bool { return !pr.syncUntil.IsZero() }
+
+// ucastRecv is inbound unicast-stream state for one sender.
+type ucastRecv struct {
+	epoch   uint64
+	next    uint64
+	pending map[uint64][]byte
+}
+
+// ucastSend is outbound unicast-stream state for one destination.
+type ucastSend struct {
+	nextSeq  uint64
+	unacked  map[uint64][]byte
+	lastSend time.Time
+}
+
+// New layers a reliable connection over ep. The endpoint must not be used
+// directly afterwards.
+func New(ep transport.Endpoint, cfg Config) *Conn {
+	c := &Conn{
+		ep:     ep,
+		cfg:    cfg.withDefaults(),
+		epoch:  rand.Uint64() | 1, // nonzero
+		out:    make(chan Message, 1024),
+		done:   make(chan struct{}),
+		window: make(map[uint64][]byte),
+		bPeers: make(map[string]*bcastRecv),
+		uPeers: make(map[string]*ucastRecv),
+		uSend:  make(map[string]*ucastSend),
+	}
+	c.windowMin = 1
+	c.wg.Add(2)
+	go c.recvLoop()
+	go c.housekeeping()
+	return c
+}
+
+// Addr returns the underlying endpoint's address.
+func (c *Conn) Addr() string { return c.ep.Addr() }
+
+// Recv returns the channel of reliably delivered messages. It is closed
+// when the connection closes.
+func (c *Conn) Recv() <-chan Message { return c.out }
+
+// Stats returns a snapshot of the protocol counters.
+func (c *Conn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close tears the connection down. Pending batched messages are flushed
+// best-effort.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.flushBatchLocked()
+	c.closed = true
+	close(c.done)
+	c.mu.Unlock()
+	_ = c.ep.Close()
+	c.wg.Wait()
+	close(c.out)
+	return nil
+}
+
+// Publish sends one message on the connection's broadcast stream.
+func (c *Conn) Publish(payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.stats.Published++
+	c.nextSeq++
+	seq := c.nextSeq
+	cp := append([]byte(nil), payload...)
+	c.retain(seq, cp)
+
+	if !c.cfg.Batching {
+		return c.sendDataLocked([]msg{{seq: seq, payload: cp}})
+	}
+	if len(c.batch) == 0 {
+		c.batchSince = time.Now()
+	}
+	c.batch = append(c.batch, msg{seq: seq, payload: cp})
+	c.batchBytes += len(cp)
+	if c.batchBytes >= c.cfg.BatchMaxBytes {
+		return c.flushBatchLocked()
+	}
+	return nil
+}
+
+// Flush forces any batched publications onto the wire immediately.
+func (c *Conn) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushBatchLocked()
+}
+
+func (c *Conn) flushBatchLocked() error {
+	if len(c.batch) == 0 {
+		return nil
+	}
+	batch := c.batch
+	c.batch = nil
+	c.batchBytes = 0
+	c.stats.BatchesFlushed++
+	return c.sendDataLocked(batch)
+}
+
+func (c *Conn) sendDataLocked(msgs []msg) error {
+	frame := encodeData(dataFrame{typ: frameData, epoch: c.epoch, msgs: msgs})
+	c.stats.Sent += uint64(len(msgs))
+	c.lastBcast = time.Now()
+	if last := msgs[len(msgs)-1].seq; last > c.sentSeq {
+		c.sentSeq = last
+	}
+	return c.ep.Broadcast(frame)
+}
+
+// retain stores a sent broadcast message for NAK-triggered retransmission,
+// evicting the oldest entries beyond the window.
+func (c *Conn) retain(seq uint64, payload []byte) {
+	c.window[seq] = payload
+	for len(c.window) > c.cfg.Window {
+		delete(c.window, c.windowMin)
+		c.windowMin++
+	}
+}
+
+// SendTo sends one message on the reliable unicast stream to addr. The
+// message is retransmitted until acknowledged. SendTo fails with
+// ErrBackpressure when Window messages to addr are in flight.
+func (c *Conn) SendTo(addr string, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	us := c.uSend[addr]
+	if us == nil {
+		us = &ucastSend{unacked: make(map[uint64][]byte)}
+		c.uSend[addr] = us
+	}
+	if len(us.unacked) >= c.cfg.Window {
+		return fmt.Errorf("to %s: %w", addr, ErrBackpressure)
+	}
+	us.nextSeq++
+	seq := us.nextSeq
+	cp := append([]byte(nil), payload...)
+	us.unacked[seq] = cp
+	us.lastSend = time.Now()
+	frame := encodeData(dataFrame{typ: frameUData, epoch: c.epoch, msgs: []msg{{seq: seq, payload: cp}}})
+	return c.ep.Send(addr, frame)
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+
+func (c *Conn) recvLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		case dg, ok := <-c.ep.Recv():
+			if !ok {
+				return
+			}
+			c.handleDatagram(dg)
+		}
+	}
+}
+
+func (c *Conn) handleDatagram(dg transport.Datagram) {
+	f, err := decodeFrame(dg.Payload)
+	if err != nil {
+		return // corrupt datagram: the unreliable layer may hand us garbage
+	}
+	switch {
+	case f.data != nil && f.data.typ == frameData:
+		c.handleBroadcastData(dg.From, f.data)
+	case f.data != nil && f.data.typ == frameUData:
+		c.handleUnicastData(dg.From, f.data)
+	case f.nak != nil:
+		c.handleNak(dg.From, f.nak)
+	case f.ack != nil:
+		c.handleAck(dg.From, f.ack)
+	case f.heart != nil:
+		c.handleHeart(dg.From, f.heart)
+	}
+}
+
+func (c *Conn) handleBroadcastData(from string, f *dataFrame) {
+	var deliver []Message
+	c.mu.Lock()
+	pr := c.bPeers[from]
+	if pr == nil || pr.epoch != f.epoch {
+		// New sender, or sender restarted: reset the stream (at-most-once
+		// across failures). The stream starts in the syncing state: we
+		// buffer briefly so network reordering around our first sighting
+		// cannot make us skip the true earliest message.
+		pr = &bcastRecv{
+			epoch:     f.epoch,
+			pending:   make(map[uint64][]byte),
+			syncUntil: time.Now().Add(c.cfg.JoinGrace),
+		}
+		c.bPeers[from] = pr
+	}
+	for _, m := range f.msgs {
+		if m.seq > pr.maxSeen {
+			pr.maxSeen = m.seq
+		}
+		if pr.syncing() {
+			if _, dup := pr.pending[m.seq]; dup {
+				c.stats.Duplicates++
+			} else {
+				pr.pending[m.seq] = m.payload
+			}
+			continue
+		}
+		switch {
+		case m.seq < pr.next:
+			c.stats.Duplicates++
+		case m.seq == pr.next:
+			deliver = append(deliver, Message{From: from, Payload: m.payload})
+			pr.next++
+			// Drain any now-in-order pending messages.
+			for {
+				p, ok := pr.pending[pr.next]
+				if !ok {
+					break
+				}
+				delete(pr.pending, pr.next)
+				deliver = append(deliver, Message{From: from, Payload: p})
+				pr.next++
+			}
+			if len(pr.pending) == 0 && pr.next > pr.maxSeen {
+				pr.gapSince = time.Time{}
+			}
+		default: // gap
+			if _, dup := pr.pending[m.seq]; dup {
+				c.stats.Duplicates++
+				break
+			}
+			pr.pending[m.seq] = m.payload
+			if pr.gapSince.IsZero() {
+				pr.gapSince = time.Now()
+			}
+		}
+	}
+	c.stats.Delivered += uint64(len(deliver))
+	c.mu.Unlock()
+	c.emit(deliver)
+}
+
+// handleHeart processes a publisher's max-sequence advertisement.
+func (c *Conn) handleHeart(from string, f *heartFrame) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pr := c.bPeers[from]
+	if pr == nil || pr.epoch != f.epoch {
+		// First contact via heartbeat: a late joiner. Expect only future
+		// messages (P4: a new subscriber receives new publications, not
+		// history).
+		c.bPeers[from] = &bcastRecv{
+			epoch:   f.epoch,
+			next:    f.maxSeq + 1,
+			maxSeen: f.maxSeq,
+			pending: make(map[uint64][]byte),
+		}
+		return
+	}
+	if f.maxSeq > pr.maxSeen {
+		pr.maxSeen = f.maxSeq
+	}
+	if !pr.syncing() && pr.next <= pr.maxSeen && pr.gapSince.IsZero() {
+		// Tail loss: the heartbeat reveals messages we never saw.
+		pr.gapSince = time.Now()
+	}
+}
+
+func (c *Conn) handleUnicastData(from string, f *dataFrame) {
+	var deliver []Message
+	acks := ackFrame{epoch: f.epoch}
+	c.mu.Lock()
+	ur := c.uPeers[from]
+	if ur == nil || ur.epoch != f.epoch {
+		ur = &ucastRecv{epoch: f.epoch, next: 1, pending: make(map[uint64][]byte)}
+		c.uPeers[from] = ur
+	}
+	for _, m := range f.msgs {
+		switch {
+		case m.seq < ur.next:
+			c.stats.Duplicates++
+		case m.seq == ur.next:
+			deliver = append(deliver, Message{From: from, Payload: m.payload})
+			ur.next++
+			for {
+				p, ok := ur.pending[ur.next]
+				if !ok {
+					break
+				}
+				delete(ur.pending, ur.next)
+				deliver = append(deliver, Message{From: from, Payload: p})
+				ur.next++
+			}
+		default:
+			if _, dup := ur.pending[m.seq]; !dup {
+				ur.pending[m.seq] = m.payload
+			} else {
+				c.stats.Duplicates++
+			}
+		}
+	}
+	acks.cum = ur.next - 1
+	c.stats.Delivered += uint64(len(deliver))
+	c.stats.AcksSent++
+	c.mu.Unlock()
+	_ = c.ep.Send(from, encodeAck(acks))
+	c.emit(deliver)
+}
+
+func (c *Conn) handleNak(from string, f *nakFrame) {
+	c.mu.Lock()
+	c.stats.NaksReceived++
+	if f.epoch != c.epoch {
+		c.mu.Unlock()
+		return
+	}
+	var msgs []msg
+	for seq := f.from; seq <= f.to; seq++ {
+		if p, ok := c.window[seq]; ok {
+			msgs = append(msgs, msg{seq: seq, payload: p})
+		}
+	}
+	c.stats.Retransmits += uint64(len(msgs))
+	c.mu.Unlock()
+	if len(msgs) == 0 {
+		return
+	}
+	// Retransmit unicast to the requester only; other receivers either
+	// have the messages or will NAK on their own.
+	frame := encodeData(dataFrame{typ: frameData, epoch: c.epoch, msgs: msgs})
+	_ = c.ep.Send(from, frame)
+}
+
+func (c *Conn) handleAck(from string, f *ackFrame) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f.epoch != c.epoch {
+		return
+	}
+	us := c.uSend[from]
+	if us == nil {
+		return
+	}
+	for seq := range us.unacked {
+		if seq <= f.cum {
+			delete(us.unacked, seq)
+		}
+	}
+}
+
+// emit hands messages to the application channel, blocking if the consumer
+// is slow (delivery order must be preserved).
+func (c *Conn) emit(msgs []Message) {
+	for _, m := range msgs {
+		select {
+		case c.out <- m:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Housekeeping: batch flush, NAK scheduling, gap skipping, unicast
+// retransmission.
+
+func (c *Conn) housekeeping() {
+	defer c.wg.Done()
+	interval := c.cfg.NakInterval / 4
+	if bd := c.cfg.BatchDelay / 2; c.cfg.Batching && bd < interval {
+		interval = bd
+	}
+	if interval < 200*time.Microsecond {
+		interval = 200 * time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case now := <-ticker.C:
+			c.tick(now)
+		}
+	}
+}
+
+func (c *Conn) tick(now time.Time) {
+	type nakOut struct {
+		addr  string
+		frame []byte
+	}
+	type retrOut struct {
+		addr  string
+		frame []byte
+	}
+	var naks []nakOut
+	var retrs []retrOut
+	var deliver []Message
+	var heartbeat []byte
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	// Batch flush on delay expiry.
+	if c.cfg.Batching && len(c.batch) > 0 && now.Sub(c.batchSince) >= c.cfg.BatchDelay {
+		_ = c.flushBatchLocked()
+	}
+	// Heartbeat: an idle publisher re-advertises its max seq so receivers
+	// can detect tail loss.
+	if c.sentSeq > 0 && now.Sub(c.lastBcast) >= c.cfg.HeartbeatInterval {
+		c.lastBcast = now
+		heartbeat = encodeHeart(heartFrame{epoch: c.epoch, maxSeq: c.sentSeq})
+	}
+	// Broadcast stream maintenance per sender.
+	for addr, pr := range c.bPeers {
+		// Complete the join-grace sync: adopt the smallest buffered seq as
+		// the stream start and deliver in order from there.
+		if pr.syncing() {
+			if now.Before(pr.syncUntil) || len(pr.pending) == 0 {
+				continue
+			}
+			pr.syncUntil = time.Time{}
+			pr.next = minKey(pr.pending)
+			for {
+				p, ok := pr.pending[pr.next]
+				if !ok {
+					break
+				}
+				delete(pr.pending, pr.next)
+				deliver = append(deliver, Message{From: addr, Payload: p})
+				c.stats.Delivered++
+				pr.next++
+			}
+			if len(pr.pending) > 0 || pr.next <= pr.maxSeen {
+				pr.gapSince = now
+			}
+		}
+		// A gap exists if buffered messages wait behind a hole, or a
+		// heartbeat advertised messages we never received.
+		if len(pr.pending) == 0 && pr.next > pr.maxSeen {
+			pr.gapSince = time.Time{}
+			continue
+		}
+		gapEnd := pr.maxSeen // last seq known to exist
+		if len(pr.pending) > 0 {
+			if mp := minKey(pr.pending); mp-1 < gapEnd {
+				gapEnd = mp - 1
+			}
+		}
+		if pr.gapSince.IsZero() {
+			pr.gapSince = now
+		}
+		if now.Sub(pr.gapSince) >= c.cfg.GapTimeout {
+			// Give up on the missing range: skip and deliver what we have
+			// (the at-most-once escape hatch).
+			target := pr.maxSeen + 1
+			if len(pr.pending) > 0 {
+				target = minKey(pr.pending)
+			}
+			c.stats.Skipped += target - pr.next
+			pr.next = target
+			for {
+				p, ok := pr.pending[pr.next]
+				if !ok {
+					break
+				}
+				delete(pr.pending, pr.next)
+				deliver = append(deliver, Message{From: addr, Payload: p})
+				c.stats.Delivered++
+				pr.next++
+			}
+			if len(pr.pending) == 0 && pr.next > pr.maxSeen {
+				pr.gapSince = time.Time{}
+			} else {
+				pr.gapSince = now
+			}
+			continue
+		}
+		if now.Sub(pr.lastNak) >= c.cfg.NakInterval && gapEnd >= pr.next {
+			pr.lastNak = now
+			c.stats.NaksSent++
+			naks = append(naks, nakOut{
+				addr:  addr,
+				frame: encodeNak(nakFrame{epoch: pr.epoch, from: pr.next, to: gapEnd}),
+			})
+		}
+	}
+	// Unicast retransmission.
+	for addr, us := range c.uSend {
+		if len(us.unacked) == 0 {
+			continue
+		}
+		if now.Sub(us.lastSend) < c.cfg.RetransmitInterval {
+			continue
+		}
+		us.lastSend = now
+		var msgs []msg
+		for seq, p := range us.unacked {
+			msgs = append(msgs, msg{seq: seq, payload: p})
+		}
+		sortMsgs(msgs)
+		c.stats.Retransmits += uint64(len(msgs))
+		retrs = append(retrs, retrOut{
+			addr:  addr,
+			frame: encodeData(dataFrame{typ: frameUData, epoch: c.epoch, msgs: msgs}),
+		})
+	}
+	c.mu.Unlock()
+
+	if heartbeat != nil {
+		_ = c.ep.Broadcast(heartbeat)
+	}
+	for _, n := range naks {
+		_ = c.ep.Send(n.addr, n.frame)
+	}
+	for _, r := range retrs {
+		_ = c.ep.Send(r.addr, r.frame)
+	}
+	c.emit(deliver)
+}
+
+func minKey(m map[uint64][]byte) uint64 {
+	min := ^uint64(0)
+	for k := range m {
+		if k < min {
+			min = k
+		}
+	}
+	return min
+}
+
+func sortMsgs(ms []msg) {
+	// Insertion sort: retransmission sets are small.
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].seq < ms[j-1].seq; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}

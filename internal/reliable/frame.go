@@ -1,0 +1,232 @@
+// Package reliable implements the Information Bus reliable delivery
+// protocol over unreliable datagrams (§3.1): "UDP packets in combination
+// with a retransmission protocol".
+//
+// Semantics, matching the paper:
+//
+//   - Under normal operation (no crash, no long partition) messages are
+//     delivered exactly once, in the order sent by the same sender;
+//     messages from different senders are not ordered.
+//   - If the sender or receiver crashes, or the network partitions for
+//     longer than the gap timeout, messages are delivered at most once.
+//
+// Broadcast streams use per-sender sequence numbers with NAK-triggered
+// retransmission: a receiver that observes a gap asks the sender (unicast)
+// to retransmit the missing range; after GapTimeout the receiver gives up
+// and skips, which is where "at most once" comes from. Unicast streams use
+// positive cumulative ACKs with sender-side retransmission. Sender restarts
+// are detected by a per-connection epoch.
+//
+// The appendix's "batch parameter" lives here too: with batching on, small
+// publications are gathered for up to BatchDelay (or until BatchMaxBytes)
+// and sent as one datagram, trading latency for throughput (Figures 5-7).
+package reliable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Frame types.
+const (
+	frameData  = 1 // batch of broadcast-stream messages
+	frameNak   = 2 // broadcast-stream gap report (unicast to sender)
+	frameUData = 3 // batch of unicast-stream messages
+	frameUAck  = 4 // unicast-stream cumulative ack
+	frameHeart = 5 // broadcast-stream heartbeat advertising the max seq
+)
+
+// Frame-level errors.
+var (
+	ErrFrameTruncated = errors.New("reliable: truncated frame")
+	ErrFrameCorrupt   = errors.New("reliable: corrupt frame")
+	ErrFrameType      = errors.New("reliable: unknown frame type")
+)
+
+// msg is one sequenced message within a data frame.
+type msg struct {
+	seq     uint64
+	payload []byte
+}
+
+// dataFrame is a batch of sequenced messages from one sender stream.
+type dataFrame struct {
+	typ   byte // frameData or frameUData
+	epoch uint64
+	msgs  []msg
+}
+
+// nakFrame asks the sender to retransmit [from, to] of its broadcast
+// stream.
+type nakFrame struct {
+	epoch    uint64
+	from, to uint64
+}
+
+// ackFrame acknowledges every unicast-stream message with seq <= cum.
+type ackFrame struct {
+	epoch uint64
+	cum   uint64
+}
+
+// heartFrame advertises the sender's highest published broadcast seq so
+// receivers can detect tail loss (a lost final message reveals no gap on
+// its own).
+type heartFrame struct {
+	epoch  uint64
+	maxSeq uint64
+}
+
+const maxFrameMsgs = 1 << 16
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+func encodeData(f dataFrame) []byte {
+	b := []byte{f.typ}
+	b = appendUvarint(b, f.epoch)
+	b = appendUvarint(b, uint64(len(f.msgs)))
+	for _, m := range f.msgs {
+		b = appendUvarint(b, m.seq)
+		b = appendUvarint(b, uint64(len(m.payload)))
+		b = append(b, m.payload...)
+	}
+	return b
+}
+
+func encodeNak(f nakFrame) []byte {
+	b := []byte{frameNak}
+	b = appendUvarint(b, f.epoch)
+	b = appendUvarint(b, f.from)
+	b = appendUvarint(b, f.to)
+	return b
+}
+
+func encodeAck(f ackFrame) []byte {
+	b := []byte{frameUAck}
+	b = appendUvarint(b, f.epoch)
+	b = appendUvarint(b, f.cum)
+	return b
+}
+
+func encodeHeart(f heartFrame) []byte {
+	b := []byte{frameHeart}
+	b = appendUvarint(b, f.epoch)
+	b = appendUvarint(b, f.maxSeq)
+	return b
+}
+
+type frameReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *frameReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, ErrFrameTruncated
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *frameReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.data) {
+		return nil, ErrFrameTruncated
+	}
+	out := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+// frame is the sum of all decodable frame kinds; exactly one field is
+// non-nil after a successful decode.
+type frame struct {
+	data  *dataFrame
+	nak   *nakFrame
+	ack   *ackFrame
+	heart *heartFrame
+}
+
+// decodeFrame parses any frame.
+func decodeFrame(data []byte) (frame, error) {
+	if len(data) == 0 {
+		return frame{}, ErrFrameTruncated
+	}
+	r := &frameReader{data: data, pos: 1}
+	switch data[0] {
+	case frameData, frameUData:
+		f := &dataFrame{typ: data[0]}
+		var err error
+		if f.epoch, err = r.uvarint(); err != nil {
+			return frame{}, err
+		}
+		count, err := r.uvarint()
+		if err != nil {
+			return frame{}, err
+		}
+		if count > maxFrameMsgs {
+			return frame{}, fmt.Errorf("%d messages: %w", count, ErrFrameCorrupt)
+		}
+		for i := uint64(0); i < count; i++ {
+			var m msg
+			if m.seq, err = r.uvarint(); err != nil {
+				return frame{}, err
+			}
+			plen, err := r.uvarint()
+			if err != nil {
+				return frame{}, err
+			}
+			if m.payload, err = r.bytes(int(plen)); err != nil {
+				return frame{}, err
+			}
+			f.msgs = append(f.msgs, m)
+		}
+		if r.pos != len(data) {
+			return frame{}, ErrFrameCorrupt
+		}
+		return frame{data: f}, nil
+	case frameNak:
+		f := &nakFrame{}
+		var err error
+		if f.epoch, err = r.uvarint(); err != nil {
+			return frame{}, err
+		}
+		if f.from, err = r.uvarint(); err != nil {
+			return frame{}, err
+		}
+		if f.to, err = r.uvarint(); err != nil {
+			return frame{}, err
+		}
+		if f.to < f.from {
+			return frame{}, ErrFrameCorrupt
+		}
+		return frame{nak: f}, nil
+	case frameUAck:
+		f := &ackFrame{}
+		var err error
+		if f.epoch, err = r.uvarint(); err != nil {
+			return frame{}, err
+		}
+		if f.cum, err = r.uvarint(); err != nil {
+			return frame{}, err
+		}
+		return frame{ack: f}, nil
+	case frameHeart:
+		f := &heartFrame{}
+		var err error
+		if f.epoch, err = r.uvarint(); err != nil {
+			return frame{}, err
+		}
+		if f.maxSeq, err = r.uvarint(); err != nil {
+			return frame{}, err
+		}
+		return frame{heart: f}, nil
+	default:
+		return frame{}, fmt.Errorf("type %d: %w", data[0], ErrFrameType)
+	}
+}

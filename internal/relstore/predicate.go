@@ -1,0 +1,212 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Predicate selects rows. Build with Eq, Cmp, And, Or, Not, All.
+type Predicate interface {
+	pred()
+}
+
+type allPred struct{}
+
+type eqPred struct {
+	col string
+	val any
+}
+
+// CmpOp is a comparison operator for Cmp predicates.
+type CmpOp uint8
+
+const (
+	OpLT CmpOp = iota
+	OpLE
+	OpGT
+	OpGE
+	OpNE
+)
+
+type cmpPred struct {
+	col string
+	op  CmpOp
+	val any
+}
+
+type andPred struct{ ps []Predicate }
+type orPred struct{ ps []Predicate }
+type notPred struct{ p Predicate }
+type nullPred struct{ col string }
+
+func (allPred) pred()  {}
+func (eqPred) pred()   {}
+func (cmpPred) pred()  {}
+func (andPred) pred()  {}
+func (orPred) pred()   {}
+func (notPred) pred()  {}
+func (nullPred) pred() {}
+
+// All matches every row (like SELECT without WHERE).
+func All() Predicate { return allPred{} }
+
+// Eq matches rows whose column equals val. Uses an index when one exists.
+func Eq(col string, val any) Predicate { return eqPred{col: col, val: val} }
+
+// Cmp matches rows by ordered comparison on int, float, string, or time
+// columns. NULL never matches.
+func Cmp(col string, op CmpOp, val any) Predicate { return cmpPred{col: col, op: op, val: val} }
+
+// IsNull matches rows whose column is NULL.
+func IsNull(col string) Predicate { return nullPred{col: col} }
+
+// And matches rows matching every sub-predicate.
+func And(ps ...Predicate) Predicate { return andPred{ps: ps} }
+
+// Or matches rows matching at least one sub-predicate.
+func Or(ps ...Predicate) Predicate { return orPred{ps: ps} }
+
+// Not inverts a predicate.
+func Not(p Predicate) Predicate { return notPred{p: p} }
+
+func evalPred(t *Table, p Predicate, r Row) (bool, error) {
+	switch q := p.(type) {
+	case nil:
+		return true, nil
+	case allPred:
+		return true, nil
+	case eqPred:
+		i, err := t.ColIndex(q.col)
+		if err != nil {
+			return false, err
+		}
+		return valuesEqual(r[i], q.val), nil
+	case nullPred:
+		i, err := t.ColIndex(q.col)
+		if err != nil {
+			return false, err
+		}
+		return r[i] == nil, nil
+	case cmpPred:
+		i, err := t.ColIndex(q.col)
+		if err != nil {
+			return false, err
+		}
+		if r[i] == nil || q.val == nil {
+			return false, nil
+		}
+		c, err := compareValues(r[i], q.val)
+		if err != nil {
+			return false, err
+		}
+		switch q.op {
+		case OpLT:
+			return c < 0, nil
+		case OpLE:
+			return c <= 0, nil
+		case OpGT:
+			return c > 0, nil
+		case OpGE:
+			return c >= 0, nil
+		case OpNE:
+			return c != 0, nil
+		default:
+			return false, fmt.Errorf("relstore: unknown comparison op %d", q.op)
+		}
+	case andPred:
+		for _, sp := range q.ps {
+			ok, err := evalPred(t, sp, r)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case orPred:
+		for _, sp := range q.ps {
+			ok, err := evalPred(t, sp, r)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case notPred:
+		ok, err := evalPred(t, q.p, r)
+		return !ok, err
+	default:
+		return false, fmt.Errorf("relstore: unknown predicate %T", p)
+	}
+}
+
+func valuesEqual(a, b any) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case []byte:
+		y, ok := b.([]byte)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	case time.Time:
+		y, ok := b.(time.Time)
+		return ok && x.Equal(y)
+	default:
+		return a == b
+	}
+}
+
+func compareValues(a, b any) (int, error) {
+	switch x := a.(type) {
+	case int64:
+		y, ok := b.(int64)
+		if !ok {
+			return 0, mismatch(a, b)
+		}
+		return cmpOrdered(x, y), nil
+	case float64:
+		y, ok := b.(float64)
+		if !ok {
+			return 0, mismatch(a, b)
+		}
+		return cmpOrdered(x, y), nil
+	case string:
+		y, ok := b.(string)
+		if !ok {
+			return 0, mismatch(a, b)
+		}
+		return strings.Compare(x, y), nil
+	case time.Time:
+		y, ok := b.(time.Time)
+		if !ok {
+			return 0, mismatch(a, b)
+		}
+		return x.Compare(y), nil
+	default:
+		return 0, fmt.Errorf("%T: %w", a, ErrNotComparable)
+	}
+}
+
+func cmpOrdered[T int64 | float64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func mismatch(a, b any) error {
+	return fmt.Errorf("comparing %T with %T: %w", a, b, ErrTypeMismatch)
+}

@@ -1,0 +1,432 @@
+// Package relstore is a miniature in-process relational database engine:
+// typed tables, rows, predicates, secondary hash indexes, and dynamic
+// table creation. It stands in for the commercial relational database the
+// paper's Object Repository adapter (§4) maps objects into — "a database
+// table is a flat structure composed of simple data types" — so the
+// repository's schema generation, object decomposition, and
+// hierarchy-aware queries exercise the same code paths they would against
+// a real RDBMS.
+package relstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ColType enumerates the flat column types a relational table may hold.
+type ColType uint8
+
+const (
+	ColInvalid ColType = iota
+	ColBool
+	ColInt
+	ColFloat
+	ColString
+	ColBytes
+	ColTime
+)
+
+var colTypeNames = [...]string{
+	ColInvalid: "invalid",
+	ColBool:    "bool",
+	ColInt:     "int",
+	ColFloat:   "float",
+	ColString:  "string",
+	ColBytes:   "bytes",
+	ColTime:    "time",
+}
+
+func (t ColType) String() string {
+	if int(t) < len(colTypeNames) {
+		return colTypeNames[t]
+	}
+	return fmt.Sprintf("coltype(%d)", uint8(t))
+}
+
+// Column describes one table column. Every column is nullable (the
+// repository stores absent object attributes as NULL).
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes a table.
+type Schema struct {
+	Name    string
+	Columns []Column
+}
+
+// Row is one tuple, values aligned with the table's columns. nil is NULL.
+type Row []any
+
+// Errors.
+var (
+	ErrTableExists   = errors.New("relstore: table already exists")
+	ErrNoTable       = errors.New("relstore: no such table")
+	ErrNoColumn      = errors.New("relstore: no such column")
+	ErrBadSchema     = errors.New("relstore: invalid schema")
+	ErrTypeMismatch  = errors.New("relstore: value does not match column type")
+	ErrWrongArity    = errors.New("relstore: row length does not match column count")
+	ErrIndexExists   = errors.New("relstore: index already exists")
+	ErrNotComparable = errors.New("relstore: type not comparable")
+)
+
+// DB is a database instance: a set of named tables. Safe for concurrent
+// use.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable creates a table from a schema.
+func (db *DB) CreateTable(s Schema) (*Table, error) {
+	if s.Name == "" || len(s.Columns) == 0 {
+		return nil, fmt.Errorf("table %q: %w", s.Name, ErrBadSchema)
+	}
+	seen := make(map[string]bool)
+	for _, c := range s.Columns {
+		if c.Name == "" || c.Type == ColInvalid || c.Type > ColTime {
+			return nil, fmt.Errorf("table %q column %q: %w", s.Name, c.Name, ErrBadSchema)
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("table %q duplicate column %q: %w", s.Name, c.Name, ErrBadSchema)
+		}
+		seen[c.Name] = true
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[s.Name]; ok {
+		return nil, fmt.Errorf("%q: %w", s.Name, ErrTableExists)
+	}
+	t := &Table{
+		schema:  Schema{Name: s.Name, Columns: append([]Column(nil), s.Columns...)},
+		colIdx:  make(map[string]int),
+		indexes: make(map[string]map[any][]int64),
+		rows:    make(map[int64]Row),
+	}
+	for i, c := range t.schema.Columns {
+		t.colIdx[c.Name] = i
+	}
+	db.tables[s.Name] = t
+	return t, nil
+}
+
+// Table returns a table by name.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", name, ErrNoTable)
+	}
+	return t, nil
+}
+
+// Has reports whether a table exists.
+func (db *DB) Has(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.tables[name]
+	return ok
+}
+
+// Drop removes a table.
+func (db *DB) Drop(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("%q: %w", name, ErrNoTable)
+	}
+	delete(db.tables, name)
+	return nil
+}
+
+// Tables returns all table names, sorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table is one relational table. Safe for concurrent use.
+type Table struct {
+	mu      sync.RWMutex
+	schema  Schema
+	colIdx  map[string]int
+	rows    map[int64]Row
+	order   []int64 // insertion order of live rowids
+	nextID  int64
+	indexes map[string]map[any][]int64 // column -> value -> rowids
+}
+
+// Schema returns a copy of the table's schema.
+func (t *Table) Schema() Schema {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return Schema{Name: t.schema.Name, Columns: append([]Column(nil), t.schema.Columns...)}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.schema.Name }
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// ColIndex returns the position of a column.
+func (t *Table) ColIndex(name string) (int, error) {
+	i, ok := t.colIdx[name]
+	if !ok {
+		return 0, fmt.Errorf("%s.%s: %w", t.schema.Name, name, ErrNoColumn)
+	}
+	return i, nil
+}
+
+// checkValue verifies one value against a column type; nil is NULL and
+// always permitted.
+func checkValue(c Column, v any) error {
+	if v == nil {
+		return nil
+	}
+	ok := false
+	switch c.Type {
+	case ColBool:
+		_, ok = v.(bool)
+	case ColInt:
+		_, ok = v.(int64)
+	case ColFloat:
+		_, ok = v.(float64)
+	case ColString:
+		_, ok = v.(string)
+	case ColBytes:
+		_, ok = v.([]byte)
+	case ColTime:
+		_, ok = v.(time.Time)
+	}
+	if !ok {
+		return fmt.Errorf("column %q (%s) <- %T: %w", c.Name, c.Type, v, ErrTypeMismatch)
+	}
+	return nil
+}
+
+// Insert appends a row and returns its rowid.
+func (t *Table) Insert(r Row) (int64, error) {
+	if len(r) != len(t.schema.Columns) {
+		return 0, fmt.Errorf("%s: got %d values for %d columns: %w",
+			t.schema.Name, len(r), len(t.schema.Columns), ErrWrongArity)
+	}
+	for i, c := range t.schema.Columns {
+		if err := checkValue(c, r[i]); err != nil {
+			return 0, fmt.Errorf("%s: %w", t.schema.Name, err)
+		}
+	}
+	cp := append(Row(nil), r...)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	id := t.nextID
+	t.rows[id] = cp
+	t.order = append(t.order, id)
+	for col, idx := range t.indexes {
+		i := t.colIdx[col]
+		key := indexKey(cp[i])
+		idx[key] = append(idx[key], id)
+	}
+	return id, nil
+}
+
+// InsertMap inserts a row given as a column->value map; omitted columns
+// are NULL.
+func (t *Table) InsertMap(vals map[string]any) (int64, error) {
+	r := make(Row, len(t.schema.Columns))
+	for col, v := range vals {
+		i, err := t.ColIndex(col)
+		if err != nil {
+			return 0, err
+		}
+		r[i] = v
+	}
+	return t.Insert(r)
+}
+
+// Get returns the row with the given rowid.
+func (t *Table) Get(id int64) (Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.rows[id]
+	if !ok {
+		return nil, false
+	}
+	return append(Row(nil), r...), true
+}
+
+// Select returns the rowids and rows matching the predicate, in insertion
+// order. A nil predicate matches everything. Equality predicates on
+// indexed columns use the index.
+func (t *Table) Select(p Predicate) ([]int64, []Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if eq, ok := p.(eqPred); ok {
+		if idx, indexed := t.indexes[eq.col]; indexed {
+			ids := append([]int64(nil), idx[indexKey(eq.val)]...)
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			rows := make([]Row, 0, len(ids))
+			live := ids[:0]
+			for _, id := range ids {
+				if r, ok := t.rows[id]; ok {
+					live = append(live, id)
+					rows = append(rows, append(Row(nil), r...))
+				}
+			}
+			return live, rows, nil
+		}
+	}
+	var ids []int64
+	var rows []Row
+	for _, id := range t.order {
+		r, ok := t.rows[id]
+		if !ok {
+			continue
+		}
+		match, err := evalPred(t, p, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		if match {
+			ids = append(ids, id)
+			rows = append(rows, append(Row(nil), r...))
+		}
+	}
+	return ids, rows, nil
+}
+
+// Delete removes matching rows and returns how many were removed.
+func (t *Table) Delete(p Predicate) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed := 0
+	for id, r := range t.rows {
+		match, err := evalPred(t, p, r)
+		if err != nil {
+			return removed, err
+		}
+		if !match {
+			continue
+		}
+		for col, idx := range t.indexes {
+			i := t.colIdx[col]
+			key := indexKey(r[i])
+			idx[key] = removeID(idx[key], id)
+		}
+		delete(t.rows, id)
+		removed++
+	}
+	if removed > 0 {
+		live := t.order[:0]
+		for _, id := range t.order {
+			if _, ok := t.rows[id]; ok {
+				live = append(live, id)
+			}
+		}
+		t.order = live
+	}
+	return removed, nil
+}
+
+// Update applies fn to every matching row; fn returns the replacement row.
+func (t *Table) Update(p Predicate, fn func(Row) Row) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	updated := 0
+	for _, id := range t.order {
+		r, ok := t.rows[id]
+		if !ok {
+			continue
+		}
+		match, err := evalPred(t, p, r)
+		if err != nil {
+			return updated, err
+		}
+		if !match {
+			continue
+		}
+		nr := fn(append(Row(nil), r...))
+		if len(nr) != len(t.schema.Columns) {
+			return updated, fmt.Errorf("%s: %w", t.schema.Name, ErrWrongArity)
+		}
+		for i, c := range t.schema.Columns {
+			if err := checkValue(c, nr[i]); err != nil {
+				return updated, err
+			}
+		}
+		for col, idx := range t.indexes {
+			i := t.colIdx[col]
+			oldKey, newKey := indexKey(r[i]), indexKey(nr[i])
+			if oldKey != newKey {
+				idx[oldKey] = removeID(idx[oldKey], id)
+				idx[newKey] = append(idx[newKey], id)
+			}
+		}
+		t.rows[id] = nr
+		updated++
+	}
+	return updated, nil
+}
+
+// CreateIndex builds a hash index over a column, accelerating Eq selects.
+func (t *Table) CreateIndex(col string) error {
+	i, err := t.ColIndex(col)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.indexes[col]; ok {
+		return fmt.Errorf("%s.%s: %w", t.schema.Name, col, ErrIndexExists)
+	}
+	idx := make(map[any][]int64)
+	for id, r := range t.rows {
+		key := indexKey(r[i])
+		idx[key] = append(idx[key], id)
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+// indexKey converts a value into a hashable index key. Bytes become
+// strings; times normalise to UTC nanoseconds.
+func indexKey(v any) any {
+	switch x := v.(type) {
+	case []byte:
+		return "b:" + string(x)
+	case time.Time:
+		return x.UnixNano()
+	default:
+		return v
+	}
+}
+
+func removeID(ids []int64, id int64) []int64 {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,374 @@
+package relstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func storySchema() Schema {
+	return Schema{
+		Name: "Story",
+		Columns: []Column{
+			{Name: "headline", Type: ColString},
+			{Name: "words", Type: ColInt},
+			{Name: "score", Type: ColFloat},
+			{Name: "breaking", Type: ColBool},
+			{Name: "raw", Type: ColBytes},
+			{Name: "published", Type: ColTime},
+		},
+	}
+}
+
+func newStoryTable(t *testing.T) (*DB, *Table) {
+	t.Helper()
+	db := NewDB()
+	tbl, err := db.CreateTable(storySchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tbl
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db := NewDB()
+	cases := []struct {
+		s    Schema
+		want error
+	}{
+		{Schema{Name: "", Columns: []Column{{Name: "a", Type: ColInt}}}, ErrBadSchema},
+		{Schema{Name: "t"}, ErrBadSchema},
+		{Schema{Name: "t", Columns: []Column{{Name: "", Type: ColInt}}}, ErrBadSchema},
+		{Schema{Name: "t", Columns: []Column{{Name: "a", Type: ColInvalid}}}, ErrBadSchema},
+		{Schema{Name: "t", Columns: []Column{{Name: "a", Type: ColInt}, {Name: "a", Type: ColInt}}}, ErrBadSchema},
+	}
+	for _, c := range cases {
+		if _, err := db.CreateTable(c.s); !errors.Is(err, c.want) {
+			t.Errorf("CreateTable(%+v) = %v, want %v", c.s, err, c.want)
+		}
+	}
+	if _, err := db.CreateTable(storySchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(storySchema()); !errors.Is(err, ErrTableExists) {
+		t.Errorf("duplicate table error = %v", err)
+	}
+	if !db.Has("Story") || db.Has("Nope") {
+		t.Error("Has misbehaves")
+	}
+	if got := db.Tables(); len(got) != 1 || got[0] != "Story" {
+		t.Errorf("Tables = %v", got)
+	}
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	_, tbl := newStoryTable(t)
+	good := Row{"GM up", int64(120), 0.9, true, []byte{1}, time.Unix(1, 0)}
+	if _, err := tbl.Insert(good); err != nil {
+		t.Fatal(err)
+	}
+	// NULLs allowed everywhere.
+	if _, err := tbl.Insert(Row{nil, nil, nil, nil, nil, nil}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(Row{"short"}); !errors.Is(err, ErrWrongArity) {
+		t.Errorf("arity error = %v", err)
+	}
+	bad := Row{int64(5), int64(1), 0.5, false, nil, time.Unix(1, 0)}
+	if _, err := tbl.Insert(bad); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("type error = %v", err)
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+}
+
+func TestInsertMapAndGet(t *testing.T) {
+	_, tbl := newStoryTable(t)
+	id, err := tbl.InsertMap(map[string]any{"headline": "h", "words": int64(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := tbl.Get(id)
+	if !ok || r[0] != "h" || r[1] != int64(7) || r[2] != nil {
+		t.Fatalf("Get = %v, %v", r, ok)
+	}
+	if _, err := tbl.InsertMap(map[string]any{"nosuch": 1}); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("unknown column error = %v", err)
+	}
+	if _, ok := tbl.Get(9999); ok {
+		t.Error("Get of absent rowid succeeded")
+	}
+}
+
+func fillStories(t *testing.T, tbl *Table, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		_, err := tbl.Insert(Row{
+			fmt.Sprintf("headline-%02d", i),
+			int64(i * 10),
+			float64(i) / 10,
+			i%2 == 0,
+			[]byte{byte(i)},
+			time.Unix(int64(i*100), 0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSelectPredicates(t *testing.T) {
+	_, tbl := newStoryTable(t)
+	fillStories(t, tbl, 10)
+	cases := []struct {
+		name string
+		p    Predicate
+		want int
+	}{
+		{"all", All(), 10},
+		{"nil", nil, 10},
+		{"eq", Eq("headline", "headline-03"), 1},
+		{"eq-miss", Eq("headline", "nope"), 0},
+		{"lt", Cmp("words", OpLT, int64(30)), 3},
+		{"le", Cmp("words", OpLE, int64(30)), 4},
+		{"gt", Cmp("score", OpGT, 0.75), 2},
+		{"ge-time", Cmp("published", OpGE, time.Unix(800, 0)), 2},
+		{"ne", Cmp("words", OpNE, int64(0)), 9},
+		{"and", And(Eq("breaking", true), Cmp("words", OpGT, int64(40))), 2},
+		{"or", Or(Eq("words", int64(0)), Eq("words", int64(90))), 2},
+		{"not", Not(Eq("breaking", true)), 5},
+		{"str-cmp", Cmp("headline", OpLT, "headline-02"), 2},
+	}
+	for _, c := range cases {
+		ids, rows, err := tbl.Select(c.p)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if len(rows) != c.want || len(ids) != c.want {
+			t.Errorf("%s: got %d rows, want %d", c.name, len(rows), c.want)
+		}
+	}
+	// Insertion order preserved.
+	_, rows, _ := tbl.Select(All())
+	for i, r := range rows {
+		if r[0] != fmt.Sprintf("headline-%02d", i) {
+			t.Fatalf("row %d out of order: %v", i, r[0])
+		}
+	}
+	// Unknown column errors.
+	if _, _, err := tbl.Select(Eq("ghost", 1)); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("unknown column select = %v", err)
+	}
+	// Mismatched comparison errors.
+	if _, _, err := tbl.Select(Cmp("words", OpLT, "str")); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("cmp type error = %v", err)
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	_, tbl := newStoryTable(t)
+	fillStories(t, tbl, 3)
+	if _, err := tbl.InsertMap(map[string]any{"headline": "null-words"}); err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err := tbl.Select(IsNull("words"))
+	if err != nil || len(rows) != 1 || rows[0][0] != "null-words" {
+		t.Fatalf("IsNull = %v, %v", rows, err)
+	}
+	_, rows, _ = tbl.Select(Not(IsNull("words")))
+	if len(rows) != 3 {
+		t.Fatalf("Not IsNull = %d rows", len(rows))
+	}
+	// NULL never matches comparisons.
+	_, rows, _ = tbl.Select(Cmp("words", OpGE, int64(0)))
+	if len(rows) != 3 {
+		t.Fatalf("cmp over NULL = %d rows", len(rows))
+	}
+}
+
+func TestDeleteAndUpdate(t *testing.T) {
+	_, tbl := newStoryTable(t)
+	fillStories(t, tbl, 10)
+	n, err := tbl.Delete(Cmp("words", OpGE, int64(50)))
+	if err != nil || n != 5 {
+		t.Fatalf("Delete = %d, %v", n, err)
+	}
+	if tbl.Len() != 5 {
+		t.Fatalf("Len after delete = %d", tbl.Len())
+	}
+	n, err = tbl.Update(Eq("headline", "headline-02"), func(r Row) Row {
+		r[0] = "updated"
+		return r
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("Update = %d, %v", n, err)
+	}
+	_, rows, _ := tbl.Select(Eq("headline", "updated"))
+	if len(rows) != 1 {
+		t.Fatal("updated row not found")
+	}
+	// Update that breaks the type fails.
+	if _, err := tbl.Update(All(), func(r Row) Row { r[1] = "bad"; return r }); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("bad update error = %v", err)
+	}
+}
+
+func TestIndexAcceleratedSelect(t *testing.T) {
+	_, tbl := newStoryTable(t)
+	fillStories(t, tbl, 50)
+	if err := tbl.CreateIndex("headline"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("headline"); !errors.Is(err, ErrIndexExists) {
+		t.Errorf("duplicate index error = %v", err)
+	}
+	if err := tbl.CreateIndex("ghost"); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("index unknown column error = %v", err)
+	}
+	ids, rows, err := tbl.Select(Eq("headline", "headline-25"))
+	if err != nil || len(rows) != 1 || rows[0][1] != int64(250) {
+		t.Fatalf("indexed select = %v %v %v", ids, rows, err)
+	}
+	// Index stays correct across insert, update, delete.
+	if _, err := tbl.InsertMap(map[string]any{"headline": "headline-25"}); err != nil {
+		t.Fatal(err)
+	}
+	_, rows, _ = tbl.Select(Eq("headline", "headline-25"))
+	if len(rows) != 2 {
+		t.Fatalf("after insert: %d rows", len(rows))
+	}
+	if _, err := tbl.Update(Eq("words", int64(250)), func(r Row) Row { r[0] = "renamed"; return r }); err != nil {
+		t.Fatal(err)
+	}
+	_, rows, _ = tbl.Select(Eq("headline", "headline-25"))
+	if len(rows) != 1 {
+		t.Fatalf("after update: %d rows", len(rows))
+	}
+	if _, err := tbl.Delete(Eq("headline", "headline-25")); err != nil {
+		t.Fatal(err)
+	}
+	_, rows, _ = tbl.Select(Eq("headline", "headline-25"))
+	if len(rows) != 0 {
+		t.Fatalf("after delete: %d rows", len(rows))
+	}
+	_, rows, _ = tbl.Select(Eq("headline", "renamed"))
+	if len(rows) != 1 {
+		t.Fatalf("renamed row missing from index")
+	}
+}
+
+func TestBytesAndTimeEquality(t *testing.T) {
+	_, tbl := newStoryTable(t)
+	fillStories(t, tbl, 3)
+	_, rows, err := tbl.Select(Eq("raw", []byte{2}))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("bytes eq = %v, %v", rows, err)
+	}
+	_, rows, err = tbl.Select(Eq("published", time.Unix(100, 0).UTC()))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("time eq (different location) = %v, %v", rows, err)
+	}
+	// Index over bytes works via the string key.
+	if err := tbl.CreateIndex("raw"); err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err = tbl.Select(Eq("raw", []byte{1}))
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("indexed bytes eq = %v, %v", rows, err)
+	}
+}
+
+func TestRowIsolation(t *testing.T) {
+	_, tbl := newStoryTable(t)
+	src := Row{"h", int64(1), 0.5, true, []byte{9}, time.Unix(0, 0)}
+	id, err := tbl.Insert(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0] = "mutated-after-insert"
+	r, _ := tbl.Get(id)
+	if r[0] != "h" {
+		t.Error("Insert did not copy the row")
+	}
+	r[0] = "mutated-after-get"
+	r2, _ := tbl.Get(id)
+	if r2[0] != "h" {
+		t.Error("Get did not copy the row")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db, _ := newStoryTable(t)
+	if err := db.Drop("Story"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Drop("Story"); !errors.Is(err, ErrNoTable) {
+		t.Errorf("double drop error = %v", err)
+	}
+	if _, err := db.Table("Story"); !errors.Is(err, ErrNoTable) {
+		t.Errorf("Table after drop = %v", err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	_, tbl := newStoryTable(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := tbl.InsertMap(map[string]any{
+					"headline": fmt.Sprintf("w%d-%d", w, i),
+					"words":    int64(i),
+				}); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+				if _, _, err := tbl.Select(Cmp("words", OpLT, int64(10))); err != nil {
+					t.Errorf("select: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tbl.Len() != 400 {
+		t.Errorf("Len = %d, want 400", tbl.Len())
+	}
+}
+
+// Property: every inserted row is retrievable by an Eq select on a unique
+// key column, with and without an index, yielding identical results.
+func TestQuickIndexConsistency(t *testing.T) {
+	f := func(keys []int64) bool {
+		db := NewDB()
+		plain, _ := db.CreateTable(Schema{Name: "p", Columns: []Column{{Name: "k", Type: ColInt}}})
+		indexed, _ := db.CreateTable(Schema{Name: "i", Columns: []Column{{Name: "k", Type: ColInt}}})
+		_ = indexed.CreateIndex("k")
+		for _, k := range keys {
+			if _, err := plain.Insert(Row{k}); err != nil {
+				return false
+			}
+			if _, err := indexed.Insert(Row{k}); err != nil {
+				return false
+			}
+		}
+		for _, k := range keys {
+			_, a, err1 := plain.Select(Eq("k", k))
+			_, b, err2 := indexed.Select(Eq("k", k))
+			if err1 != nil || err2 != nil || len(a) != len(b) || len(a) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,62 @@
+package repository
+
+import (
+	"testing"
+
+	"infobus/internal/mop"
+	"infobus/internal/relstore"
+)
+
+// BenchmarkStore measures the meta-data-driven decomposition of a nested
+// Story object into relations.
+func BenchmarkStore(b *testing.B) {
+	repo := New(relstore.NewDB(), mop.NewRegistry())
+	story, _, group := newsHierarchy()
+	obj := sampleStory(story, group, "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := repo.Store(obj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoad measures the reconstruction of the same object.
+func BenchmarkLoad(b *testing.B) {
+	repo := New(relstore.NewDB(), mop.NewRegistry())
+	story, _, group := newsHierarchy()
+	oid, err := repo.Store(sampleStory(story, group, "bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := repo.Load("Story", oid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHierarchyQuery measures the subtype-spanning query over a
+// populated repository.
+func BenchmarkHierarchyQuery(b *testing.B) {
+	repo := New(relstore.NewDB(), mop.NewRegistry())
+	story, dj, group := newsHierarchy()
+	for i := 0; i < 50; i++ {
+		if _, err := repo.Store(sampleStory(story, group, "s")); err != nil {
+			b.Fatal(err)
+		}
+		d := sampleStory(dj, group, "d")
+		d.MustSet("djCode", "X")
+		if _, err := repo.Store(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		objs, err := repo.QueryByType(story)
+		if err != nil || len(objs) != 100 {
+			b.Fatalf("%d, %v", len(objs), err)
+		}
+	}
+}

@@ -1,0 +1,586 @@
+// Package repository implements the Object Repository (§4): "a
+// sophisticated adapter that integrates a commercially available
+// relational database system into the Information Bus architecture. The
+// Object Repository maps Information Bus objects into database relations
+// for storage or retrieval. This mapping is driven by the meta-data of
+// each object."
+//
+// The mapping decomposes a complex object into one or more tables and
+// reconstructs it on the way out:
+//
+//   - each class gets a table "obj_<Class>" keyed by an object id, with
+//     one column per scalar attribute;
+//   - a class-typed attribute becomes (oid, class) reference columns, the
+//     child object living in its own class table;
+//   - a list-typed attribute becomes a child table
+//     "obj_<Class>__<attr>" of (oid, idx, value...) rows;
+//   - an any-typed attribute (and nested lists) falls back to the
+//     self-describing wire encoding in a bytes column.
+//
+// The conversion "respects the type hierarchy, enabling queries to return
+// all objects that satisfy a constraint, including objects that are
+// instances of a subtype. Old queries will still work even as new
+// subtypes are introduced" (R2): QueryByType(Story) scans the table of
+// every registered subtype of Story. "When the repository needs to store
+// an instance of a previously unknown type, it is capable of generating
+// one or more new database tables to represent the new type" — Store
+// creates missing tables on the fly from the class meta-data alone.
+package repository
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"infobus/internal/mop"
+	"infobus/internal/relstore"
+	"infobus/internal/wire"
+)
+
+// Column-name suffixes for non-scalar attributes.
+const (
+	sufOID   = "__oid"
+	sufClass = "__class"
+	sufWire  = "__wire"
+)
+
+// Repository errors.
+var (
+	ErrNilObject = errors.New("repository: nil object")
+	ErrNoSuchOID = errors.New("repository: no object with that id")
+	ErrNotStored = errors.New("repository: class has no table yet")
+	ErrBadAttr   = errors.New("repository: attribute unusable in a query")
+	ErrNotAClass = errors.New("repository: type is not a class")
+	ErrCycle     = errors.New("repository: object graph contains a cycle")
+)
+
+// Repository maps objects to relations inside a relstore.DB.
+type Repository struct {
+	db  *relstore.DB
+	reg *mop.Registry
+
+	mu      sync.Mutex
+	nextOID int64
+	// stored tracks which classes the repository has (or had) instances
+	// of, so hierarchy queries know which tables to visit.
+	stored map[string]*mop.Type
+}
+
+// New creates a repository over a database and a type registry. The
+// registry supplies the meta-data that drives every conversion.
+func New(db *relstore.DB, reg *mop.Registry) *Repository {
+	return &Repository{db: db, reg: reg, stored: make(map[string]*mop.Type)}
+}
+
+// DB exposes the underlying relational store (for inspection and tests).
+func (r *Repository) DB() *relstore.DB { return r.db }
+
+func tableName(class string) string { return "obj_" + class }
+
+func listTableName(class, attr string) string { return "obj_" + class + "__" + attr }
+
+// ---------------------------------------------------------------------------
+// Schema generation
+
+// ensureSchema creates (if missing) the tables representing a class,
+// recursively for referenced classes. Driven purely by type meta-data (P2).
+func (r *Repository) ensureSchema(t *mop.Type) error {
+	if t == nil || t.Kind() != mop.KindClass {
+		return ErrNotAClass
+	}
+	if err := r.reg.Register(t); err != nil {
+		return err
+	}
+	if r.db.Has(tableName(t.Name())) {
+		r.mu.Lock()
+		r.stored[t.Name()] = t
+		r.mu.Unlock()
+		return nil
+	}
+	cols := []relstore.Column{{Name: "oid", Type: relstore.ColInt}}
+	for _, a := range t.Attrs() {
+		switch a.Type.Kind() {
+		case mop.KindBool:
+			cols = append(cols, relstore.Column{Name: a.Name, Type: relstore.ColBool})
+		case mop.KindInt:
+			cols = append(cols, relstore.Column{Name: a.Name, Type: relstore.ColInt})
+		case mop.KindFloat:
+			cols = append(cols, relstore.Column{Name: a.Name, Type: relstore.ColFloat})
+		case mop.KindString:
+			cols = append(cols, relstore.Column{Name: a.Name, Type: relstore.ColString})
+		case mop.KindBytes:
+			cols = append(cols, relstore.Column{Name: a.Name, Type: relstore.ColBytes})
+		case mop.KindTime:
+			cols = append(cols, relstore.Column{Name: a.Name, Type: relstore.ColTime})
+		case mop.KindClass:
+			cols = append(cols,
+				relstore.Column{Name: a.Name + sufOID, Type: relstore.ColInt},
+				relstore.Column{Name: a.Name + sufClass, Type: relstore.ColString})
+			if err := r.ensureSchema(a.Type); err != nil {
+				return err
+			}
+		case mop.KindAny:
+			cols = append(cols, relstore.Column{Name: a.Name + sufWire, Type: relstore.ColBytes})
+		case mop.KindList:
+			if err := r.ensureListTable(t, a); err != nil {
+				return err
+			}
+		}
+	}
+	tbl, err := r.db.CreateTable(relstore.Schema{Name: tableName(t.Name()), Columns: cols})
+	if err != nil {
+		if errors.Is(err, relstore.ErrTableExists) {
+			// A concurrent Store created it; fine.
+			r.mu.Lock()
+			r.stored[t.Name()] = t
+			r.mu.Unlock()
+			return nil
+		}
+		return err
+	}
+	if err := tbl.CreateIndex("oid"); err != nil && !errors.Is(err, relstore.ErrIndexExists) {
+		return err
+	}
+	r.mu.Lock()
+	r.stored[t.Name()] = t
+	r.mu.Unlock()
+	return nil
+}
+
+// ensureListTable creates the (oid, idx, value) child table for one
+// list-typed attribute.
+func (r *Repository) ensureListTable(owner *mop.Type, a mop.Attr) error {
+	name := listTableName(owner.Name(), a.Name)
+	if r.db.Has(name) {
+		return nil
+	}
+	cols := []relstore.Column{
+		{Name: "oid", Type: relstore.ColInt},
+		{Name: "idx", Type: relstore.ColInt},
+	}
+	elem := a.Type.Elem()
+	switch elem.Kind() {
+	case mop.KindBool:
+		cols = append(cols, relstore.Column{Name: "value", Type: relstore.ColBool})
+	case mop.KindInt:
+		cols = append(cols, relstore.Column{Name: "value", Type: relstore.ColInt})
+	case mop.KindFloat:
+		cols = append(cols, relstore.Column{Name: "value", Type: relstore.ColFloat})
+	case mop.KindString:
+		cols = append(cols, relstore.Column{Name: "value", Type: relstore.ColString})
+	case mop.KindBytes:
+		cols = append(cols, relstore.Column{Name: "value", Type: relstore.ColBytes})
+	case mop.KindTime:
+		cols = append(cols, relstore.Column{Name: "value", Type: relstore.ColTime})
+	case mop.KindClass:
+		cols = append(cols,
+			relstore.Column{Name: "value" + sufOID, Type: relstore.ColInt},
+			relstore.Column{Name: "value" + sufClass, Type: relstore.ColString})
+		if err := r.ensureSchema(elem); err != nil {
+			return err
+		}
+	default: // nested lists, any: wire-encoded
+		cols = append(cols, relstore.Column{Name: "value" + sufWire, Type: relstore.ColBytes})
+	}
+	tbl, err := r.db.CreateTable(relstore.Schema{Name: name, Columns: cols})
+	if err != nil {
+		if errors.Is(err, relstore.ErrTableExists) {
+			return nil
+		}
+		return err
+	}
+	if err := tbl.CreateIndex("oid"); err != nil && !errors.Is(err, relstore.ErrIndexExists) {
+		return err
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Store
+
+// Store decomposes an object into rows (creating any missing tables) and
+// returns the object id of the root.
+func (r *Repository) Store(obj *mop.Object) (int64, error) {
+	if obj == nil {
+		return 0, ErrNilObject
+	}
+	return r.store(obj, make(map[*mop.Object]bool))
+}
+
+func (r *Repository) store(obj *mop.Object, inProgress map[*mop.Object]bool) (int64, error) {
+	if inProgress[obj] {
+		return 0, ErrCycle
+	}
+	inProgress[obj] = true
+	defer delete(inProgress, obj)
+
+	t := obj.Type()
+	if err := r.ensureSchema(t); err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	r.nextOID++
+	oid := r.nextOID
+	r.mu.Unlock()
+
+	vals := map[string]any{"oid": oid}
+	for i, a := range t.Attrs() {
+		v := obj.GetAt(i)
+		switch a.Type.Kind() {
+		case mop.KindBool, mop.KindInt, mop.KindFloat, mop.KindString, mop.KindTime:
+			vals[a.Name] = v
+		case mop.KindBytes:
+			if v != nil {
+				vals[a.Name] = v
+			}
+		case mop.KindClass:
+			child, _ := v.(*mop.Object)
+			if child == nil {
+				continue // NULL reference
+			}
+			childOID, err := r.store(child, inProgress)
+			if err != nil {
+				return 0, err
+			}
+			vals[a.Name+sufOID] = childOID
+			vals[a.Name+sufClass] = child.Type().Name()
+		case mop.KindAny:
+			if v == nil {
+				continue
+			}
+			enc, err := wire.Marshal(v)
+			if err != nil {
+				return 0, fmt.Errorf("repository: attribute %q: %w", a.Name, err)
+			}
+			vals[a.Name+sufWire] = enc
+		case mop.KindList:
+			list, _ := v.(mop.List)
+			if err := r.storeList(t, a, oid, list, inProgress); err != nil {
+				return 0, err
+			}
+		}
+	}
+	tbl, err := r.db.Table(tableName(t.Name()))
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tbl.InsertMap(vals); err != nil {
+		return 0, err
+	}
+	return oid, nil
+}
+
+func (r *Repository) storeList(owner *mop.Type, a mop.Attr, oid int64, list mop.List, inProgress map[*mop.Object]bool) error {
+	if len(list) == 0 {
+		return nil
+	}
+	tbl, err := r.db.Table(listTableName(owner.Name(), a.Name))
+	if err != nil {
+		return err
+	}
+	elem := a.Type.Elem()
+	for i, v := range list {
+		vals := map[string]any{"oid": oid, "idx": int64(i)}
+		switch elem.Kind() {
+		case mop.KindBool, mop.KindInt, mop.KindFloat, mop.KindString, mop.KindBytes, mop.KindTime:
+			if v != nil {
+				vals["value"] = v
+			}
+		case mop.KindClass:
+			child, _ := v.(*mop.Object)
+			if child != nil {
+				childOID, err := r.store(child, inProgress)
+				if err != nil {
+					return err
+				}
+				vals["value"+sufOID] = childOID
+				vals["value"+sufClass] = child.Type().Name()
+			}
+		default:
+			if v != nil {
+				enc, err := wire.Marshal(v)
+				if err != nil {
+					return fmt.Errorf("repository: list attribute %q: %w", a.Name, err)
+				}
+				vals["value"+sufWire] = enc
+			}
+		}
+		if _, err := tbl.InsertMap(vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Load / reconstruct
+
+// Load reconstructs the object with the given class and object id.
+func (r *Repository) Load(class string, oid int64) (*mop.Object, error) {
+	t, err := r.reg.Lookup(class)
+	if err != nil {
+		return nil, err
+	}
+	if t.Kind() != mop.KindClass {
+		return nil, fmt.Errorf("%q: %w", class, ErrNotAClass)
+	}
+	tbl, err := r.db.Table(tableName(class))
+	if err != nil {
+		return nil, fmt.Errorf("%q: %w", class, ErrNotStored)
+	}
+	_, rows, err := tbl.Select(relstore.Eq("oid", oid))
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%s #%d: %w", class, oid, ErrNoSuchOID)
+	}
+	return r.reconstruct(t, tbl, rows[0], oid)
+}
+
+func (r *Repository) reconstruct(t *mop.Type, tbl *relstore.Table, row relstore.Row, oid int64) (*mop.Object, error) {
+	obj, err := mop.New(t)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range t.Attrs() {
+		switch a.Type.Kind() {
+		case mop.KindBool, mop.KindInt, mop.KindFloat, mop.KindString, mop.KindBytes, mop.KindTime:
+			ci, err := tbl.ColIndex(a.Name)
+			if err != nil {
+				return nil, err
+			}
+			v := row[ci]
+			if v == nil {
+				continue // zero value already in place
+			}
+			if err := obj.SetAt(i, v); err != nil {
+				return nil, err
+			}
+		case mop.KindClass:
+			co, err := tbl.ColIndex(a.Name + sufOID)
+			if err != nil {
+				return nil, err
+			}
+			cc, err := tbl.ColIndex(a.Name + sufClass)
+			if err != nil {
+				return nil, err
+			}
+			if row[co] == nil || row[cc] == nil {
+				continue
+			}
+			child, err := r.Load(row[cc].(string), row[co].(int64))
+			if err != nil {
+				return nil, err
+			}
+			if err := obj.SetAt(i, child); err != nil {
+				return nil, err
+			}
+		case mop.KindAny:
+			ci, err := tbl.ColIndex(a.Name + sufWire)
+			if err != nil {
+				return nil, err
+			}
+			if row[ci] == nil {
+				continue
+			}
+			v, err := wire.Unmarshal(row[ci].([]byte), r.reg)
+			if err != nil {
+				return nil, err
+			}
+			if err := obj.SetAt(i, v); err != nil {
+				return nil, err
+			}
+		case mop.KindList:
+			list, err := r.loadList(t, a, oid)
+			if err != nil {
+				return nil, err
+			}
+			if list != nil {
+				if err := obj.SetAt(i, list); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return obj, nil
+}
+
+func (r *Repository) loadList(owner *mop.Type, a mop.Attr, oid int64) (mop.List, error) {
+	tbl, err := r.db.Table(listTableName(owner.Name(), a.Name))
+	if err != nil {
+		return nil, nil // table never created: empty list
+	}
+	_, rows, err := tbl.Select(relstore.Eq("oid", oid))
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	idxCol, _ := tbl.ColIndex("idx")
+	sort.Slice(rows, func(i, j int) bool {
+		return rows[i][idxCol].(int64) < rows[j][idxCol].(int64)
+	})
+	elem := a.Type.Elem()
+	out := make(mop.List, 0, len(rows))
+	for _, row := range rows {
+		switch elem.Kind() {
+		case mop.KindBool, mop.KindInt, mop.KindFloat, mop.KindString, mop.KindBytes, mop.KindTime:
+			ci, err := tbl.ColIndex("value")
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, row[ci])
+		case mop.KindClass:
+			co, _ := tbl.ColIndex("value" + sufOID)
+			cc, _ := tbl.ColIndex("value" + sufClass)
+			if row[co] == nil {
+				out = append(out, nil)
+				continue
+			}
+			child, err := r.Load(row[cc].(string), row[co].(int64))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, child)
+		default:
+			ci, _ := tbl.ColIndex("value" + sufWire)
+			if row[ci] == nil {
+				out = append(out, nil)
+				continue
+			}
+			v, err := wire.Unmarshal(row[ci].([]byte), r.reg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+// storedSubtypes returns the classes with tables that are subtypes of base.
+func (r *Repository) storedSubtypes(base *mop.Type) []*mop.Type {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*mop.Type
+	for _, t := range r.stored {
+		if t.IsSubtypeOf(base) {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// QueryByType reconstructs every stored instance of base or any of its
+// subtypes — the hierarchy-respecting query of §4. Old queries keep
+// working as new subtypes appear, because the subtype table set is
+// computed at query time.
+func (r *Repository) QueryByType(base *mop.Type) ([]*mop.Object, error) {
+	return r.queryWhere(base, nil)
+}
+
+// QueryEq returns stored instances of base (or subtypes) whose scalar
+// attribute equals val.
+func (r *Repository) QueryEq(base *mop.Type, attr string, val mop.Value) ([]*mop.Object, error) {
+	a, ok := base.Attr(attr)
+	if !ok {
+		return nil, fmt.Errorf("%s.%s: %w", base.Name(), attr, mop.ErrNoAttr)
+	}
+	switch a.Type.Kind() {
+	case mop.KindBool, mop.KindInt, mop.KindFloat, mop.KindString, mop.KindBytes, mop.KindTime:
+	default:
+		return nil, fmt.Errorf("%s.%s is %s: %w", base.Name(), attr, a.Type.Name(), ErrBadAttr)
+	}
+	return r.queryWhere(base, relstore.Eq(attr, val))
+}
+
+func (r *Repository) queryWhere(base *mop.Type, p relstore.Predicate) ([]*mop.Object, error) {
+	if base == nil || base.Kind() != mop.KindClass {
+		return nil, ErrNotAClass
+	}
+	var out []*mop.Object
+	for _, t := range r.storedSubtypes(base) {
+		tbl, err := r.db.Table(tableName(t.Name()))
+		if err != nil {
+			continue
+		}
+		var pred relstore.Predicate = relstore.All()
+		if p != nil {
+			pred = p
+		}
+		_, rows, err := tbl.Select(pred)
+		if err != nil {
+			return nil, err
+		}
+		oidCol, _ := tbl.ColIndex("oid")
+		for _, row := range rows {
+			obj, err := r.reconstruct(t, tbl, row, row[oidCol].(int64))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, obj)
+		}
+	}
+	return out, nil
+}
+
+// Count returns the number of stored instances of base or its subtypes.
+func (r *Repository) Count(base *mop.Type) (int, error) {
+	if base == nil || base.Kind() != mop.KindClass {
+		return 0, ErrNotAClass
+	}
+	total := 0
+	for _, t := range r.storedSubtypes(base) {
+		tbl, err := r.db.Table(tableName(t.Name()))
+		if err != nil {
+			continue
+		}
+		total += tbl.Len()
+	}
+	return total, nil
+}
+
+// Delete removes the object with the given class and object id, including
+// its list rows. Child objects referenced through class-typed attributes
+// are NOT deleted (they may be shared); a repository vacuum is the place
+// for reference-counted reclamation.
+func (r *Repository) Delete(class string, oid int64) error {
+	t, err := r.reg.Lookup(class)
+	if err != nil {
+		return err
+	}
+	if t.Kind() != mop.KindClass {
+		return fmt.Errorf("%q: %w", class, ErrNotAClass)
+	}
+	tbl, err := r.db.Table(tableName(class))
+	if err != nil {
+		return fmt.Errorf("%q: %w", class, ErrNotStored)
+	}
+	n, err := tbl.Delete(relstore.Eq("oid", oid))
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("%s #%d: %w", class, oid, ErrNoSuchOID)
+	}
+	for _, a := range t.Attrs() {
+		if a.Type.Kind() != mop.KindList {
+			continue
+		}
+		lt, err := r.db.Table(listTableName(class, a.Name))
+		if err != nil {
+			continue
+		}
+		if _, err := lt.Delete(relstore.Eq("oid", oid)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

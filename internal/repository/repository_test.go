@@ -1,0 +1,519 @@
+package repository
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"infobus/internal/mop"
+	"infobus/internal/relstore"
+)
+
+// newsHierarchy builds Story with nested IndustryGroup objects, the
+// structure §5 describes ("a story is a highly structured object
+// containing other objects such as lists of industry groups, sources, and
+// country codes").
+func newsHierarchy() (story, dj, group *mop.Type) {
+	group = mop.MustNewClass("IndustryGroup", nil, []mop.Attr{
+		{Name: "code", Type: mop.String},
+		{Name: "weight", Type: mop.Float},
+	}, nil)
+	story = mop.MustNewClass("Story", nil, []mop.Attr{
+		{Name: "headline", Type: mop.String},
+		{Name: "body", Type: mop.String},
+		{Name: "sources", Type: mop.ListOf(mop.String)},
+		{Name: "countryCodes", Type: mop.ListOf(mop.String)},
+		{Name: "groups", Type: mop.ListOf(group)},
+		{Name: "published", Type: mop.Time},
+		{Name: "urgent", Type: mop.Bool},
+	}, nil)
+	dj = mop.MustNewClass("DowJonesStory", []*mop.Type{story}, []mop.Attr{
+		{Name: "djCode", Type: mop.String},
+	}, nil)
+	return
+}
+
+func sampleStory(t *mop.Type, group *mop.Type, headline string) *mop.Object {
+	g1 := mop.MustNew(group).MustSet("code", "AUTO").MustSet("weight", 0.7)
+	g2 := mop.MustNew(group).MustSet("code", "FIN").MustSet("weight", 0.3)
+	o := mop.MustNew(t).
+		MustSet("headline", headline).
+		MustSet("body", "body of "+headline).
+		MustSet("sources", mop.List{"DJ", "wire-1"}).
+		MustSet("countryCodes", mop.List{"US", "DE"}).
+		MustSet("groups", mop.List{g1, g2}).
+		MustSet("published", time.Unix(749571200, 0).UTC()).
+		MustSet("urgent", true)
+	return o
+}
+
+func newRepo() (*Repository, *mop.Registry) {
+	reg := mop.NewRegistry()
+	return New(relstore.NewDB(), reg), reg
+}
+
+func TestStoreGeneratesSchema(t *testing.T) {
+	repo, _ := newRepo()
+	story, _, group := newsHierarchy()
+	obj := sampleStory(story, group, "h1")
+	oid, err := repo.Store(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oid == 0 {
+		t.Fatal("zero oid")
+	}
+	// Decomposition: main table, list child tables, nested class table.
+	wantTables := []string{
+		"obj_IndustryGroup",
+		"obj_Story",
+		"obj_Story__countryCodes",
+		"obj_Story__groups",
+		"obj_Story__sources",
+	}
+	got := repo.DB().Tables()
+	for _, w := range wantTables {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing generated table %q in %v", w, got)
+		}
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	repo, _ := newRepo()
+	story, _, group := newsHierarchy()
+	orig := sampleStory(story, group, "round-trip")
+	oid, err := repo.Store(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := repo.Load("Story", oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(orig) {
+		t.Fatalf("round trip mismatch:\norig: %s\ngot:  %s", mop.Sprint(orig), mop.Sprint(got))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	repo, _ := newRepo()
+	story, _, group := newsHierarchy()
+	if _, err := repo.Load("Story", 1); !errors.Is(err, mop.ErrTypeUnknown) {
+		t.Errorf("load unknown class = %v", err)
+	}
+	oid, err := repo.Store(sampleStory(story, group, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Load("Story", oid+999); !errors.Is(err, ErrNoSuchOID) {
+		t.Errorf("load bad oid = %v", err)
+	}
+	if _, err := repo.Store(nil); !errors.Is(err, ErrNilObject) {
+		t.Errorf("store nil = %v", err)
+	}
+}
+
+func TestHierarchyQuery(t *testing.T) {
+	repo, _ := newRepo()
+	story, dj, group := newsHierarchy()
+	if _, err := repo.Store(sampleStory(story, group, "plain-1")); err != nil {
+		t.Fatal(err)
+	}
+	djObj := sampleStory(dj, group, "dj-1")
+	djObj.MustSet("djCode", "GMC")
+	if _, err := repo.Store(djObj); err != nil {
+		t.Fatal(err)
+	}
+	// Query for the supertype returns both, including the subtype
+	// instance stored in its own table.
+	objs, err := repo.QueryByType(story)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("QueryByType(Story) = %d objects", len(objs))
+	}
+	names := map[string]bool{}
+	for _, o := range objs {
+		names[o.Type().Name()] = true
+	}
+	if !names["Story"] || !names["DowJonesStory"] {
+		t.Errorf("classes returned: %v", names)
+	}
+	// Query for the subtype returns only it.
+	objs, err = repo.QueryByType(dj)
+	if err != nil || len(objs) != 1 {
+		t.Fatalf("QueryByType(DowJonesStory) = %d, %v", len(objs), err)
+	}
+	if objs[0].MustGet("djCode") != "GMC" {
+		t.Errorf("subtype attr = %v", objs[0].MustGet("djCode"))
+	}
+	n, err := repo.Count(story)
+	if err != nil || n != 2 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+}
+
+func TestOldQuerySeesNewSubtype(t *testing.T) {
+	// R2: a subtype defined AFTER the query pattern was established still
+	// satisfies supertype queries.
+	repo, _ := newRepo()
+	story, _, group := newsHierarchy()
+	if _, err := repo.Store(sampleStory(story, group, "old")); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := repo.QueryByType(story)
+	if len(before) != 1 {
+		t.Fatalf("before = %d", len(before))
+	}
+	// New subtype appears at run time (P3) — e.g. defined in TDL.
+	reuters := mop.MustNewClass("ReutersStory", []*mop.Type{story}, []mop.Attr{
+		{Name: "priority", Type: mop.Int},
+	}, nil)
+	rObj := sampleStory(reuters, group, "fresh")
+	rObj.MustSet("priority", int64(1))
+	if _, err := repo.Store(rObj); err != nil {
+		t.Fatal(err)
+	}
+	after, err := repo.QueryByType(story)
+	if err != nil || len(after) != 2 {
+		t.Fatalf("after = %d, %v", len(after), err)
+	}
+}
+
+func TestQueryEq(t *testing.T) {
+	repo, _ := newRepo()
+	story, dj, group := newsHierarchy()
+	for _, h := range []string{"alpha", "beta", "alpha"} {
+		if _, err := repo.Store(sampleStory(story, group, h)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	djObj := sampleStory(dj, group, "alpha")
+	djObj.MustSet("djCode", "X")
+	if _, err := repo.Store(djObj); err != nil {
+		t.Fatal(err)
+	}
+	objs, err := repo.QueryEq(story, "headline", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 3 { // two Stories + one DowJonesStory, across tables
+		t.Fatalf("QueryEq = %d objects", len(objs))
+	}
+	// Bool attribute.
+	objs, err = repo.QueryEq(story, "urgent", true)
+	if err != nil || len(objs) != 4 {
+		t.Fatalf("QueryEq urgent = %d, %v", len(objs), err)
+	}
+	// Errors.
+	if _, err := repo.QueryEq(story, "ghost", 1); !errors.Is(err, mop.ErrNoAttr) {
+		t.Errorf("unknown attr = %v", err)
+	}
+	if _, err := repo.QueryEq(story, "groups", 1); !errors.Is(err, ErrBadAttr) {
+		t.Errorf("list attr query = %v", err)
+	}
+}
+
+func TestNullAndEmptyHandling(t *testing.T) {
+	repo, _ := newRepo()
+	story, _, _ := newsHierarchy()
+	// Bare object: nil lists, zero scalars.
+	obj := mop.MustNew(story)
+	oid, err := repo.Store(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := repo.Load("Story", oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(obj) {
+		t.Fatalf("bare object round trip mismatch:\n%s\n%s", mop.Sprint(obj), mop.Sprint(got))
+	}
+}
+
+func TestAnyAttributeViaWire(t *testing.T) {
+	repo, _ := newRepo()
+	prop := mop.MustNewClass("Property", nil, []mop.Attr{
+		{Name: "name", Type: mop.String},
+		{Name: "value", Type: mop.Any},
+	}, nil)
+	p := mop.MustNew(prop).
+		MustSet("name", "keywords").
+		MustSet("value", mop.List{"gm", "earnings", int64(3)})
+	oid, err := repo.Store(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := repo.Load("Property", oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(p) {
+		t.Fatalf("any round trip mismatch: %s vs %s", mop.Sprint(p), mop.Sprint(got))
+	}
+}
+
+func TestNestedListFallsBackToWire(t *testing.T) {
+	repo, _ := newRepo()
+	matrix := mop.MustNewClass("Matrix", nil, []mop.Attr{
+		{Name: "rows", Type: mop.ListOf(mop.ListOf(mop.Int))},
+	}, nil)
+	m := mop.MustNew(matrix).MustSet("rows", mop.List{
+		mop.List{int64(1), int64(2)},
+		mop.List{int64(3)},
+	})
+	oid, err := repo.Store(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := repo.Load("Matrix", oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatalf("nested list mismatch: %s vs %s", mop.Sprint(m), mop.Sprint(got))
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	repo, _ := newRepo()
+	node := mop.MustNewClass("Node", nil, nil, nil)
+	// Build the cyclic class after, since attrs need the type; use Any.
+	holder := mop.MustNewClass("Holder", nil, []mop.Attr{
+		{Name: "next", Type: mop.Any},
+	}, nil)
+	_ = node
+	a := mop.MustNew(holder)
+	b := mop.MustNew(holder)
+	a.MustSet("next", b)
+	b.MustSet("next", a)
+	// A cycle through Any attributes hits the wire encoder, which would
+	// recurse forever — the repository must not hang. Wire marshalling of
+	// the cyclic Any attr happens inside Store; the cycle guard protects
+	// direct class references, and Any cycles exhaust the marshal depth.
+	// We only test the direct-reference guard here.
+	ref := mop.MustNewClass("Ref", nil, nil, nil)
+	_ = ref
+	done := make(chan error, 1)
+	go func() {
+		_, err := repo.Store(mop.MustNew(holder).MustSet("next", int64(1)))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("store hung")
+	}
+}
+
+func TestSchemaTableNaming(t *testing.T) {
+	if tableName("Story") != "obj_Story" {
+		t.Error("tableName")
+	}
+	if listTableName("Story", "sources") != "obj_Story__sources" {
+		t.Error("listTableName")
+	}
+}
+
+func TestStoreRejectsNonClassQueries(t *testing.T) {
+	repo, _ := newRepo()
+	if _, err := repo.QueryByType(mop.Int); !errors.Is(err, ErrNotAClass) {
+		t.Errorf("QueryByType(int) = %v", err)
+	}
+	if _, err := repo.Count(mop.ListOf(mop.Int)); !errors.Is(err, ErrNotAClass) {
+		t.Errorf("Count(list) = %v", err)
+	}
+}
+
+func TestRepositoryRegistersTypes(t *testing.T) {
+	repo, reg := newRepo()
+	story, _, group := newsHierarchy()
+	if _, err := repo.Store(sampleStory(story, group, "x")); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Story", "IndustryGroup"} {
+		if !reg.Has(name) {
+			t.Errorf("registry missing %q after store", name)
+		}
+	}
+}
+
+func TestDescribeGeneratedSchema(t *testing.T) {
+	repo, _ := newRepo()
+	story, _, group := newsHierarchy()
+	if _, err := repo.Store(sampleStory(story, group, "x")); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := repo.DB().Table("obj_Story")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var colNames []string
+	for _, c := range tbl.Schema().Columns {
+		colNames = append(colNames, c.Name)
+	}
+	joined := strings.Join(colNames, ",")
+	for _, want := range []string{"oid", "headline", "body", "published", "urgent"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("columns %v missing %q", colNames, want)
+		}
+	}
+	// List attributes must NOT be columns of the main table.
+	if strings.Contains(joined, "sources") || strings.Contains(joined, "groups") {
+		t.Errorf("list attributes leaked into main table: %v", colNames)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	repo, _ := newRepo()
+	story, _, group := newsHierarchy()
+	oid1, err := repo.Store(sampleStory(story, group, "keep"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid2, err := repo.Store(sampleStory(story, group, "remove"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Delete("Story", oid2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Load("Story", oid2); !errors.Is(err, ErrNoSuchOID) {
+		t.Errorf("load after delete = %v", err)
+	}
+	// The other object is untouched, including its list rows.
+	kept, err := repo.Load("Story", oid1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept.MustGet("sources").(mop.List)) != 2 {
+		t.Errorf("kept sources = %v", kept.MustGet("sources"))
+	}
+	// List child rows of the deleted object are gone.
+	lt, err := repo.DB().Table("obj_Story__sources")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err := lt.Select(relstore.Eq("oid", oid2))
+	if err != nil || len(rows) != 0 {
+		t.Errorf("orphaned list rows: %v, %v", rows, err)
+	}
+	// Errors.
+	if err := repo.Delete("Story", oid2); !errors.Is(err, ErrNoSuchOID) {
+		t.Errorf("double delete = %v", err)
+	}
+	if err := repo.Delete("NoSuchClass", 1); !errors.Is(err, mop.ErrTypeUnknown) {
+		t.Errorf("delete unknown class = %v", err)
+	}
+}
+
+func TestClassReferenceAttribute(t *testing.T) {
+	// A non-list class-typed attribute becomes (oid, class) reference
+	// columns; the child lives in its own table and reconstructs.
+	repo, _ := newRepo()
+	author := mop.MustNewClass("Author", nil, []mop.Attr{
+		{Name: "name", Type: mop.String},
+	}, nil)
+	post := mop.MustNewClass("Post", nil, []mop.Attr{
+		{Name: "title", Type: mop.String},
+		{Name: "author", Type: author},
+	}, nil)
+	a := mop.MustNew(author).MustSet("name", "oki")
+	p := mop.MustNew(post).MustSet("title", "sosp93").MustSet("author", a)
+	oid, err := repo.Store(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := repo.Load("Post", oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(p) {
+		t.Fatalf("reference round trip: %s vs %s", mop.Sprint(p), mop.Sprint(got))
+	}
+	// Subtype stored through a supertype-typed attribute keeps its class.
+	fancy := mop.MustNewClass("FancyAuthor", []*mop.Type{author}, []mop.Attr{
+		{Name: "title", Type: mop.String},
+	}, nil)
+	fa := mop.MustNew(fancy).MustSet("name", "skeen").MustSet("title", "dr")
+	p2 := mop.MustNew(post).MustSet("title", "x").MustSet("author", fa)
+	oid2, err := repo.Store(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := repo.Load("Post", oid2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := got2.MustGet("author").(*mop.Object)
+	if child.Type().Name() != "FancyAuthor" || child.MustGet("title") != "dr" {
+		t.Errorf("polymorphic reference lost: %s", mop.Sprint(child))
+	}
+}
+
+func TestScalarListVariants(t *testing.T) {
+	repo, _ := newRepo()
+	c := mop.MustNewClass("Sample", nil, []mop.Attr{
+		{Name: "times", Type: mop.ListOf(mop.Time)},
+		{Name: "blobs", Type: mop.ListOf(mop.Bytes)},
+		{Name: "flags", Type: mop.ListOf(mop.Bool)},
+		{Name: "nums", Type: mop.ListOf(mop.Float)},
+	}, nil)
+	o := mop.MustNew(c).
+		MustSet("times", mop.List{time.Unix(1, 0).UTC(), time.Unix(2, 0).UTC()}).
+		MustSet("blobs", mop.List{[]byte{1, 2}, []byte{3}}).
+		MustSet("flags", mop.List{true, false, true}).
+		MustSet("nums", mop.List{1.5, -2.5})
+	oid, err := repo.Store(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := repo.Load("Sample", oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(o) {
+		t.Fatalf("scalar list variants: %s vs %s", mop.Sprint(o), mop.Sprint(got))
+	}
+}
+
+func TestListWithNilClassElement(t *testing.T) {
+	repo, _ := newRepo()
+	item := mop.MustNewClass("Item", nil, []mop.Attr{{Name: "n", Type: mop.Int}}, nil)
+	box := mop.MustNewClass("Box", nil, []mop.Attr{
+		{Name: "items", Type: mop.ListOf(item)},
+	}, nil)
+	o := mop.MustNew(box).MustSet("items", mop.List{
+		mop.MustNew(item).MustSet("n", int64(1)),
+		nil,
+		mop.MustNew(item).MustSet("n", int64(3)),
+	})
+	oid, err := repo.Store(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := repo.Load("Box", oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := got.MustGet("items").(mop.List)
+	if len(items) != 3 || items[1] != nil {
+		t.Fatalf("items = %v", items)
+	}
+	if items[2].(*mop.Object).MustGet("n") != int64(3) {
+		t.Errorf("item 2 = %s", mop.Sprint(items[2]))
+	}
+}

@@ -1,0 +1,169 @@
+package repository
+
+import (
+	"fmt"
+	"sync"
+
+	"infobus/internal/core"
+	"infobus/internal/mop"
+	"infobus/internal/rmi"
+	"infobus/internal/transport"
+)
+
+// CaptureServer is the repository "configured as a capture server that
+// captures all objects for a given set of subjects and inserts those
+// objects automatically into the repository" (§4).
+type CaptureServer struct {
+	repo *Repository
+
+	mu       sync.Mutex
+	subs     []*core.Subscription
+	captured uint64
+	errs     uint64
+	done     chan struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewCaptureServer subscribes the repository to the given subject patterns
+// on the bus and stores every arriving object.
+func NewCaptureServer(repo *Repository, bus *core.Bus, patterns ...string) (*CaptureServer, error) {
+	cs := &CaptureServer{repo: repo, done: make(chan struct{})}
+	for _, p := range patterns {
+		sub, err := bus.Subscribe(p)
+		if err != nil {
+			cs.Close()
+			return nil, fmt.Errorf("repository: capture subscription %q: %w", p, err)
+		}
+		cs.subs = append(cs.subs, sub)
+		cs.wg.Add(1)
+		go cs.capture(sub)
+	}
+	return cs, nil
+}
+
+// Captured returns how many objects have been stored.
+func (cs *CaptureServer) Captured() uint64 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.captured
+}
+
+// Errors returns how many arriving values could not be stored (non-object
+// publications on captured subjects are counted here, not fatal).
+func (cs *CaptureServer) Errors() uint64 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.errs
+}
+
+// Close stops capturing.
+func (cs *CaptureServer) Close() {
+	cs.mu.Lock()
+	if cs.closed {
+		cs.mu.Unlock()
+		return
+	}
+	cs.closed = true
+	cs.mu.Unlock()
+	close(cs.done)
+	for _, s := range cs.subs {
+		s.Cancel()
+	}
+	cs.wg.Wait()
+}
+
+func (cs *CaptureServer) capture(sub *core.Subscription) {
+	defer cs.wg.Done()
+	for {
+		select {
+		case <-cs.done:
+			return
+		case ev, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			obj, isObj := ev.Value.(*mop.Object)
+			if !isObj {
+				cs.mu.Lock()
+				cs.errs++
+				cs.mu.Unlock()
+				continue
+			}
+			if _, err := cs.repo.Store(obj); err != nil {
+				cs.mu.Lock()
+				cs.errs++
+				cs.mu.Unlock()
+				continue
+			}
+			cs.mu.Lock()
+			cs.captured++
+			cs.mu.Unlock()
+		}
+	}
+}
+
+// QueryInterface is the RMI interface class of a repository query server
+// (§4: "configured as a query server to receive requests from clients and
+// return replies").
+var QueryInterface = mop.MustNewClass("ObjectRepository", nil, nil, []mop.Operation{
+	{Name: "store", Params: []mop.Param{{Name: "object", Type: mop.Any}}, Result: mop.Int},
+	{Name: "load", Params: []mop.Param{
+		{Name: "class", Type: mop.String}, {Name: "oid", Type: mop.Int},
+	}, Result: mop.Any},
+	{Name: "queryByType", Params: []mop.Param{{Name: "class", Type: mop.String}}, Result: mop.ListOf(mop.Any)},
+	{Name: "queryEq", Params: []mop.Param{
+		{Name: "class", Type: mop.String}, {Name: "attr", Type: mop.String}, {Name: "value", Type: mop.Any},
+	}, Result: mop.ListOf(mop.Any)},
+	{Name: "count", Params: []mop.Param{{Name: "class", Type: mop.String}}, Result: mop.Int},
+})
+
+// NewQueryServer exposes the repository over RMI on the given service
+// subject.
+func NewQueryServer(repo *Repository, bus *core.Bus, seg transport.Segment, service string, opts rmi.ServerOptions) (*rmi.Server, error) {
+	handler := func(op string, args []mop.Value) (mop.Value, error) {
+		switch op {
+		case "store":
+			obj, ok := args[0].(*mop.Object)
+			if !ok {
+				return nil, fmt.Errorf("store wants an object, got %T", args[0])
+			}
+			oid, err := repo.Store(obj)
+			return oid, err
+		case "load":
+			return repo.Load(args[0].(string), args[1].(int64))
+		case "queryByType":
+			t, err := repo.reg.Lookup(args[0].(string))
+			if err != nil {
+				return nil, err
+			}
+			objs, err := repo.QueryByType(t)
+			return objectList(objs), err
+		case "queryEq":
+			t, err := repo.reg.Lookup(args[0].(string))
+			if err != nil {
+				return nil, err
+			}
+			objs, err := repo.QueryEq(t, args[1].(string), args[2])
+			return objectList(objs), err
+		case "count":
+			t, err := repo.reg.Lookup(args[0].(string))
+			if err != nil {
+				return nil, err
+			}
+			n, err := repo.Count(t)
+			return int64(n), err
+		default:
+			return nil, rmi.ErrBadOp
+		}
+	}
+	return rmi.NewServer(bus, seg, service, QueryInterface, handler, opts)
+}
+
+func objectList(objs []*mop.Object) mop.List {
+	out := make(mop.List, len(objs))
+	for i, o := range objs {
+		out[i] = o
+	}
+	return out
+}

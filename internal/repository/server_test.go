@@ -1,0 +1,148 @@
+package repository
+
+import (
+	"testing"
+	"time"
+
+	"infobus/internal/core"
+	"infobus/internal/mop"
+	"infobus/internal/netsim"
+	"infobus/internal/reliable"
+	"infobus/internal/relstore"
+	"infobus/internal/rmi"
+	"infobus/internal/transport"
+)
+
+func fastReliable() reliable.Config {
+	return reliable.Config{
+		NakInterval:        2 * time.Millisecond,
+		GapTimeout:         300 * time.Millisecond,
+		RetransmitInterval: 3 * time.Millisecond,
+		HeartbeatInterval:  5 * time.Millisecond,
+	}
+}
+
+func newBusOnSeg(t *testing.T, seg transport.Segment, host string) *core.Bus {
+	t.Helper()
+	h, err := core.NewHost(seg, host, core.HostConfig{Reliable: fastReliable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = h.Close() })
+	b, err := h.NewBus("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestQueryServerOverRMI(t *testing.T) {
+	cfg := netsim.DefaultConfig()
+	cfg.Speedup = 5000
+	seg := transport.NewSimSegment(cfg)
+	defer seg.Close()
+
+	repoBus := newBusOnSeg(t, seg, "repo-host")
+	repo := New(relstore.NewDB(), repoBus.Registry())
+	srv, err := NewQueryServer(repo, repoBus, seg, "svc.repository", rmi.ServerOptions{Reliable: fastReliable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	clientBus := newBusOnSeg(t, seg, "client-host")
+	c, err := rmi.Dial(clientBus, seg, "svc.repository", rmi.DialOptions{
+		DiscoveryWindow: 200 * time.Millisecond,
+		Timeout:         500 * time.Millisecond,
+		Retries:         3,
+		Reliable:        fastReliable(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The client stores an object of a class the repository host has
+	// never seen: class travels on the wire, schema is generated there.
+	story, _, group := newsHierarchy()
+	obj := sampleStory(story, group, "remote-store")
+	oidV, err := c.Invoke("store", obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := oidV.(int64)
+
+	// count / queryByType / queryEq over the wire.
+	n, err := c.Invoke("count", "Story")
+	if err != nil || n != int64(1) {
+		t.Fatalf("count = %v, %v", n, err)
+	}
+	objs, err := c.Invoke("queryByType", "Story")
+	if err != nil || len(objs.(mop.List)) != 1 {
+		t.Fatalf("queryByType = %v, %v", objs, err)
+	}
+	objs, err = c.Invoke("queryEq", "Story", "headline", "remote-store")
+	if err != nil || len(objs.(mop.List)) != 1 {
+		t.Fatalf("queryEq = %v, %v", objs, err)
+	}
+	got, err := c.Invoke("load", "Story", oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := got.(*mop.Object)
+	if loaded.MustGet("headline") != "remote-store" {
+		t.Errorf("loaded = %s", mop.Sprint(loaded))
+	}
+	groups := loaded.MustGet("groups").(mop.List)
+	if len(groups) != 2 {
+		t.Errorf("nested groups = %v", groups)
+	}
+	// Remote introspection of the repository service itself.
+	if op, ok := c.Interface().Operation("queryEq"); !ok || len(op.Params) != 3 {
+		t.Errorf("remote interface queryEq = %+v", op)
+	}
+	// Errors propagate.
+	if _, err := c.Invoke("load", "Story", int64(9999)); err == nil {
+		t.Error("load of absent oid should fail remotely")
+	}
+	if _, err := c.Invoke("queryByType", "NoSuchClass"); err == nil {
+		t.Error("query of unknown class should fail remotely")
+	}
+}
+
+func TestCaptureServerCountsNonObjects(t *testing.T) {
+	cfg := netsim.DefaultConfig()
+	cfg.Speedup = 5000
+	seg := transport.NewSimSegment(cfg)
+	defer seg.Close()
+	repoBus := newBusOnSeg(t, seg, "repo-host")
+	repo := New(relstore.NewDB(), repoBus.Registry())
+	cs, err := NewCaptureServer(repo, repoBus, "cap.>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+
+	pubBus := newBusOnSeg(t, seg, "pub-host")
+	// A scalar publication on a captured subject is counted as an error,
+	// not stored, and does not wedge the server.
+	if err := pubBus.Publish("cap.scalar", int64(5)); err != nil {
+		t.Fatal(err)
+	}
+	story, _, group := newsHierarchy()
+	if err := pubBus.Publish("cap.story", sampleStory(story, group, "ok")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for cs.Captured() < 1 || cs.Errors() < 1 {
+		select {
+		case <-deadline:
+			t.Fatalf("captured=%d errors=%d", cs.Captured(), cs.Errors())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	// Bad capture pattern is rejected at construction.
+	if _, err := NewCaptureServer(repo, repoBus, "bad..pattern"); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+}

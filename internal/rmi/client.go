@@ -1,0 +1,274 @@
+package rmi
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"infobus/internal/core"
+	"infobus/internal/discovery"
+	"infobus/internal/mop"
+	"infobus/internal/reliable"
+	"infobus/internal/transport"
+	"infobus/internal/wire"
+)
+
+// Policy selects among multiple servers answering discovery.
+type Policy int
+
+const (
+	// PickFirst uses the first server to answer — lowest connect latency.
+	PickFirst Policy = iota
+	// PickLeastLoaded collects all answers within the discovery window
+	// and picks the server reporting the smallest load.
+	PickLeastLoaded
+	// PickRandom collects all answers and picks uniformly — cheap load
+	// spreading without load reports.
+	PickRandom
+)
+
+// DialOptions tune client-side discovery and invocation.
+type DialOptions struct {
+	Policy Policy
+	// DiscoveryWindow bounds the discovery round. Default 50ms.
+	DiscoveryWindow time.Duration
+	// Timeout bounds one invocation attempt. Default 500ms.
+	Timeout time.Duration
+	// Retries is how many additional attempts an invocation makes before
+	// reporting ErrTimeout. Retried attempts reuse the request id, so a
+	// slow (rather than dead) server never executes twice. Default 2.
+	Retries int
+	// Reliable tunes the point-to-point channel.
+	Reliable reliable.Config
+}
+
+// Client is a connection to one server object, produced by Dial.
+type Client struct {
+	service string
+	server  string // point-to-point address
+	iface   *mop.Type
+	conn    *reliable.Conn
+	reg     *mop.Registry
+	opts    DialOptions
+
+	mu      sync.Mutex
+	waiting map[string]chan *mop.Object
+	nextID  uint64
+	closed  bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// Dial discovers servers for a service subject and connects to one chosen
+// by the policy.
+func Dial(bus *core.Bus, seg transport.Segment, service string, opts DialOptions) (*Client, error) {
+	if opts.DiscoveryWindow <= 0 {
+		opts.DiscoveryWindow = 50 * time.Millisecond
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 500 * time.Millisecond
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 2
+	}
+	discOpts := discovery.Options{Window: opts.DiscoveryWindow}
+	if opts.Policy == PickFirst {
+		discOpts.Max = 1
+	}
+	found, err := discovery.Discover(bus, service, discOpts)
+	if err != nil {
+		return nil, err
+	}
+	infos := serverInfos(found)
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("service %q: %w", service, ErrNoServer)
+	}
+	chosen := choose(infos, opts.Policy)
+
+	ep, err := seg.NewEndpoint("rmi-client:" + service)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		service: service,
+		server:  chosen.addr,
+		iface:   chosen.iface,
+		conn:    reliable.New(ep, opts.Reliable),
+		reg:     bus.Registry(),
+		opts:    opts,
+		waiting: make(map[string]chan *mop.Object),
+		done:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.recvLoop()
+	return c, nil
+}
+
+type serverInfo struct {
+	addr  string
+	load  int64
+	iface *mop.Type
+}
+
+func serverInfos(found []discovery.Found) []serverInfo {
+	var out []serverInfo
+	for _, f := range found {
+		obj, ok := f.Info.(*mop.Object)
+		if !ok || obj.Type().Name() != ServerInfoType.Name() {
+			continue
+		}
+		addrV, _ := obj.Get("addr")
+		loadV, _ := obj.Get("load")
+		addr, ok := addrV.(string)
+		if !ok || addr == "" {
+			continue
+		}
+		info := serverInfo{addr: addr}
+		if l, ok := loadV.(int64); ok {
+			info.load = l
+		}
+		if proto, _ := obj.Get("iface"); proto != nil {
+			if po, ok := proto.(*mop.Object); ok {
+				info.iface = po.Type()
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+func choose(infos []serverInfo, p Policy) serverInfo {
+	switch p {
+	case PickLeastLoaded:
+		best := infos[0]
+		for _, s := range infos[1:] {
+			if s.load < best.load {
+				best = s
+			}
+		}
+		return best
+	case PickRandom:
+		return infos[rand.Intn(len(infos))]
+	default:
+		return infos[0]
+	}
+}
+
+// ServerAddr returns the point-to-point address of the connected server.
+func (c *Client) ServerAddr() string { return c.server }
+
+// Interface returns the server's interface class as reconstructed from the
+// discovery reply — operation names and signatures included (P2). It is
+// nil if the server did not include a prototype.
+func (c *Client) Interface() *mop.Type { return c.iface }
+
+// Invoke calls an operation on the connected server object and waits for
+// the reply.
+func (c *Client) Invoke(op string, args ...mop.Value) (mop.Value, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextID++
+	id := fmt.Sprintf("%s/%d", c.conn.Addr(), c.nextID)
+	ch := make(chan *mop.Object, 1)
+	c.waiting[id] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiting, id)
+		c.mu.Unlock()
+	}()
+
+	req := mop.MustNew(RequestType).
+		MustSet("id", id).
+		MustSet("op", op)
+	if err := req.Set("args", mop.List(args)); err != nil {
+		return nil, fmt.Errorf("rmi: arguments not transmissible: %w", err)
+	}
+	payload, err := wire.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+
+	attempts := c.opts.Retries + 1
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := c.conn.SendTo(c.server, payload); err != nil {
+			return nil, err
+		}
+		timer := time.NewTimer(c.opts.Timeout)
+		select {
+		case reply := <-ch:
+			timer.Stop()
+			return decodeReply(reply)
+		case <-c.done:
+			timer.Stop()
+			return nil, ErrClosed
+		case <-timer.C:
+			// Retry with the same id: the server's reply cache keeps this
+			// exactly-once under normal operation.
+		}
+	}
+	return nil, fmt.Errorf("%s on %s after %d attempts: %w", op, c.server, attempts, ErrTimeout)
+}
+
+func decodeReply(reply *mop.Object) (mop.Value, error) {
+	okV, _ := reply.Get("ok")
+	if ok, _ := okV.(bool); !ok {
+		msg, _ := reply.Get("error")
+		s, _ := msg.(string)
+		return nil, fmt.Errorf("%w: %s", ErrRemote, s)
+	}
+	result, _ := reply.Get("result")
+	return result, nil
+}
+
+// Close releases the client's endpoint.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.done)
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Client) recvLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		case m, ok := <-c.conn.Recv():
+			if !ok {
+				return
+			}
+			v, err := wire.Unmarshal(m.Payload, c.reg)
+			if err != nil {
+				continue
+			}
+			reply, ok := v.(*mop.Object)
+			if !ok || reply.Type().Name() != ReplyType.Name() {
+				continue
+			}
+			idV, _ := reply.Get("id")
+			id, _ := idV.(string)
+			c.mu.Lock()
+			ch := c.waiting[id]
+			c.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- reply:
+				default: // duplicate reply to a satisfied request
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package rmi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"infobus/internal/core"
+	"infobus/internal/discovery"
+	"infobus/internal/mop"
+	"infobus/internal/reliable"
+	"infobus/internal/transport"
+)
+
+// Failover is the fault-tolerant client of §3.3: "Several server objects
+// can be used to provide load balancing or fault-tolerance." It holds a
+// live connection to one server; when an invocation times out (the server
+// crashed or was partitioned away), it runs discovery again and retries
+// against whichever server answers the subject now — including a standby
+// promoted moments ago (R1). The semantics stay at-most-once per server:
+// a failed-over invocation uses a fresh request id, so the caller must
+// tolerate the original server having executed before dying, exactly as
+// the paper's standard RMI semantics state.
+type Failover struct {
+	bus     *core.Bus
+	seg     transport.Segment
+	service string
+	opts    DialOptions
+
+	mu     sync.Mutex
+	client *Client
+	binds  uint64
+	closed bool
+}
+
+// NewFailover creates a failover client. The first binding happens lazily
+// on the first Invoke (so a Failover can be created before any server is
+// up).
+func NewFailover(bus *core.Bus, seg transport.Segment, service string, opts DialOptions) *Failover {
+	return &Failover{bus: bus, seg: seg, service: service, opts: opts}
+}
+
+// Binds returns how many times the client has (re)bound to a server.
+func (f *Failover) Binds() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.binds
+}
+
+// ServerAddr returns the currently bound server's address, or "".
+func (f *Failover) ServerAddr() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.client == nil {
+		return ""
+	}
+	return f.client.ServerAddr()
+}
+
+// Close releases the underlying connection.
+func (f *Failover) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	if f.client != nil {
+		c := f.client
+		f.client = nil
+		return c.Close()
+	}
+	return nil
+}
+
+// Invoke calls the operation, rebinding to another server once if the
+// current one does not answer.
+func (f *Failover) Invoke(op string, args ...any) (any, error) {
+	client, err := f.current()
+	if err != nil {
+		return nil, err
+	}
+	result, err := client.Invoke(op, args...)
+	if err == nil || !errors.Is(err, ErrTimeout) {
+		return result, err
+	}
+	// The bound server is gone: drop it, rediscover, retry once.
+	if rebindErr := f.rebind(client); rebindErr != nil {
+		return nil, fmt.Errorf("%w (rebind also failed: %v)", err, rebindErr)
+	}
+	client, err = f.current()
+	if err != nil {
+		return nil, err
+	}
+	return client.Invoke(op, args...)
+}
+
+func (f *Failover) current() (*Client, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	if f.client != nil {
+		return f.client, nil
+	}
+	c, err := Dial(f.bus, f.seg, f.service, f.opts)
+	if err != nil {
+		return nil, err
+	}
+	f.client = c
+	f.binds++
+	return c, nil
+}
+
+// rebind discards the failed client (if still current) and dials anew.
+func (f *Failover) rebind(failed *Client) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	if f.client == failed {
+		_ = f.client.Close()
+		f.client = nil
+	}
+	f.mu.Unlock()
+	_, err := f.current()
+	return err
+}
+
+// DialAll implements the other multiple-server policy of §3.3:
+// "Alternatively, the client can receive every response from all of the
+// servers and then decide which server the client wants to use." It
+// returns one connected client per discovered server; the caller inspects
+// them (addresses, interfaces, a probe invocation) and keeps the one it
+// wants, closing the rest.
+func DialAll(bus *core.Bus, seg transport.Segment, service string, opts DialOptions) ([]*Client, error) {
+	if opts.DiscoveryWindow <= 0 {
+		opts.DiscoveryWindow = 50 * time.Millisecond
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 500 * time.Millisecond
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 2
+	}
+	found, err := discovery.Discover(bus, service, discovery.Options{Window: opts.DiscoveryWindow})
+	if err != nil {
+		return nil, err
+	}
+	infos := serverInfos(found)
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("service %q: %w", service, ErrNoServer)
+	}
+	clients := make([]*Client, 0, len(infos))
+	for _, info := range infos {
+		ep, err := seg.NewEndpoint("rmi-client:" + service)
+		if err != nil {
+			for _, c := range clients {
+				_ = c.Close()
+			}
+			return nil, err
+		}
+		c := &Client{
+			service: service,
+			server:  info.addr,
+			iface:   info.iface,
+			conn:    reliable.New(ep, opts.Reliable),
+			reg:     bus.Registry(),
+			opts:    opts,
+			waiting: make(map[string]chan *mop.Object),
+			done:    make(chan struct{}),
+		}
+		c.wg.Add(1)
+		go c.recvLoop()
+		clients = append(clients, c)
+	}
+	return clients, nil
+}
+
+// InvokeAll performs one scatter-gather invocation: the operation runs on
+// every client concurrently and all results (or errors) come back, indexed
+// like clients.
+func InvokeAll(clients []*Client, op string, args ...mop.Value) ([]mop.Value, []error) {
+	results := make([]mop.Value, len(clients))
+	errs := make([]error, len(clients))
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			results[i], errs[i] = c.Invoke(op, args...)
+		}(i, c)
+	}
+	wg.Wait()
+	return results, errs
+}

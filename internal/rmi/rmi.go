@@ -1,0 +1,76 @@
+// Package rmi implements Remote Method Invocation (§3.3), the Information
+// Bus's demand-driven communication style: "Clients invoke a method on a
+// remote server object without regard to that server object's location,
+// the server object executes the method, and the server replies to the
+// client. Servers are named with subjects."
+//
+// The protocol has two parts, exactly as Figure 2 of the paper shows:
+//
+//  1. Discovery: the client publishes a query on the service's subject;
+//     servers publish their point-to-point address (and state) back
+//     (internal/discovery).
+//  2. Invocation: the client sends requests over a point-to-point
+//     reliable channel to the chosen server's address.
+//
+// Standard semantics are exactly-once under normal operation and
+// at-most-once under failures: requests carry unique ids, servers keep a
+// reply cache so client retries never re-execute a method, and a client
+// gives up after its retry budget.
+//
+// Multiple servers may serve one subject, for load balancing or
+// fault-tolerance. The client chooses among the responders (policy
+// PickFirst / PickLeastLoaded), or the servers decide among themselves —
+// a standby server simply does not answer discovery until promoted.
+//
+// Service interfaces are mop classes whose operations define the
+// signatures. The interface descriptor travels inside the discovery reply
+// (self-describing, P2), so a client can introspect a service it has
+// never linked against — this is what lets the Graphical Application
+// Builder pop up operation menus for brand-new services (§5.2).
+package rmi
+
+import (
+	"errors"
+
+	"infobus/internal/mop"
+)
+
+// Protocol message classes.
+var (
+	// RequestType carries one invocation.
+	RequestType = mop.MustNewClass("RMIRequest", nil, []mop.Attr{
+		{Name: "id", Type: mop.String},
+		{Name: "op", Type: mop.String},
+		{Name: "args", Type: mop.ListOf(mop.Any)},
+	}, nil)
+	// ReplyType carries the result or error of one invocation.
+	ReplyType = mop.MustNewClass("RMIReply", nil, []mop.Attr{
+		{Name: "id", Type: mop.String},
+		{Name: "ok", Type: mop.Bool},
+		{Name: "result", Type: mop.Any},
+		{Name: "error", Type: mop.String},
+	}, nil)
+	// ServerInfoType is the "I am" payload of an RMI server: its
+	// point-to-point address, a load figure for client-side balancing,
+	// and a prototype instance of its interface class (carrying the
+	// operation signatures).
+	ServerInfoType = mop.MustNewClass("RMIServerInfo", nil, []mop.Attr{
+		{Name: "addr", Type: mop.String},
+		{Name: "load", Type: mop.Int},
+		{Name: "iface", Type: mop.Any},
+	}, nil)
+)
+
+// Errors shared by client and server.
+var (
+	ErrNoServer    = errors.New("rmi: no server answered discovery")
+	ErrTimeout     = errors.New("rmi: invocation timed out")
+	ErrClosed      = errors.New("rmi: closed")
+	ErrBadOp       = errors.New("rmi: no such operation")
+	ErrRemote      = errors.New("rmi: remote error")
+	ErrBadArgCount = errors.New("rmi: wrong number of arguments")
+)
+
+// Handler executes one operation of a service object. Implementations are
+// invoked concurrently from the server's request loop.
+type Handler func(op string, args []mop.Value) (mop.Value, error)

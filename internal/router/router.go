@@ -1,0 +1,406 @@
+// Package router implements information routers (§3.1): "application-level
+// 'information routers' ... To the Information Bus, these routers look
+// like ordinary applications, but they actually integrate multiple
+// instances of the bus. Messages are received by one router using a
+// subscription, transmitted to another router, and then re-published on
+// another bus. The router is intelligent about which messages are sent to
+// which routers: messages are only re-published on buses for which there
+// exists a subscription on that subject; the router can also perform
+// other functions, such as transforming subjects or logging messages to
+// non-volatile storage. Thus, the overall effect is to create the
+// illusion of a single, large bus."
+//
+// A Router attaches to two or more network segments. On each attachment
+// it listens to everything, builds an interest table from the daemons'
+// subscription advertisements, and forwards a publication to another
+// segment only when that segment (or a segment behind it) holds a
+// matching subscription. Hop counts in the envelope prevent forwarding
+// loops; the router re-advertises remote interest on each segment so that
+// chains of routers compose. Guaranteed publications are forwarded with
+// their origin token, and their acknowledgements retrace the path back.
+package router
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"infobus/internal/busproto"
+	"infobus/internal/reliable"
+	"infobus/internal/subject"
+	"infobus/internal/transport"
+)
+
+// Options tune a router.
+type Options struct {
+	// Name labels the router in logs.
+	Name string
+	// Reliable tunes each attachment's reliable connection.
+	Reliable reliable.Config
+	// InterestTTL is how long a heard interest advertisement stays valid
+	// without refresh. Default 4x daemon.InterestInterval (1s).
+	InterestTTL time.Duration
+	// Log, if non-nil, receives a line per forwarded message.
+	Log io.Writer
+}
+
+// Rule rewrites subjects crossing from one segment to another ("the router
+// can also perform other functions, such as transforming subjects").
+type Rule struct {
+	// Match selects the subjects the rule applies to.
+	Match subject.Pattern
+	// RewritePrefix: the matched subject's first len(From) elements are
+	// replaced with To. Empty strings leave the subject unchanged.
+	FromPrefix, ToPrefix string
+}
+
+// Router errors.
+var (
+	ErrFewSegments = errors.New("router: need at least two attachments")
+)
+
+// Attachment names one segment the router bridges, with optional subject
+// transformation rules applied to traffic forwarded OUT onto it.
+type Attachment struct {
+	Segment transport.Segment
+	Name    string
+	Rules   []Rule
+}
+
+type attachment struct {
+	name  string
+	conn  *reliable.Conn
+	rules []Rule
+
+	mu       sync.Mutex
+	interest map[string]interestEntry // pattern -> entry
+}
+
+type interestEntry struct {
+	pat     subject.Pattern
+	expires time.Time
+}
+
+// Router bridges segments.
+type Router struct {
+	opts Options
+
+	mu     sync.Mutex
+	atts   []*attachment
+	guar   map[string]guarPath // origin token -> where it entered
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	stats Stats
+}
+
+type guarPath struct {
+	att  *attachment
+	from string
+}
+
+// Stats counts router events.
+type Stats struct {
+	Forwarded     uint64 // publications re-published on another segment
+	Suppressed    uint64 // publications with no remote interest
+	LoopDropped   uint64 // publications dropped at the hop limit
+	AcksForwarded uint64
+	Transformed   uint64 // subjects rewritten by rules
+}
+
+// New creates a router bridging the given attachments.
+func New(opts Options, atts ...Attachment) (*Router, error) {
+	if len(atts) < 2 {
+		return nil, ErrFewSegments
+	}
+	if opts.InterestTTL <= 0 {
+		opts.InterestTTL = time.Second
+	}
+	r := &Router{
+		opts: opts,
+		guar: make(map[string]guarPath),
+		done: make(chan struct{}),
+	}
+	for _, a := range atts {
+		ep, err := a.Segment.NewEndpoint("router:" + opts.Name + ":" + a.Name)
+		if err != nil {
+			r.closeAttachments()
+			return nil, err
+		}
+		att := &attachment{
+			name:     a.Name,
+			conn:     reliable.New(ep, opts.Reliable),
+			rules:    a.Rules,
+			interest: make(map[string]interestEntry),
+		}
+		r.atts = append(r.atts, att)
+	}
+	for _, att := range r.atts {
+		r.wg.Add(1)
+		go r.attachmentLoop(att)
+	}
+	r.wg.Add(1)
+	go r.interestRelayLoop()
+	return r, nil
+}
+
+// Stats returns a snapshot of the router counters.
+func (r *Router) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Close detaches the router from all segments.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	close(r.done)
+	r.mu.Unlock()
+	r.closeAttachments()
+	r.wg.Wait()
+	return nil
+}
+
+func (r *Router) closeAttachments() {
+	for _, att := range r.atts {
+		_ = att.conn.Close()
+	}
+}
+
+func (r *Router) attachmentLoop(att *attachment) {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.done:
+			return
+		case m, ok := <-att.conn.Recv():
+			if !ok {
+				return
+			}
+			r.handle(att, m)
+		}
+	}
+}
+
+func (r *Router) handle(att *attachment, m reliable.Message) {
+	env, err := busproto.Decode(m.Payload)
+	if err != nil {
+		return
+	}
+	switch env.Kind {
+	case busproto.KindInterest:
+		att.recordInterest(env.Patterns, time.Now().Add(r.opts.InterestTTL))
+	case busproto.KindPublish, busproto.KindGuaranteed:
+		r.forward(att, m.From, env)
+	case busproto.KindGuarAck:
+		r.forwardAck(att, env)
+	}
+}
+
+// forward re-publishes a data envelope on every other segment with a
+// matching subscription, applying that segment's subject rules.
+func (r *Router) forward(src *attachment, from string, env busproto.Envelope) {
+	if env.Hops >= busproto.MaxHops {
+		r.bump(func(s *Stats) { s.LoopDropped++ })
+		return
+	}
+	subj, err := subject.Parse(env.Subject)
+	if err != nil {
+		return
+	}
+	if env.Kind == busproto.KindGuaranteed && env.Origin != "" {
+		r.mu.Lock()
+		r.guar[env.Origin] = guarPath{att: src, from: from}
+		r.mu.Unlock()
+	}
+	forwardedAnywhere := false
+	for _, dst := range r.atts {
+		if dst == src {
+			continue
+		}
+		outSubj, transformed := dst.transform(subj)
+		if !dst.wants(outSubj) {
+			continue
+		}
+		out := env
+		out.Hops++
+		out.Subject = outSubj.String()
+		if err := dst.conn.Publish(busproto.Encode(out)); err != nil {
+			continue
+		}
+		forwardedAnywhere = true
+		if transformed {
+			r.bump(func(s *Stats) { s.Transformed++ })
+		}
+		r.bump(func(s *Stats) { s.Forwarded++ })
+		if r.opts.Log != nil {
+			fmt.Fprintf(r.opts.Log, "router %s: %s -> %s subject %s (hops %d)\n",
+				r.opts.Name, src.name, dst.name, out.Subject, out.Hops)
+		}
+	}
+	if !forwardedAnywhere {
+		r.bump(func(s *Stats) { s.Suppressed++ })
+	}
+}
+
+// forwardAck sends a guaranteed-delivery acknowledgement back toward the
+// segment the publication entered from.
+func (r *Router) forwardAck(src *attachment, env busproto.Envelope) {
+	r.mu.Lock()
+	path, ok := r.guar[env.Origin]
+	r.mu.Unlock()
+	if !ok || path.att == src {
+		return
+	}
+	if err := path.att.conn.SendTo(path.from, busproto.Encode(env)); err != nil {
+		return
+	}
+	r.bump(func(s *Stats) { s.AcksForwarded++ })
+}
+
+// interestRelayLoop periodically re-advertises, on each segment, the union
+// of interest heard on all OTHER segments, so that chains of routers
+// propagate interest transitively; it also prunes expired entries.
+func (r *Router) interestRelayLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(200 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case now := <-ticker.C:
+			for _, att := range r.atts {
+				att.prune(now)
+			}
+			for _, dst := range r.atts {
+				union := make(map[string]struct{})
+				for _, src := range r.atts {
+					if src == dst {
+						continue
+					}
+					for _, p := range src.patterns() {
+						// Remote interest crosses back out through dst; its
+						// subjects will be transformed on the way in, so
+						// advertise the un-transformed remote patterns.
+						union[p] = struct{}{}
+					}
+				}
+				if len(union) == 0 {
+					continue
+				}
+				patterns := make([]string, 0, len(union))
+				for p := range union {
+					patterns = append(patterns, p)
+				}
+				env := busproto.Encode(busproto.Envelope{Kind: busproto.KindInterest, Patterns: patterns})
+				_ = dst.conn.Publish(env)
+				_ = dst.conn.Flush()
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// attachment helpers
+
+func (a *attachment) recordInterest(patterns []string, expires time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, ps := range patterns {
+		pat, err := subject.ParsePattern(ps)
+		if err != nil {
+			continue
+		}
+		a.interest[ps] = interestEntry{pat: pat, expires: expires}
+	}
+}
+
+func (a *attachment) prune(now time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for k, e := range a.interest {
+		if now.After(e.expires) {
+			delete(a.interest, k)
+		}
+	}
+}
+
+// wants reports whether any live interest on this attachment's segment
+// matches the subject.
+func (a *attachment) wants(s subject.Subject) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, e := range a.interest {
+		if e.pat.Matches(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *attachment) patterns() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.interest))
+	for p := range a.interest {
+		out = append(out, p)
+	}
+	return out
+}
+
+// transform applies the attachment's first matching rewrite rule.
+func (a *attachment) transform(s subject.Subject) (subject.Subject, bool) {
+	for _, rule := range a.rules {
+		if !rule.Match.IsZero() && !rule.Match.Matches(s) {
+			continue
+		}
+		if rule.FromPrefix == "" || rule.ToPrefix == "" {
+			return s, false
+		}
+		fromPat, err := subject.Parse(rule.FromPrefix)
+		if err != nil || !s.HasPrefix(fromPat) {
+			continue
+		}
+		rest := s.Elements()[fromPat.Depth():]
+		out := rule.ToPrefix
+		for _, e := range rest {
+			out += "." + e
+		}
+		ns, err := subject.Parse(out)
+		if err != nil {
+			continue
+		}
+		return ns, true
+	}
+	return s, false
+}
+
+func (r *Router) bump(f func(*Stats)) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
+}
+
+// WantsOn reports whether the named attachment's segment currently holds a
+// subscription matching the subject (after that attachment's transforms).
+// Operational tooling and examples use it to wait for interest propagation
+// before relying on cross-segment forwarding of unretried publications.
+func (r *Router) WantsOn(segmentName string, s subject.Subject) bool {
+	for _, att := range r.atts {
+		if att.name != segmentName {
+			continue
+		}
+		out, _ := att.transform(s)
+		return att.wants(out)
+	}
+	return false
+}

@@ -1,0 +1,37 @@
+package subject_test
+
+import (
+	"fmt"
+	"sort"
+
+	"infobus/internal/subject"
+)
+
+// Subjects are hierarchical and patterns may use "*" (one element) and ">"
+// (one or more trailing elements).
+func ExamplePattern_Matches() {
+	story := subject.MustParse("news.equity.gmc")
+	for _, p := range []string{"news.equity.*", "news.>", "news.bond.*", "news.equity.gmc"} {
+		fmt.Printf("%-18s matches %s: %v\n", p, story, subject.MustParsePattern(p).Matches(story))
+	}
+	// Output:
+	// news.equity.*      matches news.equity.gmc: true
+	// news.>             matches news.equity.gmc: true
+	// news.bond.*        matches news.equity.gmc: false
+	// news.equity.gmc    matches news.equity.gmc: true
+}
+
+// The trie answers "who subscribed to this subject?" in time proportional
+// to the subject's depth, not the number of subscriptions.
+func ExampleTrie() {
+	tr := subject.NewTrie[string]()
+	tr.Add(subject.MustParsePattern("fab5.>"), "plant-dashboard")
+	tr.Add(subject.MustParsePattern("fab5.cc.*.temp"), "thermal-monitor")
+	tr.Add(subject.MustParsePattern("news.>"), "trader-desk")
+
+	got := tr.Match(subject.MustParse("fab5.cc.litho8.temp"))
+	sort.Strings(got)
+	fmt.Println(got)
+	// Output:
+	// [plant-dashboard thermal-monitor]
+}

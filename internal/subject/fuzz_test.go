@@ -1,0 +1,29 @@
+package subject
+
+import "testing"
+
+// FuzzParsePattern: arbitrary strings never panic, and every accepted
+// pattern matches consistently with itself when it is also a valid
+// concrete subject.
+func FuzzParsePattern(f *testing.F) {
+	for _, s := range []string{"a.b.c", "a.*.>", ">", "*", "fab5.cc.litho8.thick", "..", "a..b", "a.b*"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePattern(s)
+		if err != nil {
+			return
+		}
+		if p.String() != s {
+			t.Fatalf("pattern round trip: %q -> %q", s, p.String())
+		}
+		if subj, err := Parse(s); err == nil {
+			if !p.Matches(subj) {
+				t.Fatalf("literal pattern %q does not match itself", s)
+			}
+			if !p.Overlaps(p) {
+				t.Fatalf("pattern %q does not overlap itself", s)
+			}
+		}
+	})
+}

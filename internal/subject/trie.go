@@ -1,0 +1,255 @@
+package subject
+
+import (
+	"sort"
+	"sync"
+)
+
+// Trie is a concurrent subject-matching trie. It maps subscription patterns
+// to opaque subscriber values and answers, for a published subject, the set
+// of values whose patterns match.
+//
+// The structure follows the subject hierarchy: each trie level corresponds
+// to one subject element, with distinguished child slots for the "*" and
+// ">" wildcards. Matching a subject of depth d visits at most O(2^w · d)
+// nodes where w is the number of wildcard levels crossed — in practice a
+// handful of nodes — independent of the total number of subscriptions.
+// This property is what Figure 8 of the paper measures: throughput must not
+// degrade as the number of distinct subjects (and subscriptions) grows.
+//
+// Values are compared with ==; registering the same (pattern, value) pair
+// twice is idempotent. A Trie is safe for concurrent use. The zero value is
+// not ready; use NewTrie.
+type Trie[V comparable] struct {
+	mu   sync.RWMutex
+	root *trieNode[V]
+	size int // number of (pattern, value) pairs
+}
+
+type trieNode[V comparable] struct {
+	children map[string]*trieNode[V]
+	star     *trieNode[V] // "*" child
+	rest     []V          // values subscribed with ">" terminating here
+	values   []V          // values whose pattern ends exactly here
+}
+
+// NewTrie returns an empty trie.
+func NewTrie[V comparable]() *Trie[V] {
+	return &Trie[V]{root: &trieNode[V]{}}
+}
+
+// Len returns the number of registered (pattern, value) pairs.
+func (t *Trie[V]) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Add registers value under pattern. Adding an identical pair again is a
+// no-op. It reports whether the pair was newly added.
+func (t *Trie[V]) Add(p Pattern, value V) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.root
+	for i, e := range p.elements {
+		switch e {
+		case WildcardRest:
+			// ">" is validated to be final by ParsePattern.
+			if containsValue(n.rest, value) {
+				return false
+			}
+			n.rest = append(n.rest, value)
+			t.size++
+			return true
+		case WildcardOne:
+			if n.star == nil {
+				n.star = &trieNode[V]{}
+			}
+			n = n.star
+		default:
+			if n.children == nil {
+				n.children = make(map[string]*trieNode[V])
+			}
+			child, ok := n.children[e]
+			if !ok {
+				child = &trieNode[V]{}
+				n.children[e] = child
+			}
+			n = child
+		}
+		_ = i
+	}
+	if containsValue(n.values, value) {
+		return false
+	}
+	n.values = append(n.values, value)
+	t.size++
+	return true
+}
+
+// Remove unregisters a (pattern, value) pair and reports whether it was
+// present. Empty interior nodes are pruned so long-lived buses with churning
+// subscriptions do not leak.
+func (t *Trie[V]) Remove(p Pattern, value V) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed := t.remove(t.root, p.elements, value)
+	if removed {
+		t.size--
+	}
+	return removed
+}
+
+func (t *Trie[V]) remove(n *trieNode[V], elems []string, value V) bool {
+	if len(elems) == 0 {
+		var ok bool
+		n.values, ok = removeValue(n.values, value)
+		return ok
+	}
+	e := elems[0]
+	switch e {
+	case WildcardRest:
+		var ok bool
+		n.rest, ok = removeValue(n.rest, value)
+		return ok
+	case WildcardOne:
+		if n.star == nil {
+			return false
+		}
+		ok := t.remove(n.star, elems[1:], value)
+		if ok && n.star.empty() {
+			n.star = nil
+		}
+		return ok
+	default:
+		child := n.children[e]
+		if child == nil {
+			return false
+		}
+		ok := t.remove(child, elems[1:], value)
+		if ok && child.empty() {
+			delete(n.children, e)
+		}
+		return ok
+	}
+}
+
+func (n *trieNode[V]) empty() bool {
+	return len(n.children) == 0 && n.star == nil && len(n.rest) == 0 && len(n.values) == 0
+}
+
+// Match returns every distinct value whose pattern matches the subject. The
+// returned slice is freshly allocated and owned by the caller; order is
+// unspecified but deterministic for a fixed trie state.
+func (t *Trie[V]) Match(s Subject) []V {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []V
+	seen := make(map[V]struct{})
+	collect := func(vs []V) {
+		for _, v := range vs {
+			if _, dup := seen[v]; !dup {
+				seen[v] = struct{}{}
+				out = append(out, v)
+			}
+		}
+	}
+	matchWalk(t.root, s.elements, collect)
+	return out
+}
+
+// MatchAny reports whether at least one registered pattern matches the
+// subject, without collecting values. Routers use it on the forwarding fast
+// path ("is anyone over there interested?").
+func (t *Trie[V]) MatchAny(s Subject) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	found := false
+	matchWalk(t.root, s.elements, func(vs []V) {
+		if len(vs) > 0 {
+			found = true
+		}
+	})
+	return found
+}
+
+// matchWalk visits every trie node whose path matches the subject elements
+// and hands its terminal value sets to collect.
+func matchWalk[V comparable](n *trieNode[V], elems []string, collect func([]V)) {
+	// A ">" registered at this level matches any subject with at least one
+	// further element.
+	if len(elems) > 0 {
+		collect(n.rest)
+	}
+	if len(elems) == 0 {
+		collect(n.values)
+		return
+	}
+	if child, ok := n.children[elems[0]]; ok {
+		matchWalk(child, elems[1:], collect)
+	}
+	if n.star != nil {
+		matchWalk(n.star, elems[1:], collect)
+	}
+}
+
+// Patterns returns the canonical strings of all registered patterns, sorted,
+// with duplicates (same pattern, different values) collapsed. Intended for
+// introspection and monitoring tools.
+func (t *Trie[V]) Patterns() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	set := make(map[string]struct{})
+	var walk func(n *trieNode[V], prefix []string)
+	walk = func(n *trieNode[V], prefix []string) {
+		if len(n.values) > 0 {
+			set[joinElems(prefix)] = struct{}{}
+		}
+		if len(n.rest) > 0 {
+			set[joinElems(append(prefix, WildcardRest))] = struct{}{}
+		}
+		for e, child := range n.children {
+			walk(child, append(prefix, e))
+		}
+		if n.star != nil {
+			walk(n.star, append(prefix, WildcardOne))
+		}
+	}
+	walk(t.root, nil)
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func joinElems(elems []string) string {
+	out := ""
+	for i, e := range elems {
+		if i > 0 {
+			out += sep
+		}
+		out += e
+	}
+	return out
+}
+
+func containsValue[V comparable](vs []V, v V) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func removeValue[V comparable](vs []V, v V) ([]V, bool) {
+	for i, x := range vs {
+		if x == v {
+			copy(vs[i:], vs[i+1:])
+			return vs[:len(vs)-1], true
+		}
+	}
+	return vs, false
+}

@@ -1,0 +1,250 @@
+package subject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func matchStrings(t *Trie[string], subj string) []string {
+	out := t.Match(MustParse(subj))
+	sort.Strings(out)
+	return out
+}
+
+func TestTrieExactMatch(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Add(MustParsePattern("a.b"), "s1")
+	tr.Add(MustParsePattern("a.c"), "s2")
+	tr.Add(MustParsePattern("a.b"), "s3")
+
+	got := matchStrings(tr, "a.b")
+	want := []string{"s1", "s3"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("Match(a.b) = %v, want %v", got, want)
+	}
+	if got := matchStrings(tr, "a.d"); len(got) != 0 {
+		t.Errorf("Match(a.d) = %v, want empty", got)
+	}
+	if got := matchStrings(tr, "a"); len(got) != 0 {
+		t.Errorf("Match(a) = %v, want empty", got)
+	}
+}
+
+func TestTrieWildcards(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Add(MustParsePattern("news.equity.*"), "star")
+	tr.Add(MustParsePattern("news.>"), "rest")
+	tr.Add(MustParsePattern("news.equity.gmc"), "exact")
+	tr.Add(MustParsePattern(">"), "all")
+
+	cases := []struct {
+		subj string
+		want []string
+	}{
+		{"news.equity.gmc", []string{"all", "exact", "rest", "star"}},
+		{"news.equity.ibm", []string{"all", "rest", "star"}},
+		{"news.bond", []string{"all", "rest"}},
+		{"news", []string{"all"}},
+		{"sports.scores", []string{"all"}},
+		{"news.equity.gmc.earnings", []string{"all", "rest"}},
+	}
+	for _, c := range cases {
+		got := matchStrings(tr, c.subj)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("Match(%q) = %v, want %v", c.subj, got, c.want)
+		}
+	}
+}
+
+func TestTrieDuplicateAdd(t *testing.T) {
+	tr := NewTrie[string]()
+	if !tr.Add(MustParsePattern("a.b"), "v") {
+		t.Error("first Add should report true")
+	}
+	if tr.Add(MustParsePattern("a.b"), "v") {
+		t.Error("duplicate Add should report false")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+	if got := tr.Match(MustParse("a.b")); len(got) != 1 {
+		t.Errorf("Match returned %v, want one value", got)
+	}
+}
+
+func TestTrieDistinctValueDedup(t *testing.T) {
+	// One subscriber registered under two overlapping patterns must be
+	// delivered once per message, not once per pattern.
+	tr := NewTrie[string]()
+	tr.Add(MustParsePattern("a.>"), "v")
+	tr.Add(MustParsePattern("a.b"), "v")
+	if got := tr.Match(MustParse("a.b")); len(got) != 1 {
+		t.Errorf("Match = %v, want single deduplicated value", got)
+	}
+}
+
+func TestTrieRemove(t *testing.T) {
+	tr := NewTrie[string]()
+	pats := []string{"a.b", "a.*", "a.>", "*", ">"}
+	for _, p := range pats {
+		tr.Add(MustParsePattern(p), "v:"+p)
+	}
+	if tr.Len() != len(pats) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(pats))
+	}
+	for i, p := range pats {
+		if !tr.Remove(MustParsePattern(p), "v:"+p) {
+			t.Errorf("Remove(%q) = false, want true", p)
+		}
+		if tr.Remove(MustParsePattern(p), "v:"+p) {
+			t.Errorf("second Remove(%q) = true, want false", p)
+		}
+		if tr.Len() != len(pats)-i-1 {
+			t.Errorf("Len after removing %q = %d", p, tr.Len())
+		}
+	}
+	if got := tr.Match(MustParse("a.b")); len(got) != 0 {
+		t.Errorf("Match after removal = %v, want empty", got)
+	}
+	// Interior nodes must have been pruned.
+	if len(tr.root.children) != 0 || tr.root.star != nil {
+		t.Error("trie not pruned after removing all patterns")
+	}
+}
+
+func TestTrieRemoveAbsent(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Add(MustParsePattern("a.b"), "v")
+	if tr.Remove(MustParsePattern("a.c"), "v") {
+		t.Error("Remove of absent pattern should report false")
+	}
+	if tr.Remove(MustParsePattern("a.b"), "other") {
+		t.Error("Remove of absent value should report false")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestTrieMatchAny(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Add(MustParsePattern("fab5.>"), "router")
+	if !tr.MatchAny(MustParse("fab5.cc.litho8")) {
+		t.Error("MatchAny should find fab5.>")
+	}
+	if tr.MatchAny(MustParse("fab6.cc")) {
+		t.Error("MatchAny should not match fab6.cc")
+	}
+}
+
+func TestTriePatterns(t *testing.T) {
+	tr := NewTrie[string]()
+	for _, p := range []string{"a.b", "a.*", "x.>", "a.b"} {
+		tr.Add(MustParsePattern(p), "v1")
+	}
+	tr.Add(MustParsePattern("a.b"), "v2")
+	got := tr.Patterns()
+	want := []string{"a.*", "a.b", "x.>"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("Patterns = %v, want %v", got, want)
+	}
+}
+
+// The trie must agree with the reference semantics of Pattern.Matches for
+// randomly generated pattern/subject populations.
+func TestTrieAgainstReferenceMatcher(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := []string{"a", "b", "c"}
+	randElems := func(n int, allowWild bool) string {
+		parts := make([]string, n)
+		for i := range parts {
+			r := rng.Intn(10)
+			switch {
+			case allowWild && r == 0:
+				parts[i] = "*"
+			case allowWild && r == 1 && i == n-1:
+				parts[i] = ">"
+			default:
+				parts[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+		}
+		out := ""
+		for i, p := range parts {
+			if i > 0 {
+				out += "."
+			}
+			out += p
+		}
+		return out
+	}
+
+	tr := NewTrie[int]()
+	patterns := make([]Pattern, 0, 200)
+	for i := 0; i < 200; i++ {
+		p, err := ParsePattern(randElems(rng.Intn(4)+1, true))
+		if err != nil {
+			continue
+		}
+		patterns = append(patterns, p)
+		tr.Add(p, len(patterns)-1)
+	}
+	for trial := 0; trial < 500; trial++ {
+		s := MustParse(randElems(rng.Intn(4)+1, false))
+		want := make(map[int]struct{})
+		for i, p := range patterns {
+			if p.Matches(s) {
+				want[i] = struct{}{}
+			}
+		}
+		got := tr.Match(s)
+		if len(got) != len(want) {
+			t.Fatalf("subject %q: trie matched %d values, reference %d", s, len(got), len(want))
+		}
+		for _, v := range got {
+			if _, ok := want[v]; !ok {
+				t.Fatalf("subject %q: trie matched pattern %q which does not match", s, patterns[v])
+			}
+		}
+	}
+}
+
+func TestTrieConcurrency(t *testing.T) {
+	tr := NewTrie[int]()
+	var wg sync.WaitGroup
+	subj := MustParse("load.test.subject")
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := MustParsePattern(fmt.Sprintf("load.test.%c", 'a'+i%26))
+				tr.Add(p, w*1000+i)
+				tr.Match(subj)
+				tr.MatchAny(subj)
+				tr.Remove(p, w*1000+i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkTrieMatch(b *testing.B) {
+	for _, nsub := range []int{10, 1000, 100000} {
+		b.Run(fmt.Sprintf("subs=%d", nsub), func(b *testing.B) {
+			tr := NewTrie[int]()
+			for i := 0; i < nsub; i++ {
+				tr.Add(MustParsePattern(fmt.Sprintf("bench.s%d.data", i)), i)
+			}
+			s := MustParse(fmt.Sprintf("bench.s%d.data", nsub/2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := tr.Match(s); len(got) != 1 {
+					b.Fatalf("Match = %v", got)
+				}
+			}
+		})
+	}
+}

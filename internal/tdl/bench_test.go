@@ -1,0 +1,37 @@
+package tdl
+
+import "testing"
+
+// BenchmarkMethodDispatch measures a generic-function call with class
+// dispatch and slot access — the TDL hot path for interpreter-driven
+// applications.
+func BenchmarkMethodDispatch(b *testing.B) {
+	in := New(nil, nil)
+	if _, err := in.EvalString(newsProgram + `
+	  (define s (make-instance 'DowJonesStory 'headline "GM" 'djCode "GMC"))`); err != nil {
+		b.Fatal(err)
+	}
+	obj, err := in.EvalString("s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Call("summary", obj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalArith measures raw interpreter overhead.
+func BenchmarkEvalArith(b *testing.B) {
+	in := New(nil, nil)
+	if _, err := in.EvalString("(define (f n) (+ (* n n) (- n 1)))"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Call("f", int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

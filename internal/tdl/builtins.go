@@ -1,0 +1,430 @@
+package tdl
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"infobus/internal/mop"
+)
+
+func (in *Interp) installBuiltins() {
+	add := func(name string, arity int, fn func(*Interp, []mop.Value) (mop.Value, error)) {
+		in.global.vars[Symbol(name)] = &builtin{name: name, arity: arity, fn: fn}
+	}
+
+	// Arithmetic. Integer arguments stay integral; any float argument
+	// promotes the result.
+	add("+", -1, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		return fold(args, "+", func(a, b int64) (int64, error) { return a + b, nil },
+			func(a, b float64) (float64, error) { return a + b, nil })
+	})
+	add("-", -1, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		if len(args) == 1 {
+			args = []mop.Value{int64(0), args[0]}
+		}
+		return fold(args, "-", func(a, b int64) (int64, error) { return a - b, nil },
+			func(a, b float64) (float64, error) { return a - b, nil })
+	})
+	add("*", -1, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		return fold(args, "*", func(a, b int64) (int64, error) { return a * b, nil },
+			func(a, b float64) (float64, error) { return a * b, nil })
+	})
+	add("/", -1, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		return fold(args, "/", func(a, b int64) (int64, error) {
+			if b == 0 {
+				return 0, fmt.Errorf("division by zero: %w", ErrType)
+			}
+			return a / b, nil
+		}, func(a, b float64) (float64, error) { return a / b, nil })
+	})
+	add("mod", 2, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		a, ok1 := args[0].(int64)
+		b, ok2 := args[1].(int64)
+		if !ok1 || !ok2 || b == 0 {
+			return nil, fmt.Errorf("mod wants nonzero integers: %w", ErrType)
+		}
+		return a % b, nil
+	})
+
+	// Comparison and equality.
+	add("=", 2, cmpBuiltin(func(c int) bool { return c == 0 }))
+	add("<", 2, cmpBuiltin(func(c int) bool { return c < 0 }))
+	add(">", 2, cmpBuiltin(func(c int) bool { return c > 0 }))
+	add("<=", 2, cmpBuiltin(func(c int) bool { return c <= 0 }))
+	add(">=", 2, cmpBuiltin(func(c int) bool { return c >= 0 }))
+	add("eq?", 2, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		return mop.EqualValues(args[0], args[1]), nil
+	})
+	add("not", 1, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		return !truthy(args[0]), nil
+	})
+
+	// Strings.
+	add("concat", -1, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		var b strings.Builder
+		for _, a := range args {
+			switch x := a.(type) {
+			case string:
+				b.WriteString(x)
+			default:
+				b.WriteString(FormatValue(a))
+			}
+		}
+		return b.String(), nil
+	})
+	add("string-length", 1, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		s, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("string-length wants a string: %w", ErrType)
+		}
+		return int64(len(s)), nil
+	})
+	add("substring", 3, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		s, ok := args[0].(string)
+		from, ok1 := args[1].(int64)
+		to, ok2 := args[2].(int64)
+		if !ok || !ok1 || !ok2 {
+			return nil, fmt.Errorf("substring wants (string int int): %w", ErrType)
+		}
+		if from < 0 || to < from || to > int64(len(s)) {
+			return nil, fmt.Errorf("substring bounds [%d,%d) of %d: %w", from, to, len(s), ErrType)
+		}
+		return s[from:to], nil
+	})
+	add("contains?", 2, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		s, ok1 := args[0].(string)
+		sub, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("contains? wants strings: %w", ErrType)
+		}
+		return strings.Contains(s, sub), nil
+	})
+	add("upcase", 1, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		s, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("upcase wants a string: %w", ErrType)
+		}
+		return strings.ToUpper(s), nil
+	})
+
+	// Lists.
+	add("list", -1, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		return mop.List(append([]mop.Value(nil), args...)), nil
+	})
+	add("length", 1, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		switch x := args[0].(type) {
+		case mop.List:
+			return int64(len(x)), nil
+		case nil:
+			return int64(0), nil
+		default:
+			return nil, fmt.Errorf("length wants a list: %w", ErrType)
+		}
+	})
+	add("nth", 2, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		l, ok1 := args[0].(mop.List)
+		i, ok2 := args[1].(int64)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("nth wants (list int): %w", ErrType)
+		}
+		if i < 0 || i >= int64(len(l)) {
+			return nil, fmt.Errorf("nth index %d of %d: %w", i, len(l), ErrType)
+		}
+		return l[i], nil
+	})
+	add("append", -1, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		var out mop.List
+		for _, a := range args {
+			switch x := a.(type) {
+			case mop.List:
+				out = append(out, x...)
+			case nil:
+			default:
+				out = append(out, x)
+			}
+		}
+		return out, nil
+	})
+	add("map", 2, func(in *Interp, args []mop.Value) (mop.Value, error) {
+		l, ok := args[1].(mop.List)
+		if !ok {
+			return nil, fmt.Errorf("map wants (fn list): %w", ErrType)
+		}
+		out := make(mop.List, len(l))
+		for i, e := range l {
+			v, err := in.apply(args[0], []mop.Value{e})
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	})
+	add("reduce", 3, func(in *Interp, args []mop.Value) (mop.Value, error) {
+		l, ok := args[2].(mop.List)
+		if !ok {
+			return nil, fmt.Errorf("reduce wants (fn init list): %w", ErrType)
+		}
+		acc := args[1]
+		for _, e := range l {
+			v, err := in.apply(args[0], []mop.Value{acc, e})
+			if err != nil {
+				return nil, err
+			}
+			acc = v
+		}
+		return acc, nil
+	})
+	add("reverse", 1, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		l, ok := args[0].(mop.List)
+		if !ok {
+			return nil, fmt.Errorf("reverse wants a list: %w", ErrType)
+		}
+		out := make(mop.List, len(l))
+		for i, e := range l {
+			out[len(l)-1-i] = e
+		}
+		return out, nil
+	})
+	add("filter", 2, func(in *Interp, args []mop.Value) (mop.Value, error) {
+		l, ok := args[1].(mop.List)
+		if !ok {
+			return nil, fmt.Errorf("filter wants (fn list): %w", ErrType)
+		}
+		var out mop.List
+		for _, e := range l {
+			v, err := in.apply(args[0], []mop.Value{e})
+			if err != nil {
+				return nil, err
+			}
+			if truthy(v) {
+				out = append(out, e)
+			}
+		}
+		return out, nil
+	})
+
+	// Objects and the meta-object protocol.
+	add("make-instance", -1, builtinMakeInstance)
+	add("slot-value", 2, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		o, name, err := objAndSlot("slot-value", args)
+		if err != nil {
+			return nil, err
+		}
+		return o.Get(name)
+	})
+	add("set-slot!", 3, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		o, name, err := objAndSlot("set-slot!", args)
+		if err != nil {
+			return nil, err
+		}
+		if err := o.Set(name, args[2]); err != nil {
+			return nil, err
+		}
+		return args[2], nil
+	})
+	add("type-of", 1, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		t := mop.ValueType(args[0])
+		if t == nil {
+			return "nil", nil
+		}
+		return t.Name(), nil
+	})
+	add("instance-of?", 2, func(in *Interp, args []mop.Value) (mop.Value, error) {
+		o, ok := args[0].(*mop.Object)
+		name, ok2 := args[1].(string)
+		if !ok || !ok2 {
+			return nil, fmt.Errorf("instance-of? wants (object 'Class): %w", ErrType)
+		}
+		t, err := in.reg.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		return o.Type().IsSubtypeOf(t), nil
+	})
+	add("attribute-names", 1, func(in *Interp, args []mop.Value) (mop.Value, error) {
+		t, err := typeArg(in, args[0])
+		if err != nil {
+			return nil, err
+		}
+		out := make(mop.List, 0, t.NumAttrs())
+		for _, a := range t.Attrs() {
+			out = append(out, a.Name)
+		}
+		return out, nil
+	})
+	add("attribute-type", 2, func(in *Interp, args []mop.Value) (mop.Value, error) {
+		t, err := typeArg(in, args[0])
+		if err != nil {
+			return nil, err
+		}
+		name, ok := args[1].(string)
+		if !ok {
+			return nil, fmt.Errorf("attribute-type wants a name: %w", ErrType)
+		}
+		a, found := t.Attr(name)
+		if !found {
+			return nil, fmt.Errorf("attribute %q: %w", name, mop.ErrNoAttr)
+		}
+		return a.Type.Name(), nil
+	})
+	add("describe", 1, func(in *Interp, args []mop.Value) (mop.Value, error) {
+		t, err := typeArg(in, args[0])
+		if err != nil {
+			return nil, err
+		}
+		return mop.DescribeString(t), nil
+	})
+	add("class-exists?", 1, func(in *Interp, args []mop.Value) (mop.Value, error) {
+		name, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("class-exists? wants a name: %w", ErrType)
+		}
+		return in.reg.Has(name), nil
+	})
+	add("clone", 1, func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		return mop.CloneValue(args[0]), nil
+	})
+
+	// I/O and misc.
+	add("print", -1, func(in *Interp, args []mop.Value) (mop.Value, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = FormatValue(a)
+		}
+		fmt.Fprintln(in.out, strings.Join(parts, " "))
+		return nil, nil
+	})
+	add("now", 0, func(_ *Interp, _ []mop.Value) (mop.Value, error) {
+		return time.Now().UTC(), nil
+	})
+}
+
+func builtinMakeInstance(in *Interp, args []mop.Value) (mop.Value, error) {
+	if len(args) == 0 || len(args)%2 != 1 {
+		return nil, fmt.Errorf("make-instance wants ('Class 'slot value ...): %w", ErrArity)
+	}
+	name, ok := args[0].(string)
+	if !ok {
+		return nil, fmt.Errorf("make-instance: class name expected, got %s: %w", FormatValue(args[0]), ErrType)
+	}
+	t, err := in.reg.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	o, err := mop.New(t)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(args); i += 2 {
+		slot, ok := args[i].(string)
+		if !ok {
+			return nil, fmt.Errorf("make-instance: slot name expected at arg %d: %w", i, ErrType)
+		}
+		if err := o.Set(slot, args[i+1]); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+func objAndSlot(who string, args []mop.Value) (*mop.Object, string, error) {
+	o, ok := args[0].(*mop.Object)
+	if !ok {
+		return nil, "", fmt.Errorf("%s wants an object, got %s: %w", who, FormatValue(args[0]), ErrType)
+	}
+	name, ok := args[1].(string)
+	if !ok {
+		return nil, "", fmt.Errorf("%s wants a slot name: %w", who, ErrType)
+	}
+	return o, name, nil
+}
+
+// typeArg accepts either an object (whose class is used) or a type name.
+func typeArg(in *Interp, v mop.Value) (*mop.Type, error) {
+	switch x := v.(type) {
+	case *mop.Object:
+		return x.Type(), nil
+	case string:
+		return in.reg.Lookup(x)
+	default:
+		return nil, fmt.Errorf("expected an object or type name, got %s: %w", FormatValue(v), ErrType)
+	}
+}
+
+// fold applies a binary numeric op left-to-right with int/float promotion.
+func fold(args []mop.Value, name string,
+	fi func(a, b int64) (int64, error),
+	ff func(a, b float64) (float64, error)) (mop.Value, error) {
+	if len(args) < 2 {
+		return nil, fmt.Errorf("%s wants at least 2 args: %w", name, ErrArity)
+	}
+	acc := args[0]
+	for _, next := range args[1:] {
+		ai, aIsInt := acc.(int64)
+		bi, bIsInt := next.(int64)
+		if aIsInt && bIsInt {
+			v, err := fi(ai, bi)
+			if err != nil {
+				return nil, err
+			}
+			acc = v
+			continue
+		}
+		af, errA := toFloat(acc)
+		bf, errB := toFloat(next)
+		if errA != nil || errB != nil {
+			return nil, fmt.Errorf("%s wants numbers: %w", name, ErrType)
+		}
+		v, err := ff(af, bf)
+		if err != nil {
+			return nil, err
+		}
+		acc = v
+	}
+	return acc, nil
+}
+
+func toFloat(v mop.Value) (float64, error) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), nil
+	case float64:
+		return x, nil
+	default:
+		return 0, ErrType
+	}
+}
+
+func cmpBuiltin(pred func(int) bool) func(*Interp, []mop.Value) (mop.Value, error) {
+	return func(_ *Interp, args []mop.Value) (mop.Value, error) {
+		c, err := compare(args[0], args[1])
+		if err != nil {
+			return nil, err
+		}
+		return pred(c), nil
+	}
+}
+
+func compare(a, b mop.Value) (int, error) {
+	if as, ok := a.(string); ok {
+		if bs, ok := b.(string); ok {
+			return strings.Compare(as, bs), nil
+		}
+		return 0, fmt.Errorf("cannot compare string with %T: %w", b, ErrType)
+	}
+	af, errA := toFloat(a)
+	bf, errB := toFloat(b)
+	if errA != nil || errB != nil {
+		return 0, fmt.Errorf("cannot compare %T with %T: %w", a, b, ErrType)
+	}
+	switch {
+	case af < bf:
+		return -1, nil
+	case af > bf:
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}

@@ -1,0 +1,36 @@
+package tdl_test
+
+import (
+	"fmt"
+	"os"
+
+	"infobus/internal/mop"
+	"infobus/internal/tdl"
+)
+
+// TDL defines classes and methods at run time (P3); instances are ordinary
+// mop objects that can travel on the bus.
+func Example() {
+	reg := mop.NewRegistry()
+	interp := tdl.New(reg, os.Stdout)
+	result, err := interp.EvalString(`
+	  (defclass Story ()
+	    ((headline string)
+	     (urgent bool)))
+
+	  (defmethod banner ((s Story))
+	    (if (slot-value s 'urgent)
+	        (concat "*** " (upcase (slot-value s 'headline)) " ***")
+	        (slot-value s 'headline)))
+
+	  (banner (make-instance 'Story 'headline "GM surges" 'urgent #t))`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(result)
+	fmt.Println("registered:", reg.Has("Story"))
+	// Output:
+	// *** GM SURGES ***
+	// registered: true
+}

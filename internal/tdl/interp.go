@@ -1,0 +1,787 @@
+package tdl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"infobus/internal/mop"
+)
+
+// Interp is a TDL interpreter instance. Classes defined with defclass are
+// registered in the interpreter's mop.Registry, making them visible to the
+// bus, the wire format, and every introspective tool in the system.
+//
+// An Interp serialises evaluation internally, so it may be shared by
+// concurrent services (e.g. an RMI server executing TDL-defined methods).
+type Interp struct {
+	mu      sync.Mutex
+	reg     *mop.Registry
+	global  *env
+	methods map[string][]method
+	out     io.Writer
+	depth   int
+}
+
+// method is one defmethod definition: dispatch class plus closure.
+type method struct {
+	class *mop.Type
+	fn    *closure
+}
+
+type env struct {
+	vars   map[Symbol]mop.Value
+	parent *env
+}
+
+func newEnv(parent *env) *env {
+	return &env{vars: make(map[Symbol]mop.Value), parent: parent}
+}
+
+func (e *env) lookup(s Symbol) (mop.Value, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[s]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (e *env) set(s Symbol, v mop.Value) bool {
+	for cur := e; cur != nil; cur = cur.parent {
+		if _, ok := cur.vars[s]; ok {
+			cur.vars[s] = v
+			return true
+		}
+	}
+	return false
+}
+
+// closure is a user-defined function.
+type closure struct {
+	name   string
+	params []Symbol
+	body   []Sexp
+	env    *env
+}
+
+// builtin is a primitive implemented in Go.
+type builtin struct {
+	name  string
+	arity int // -1 for variadic
+	fn    func(in *Interp, args []mop.Value) (mop.Value, error)
+}
+
+// Evaluation errors.
+var (
+	ErrUnboundSymbol = errors.New("tdl: unbound symbol")
+	ErrNotCallable   = errors.New("tdl: value is not callable")
+	ErrArity         = errors.New("tdl: wrong number of arguments")
+	ErrBadForm       = errors.New("tdl: malformed special form")
+	ErrNoMethod      = errors.New("tdl: no applicable method")
+	ErrType          = errors.New("tdl: type error")
+	ErrDepth         = errors.New("tdl: recursion too deep")
+)
+
+const maxDepth = 10_000
+
+// New creates an interpreter that registers classes into reg. Output from
+// (print ...) goes to out; pass nil to discard.
+func New(reg *mop.Registry, out io.Writer) *Interp {
+	if reg == nil {
+		reg = mop.NewRegistry()
+	}
+	if out == nil {
+		out = io.Discard
+	}
+	in := &Interp{
+		reg:     reg,
+		global:  newEnv(nil),
+		methods: make(map[string][]method),
+		out:     out,
+	}
+	in.installBuiltins()
+	return in
+}
+
+// Registry returns the registry that defclass registers into.
+func (in *Interp) Registry() *mop.Registry { return in.reg }
+
+// EvalString parses and evaluates a program, returning the value of the
+// last top-level expression.
+func (in *Interp) EvalString(src string) (mop.Value, error) {
+	exprs, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var last mop.Value
+	for _, e := range exprs {
+		last, err = in.eval(e, in.global)
+		if err != nil {
+			return nil, fmt.Errorf("evaluating %s: %w", FormatSexp(e), err)
+		}
+	}
+	return last, nil
+}
+
+// Call invokes a TDL function or generic method by name with already
+// evaluated arguments. RMI servers use this to execute TDL-defined
+// operations.
+func (in *Interp) Call(name string, args ...mop.Value) (mop.Value, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if ms, ok := in.methods[name]; ok && len(ms) > 0 {
+		return in.dispatch(name, args)
+	}
+	v, ok := in.global.lookup(Symbol(name))
+	if !ok {
+		return nil, fmt.Errorf("%q: %w", name, ErrUnboundSymbol)
+	}
+	return in.apply(v, args)
+}
+
+// Define binds a global variable, e.g. to hand a Go-created object to TDL
+// code.
+func (in *Interp) Define(name string, v mop.Value) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.global.vars[Symbol(name)] = v
+}
+
+// GenericNames returns the names of all defined generic functions, sorted.
+func (in *Interp) GenericNames() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]string, 0, len(in.methods))
+	for n := range in.methods {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Core evaluator
+
+func (in *Interp) eval(e Sexp, ev *env) (mop.Value, error) {
+	in.depth++
+	defer func() { in.depth-- }()
+	if in.depth > maxDepth {
+		return nil, ErrDepth
+	}
+	switch x := e.(type) {
+	case int64, float64, string, bool:
+		return x, nil
+	case Quoted:
+		return quoteValue(x.X), nil
+	case Symbol:
+		if v, ok := ev.lookup(x); ok {
+			return v, nil
+		}
+		return nil, fmt.Errorf("%q: %w", x, ErrUnboundSymbol)
+	case []Sexp:
+		return in.evalList(x, ev)
+	case nil:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("cannot evaluate %T: %w", e, ErrBadForm)
+	}
+}
+
+// quoteValue converts a quoted syntax tree into a runtime value: symbols
+// become strings (TDL's stand-in for CLOS symbols), lists become mop.List.
+func quoteValue(e Sexp) mop.Value {
+	switch x := e.(type) {
+	case Symbol:
+		return string(x)
+	case []Sexp:
+		out := make(mop.List, len(x))
+		for i, el := range x {
+			out[i] = quoteValue(el)
+		}
+		return out
+	case Quoted:
+		return quoteValue(x.X)
+	default:
+		return x
+	}
+}
+
+func (in *Interp) evalList(list []Sexp, ev *env) (mop.Value, error) {
+	if len(list) == 0 {
+		return nil, fmt.Errorf("empty application: %w", ErrBadForm)
+	}
+	if head, ok := list[0].(Symbol); ok {
+		switch head {
+		case "quote":
+			if len(list) != 2 {
+				return nil, fmt.Errorf("quote: %w", ErrBadForm)
+			}
+			return quoteValue(list[1]), nil
+		case "if":
+			return in.evalIf(list, ev)
+		case "define":
+			return in.evalDefine(list, ev)
+		case "set!":
+			return in.evalSet(list, ev)
+		case "lambda":
+			return in.makeClosure("", list, ev)
+		case "let":
+			return in.evalLet(list, ev)
+		case "progn", "begin":
+			var last mop.Value
+			var err error
+			for _, e := range list[1:] {
+				if last, err = in.eval(e, ev); err != nil {
+					return nil, err
+				}
+			}
+			return last, nil
+		case "and":
+			for _, e := range list[1:] {
+				v, err := in.eval(e, ev)
+				if err != nil {
+					return nil, err
+				}
+				if !truthy(v) {
+					return false, nil
+				}
+			}
+			return true, nil
+		case "or":
+			for _, e := range list[1:] {
+				v, err := in.eval(e, ev)
+				if err != nil {
+					return nil, err
+				}
+				if truthy(v) {
+					return v, nil
+				}
+			}
+			return false, nil
+		case "while":
+			return in.evalWhile(list, ev)
+		case "cond":
+			return in.evalCond(list, ev)
+		case "let*":
+			return in.evalLetStar(list, ev)
+		case "defclass":
+			return in.evalDefclass(list)
+		case "defmethod":
+			return in.evalDefmethod(list, ev)
+		}
+	}
+	// Function application. Generic dispatch takes precedence when a method
+	// table exists for the head symbol and it has no lexical binding.
+	fnExpr := list[0]
+	if sym, ok := fnExpr.(Symbol); ok {
+		if _, bound := ev.lookup(sym); !bound {
+			if ms, isGeneric := in.methods[string(sym)]; isGeneric && len(ms) > 0 {
+				args, err := in.evalArgs(list[1:], ev)
+				if err != nil {
+					return nil, err
+				}
+				return in.dispatch(string(sym), args)
+			}
+		}
+	}
+	fn, err := in.eval(fnExpr, ev)
+	if err != nil {
+		return nil, err
+	}
+	args, err := in.evalArgs(list[1:], ev)
+	if err != nil {
+		return nil, err
+	}
+	return in.apply(fn, args)
+}
+
+func (in *Interp) evalArgs(exprs []Sexp, ev *env) ([]mop.Value, error) {
+	args := make([]mop.Value, len(exprs))
+	for i, e := range exprs {
+		v, err := in.eval(e, ev)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return args, nil
+}
+
+func (in *Interp) apply(fn mop.Value, args []mop.Value) (mop.Value, error) {
+	switch f := fn.(type) {
+	case *closure:
+		if len(args) != len(f.params) {
+			return nil, fmt.Errorf("%s expects %d args, got %d: %w", f.name, len(f.params), len(args), ErrArity)
+		}
+		ev := newEnv(f.env)
+		for i, p := range f.params {
+			ev.vars[p] = args[i]
+		}
+		var last mop.Value
+		var err error
+		for _, e := range f.body {
+			if last, err = in.eval(e, ev); err != nil {
+				return nil, err
+			}
+		}
+		return last, nil
+	case *builtin:
+		if f.arity >= 0 && len(args) != f.arity {
+			return nil, fmt.Errorf("%s expects %d args, got %d: %w", f.name, f.arity, len(args), ErrArity)
+		}
+		return f.fn(in, args)
+	default:
+		return nil, fmt.Errorf("%s: %w", FormatValue(fn), ErrNotCallable)
+	}
+}
+
+func truthy(v mop.Value) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	default:
+		return true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Special forms
+
+func (in *Interp) evalIf(list []Sexp, ev *env) (mop.Value, error) {
+	if len(list) != 3 && len(list) != 4 {
+		return nil, fmt.Errorf("if: %w", ErrBadForm)
+	}
+	cond, err := in.eval(list[1], ev)
+	if err != nil {
+		return nil, err
+	}
+	if truthy(cond) {
+		return in.eval(list[2], ev)
+	}
+	if len(list) == 4 {
+		return in.eval(list[3], ev)
+	}
+	return nil, nil
+}
+
+func (in *Interp) evalDefine(list []Sexp, ev *env) (mop.Value, error) {
+	// (define name expr) or (define (name params...) body...)
+	if len(list) < 3 {
+		return nil, fmt.Errorf("define: %w", ErrBadForm)
+	}
+	switch target := list[1].(type) {
+	case Symbol:
+		if len(list) != 3 {
+			return nil, fmt.Errorf("define %s: %w", target, ErrBadForm)
+		}
+		v, err := in.eval(list[2], ev)
+		if err != nil {
+			return nil, err
+		}
+		ev.vars[target] = v
+		return v, nil
+	case []Sexp:
+		if len(target) == 0 {
+			return nil, fmt.Errorf("define: empty name list: %w", ErrBadForm)
+		}
+		name, ok := target[0].(Symbol)
+		if !ok {
+			return nil, fmt.Errorf("define: function name must be a symbol: %w", ErrBadForm)
+		}
+		params, err := paramSymbols(target[1:])
+		if err != nil {
+			return nil, err
+		}
+		fn := &closure{name: string(name), params: params, body: list[2:], env: ev}
+		ev.vars[name] = fn
+		return fn, nil
+	default:
+		return nil, fmt.Errorf("define: %w", ErrBadForm)
+	}
+}
+
+func (in *Interp) evalSet(list []Sexp, ev *env) (mop.Value, error) {
+	if len(list) != 3 {
+		return nil, fmt.Errorf("set!: %w", ErrBadForm)
+	}
+	name, ok := list[1].(Symbol)
+	if !ok {
+		return nil, fmt.Errorf("set!: target must be a symbol: %w", ErrBadForm)
+	}
+	v, err := in.eval(list[2], ev)
+	if err != nil {
+		return nil, err
+	}
+	if !ev.set(name, v) {
+		return nil, fmt.Errorf("set! %q: %w", name, ErrUnboundSymbol)
+	}
+	return v, nil
+}
+
+func (in *Interp) makeClosure(name string, list []Sexp, ev *env) (mop.Value, error) {
+	// (lambda (params...) body...)
+	if len(list) < 3 {
+		return nil, fmt.Errorf("lambda: %w", ErrBadForm)
+	}
+	paramList, ok := list[1].([]Sexp)
+	if !ok {
+		return nil, fmt.Errorf("lambda: parameter list expected: %w", ErrBadForm)
+	}
+	params, err := paramSymbols(paramList)
+	if err != nil {
+		return nil, err
+	}
+	return &closure{name: name, params: params, body: list[2:], env: ev}, nil
+}
+
+func paramSymbols(list []Sexp) ([]Symbol, error) {
+	params := make([]Symbol, len(list))
+	for i, p := range list {
+		s, ok := p.(Symbol)
+		if !ok {
+			return nil, fmt.Errorf("parameter %d is not a symbol: %w", i, ErrBadForm)
+		}
+		params[i] = s
+	}
+	return params, nil
+}
+
+func (in *Interp) evalLet(list []Sexp, ev *env) (mop.Value, error) {
+	// (let ((name expr)...) body...)
+	if len(list) < 3 {
+		return nil, fmt.Errorf("let: %w", ErrBadForm)
+	}
+	bindings, ok := list[1].([]Sexp)
+	if !ok {
+		return nil, fmt.Errorf("let: binding list expected: %w", ErrBadForm)
+	}
+	inner := newEnv(ev)
+	for _, b := range bindings {
+		pair, ok := b.([]Sexp)
+		if !ok || len(pair) != 2 {
+			return nil, fmt.Errorf("let: binding must be (name expr): %w", ErrBadForm)
+		}
+		name, ok := pair[0].(Symbol)
+		if !ok {
+			return nil, fmt.Errorf("let: binding name must be a symbol: %w", ErrBadForm)
+		}
+		v, err := in.eval(pair[1], ev)
+		if err != nil {
+			return nil, err
+		}
+		inner.vars[name] = v
+	}
+	var last mop.Value
+	var err error
+	for _, e := range list[2:] {
+		if last, err = in.eval(e, inner); err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// evalCond handles (cond (test expr...)... (else expr...)).
+func (in *Interp) evalCond(list []Sexp, ev *env) (mop.Value, error) {
+	for _, clause := range list[1:] {
+		c, ok := clause.([]Sexp)
+		if !ok || len(c) < 1 {
+			return nil, fmt.Errorf("cond: clause must be (test expr...): %w", ErrBadForm)
+		}
+		isElse := false
+		if sym, ok := c[0].(Symbol); ok && sym == "else" {
+			isElse = true
+		}
+		var test mop.Value = true
+		if !isElse {
+			var err error
+			if test, err = in.eval(c[0], ev); err != nil {
+				return nil, err
+			}
+		}
+		if !truthy(test) {
+			continue
+		}
+		var last mop.Value = test
+		var err error
+		for _, e := range c[1:] {
+			if last, err = in.eval(e, ev); err != nil {
+				return nil, err
+			}
+		}
+		return last, nil
+	}
+	return nil, nil
+}
+
+// evalLetStar handles (let* ((a 1) (b (+ a 1))) body...): each binding sees
+// the previous ones.
+func (in *Interp) evalLetStar(list []Sexp, ev *env) (mop.Value, error) {
+	if len(list) < 3 {
+		return nil, fmt.Errorf("let*: %w", ErrBadForm)
+	}
+	bindings, ok := list[1].([]Sexp)
+	if !ok {
+		return nil, fmt.Errorf("let*: binding list expected: %w", ErrBadForm)
+	}
+	inner := newEnv(ev)
+	for _, b := range bindings {
+		pair, ok := b.([]Sexp)
+		if !ok || len(pair) != 2 {
+			return nil, fmt.Errorf("let*: binding must be (name expr): %w", ErrBadForm)
+		}
+		name, ok := pair[0].(Symbol)
+		if !ok {
+			return nil, fmt.Errorf("let*: binding name must be a symbol: %w", ErrBadForm)
+		}
+		v, err := in.eval(pair[1], inner) // sequential scope
+		if err != nil {
+			return nil, err
+		}
+		inner.vars[name] = v
+	}
+	var last mop.Value
+	var err error
+	for _, e := range list[2:] {
+		if last, err = in.eval(e, inner); err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+func (in *Interp) evalWhile(list []Sexp, ev *env) (mop.Value, error) {
+	if len(list) < 2 {
+		return nil, fmt.Errorf("while: %w", ErrBadForm)
+	}
+	var last mop.Value
+	for {
+		cond, err := in.eval(list[1], ev)
+		if err != nil {
+			return nil, err
+		}
+		if !truthy(cond) {
+			return last, nil
+		}
+		for _, e := range list[2:] {
+			if last, err = in.eval(e, ev); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// defclass / defmethod / dispatch
+
+// evalDefclass handles
+//
+//	(defclass Name (Super...) ((slot typeSpec)...))
+//
+// and registers the resulting class in the interpreter's registry.
+func (in *Interp) evalDefclass(list []Sexp) (mop.Value, error) {
+	if len(list) != 4 {
+		return nil, fmt.Errorf("defclass: want (defclass Name (supers) (slots)): %w", ErrBadForm)
+	}
+	name, ok := list[1].(Symbol)
+	if !ok {
+		return nil, fmt.Errorf("defclass: name must be a symbol: %w", ErrBadForm)
+	}
+	superList, ok := list[2].([]Sexp)
+	if !ok {
+		return nil, fmt.Errorf("defclass %s: supertype list expected: %w", name, ErrBadForm)
+	}
+	supers := make([]*mop.Type, 0, len(superList))
+	for _, s := range superList {
+		sym, ok := s.(Symbol)
+		if !ok {
+			return nil, fmt.Errorf("defclass %s: supertype must be a symbol: %w", name, ErrBadForm)
+		}
+		st, err := in.reg.Lookup(string(sym))
+		if err != nil {
+			return nil, fmt.Errorf("defclass %s: %w", name, err)
+		}
+		supers = append(supers, st)
+	}
+	slotList, ok := list[3].([]Sexp)
+	if !ok {
+		return nil, fmt.Errorf("defclass %s: slot list expected: %w", name, ErrBadForm)
+	}
+	attrs := make([]mop.Attr, 0, len(slotList))
+	for _, s := range slotList {
+		pair, ok := s.([]Sexp)
+		if !ok || len(pair) != 2 {
+			return nil, fmt.Errorf("defclass %s: slot must be (name type): %w", name, ErrBadForm)
+		}
+		slotName, ok := pair[0].(Symbol)
+		if !ok {
+			return nil, fmt.Errorf("defclass %s: slot name must be a symbol: %w", name, ErrBadForm)
+		}
+		typ, err := in.typeSpec(pair[1])
+		if err != nil {
+			return nil, fmt.Errorf("defclass %s slot %s: %w", name, slotName, err)
+		}
+		attrs = append(attrs, mop.Attr{Name: string(slotName), Type: typ})
+	}
+	class, err := mop.NewClass(string(name), supers, attrs, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := in.reg.Register(class); err != nil {
+		return nil, err
+	}
+	return string(name), nil
+}
+
+// typeSpec resolves a slot type: a symbol naming a type, or (list T).
+func (in *Interp) typeSpec(e Sexp) (*mop.Type, error) {
+	switch x := e.(type) {
+	case Symbol:
+		return in.reg.Lookup(string(x))
+	case []Sexp:
+		if len(x) == 2 {
+			if head, ok := x[0].(Symbol); ok && head == "list" {
+				elem, err := in.typeSpec(x[1])
+				if err != nil {
+					return nil, err
+				}
+				return mop.ListOf(elem), nil
+			}
+		}
+		return nil, fmt.Errorf("bad type spec %s: %w", FormatSexp(e), ErrBadForm)
+	default:
+		return nil, fmt.Errorf("bad type spec %s: %w", FormatSexp(e), ErrBadForm)
+	}
+}
+
+// evalDefmethod handles
+//
+//	(defmethod name ((self Class) more-params...) body...)
+//
+// Dispatch is on the class of the first argument (single dispatch — the
+// subset of CLOS that fits "a small, efficient run-time environment").
+func (in *Interp) evalDefmethod(list []Sexp, ev *env) (mop.Value, error) {
+	if len(list) < 4 {
+		return nil, fmt.Errorf("defmethod: %w", ErrBadForm)
+	}
+	name, ok := list[1].(Symbol)
+	if !ok {
+		return nil, fmt.Errorf("defmethod: name must be a symbol: %w", ErrBadForm)
+	}
+	paramList, ok := list[2].([]Sexp)
+	if !ok || len(paramList) == 0 {
+		return nil, fmt.Errorf("defmethod %s: parameter list with dispatch parameter expected: %w", name, ErrBadForm)
+	}
+	first, ok := paramList[0].([]Sexp)
+	if !ok || len(first) != 2 {
+		return nil, fmt.Errorf("defmethod %s: first parameter must be (name Class): %w", name, ErrBadForm)
+	}
+	selfName, ok1 := first[0].(Symbol)
+	className, ok2 := first[1].(Symbol)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("defmethod %s: first parameter must be (name Class): %w", name, ErrBadForm)
+	}
+	class, err := in.reg.Lookup(string(className))
+	if err != nil {
+		return nil, fmt.Errorf("defmethod %s: %w", name, err)
+	}
+	if class.Kind() != mop.KindClass {
+		return nil, fmt.Errorf("defmethod %s: dispatch type %s is not a class: %w", name, className, ErrType)
+	}
+	params := []Symbol{selfName}
+	rest, err := paramSymbols(paramList[1:])
+	if err != nil {
+		return nil, err
+	}
+	params = append(params, rest...)
+	fn := &closure{name: string(name), params: params, body: list[3:], env: ev}
+
+	// Replace an existing method on the identical class, else append.
+	ms := in.methods[string(name)]
+	for i, m := range ms {
+		if m.class == class {
+			ms[i].fn = fn
+			return string(name), nil
+		}
+	}
+	in.methods[string(name)] = append(ms, method{class: class, fn: fn})
+	return string(name), nil
+}
+
+// dispatch selects and invokes the most specific applicable method for the
+// class of args[0].
+func (in *Interp) dispatch(name string, args []mop.Value) (mop.Value, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("%s: generic call needs a dispatch argument: %w", name, ErrArity)
+	}
+	obj, ok := args[0].(*mop.Object)
+	if !ok {
+		return nil, fmt.Errorf("%s: dispatch argument is %s, not an object: %w", name, FormatValue(args[0]), ErrNoMethod)
+	}
+	var best *method
+	for i := range in.methods[name] {
+		m := &in.methods[name][i]
+		if !obj.Type().IsSubtypeOf(m.class) {
+			continue
+		}
+		if best == nil || m.class.IsSubtypeOf(best.class) {
+			best = m
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%s on class %s: %w", name, obj.Type().Name(), ErrNoMethod)
+	}
+	return in.apply(best.fn, args)
+}
+
+// FormatValue renders a runtime value for the REPL and error messages.
+func FormatValue(v mop.Value) string {
+	switch x := v.(type) {
+	case *closure:
+		if x.name != "" {
+			return "#<function " + x.name + ">"
+		}
+		return "#<lambda>"
+	case *builtin:
+		return "#<builtin " + x.name + ">"
+	case *mop.Object:
+		return mop.Sprint(x)
+	case string:
+		return x
+	case mop.List:
+		parts := make([]string, len(x))
+		for i, e := range x {
+			parts[i] = FormatValue(e)
+		}
+		return "(" + strings.Join(parts, " ") + ")"
+	case nil:
+		return "nil"
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// DefineBuiltin binds a Go function as a TDL builtin, letting host
+// applications expose capabilities (publishing on the bus, querying a
+// repository, ...) to interpreted code — the mechanism behind the
+// "interpreter-driven" application style of §5.1. arity < 0 makes the
+// builtin variadic.
+func (in *Interp) DefineBuiltin(name string, arity int, fn func(args []mop.Value) (mop.Value, error)) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.global.vars[Symbol(name)] = &builtin{
+		name:  name,
+		arity: arity,
+		fn: func(_ *Interp, args []mop.Value) (mop.Value, error) {
+			return fn(args)
+		},
+	}
+}

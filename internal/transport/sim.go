@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"infobus/internal/netsim"
+)
+
+// SimSegment adapts a netsim.Network to the Segment interface. Addresses
+// have the form "sim:<node-id>".
+type SimSegment struct {
+	net *netsim.Network
+
+	mu     sync.Mutex
+	closed bool
+	eps    []*simEndpoint
+}
+
+// NewSimSegment creates a segment over a fresh simulated network with the
+// given configuration.
+func NewSimSegment(cfg netsim.Config) *SimSegment {
+	return &SimSegment{net: netsim.NewNetwork(cfg)}
+}
+
+// Network exposes the underlying simulator for fault injection (partitions,
+// background load) and statistics in tests and benchmarks.
+func (s *SimSegment) Network() *netsim.Network { return s.net }
+
+// NewEndpoint attaches a simulated host.
+func (s *SimSegment) NewEndpoint(name string) (Endpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	node := s.net.NewNode(name)
+	ep := &simEndpoint{node: node, out: make(chan Datagram, 1024), done: make(chan struct{})}
+	go ep.pump()
+	s.eps = append(s.eps, ep)
+	return ep, nil
+}
+
+// Close shuts down the simulated network.
+func (s *SimSegment) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.net.Close()
+	return nil
+}
+
+type simEndpoint struct {
+	node      *netsim.Node
+	out       chan Datagram
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func simAddr(id netsim.NodeID) string { return "sim:" + strconv.Itoa(int(id)) }
+
+func parseSimAddr(addr string) (netsim.NodeID, error) {
+	rest, ok := strings.CutPrefix(addr, "sim:")
+	if !ok {
+		return 0, fmt.Errorf("%q: %w", addr, ErrBadAddr)
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, fmt.Errorf("%q: %w", addr, ErrBadAddr)
+	}
+	return netsim.NodeID(id), nil
+}
+
+func (e *simEndpoint) Addr() string { return simAddr(e.node.ID()) }
+
+func (e *simEndpoint) Send(addr string, payload []byte) error {
+	id, err := parseSimAddr(addr)
+	if err != nil {
+		return err
+	}
+	return mapSimErr(e.node.Send(id, payload))
+}
+
+func (e *simEndpoint) Broadcast(payload []byte) error {
+	return mapSimErr(e.node.SendBroadcast(payload))
+}
+
+func (e *simEndpoint) Recv() <-chan Datagram { return e.out }
+
+func (e *simEndpoint) Close() error {
+	e.closeOnce.Do(func() { close(e.done) })
+	return nil
+}
+
+// pump converts netsim packets into Datagrams.
+func (e *simEndpoint) pump() {
+	defer close(e.out)
+	for {
+		select {
+		case <-e.done:
+			return
+		case pkt, ok := <-e.node.Recv():
+			if !ok {
+				return
+			}
+			select {
+			case e.out <- Datagram{From: simAddr(pkt.From), Payload: pkt.Payload}:
+			case <-e.done:
+				return
+			}
+		}
+	}
+}
+
+func mapSimErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, netsim.ErrOversize):
+		return fmt.Errorf("%v: %w", err, ErrOversize)
+	case errors.Is(err, netsim.ErrClosed):
+		return ErrClosed
+	default:
+		return err
+	}
+}

@@ -1,0 +1,164 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// StaticUDPSegment is a broadcast domain over real UDP sockets with a
+// statically configured peer list, for running bus hosts in separate OS
+// processes (cmd/busd, cmd/ibmon, cmd/ibrouter, cmd/ibrepo): each process
+// knows the listen addresses of the others, and Broadcast is a unicast
+// fan-out to that list — the strategy the paper's routers use where
+// Ethernet broadcast is unavailable.
+//
+// The first NewEndpoint call binds the configured listen address (the
+// identity other processes know); subsequent endpoints (RMI channels,
+// routers) bind ephemeral ports but share the peer list.
+type StaticUDPSegment struct {
+	listen string
+	peers  []string // "udp:host:port" destination addresses
+
+	mu        sync.Mutex
+	boundMain bool
+	closed    bool
+	eps       []*staticUDPEndpoint
+}
+
+// NewStaticUDPSegment creates a segment that listens on listen
+// ("host:port") and broadcasts to peers (each "host:port").
+func NewStaticUDPSegment(listen string, peers []string) *StaticUDPSegment {
+	s := &StaticUDPSegment{listen: listen}
+	for _, p := range peers {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !strings.HasPrefix(p, "udp:") {
+			p = "udp:" + p
+		}
+		s.peers = append(s.peers, p)
+	}
+	return s
+}
+
+// NewEndpoint binds a socket: the segment's listen address for the first
+// endpoint, ephemeral ports afterwards.
+func (s *StaticUDPSegment) NewEndpoint(name string) (Endpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	bindAddr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)}
+	if !s.boundMain && s.listen != "" {
+		a, err := net.ResolveUDPAddr("udp4", s.listen)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen address %q: %w", s.listen, ErrBadAddr)
+		}
+		bindAddr = a
+	}
+	conn, err := net.ListenUDP("udp4", bindAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: binding %v: %w", bindAddr, err)
+	}
+	s.boundMain = true
+	ep := &staticUDPEndpoint{
+		seg:  s,
+		name: name,
+		conn: conn,
+		out:  make(chan Datagram, 1024),
+		done: make(chan struct{}),
+	}
+	s.eps = append(s.eps, ep)
+	go ep.readLoop()
+	return ep, nil
+}
+
+// Close shuts down every endpoint created on the segment.
+func (s *StaticUDPSegment) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	eps := append([]*staticUDPEndpoint(nil), s.eps...)
+	s.mu.Unlock()
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+	return nil
+}
+
+type staticUDPEndpoint struct {
+	seg       *StaticUDPSegment
+	name      string
+	conn      *net.UDPConn
+	out       chan Datagram
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func (e *staticUDPEndpoint) Addr() string { return "udp:" + e.conn.LocalAddr().String() }
+
+func (e *staticUDPEndpoint) Send(addr string, payload []byte) error {
+	if len(payload) > maxUDPDatagram {
+		return fmt.Errorf("%d bytes: %w", len(payload), ErrOversize)
+	}
+	host, ok := cutPrefix(addr, "udp:")
+	if !ok {
+		return fmt.Errorf("%q: %w", addr, ErrBadAddr)
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp4", host)
+	if err != nil {
+		return fmt.Errorf("%q: %w", addr, ErrBadAddr)
+	}
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	_, err = e.conn.WriteToUDP(payload, udpAddr)
+	return err
+}
+
+func (e *staticUDPEndpoint) Broadcast(payload []byte) error {
+	var firstErr error
+	for _, peer := range e.seg.peers {
+		if err := e.Send(peer, payload); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (e *staticUDPEndpoint) Recv() <-chan Datagram { return e.out }
+
+func (e *staticUDPEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.done)
+		_ = e.conn.Close()
+	})
+	return nil
+}
+
+func (e *staticUDPEndpoint) readLoop() {
+	defer close(e.out)
+	buf := make([]byte, maxUDPDatagram)
+	for {
+		n, from, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		payload := append([]byte(nil), buf[:n]...)
+		select {
+		case e.out <- Datagram{From: "udp:" + from.String(), Payload: payload}:
+		case <-e.done:
+			return
+		default: // full queue: drop like a kernel socket buffer
+		}
+	}
+}

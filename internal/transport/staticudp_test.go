@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// freePorts grabs n distinct free localhost UDP ports.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, 0, n)
+	conns := make([]*net.UDPConn, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+		addrs = append(addrs, c.LocalAddr().String())
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return addrs
+}
+
+func TestStaticUDPCrossSegment(t *testing.T) {
+	ports := freePorts(t, 2)
+	// Two independent segments, as two processes would configure them.
+	segA := NewStaticUDPSegment(ports[0], []string{ports[1]})
+	defer segA.Close()
+	segB := NewStaticUDPSegment(ports[1], []string{ports[0]})
+	defer segB.Close()
+
+	a, err := segA.NewEndpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := segB.NewEndpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Addr() != "udp:"+ports[0] {
+		t.Errorf("main endpoint addr = %s, want %s", a.Addr(), ports[0])
+	}
+	// Broadcast from A reaches B's main endpoint.
+	if err := a.Broadcast([]byte("cross")); err != nil {
+		t.Fatal(err)
+	}
+	d := recvDatagram(t, b, 5*time.Second)
+	if string(d.Payload) != "cross" {
+		t.Errorf("payload = %q", d.Payload)
+	}
+	// Unicast reply to the carried source address.
+	if err := b.Send(d.From, []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	if d := recvDatagram(t, a, 5*time.Second); string(d.Payload) != "reply" {
+		t.Errorf("reply payload = %q", d.Payload)
+	}
+}
+
+func TestStaticUDPSecondaryEndpointsEphemeral(t *testing.T) {
+	ports := freePorts(t, 2)
+	seg := NewStaticUDPSegment(ports[0], []string{ports[1]})
+	defer seg.Close()
+	main, err := seg.NewEndpoint("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := seg.NewEndpoint("rmi-channel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Addr() == main.Addr() {
+		t.Error("secondary endpoint must bind an ephemeral port")
+	}
+	// Both can talk to each other directly.
+	if err := second.Send(main.Addr(), []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if d := recvDatagram(t, main, 5*time.Second); string(d.Payload) != "hi" {
+		t.Errorf("payload = %q", d.Payload)
+	}
+}
+
+func TestStaticUDPErrors(t *testing.T) {
+	ports := freePorts(t, 1)
+	seg := NewStaticUDPSegment("not a valid address", nil)
+	if _, err := seg.NewEndpoint("x"); !errors.Is(err, ErrBadAddr) {
+		t.Errorf("bad listen address error = %v", err)
+	}
+	seg2 := NewStaticUDPSegment(ports[0], []string{" ", ""})
+	ep, err := seg2.NewEndpoint("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty peer entries are skipped; broadcast to nobody succeeds.
+	if err := ep.Broadcast([]byte("void")); err != nil {
+		t.Errorf("broadcast to empty peer list = %v", err)
+	}
+	if err := ep.Send("no-prefix", []byte("x")); !errors.Is(err, ErrBadAddr) {
+		t.Errorf("send bad addr = %v", err)
+	}
+	if err := ep.Send("udp:���", []byte("x")); !errors.Is(err, ErrBadAddr) {
+		t.Errorf("send unresolvable = %v", err)
+	}
+	if err := ep.Send("udp:127.0.0.1:9", make([]byte, 70_000)); !errors.Is(err, ErrOversize) {
+		t.Errorf("oversize = %v", err)
+	}
+	if err := seg2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg2.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+	if _, err := seg2.NewEndpoint("late"); !errors.Is(err, ErrClosed) {
+		t.Errorf("NewEndpoint after close = %v", err)
+	}
+	select {
+	case _, ok := <-ep.Recv():
+		if ok {
+			t.Error("datagram after close")
+		}
+	case <-time.After(time.Second):
+		t.Error("recv channel not closed")
+	}
+}
+
+func TestStaticUDPPeerNormalisation(t *testing.T) {
+	seg := NewStaticUDPSegment("", []string{"127.0.0.1:9001", "udp:127.0.0.1:9002"})
+	if len(seg.peers) != 2 {
+		t.Fatalf("peers = %v", seg.peers)
+	}
+	for i, want := range []string{"udp:127.0.0.1:9001", "udp:127.0.0.1:9002"} {
+		if seg.peers[i] != want {
+			t.Errorf("peer %d = %q, want %q", i, seg.peers[i], want)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package wire
+
+import (
+	"testing"
+
+	"infobus/internal/mop"
+)
+
+// FuzzUnmarshal: arbitrary bytes must never panic the decoder, and
+// anything that decodes must re-encode.
+func FuzzUnmarshal(f *testing.F) {
+	_, dj, group := newsTypes(f)
+	seed, err := Marshal(sampleStory(f, dj, group))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{Magic0, Magic1, Version, 0, 0})
+	f.Add([]byte{})
+	f.Add([]byte{Magic0, Magic1, Version, 0, tagList, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reg := mop.NewRegistry()
+		v, err := Unmarshal(data, reg)
+		if err != nil {
+			return
+		}
+		if _, err := Marshal(v); err != nil {
+			t.Fatalf("decoded value failed to re-encode: %v", err)
+		}
+	})
+}

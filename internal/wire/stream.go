@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"infobus/internal/mop"
+)
+
+// Encoder writes a stream of self-describing values with type-dictionary
+// compression: each class description crosses the stream at most once, in
+// the first frame that references it. RMI connections use this so that
+// steady-state requests carry only value bytes.
+//
+// Frame layout: uvarint frame length, then the same body layout as Marshal
+// (magic, version, type table, value) except the type table omits classes
+// already sent on this stream.
+//
+// An Encoder is not safe for concurrent use.
+type Encoder struct {
+	w    *bufio.Writer
+	sent map[*mop.Type]bool
+}
+
+// NewEncoder returns an Encoder writing frames to w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: bufio.NewWriter(w), sent: make(map[*mop.Type]bool)}
+}
+
+// Encode writes one value frame, including descriptions of any classes the
+// stream has not seen yet, and flushes.
+func (e *Encoder) Encode(v mop.Value) error {
+	var b buffer
+	b.writeByte(Magic0)
+	b.writeByte(Magic1)
+	b.writeByte(Version)
+
+	var fresh []*mop.Type
+	for _, t := range collectTypes(v) {
+		if !e.sent[t] {
+			fresh = append(fresh, t)
+		}
+	}
+	b.writeUvarint(uint64(len(fresh)))
+	for _, t := range fresh {
+		writeTypeDef(&b, t)
+	}
+	if err := writeValue(&b, v); err != nil {
+		return err
+	}
+	// Only mark types as sent once the frame is fully assembled, so an
+	// encoding error does not poison the dictionary.
+	for _, t := range fresh {
+		e.sent[t] = true
+	}
+
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(b.bytes)))
+	if _, err := e.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := e.w.Write(b.bytes); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+// Decoder reads the frame stream produced by Encoder, accumulating the type
+// dictionary across frames.
+//
+// A Decoder is not safe for concurrent use.
+type Decoder struct {
+	r    *bufio.Reader
+	reg  *mop.Registry
+	defs map[string]*typeDef
+}
+
+// NewDecoder returns a Decoder reading frames from r and resolving classes
+// against reg.
+func NewDecoder(r io.Reader, reg *mop.Registry) *Decoder {
+	return &Decoder{r: bufio.NewReader(r), reg: reg, defs: make(map[string]*typeDef)}
+}
+
+// Decode reads the next value frame. It returns io.EOF at a clean end of
+// stream and io.ErrUnexpectedEOF for a frame cut short.
+func (d *Decoder) Decode() (mop.Value, error) {
+	frameLen, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("reading frame length: %w", err)
+	}
+	if frameLen > maxLen {
+		return nil, fmt.Errorf("frame of %d bytes: %w", frameLen, ErrTooLarge)
+	}
+	frame := make([]byte, frameLen)
+	if _, err := io.ReadFull(d.r, frame); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	r := &reader{data: frame}
+	if err := readHeader(r); err != nil {
+		return nil, err
+	}
+	table, err := readTypeTable(r)
+	if err != nil {
+		return nil, err
+	}
+	for name, def := range table {
+		d.defs[name] = def
+	}
+	res := &resolver{reg: d.reg, defs: d.defs, built: make(map[string]*mop.Type)}
+	v, err := readValue(r, res, 0)
+	if err != nil {
+		return nil, err
+	}
+	if r.pos != len(r.data) {
+		return nil, fmt.Errorf("%d trailing bytes in frame: %w", len(r.data)-r.pos, ErrCorrupt)
+	}
+	return v, nil
+}
