@@ -478,6 +478,41 @@ func BenchmarkAblationQoS(b *testing.B) {
 	b.Run("guaranteed", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkTelemetryOverhead measures what the observability subsystem
+// costs on the Figure 6 workload (small messages, batching on, full
+// 15-node topology): telemetry off entirely, metrics only (counters are
+// always on — this is the PR's baseline), and metrics plus per-hop tracing
+// at the 1% default sampling and at 100%. The acceptance bar is <5%
+// model-msgs/sec regression at 1% sampling versus off.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	cases := []struct {
+		name     string
+		sampling float64
+	}{
+		{"off", 0},
+		{"trace=1pct", 0.01},
+		{"trace=100pct", 1},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			n := b.N
+			if n < 50 {
+				n = 50
+			}
+			if n > 2000 {
+				n = 2000
+			}
+			cfg := benchConfig(14)
+			cfg.Telemetry = core.TelemetryConfig{TraceSampling: tc.sampling}
+			r, err := bench.MeasureThroughput(cfg, 64, n, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.MsgsPerSec, "model-msgs/sec")
+		})
+	}
+}
+
 type countingWriter struct{ n int }
 
 func (w *countingWriter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }

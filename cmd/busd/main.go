@@ -13,6 +13,7 @@
 //	pub <subject> <text>     publish a string object
 //	pubn <subject> <number>  publish an int object
 //	stats                    daemon and protocol counters
+//	metrics                  full telemetry registry snapshot
 //	quit
 //
 // Anything received on a subscription is pretty-printed through the
@@ -34,10 +35,17 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7001", "UDP listen address of this host")
 	peers := flag.String("peers", "", "comma-separated UDP addresses of the other hosts")
 	name := flag.String("name", "busd", "host name")
+	statsEvery := flag.Duration("stats-interval", 0, "publish host stats on _sys.stats.<name> at this interval (0 disables)")
+	sampling := flag.Float64("trace-sampling", 0, "fraction of publications to trace per-hop (0 disables, 1 every message)")
 	flag.Parse()
 
 	seg := infobus.NewStaticUDPSegment(*listen, strings.Split(*peers, ","))
-	host, err := infobus.NewHost(seg, *name, infobus.HostConfig{})
+	host, err := infobus.NewHost(seg, *name, infobus.HostConfig{
+		Telemetry: infobus.TelemetryConfig{
+			StatsInterval: *statsEvery,
+			TraceSampling: *sampling,
+		},
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "busd: %v\n", err)
 		os.Exit(1)
@@ -49,7 +57,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("busd: host %q on %s (peers: %s)\n", *name, *listen, *peers)
-	fmt.Println("busd: commands: sub <pattern> | pub <subject> <text> | pubn <subject> <n> | stats | quit")
+	fmt.Println("busd: commands: sub <pattern> | pub <subject> <text> | pubn <subject> <n> | stats | metrics | quit")
 
 	subs := make(map[string]*infobus.Subscription)
 	printer := make(chan string, 64)
@@ -115,6 +123,10 @@ func main() {
 			d := host.Daemon()
 			fmt.Printf("daemon: %+v\n", d.Stats())
 			fmt.Printf("reliable: %+v\n", d.Conn().Stats())
+		case "metrics":
+			for _, m := range host.Metrics().Snapshot() {
+				fmt.Println(m)
+			}
 		default:
 			fmt.Printf("unknown command %q\n", fields[0])
 		}

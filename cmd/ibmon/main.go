@@ -5,6 +5,14 @@
 // (P2).
 //
 //	ibmon -listen 127.0.0.1:7009 -peers 127.0.0.1:7001,127.0.0.1:7002 -sub '>'
+//
+// With -sys it watches the bus watching itself: it subscribes to the
+// reserved "_sys.>" telemetry space and periodically publishes a probe on
+// "_sys.ping", so every exporting node answers with a pong and a fresh
+// SysStats object. The stats render through the same generic print path —
+// ibmon links no telemetry schema.
+//
+//	ibmon -listen 127.0.0.1:7009 -peers 127.0.0.1:7001 -sys
 package main
 
 import (
@@ -13,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"infobus"
 )
@@ -21,6 +30,8 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7009", "UDP listen address")
 	peers := flag.String("peers", "", "comma-separated UDP addresses of bus hosts")
 	subFlag := flag.String("sub", ">", "comma-separated subscription patterns")
+	sys := flag.Bool("sys", false, "monitor bus telemetry: subscribe _sys.> and ping exporters")
+	pingEvery := flag.Duration("ping", 5*time.Second, "probe interval in -sys mode (0 disables)")
 	flag.Parse()
 
 	seg := infobus.NewStaticUDPSegment(*listen, strings.Split(*peers, ","))
@@ -36,7 +47,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	for _, pattern := range strings.Split(*subFlag, ",") {
+	patterns := strings.Split(*subFlag, ",")
+	if *sys {
+		patterns = []string{"_sys.>"}
+	}
+	for _, pattern := range patterns {
 		pattern = strings.TrimSpace(pattern)
 		if pattern == "" {
 			continue
@@ -54,6 +69,21 @@ func main() {
 					qos = " (guaranteed)"
 				}
 				fmt.Printf("[%s]%s %s\n", ev.Subject, qos, infobus.Print(ev.Value))
+			}
+		}()
+	}
+
+	if *sys && *pingEvery > 0 {
+		go func() {
+			nonce := time.Now().UnixNano()
+			ticker := time.NewTicker(*pingEvery)
+			defer ticker.Stop()
+			for {
+				nonce++
+				if err := bus.Publish(infobus.SysPingSubject, nonce); err != nil {
+					return
+				}
+				<-ticker.C
 			}
 		}()
 	}

@@ -6,6 +6,10 @@
 // requires only a few minutes, and typically no compilation is involved."
 //
 //	ibuild -listen 127.0.0.1:7008 -peers 127.0.0.1:7001 -service svc.repository
+//
+// With -sys it browses the bus's own telemetry instead: live
+// "_sys.stats.<node>" objects, rendered through the same introspective
+// machinery, with a ping command that probes every exporting node.
 package main
 
 import (
@@ -24,9 +28,10 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7008", "UDP listen address")
 	peers := flag.String("peers", "", "comma-separated UDP addresses of bus hosts")
 	service := flag.String("service", "", "RMI service subject to build a UI for")
+	sys := flag.Bool("sys", false, "browse bus telemetry (_sys.>) instead of an RMI service")
 	flag.Parse()
-	if *service == "" {
-		fmt.Fprintln(os.Stderr, "ibuild: -service is required")
+	if *service == "" && !*sys {
+		fmt.Fprintln(os.Stderr, "ibuild: -service or -sys is required")
 		os.Exit(2)
 	}
 
@@ -41,6 +46,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ibuild: %v\n", err)
 		os.Exit(1)
+	}
+	if *sys {
+		browser, err := appbuilder.BrowseSys(bus)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibuild: %v\n", err)
+			os.Exit(1)
+		}
+		defer browser.Close()
+		if err := browser.Run(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ibuild: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	ui, err := appbuilder.Build(bus, seg, *service, rmi.DialOptions{
 		DiscoveryWindow: 500 * time.Millisecond,

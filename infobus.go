@@ -30,6 +30,7 @@
 package infobus
 
 import (
+	"infobus/internal/busproto"
 	"infobus/internal/core"
 	"infobus/internal/discovery"
 	"infobus/internal/mop"
@@ -39,6 +40,7 @@ import (
 	"infobus/internal/router"
 	"infobus/internal/subject"
 	"infobus/internal/tdl"
+	"infobus/internal/telemetry"
 	"infobus/internal/transport"
 )
 
@@ -113,6 +115,34 @@ type (
 	// TDL is the interpreted dynamic-classing language (P3).
 	TDL = tdl.Interp
 )
+
+// Telemetry and self-hosted observability ("_sys.>").
+type (
+	// TelemetryConfig tunes metrics, per-hop tracing, and the periodic
+	// "_sys.stats.<node>" export (HostConfig.Telemetry).
+	TelemetryConfig = core.TelemetryConfig
+	// TraceHop is one timestamped hop in a sampled publication's trace
+	// (Event.Trace): the publisher daemon, each router crossed, the
+	// consumer daemon.
+	TraceHop = busproto.TraceHop
+	// Metrics is a host's telemetry registry (Host.Metrics()).
+	Metrics = telemetry.Registry
+	// MetricValue is one exported metric in a registry snapshot.
+	MetricValue = telemetry.Metric
+)
+
+// System subjects. The "_sys.>" space is reserved: user publications are
+// rejected with ErrReservedSubject, except SysPingSubject, where any
+// application may publish a probe that exporting nodes answer on
+// "_sys.pong.<node>".
+const (
+	SysStatsPrefix = telemetry.StatsSubjectPrefix
+	SysPingSubject = telemetry.PingSubject
+	SysPongPrefix  = telemetry.PongSubjectPrefix
+)
+
+// ErrReservedSubject rejects user publications into "_sys.>".
+var ErrReservedSubject = core.ErrReservedSubject
 
 // Fundamental types of the meta-object protocol.
 var (

@@ -1,0 +1,163 @@
+package appbuilder
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"infobus/internal/core"
+	"infobus/internal/mop"
+	"infobus/internal/telemetry"
+)
+
+// SysBrowser is the application builder pointed at the bus itself: it
+// subscribes to the reserved "_sys.>" telemetry space and keeps the latest
+// self-describing stats object per node. Like the service UI, it knows no
+// schema ahead of time — everything it renders arrived on the bus with its
+// class attached (P2).
+type SysBrowser struct {
+	bus *core.Bus
+	sub *core.Subscription
+
+	mu     sync.Mutex
+	latest map[string]*mop.Object // node -> latest SysStats (or SysPong)
+	nonce  int64
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// BrowseSys subscribes to the system-telemetry subjects and starts
+// collecting stats publications.
+func BrowseSys(bus *core.Bus) (*SysBrowser, error) {
+	sub, err := bus.Subscribe("_sys.>")
+	if err != nil {
+		return nil, err
+	}
+	b := &SysBrowser{
+		bus:    bus,
+		sub:    sub,
+		latest: make(map[string]*mop.Object),
+		done:   make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.collect()
+	return b, nil
+}
+
+// Close stops collecting.
+func (b *SysBrowser) Close() error {
+	close(b.done)
+	b.sub.Cancel()
+	b.wg.Wait()
+	return nil
+}
+
+func (b *SysBrowser) collect() {
+	defer b.wg.Done()
+	for {
+		select {
+		case <-b.done:
+			return
+		case ev, ok := <-b.sub.C:
+			if !ok {
+				return
+			}
+			obj, ok := ev.Value.(*mop.Object)
+			if !ok {
+				continue
+			}
+			// Key by the self-declared node attribute when present; no
+			// type names are consulted, so future system classes browse
+			// just as well.
+			node, err := obj.Get("node")
+			if err != nil {
+				continue
+			}
+			name, ok := node.(string)
+			if !ok {
+				continue
+			}
+			b.mu.Lock()
+			b.latest[name] = obj
+			b.mu.Unlock()
+		}
+	}
+}
+
+// Ping publishes a probe on "_sys.ping"; every exporting node answers with
+// a pong and a fresh stats object.
+func (b *SysBrowser) Ping() error {
+	b.mu.Lock()
+	b.nonce++
+	nonce := b.nonce
+	b.mu.Unlock()
+	return b.bus.Publish(telemetry.PingSubject, nonce)
+}
+
+// Nodes lists the nodes heard from, sorted.
+func (b *SysBrowser) Nodes() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	nodes := make([]string, 0, len(b.latest))
+	for n := range b.latest {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	return nodes
+}
+
+// Render pretty-prints the latest object heard from a node through the
+// generic introspective print utility.
+func (b *SysBrowser) Render(node string) (string, bool) {
+	b.mu.Lock()
+	obj := b.latest[node]
+	b.mu.Unlock()
+	if obj == nil {
+		return "", false
+	}
+	return mop.Sprint(obj), true
+}
+
+// Run drives the interactive browse loop: list nodes, show one, ping;
+// repeat until "q" or EOF.
+func (b *SysBrowser) Run(in io.Reader, out io.Writer) error {
+	r := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "=== bus telemetry (_sys.>) ===\n")
+		for _, n := range b.Nodes() {
+			fmt.Fprintf(out, "  %s\n", n)
+		}
+		fmt.Fprint(out, "node name to show, p to ping, q to quit\nselect: ")
+		if !r.Scan() {
+			fmt.Fprintln(out)
+			return nil
+		}
+		choice := strings.TrimSpace(r.Text())
+		switch choice {
+		case "q", "quit":
+			return nil
+		case "p", "ping":
+			if err := b.Ping(); err != nil {
+				fmt.Fprintf(out, "ping failed: %v\n\n", err)
+				continue
+			}
+			// Give answers a moment to arrive before re-listing.
+			time.Sleep(200 * time.Millisecond)
+			fmt.Fprintln(out)
+		case "":
+			fmt.Fprintln(out)
+		default:
+			text, ok := b.Render(choice)
+			if !ok {
+				fmt.Fprintf(out, "no such node %q\n\n", choice)
+				continue
+			}
+			fmt.Fprintf(out, "-> %s\n\n", text)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package appbuilder
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"infobus/internal/core"
+)
+
+// TestBrowseSysRendersLiveStats points the builder at the bus itself: a
+// host exports "_sys.stats.<node>" and the browser renders it with no
+// telemetry schema linked in.
+func TestBrowseSysRendersLiveStats(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	h, err := core.NewHost(seg, "fab-gauge", core.HostConfig{
+		Reliable:  fastReliable(),
+		Telemetry: core.TelemetryConfig{StatsInterval: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = h.Close() })
+
+	mon := newBus(t, seg, "fab-mon")
+	browser, err := BrowseSys(mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer browser.Close()
+
+	deadline := time.After(10 * time.Second)
+	for {
+		if nodes := browser.Nodes(); len(nodes) > 0 {
+			if nodes[0] != "fab-gauge" {
+				t.Fatalf("nodes = %v", nodes)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("browser never heard a stats publication")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	text, ok := browser.Render("fab-gauge")
+	if !ok {
+		t.Fatal("no render for fab-gauge")
+	}
+	for _, want := range []string{"SysStats", "fab-gauge", "daemon.published_local"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+
+	// The interactive loop: show the node, then quit.
+	var out strings.Builder
+	in := strings.NewReader("fab-gauge\nq\n")
+	if err := browser.Run(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SysStats") {
+		t.Errorf("dialogue output missing stats:\n%s", out.String())
+	}
+
+	if err := browser.Ping(); err != nil {
+		t.Errorf("ping = %v", err)
+	}
+}

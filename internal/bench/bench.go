@@ -37,6 +37,10 @@ type Config struct {
 	// experiment (off for latency, on for throughput), matching the
 	// appendix's use of the batch parameter.
 	Reliable reliable.Config
+	// Telemetry is applied to every host in the topology
+	// (BenchmarkTelemetryOverhead measures its cost; the figure
+	// experiments leave it zero).
+	Telemetry core.TelemetryConfig
 }
 
 // DefaultConfig is the paper's topology.
@@ -70,7 +74,7 @@ func buildTopology(cfg Config, patterns []string) (*topology, error) {
 	}
 	seg := transport.NewSimSegment(cfg.Net)
 	tp := &topology{seg: seg}
-	pubHost, err := core.NewHost(seg, "publisher", core.HostConfig{Reliable: cfg.Reliable})
+	pubHost, err := core.NewHost(seg, "publisher", core.HostConfig{Reliable: cfg.Reliable, Telemetry: cfg.Telemetry})
 	if err != nil {
 		seg.Close()
 		return nil, err
@@ -82,7 +86,7 @@ func buildTopology(cfg Config, patterns []string) (*topology, error) {
 		return nil, err
 	}
 	for i := 0; i < cfg.Consumers; i++ {
-		h, err := core.NewHost(seg, fmt.Sprintf("consumer%d", i), core.HostConfig{Reliable: cfg.Reliable})
+		h, err := core.NewHost(seg, fmt.Sprintf("consumer%d", i), core.HostConfig{Reliable: cfg.Reliable, Telemetry: cfg.Telemetry})
 		if err != nil {
 			tp.Close()
 			return nil, err

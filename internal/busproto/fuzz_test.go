@@ -9,6 +9,17 @@ func FuzzDecode(f *testing.F) {
 	f.Add(Encode(Envelope{Kind: KindGuarAck, ID: 1, Origin: "o"}))
 	f.Add(Encode(Envelope{Kind: KindInterest, Patterns: []string{"a.>", "*"}}))
 	f.Add([]byte{})
+	// Traced envelopes: empty trace, populated trace, negative timestamps.
+	f.Add(Encode(Envelope{Kind: KindPublishTraced, Subject: "a.b", Payload: []byte("x"), TraceID: 7}))
+	f.Add(Encode(Envelope{Kind: KindPublishTraced, Hops: 2, Subject: "t", TraceID: 1,
+		Trace: []TraceHop{{Node: "sim:0", At: 123456789}, {Node: "router:r:a", At: -1}}}))
+	f.Add(Encode(Envelope{Kind: KindGuaranteedTraced, ID: 4, Origin: "o", Subject: "g",
+		TraceID: 99, Trace: []TraceHop{{Node: "n", At: 1690000000000000000}}}))
+	// Malformed hop lists: count exceeding MaxTraceHops, count promising
+	// more hops than the data holds, and an oversized node name length.
+	f.Add([]byte{KindPublishTraced, 0, 1, MaxTraceHops + 1, 1, 'n', 2})
+	f.Add([]byte{KindPublishTraced, 0, 1, 5, 1, 'n', 2})
+	f.Add([]byte{KindGuaranteedTraced, 0, 9, 1, 'o', 1, 1, 0xff, 0xff, 0x03})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e, err := Decode(data)
 		if err != nil {
@@ -20,6 +31,14 @@ func FuzzDecode(f *testing.F) {
 		}
 		if got.Kind != e.Kind || got.Subject != e.Subject || got.ID != e.ID || got.Origin != e.Origin {
 			t.Fatalf("round trip mismatch: %+v vs %+v", e, got)
+		}
+		if got.TraceID != e.TraceID || len(got.Trace) != len(e.Trace) {
+			t.Fatalf("trace round trip mismatch: %+v vs %+v", e, got)
+		}
+		for i := range e.Trace {
+			if got.Trace[i] != e.Trace[i] {
+				t.Fatalf("hop %d mismatch: %+v vs %+v", i, got.Trace[i], e.Trace[i])
+			}
 		}
 	})
 }

@@ -3,8 +3,11 @@
 // subject, an opaque payload (the wire-marshalled data object), and the
 // metadata the distributed machinery needs — hop counts for forwarding-loop
 // prevention, origin tokens for routing guaranteed-delivery
-// acknowledgements back across bridged segments, and aggregate interest
-// advertisements that routers use to forward only wanted traffic (§3.1).
+// acknowledgements back across bridged segments, aggregate interest
+// advertisements that routers use to forward only wanted traffic (§3.1),
+// and optional per-hop traces (trace id + hop timestamps) for the
+// telemetry subsystem — carried by dedicated envelope kinds so untraced
+// traffic pays zero extra wire bytes.
 package busproto
 
 import (
@@ -19,10 +22,30 @@ const (
 	KindGuaranteed = 2 // guaranteed publication (expects acknowledgement)
 	KindGuarAck    = 3 // guaranteed-delivery acknowledgement
 	KindInterest   = 4 // aggregate subscription advertisement (for routers)
+	// Traced variants of the two data kinds: identical semantics plus a
+	// trace id and per-hop timestamp list for the telemetry subsystem.
+	// Untraced publications keep the legacy kinds byte-for-byte, so
+	// tracing disabled costs zero wire bytes.
+	KindPublishTraced    = 5
+	KindGuaranteedTraced = 6
 )
 
 // MaxHops bounds how many routers a publication may cross.
 const MaxHops = 8
+
+// MaxTraceHops bounds the per-hop trace list: publisher daemon + up to
+// MaxHops routers + consumer daemon, with slack for future hop kinds. A
+// traced envelope whose list is full is forwarded without appending.
+const MaxTraceHops = 16
+
+// TraceHop is one recorded hop of a traced publication: which node touched
+// the message and when (unix nanoseconds of that node's clock; on the
+// simulated network all nodes share the host clock, so per-hop deltas are
+// directly meaningful).
+type TraceHop struct {
+	Node string
+	At   int64
+}
 
 // Envelope is the bus-level message format: a subject plus an opaque
 // payload (the wire-marshalled data object).
@@ -34,6 +57,41 @@ type Envelope struct {
 	Subject  string
 	Payload  []byte
 	Patterns []string // KindInterest
+	// Tracing (KindPublishTraced, KindGuaranteedTraced only).
+	TraceID uint64
+	Trace   []TraceHop
+}
+
+// Base returns the untraced kind corresponding to e.Kind: traced data
+// kinds map to their plain counterpart, every other kind maps to itself.
+// Dispatch on Base so tracing stays invisible to delivery semantics.
+func (e Envelope) Base() byte {
+	switch e.Kind {
+	case KindPublishTraced:
+		return KindPublish
+	case KindGuaranteedTraced:
+		return KindGuaranteed
+	default:
+		return e.Kind
+	}
+}
+
+// Traced reports whether the envelope carries a hop trace.
+func (e Envelope) Traced() bool {
+	return e.Kind == KindPublishTraced || e.Kind == KindGuaranteedTraced
+}
+
+// AppendHop records a hop on a traced envelope, dropping the record (not
+// the message) when the trace list is already at MaxTraceHops.
+func (e *Envelope) AppendHop(node string, at int64) {
+	if !e.Traced() || len(e.Trace) >= MaxTraceHops {
+		return
+	}
+	// Copy-on-append: traced envelopes fan out through routers, and the
+	// decoded Trace slice may be shared.
+	trace := make([]TraceHop, len(e.Trace), len(e.Trace)+1)
+	copy(trace, e.Trace)
+	e.Trace = append(trace, TraceHop{Node: node, At: at})
 }
 
 // Envelope errors.
@@ -45,6 +103,7 @@ const (
 	maxSubjectLen  = 1 << 10
 	maxOriginLen   = 256
 	maxPatternsLen = 1 << 16
+	maxNodeLen     = 256
 )
 
 func Encode(e Envelope) []byte {
@@ -54,10 +113,22 @@ func Encode(e Envelope) []byte {
 		b = append(b, e.Hops)
 		b = appendString(b, e.Subject)
 		b = append(b, e.Payload...)
+	case KindPublishTraced:
+		b = append(b, e.Hops)
+		b = appendTrace(b, e)
+		b = appendString(b, e.Subject)
+		b = append(b, e.Payload...)
 	case KindGuaranteed:
 		b = append(b, e.Hops)
 		b = binary.AppendUvarint(b, e.ID)
 		b = appendString(b, e.Origin)
+		b = appendString(b, e.Subject)
+		b = append(b, e.Payload...)
+	case KindGuaranteedTraced:
+		b = append(b, e.Hops)
+		b = binary.AppendUvarint(b, e.ID)
+		b = appendString(b, e.Origin)
+		b = appendTrace(b, e)
 		b = appendString(b, e.Subject)
 		b = append(b, e.Payload...)
 	case KindGuarAck:
@@ -77,6 +148,20 @@ func appendString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
+func appendTrace(b []byte, e Envelope) []byte {
+	b = binary.AppendUvarint(b, e.TraceID)
+	trace := e.Trace
+	if len(trace) > MaxTraceHops {
+		trace = trace[:MaxTraceHops]
+	}
+	b = binary.AppendUvarint(b, uint64(len(trace)))
+	for _, h := range trace {
+		b = appendString(b, h.Node)
+		b = binary.AppendVarint(b, h.At)
+	}
+	return b
+}
+
 type envReader struct {
 	data []byte
 	pos  int
@@ -89,6 +174,41 @@ func (r *envReader) uvarint() (uint64, error) {
 	}
 	r.pos += n
 	return v, nil
+}
+
+func (r *envReader) varint() (int64, error) {
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, ErrEnvelopeCorrupt
+	}
+	r.pos += n
+	return v, nil
+}
+
+// trace reads a trace id plus a capped hop list.
+func (r *envReader) trace(e *Envelope) error {
+	var err error
+	if e.TraceID, err = r.uvarint(); err != nil {
+		return err
+	}
+	count, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if count > MaxTraceHops {
+		return ErrEnvelopeCorrupt
+	}
+	for i := uint64(0); i < count; i++ {
+		var h TraceHop
+		if h.Node, err = r.str(maxNodeLen); err != nil {
+			return err
+		}
+		if h.At, err = r.varint(); err != nil {
+			return err
+		}
+		e.Trace = append(e.Trace, h)
+	}
+	return nil
 }
 
 func (r *envReader) str(maxLen int) (string, error) {
@@ -121,15 +241,20 @@ func Decode(data []byte) (Envelope, error) {
 	r := &envReader{data: data, pos: 1}
 	var err error
 	switch e.Kind {
-	case KindPublish:
+	case KindPublish, KindPublishTraced:
 		if e.Hops, err = r.byteVal(); err != nil {
 			return Envelope{}, err
+		}
+		if e.Kind == KindPublishTraced {
+			if err = r.trace(&e); err != nil {
+				return Envelope{}, err
+			}
 		}
 		if e.Subject, err = r.str(maxSubjectLen); err != nil {
 			return Envelope{}, err
 		}
 		e.Payload = data[r.pos:]
-	case KindGuaranteed:
+	case KindGuaranteed, KindGuaranteedTraced:
 		if e.Hops, err = r.byteVal(); err != nil {
 			return Envelope{}, err
 		}
@@ -138,6 +263,11 @@ func Decode(data []byte) (Envelope, error) {
 		}
 		if e.Origin, err = r.str(maxOriginLen); err != nil {
 			return Envelope{}, err
+		}
+		if e.Kind == KindGuaranteedTraced {
+			if err = r.trace(&e); err != nil {
+				return Envelope{}, err
+			}
 		}
 		if e.Subject, err = r.str(maxSubjectLen); err != nil {
 			return Envelope{}, err

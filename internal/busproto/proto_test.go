@@ -34,6 +34,119 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTracedEnvelopeRoundTrip(t *testing.T) {
+	cases := []Envelope{
+		{Kind: KindPublishTraced, Subject: "a.b", Payload: []byte("data"), TraceID: 77},
+		{Kind: KindPublishTraced, Hops: 2, Subject: "x", TraceID: 1,
+			Trace: []TraceHop{{Node: "sim:0", At: 123}, {Node: "router:r:east", At: -4}}},
+		{Kind: KindGuaranteedTraced, Hops: 1, ID: 42, Origin: "sim:0#abc", Subject: "g.s",
+			Payload: []byte{1, 2}, TraceID: 9,
+			Trace: []TraceHop{{Node: "sim:0", At: 1690000000000000000}}},
+	}
+	for _, e := range cases {
+		got, err := Decode(Encode(e))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", e, err)
+		}
+		if got.Kind != e.Kind || got.ID != e.ID || got.Subject != e.Subject ||
+			got.Origin != e.Origin || got.Hops != e.Hops || got.TraceID != e.TraceID ||
+			string(got.Payload) != string(e.Payload) || len(got.Trace) != len(e.Trace) {
+			t.Errorf("round trip %+v -> %+v", e, got)
+		}
+		for i := range e.Trace {
+			if got.Trace[i] != e.Trace[i] {
+				t.Errorf("hop %d: %+v vs %+v", i, got.Trace[i], e.Trace[i])
+			}
+		}
+	}
+}
+
+func TestTracedHelpers(t *testing.T) {
+	e := Envelope{Kind: KindPublishTraced, Subject: "s"}
+	if e.Base() != KindPublish || !e.Traced() {
+		t.Fatalf("Base/Traced on traced publish: %d %t", e.Base(), e.Traced())
+	}
+	g := Envelope{Kind: KindGuaranteedTraced}
+	if g.Base() != KindGuaranteed {
+		t.Fatalf("Base on traced guaranteed: %d", g.Base())
+	}
+	p := Envelope{Kind: KindPublish}
+	if p.Base() != KindPublish || p.Traced() {
+		t.Fatal("plain publish must be its own base and untraced")
+	}
+	p.AppendHop("n", 1)
+	if p.Trace != nil {
+		t.Fatal("AppendHop on untraced envelope must be a no-op")
+	}
+	for i := 0; i < MaxTraceHops+5; i++ {
+		e.AppendHop("n", int64(i))
+	}
+	if len(e.Trace) != MaxTraceHops {
+		t.Fatalf("trace grew to %d, cap is %d", len(e.Trace), MaxTraceHops)
+	}
+	// AppendHop must not alias a shared slice (router fan-out).
+	shared := Envelope{Kind: KindPublishTraced, Trace: make([]TraceHop, 1, 8)}
+	a, b := shared, shared
+	a.AppendHop("a", 1)
+	b.AppendHop("b", 2)
+	if a.Trace[1].Node != "a" || b.Trace[1].Node != "b" {
+		t.Fatalf("AppendHop aliased the shared trace: %+v vs %+v", a.Trace, b.Trace)
+	}
+}
+
+// TestUntracedLayoutFrozen pins the legacy byte layout of the untraced
+// data kinds: with tracing disabled the daemon emits these envelopes, so
+// any growth here would violate the zero-extra-wire-bytes guarantee.
+func TestUntracedLayoutFrozen(t *testing.T) {
+	got := Encode(Envelope{Kind: KindPublish, Hops: 3, Subject: "a.b", Payload: []byte{9, 8}})
+	want := []byte{KindPublish, 3, 3, 'a', '.', 'b', 9, 8}
+	if string(got) != string(want) {
+		t.Fatalf("publish layout changed: % x, want % x", got, want)
+	}
+	got = Encode(Envelope{Kind: KindGuaranteed, Hops: 1, ID: 5, Origin: "o", Subject: "s", Payload: []byte{7}})
+	want = []byte{KindGuaranteed, 1, 5, 1, 'o', 1, 's', 7}
+	if string(got) != string(want) {
+		t.Fatalf("guaranteed layout changed: % x, want % x", got, want)
+	}
+}
+
+func TestTraceCaps(t *testing.T) {
+	// A hop list longer than MaxTraceHops is rejected at decode.
+	e := Envelope{Kind: KindPublishTraced, Subject: "s", TraceID: 1}
+	for i := 0; i < MaxTraceHops; i++ {
+		e.Trace = append(e.Trace, TraceHop{Node: "n", At: int64(i)})
+	}
+	enc := Encode(e)
+	if _, err := Decode(enc); err != nil {
+		t.Fatalf("full trace must decode: %v", err)
+	}
+	// Patch the hop count (bytes: kind, hops, traceID=1 byte, count).
+	enc[3] = MaxTraceHops + 1
+	if _, err := Decode(enc); !errors.Is(err, ErrEnvelopeCorrupt) {
+		t.Errorf("oversized hop count error = %v", err)
+	}
+	// A node name above maxNodeLen is rejected.
+	long := Envelope{Kind: KindPublishTraced, Subject: "s",
+		Trace: []TraceHop{{Node: string(make([]byte, 300)), At: 1}}}
+	if _, err := Decode(Encode(long)); !errors.Is(err, ErrEnvelopeCorrupt) {
+		t.Errorf("oversized node name error = %v", err)
+	}
+	// Truncations anywhere in a traced envelope are rejected, not panics.
+	full := Encode(Envelope{Kind: KindGuaranteedTraced, ID: 3, Origin: "o", Subject: "s",
+		TraceID: 8, Trace: []TraceHop{{Node: "a", At: 100}, {Node: "b", At: 200}}})
+	for i := 1; i < len(full)-1; i++ {
+		if _, err := Decode(full[:i]); err == nil {
+			// The payload tail is legitimately variable-length; only the
+			// header region must reject truncation. Find where the subject
+			// ends: everything before it is header.
+			dec, _ := Decode(full[:i])
+			if dec.Subject != "s" {
+				t.Errorf("truncated traced envelope of %d bytes decoded: %+v", i, dec)
+			}
+		}
+	}
+}
+
 func TestEnvelopeCorrupt(t *testing.T) {
 	if _, err := Decode(nil); !errors.Is(err, ErrEnvelopeCorrupt) {
 		t.Errorf("nil error = %v", err)

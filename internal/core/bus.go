@@ -20,14 +20,17 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
+	"infobus/internal/busproto"
 	"infobus/internal/daemon"
 	"infobus/internal/ledger"
 	"infobus/internal/mop"
 	"infobus/internal/reliable"
 	"infobus/internal/subject"
+	"infobus/internal/telemetry"
 	"infobus/internal/transport"
 	"infobus/internal/wire"
 )
@@ -35,15 +38,56 @@ import (
 // Host is one workstation on the bus: a transport endpoint, its daemon,
 // and the process-wide type registry shared by the applications on it.
 type Host struct {
-	name   string
-	daemon *daemon.Daemon
-	reg    *mop.Registry
+	name    string
+	daemon  *daemon.Daemon
+	reg     *mop.Registry
+	metrics *telemetry.Registry
+	ctr     busCounters
 
 	mu     sync.Mutex
 	ledger *ledger.Ledger
 	retry  *guaranteeRetrier
+	sys    *sysExporter
 	buses  []*Bus
 	closed bool
+}
+
+// busCounters are the host's bus-layer telemetry handles.
+type busCounters struct {
+	published, publishedGuaranteed *telemetry.Counter
+	events, undecodableDropped     *telemetry.Counter
+}
+
+// TelemetryConfig tunes the host's self-observation (internal/telemetry).
+type TelemetryConfig struct {
+	// Registry is the host's metrics registry, shared by the daemon, the
+	// reliable protocol, the ledger, and the bus layer. Nil creates one;
+	// retrieve it with Host.Metrics.
+	Registry *telemetry.Registry
+	// TraceSampling is the fraction of publications carrying a per-hop
+	// trace (trace id + a timestamp per daemon/router crossed). 0 disables
+	// tracing — untraced publications are byte-identical on the wire to a
+	// host with tracing never configured. 1 traces everything. Intermediate
+	// rates sample deterministically (every ⌈1/rate⌉-th publication).
+	TraceSampling float64
+	// StatsInterval enables self-hosted export: the host periodically
+	// publishes its metrics snapshot as a self-describing SysStats object
+	// on "_sys.stats.<node>" and answers "_sys.ping" probes with a SysPong
+	// plus a fresh snapshot. 0 disables.
+	StatsInterval time.Duration
+}
+
+// tracePeriod converts a sampling fraction to the daemon's every-Nth
+// counter period.
+func (tc TelemetryConfig) tracePeriod() uint64 {
+	switch {
+	case tc.TraceSampling <= 0:
+		return 0
+	case tc.TraceSampling >= 1:
+		return 1
+	default:
+		return uint64(math.Round(1 / tc.TraceSampling))
+	}
 }
 
 // HostConfig tunes a host.
@@ -62,13 +106,16 @@ type HostConfig struct {
 	// Registry lets several hosts share one type universe (common in
 	// tests). Nil creates a fresh registry.
 	Registry *mop.Registry
+	// Telemetry tunes metrics, tracing, and the "_sys.>" stats export.
+	Telemetry TelemetryConfig
 }
 
 // Bus errors.
 var (
-	ErrClosed        = errors.New("core: closed")
-	ErrNoLedger      = errors.New("core: guaranteed delivery requires a ledger (set HostConfig.LedgerPath)")
-	ErrNotDataObject = errors.New("core: value cannot travel on the bus")
+	ErrClosed          = errors.New("core: closed")
+	ErrNoLedger        = errors.New("core: guaranteed delivery requires a ledger (set HostConfig.LedgerPath)")
+	ErrNotDataObject   = errors.New("core: value cannot travel on the bus")
+	ErrReservedSubject = errors.New("core: the _sys subject space is reserved for bus telemetry")
 )
 
 // NewHost attaches a workstation to a network segment.
@@ -81,19 +128,46 @@ func NewHost(seg transport.Segment, name string, cfg HostConfig) (*Host, error) 
 	if reg == nil {
 		reg = mop.NewRegistry()
 	}
+	metrics := cfg.Telemetry.Registry
+	if metrics == nil {
+		metrics = telemetry.NewRegistry()
+	}
+	rcfg := cfg.Reliable
+	if rcfg.Metrics == nil {
+		rcfg.Metrics = metrics
+	}
 	h := &Host{
-		name:   name,
-		daemon: daemon.New(ep, cfg.Reliable),
-		reg:    reg,
+		name: name,
+		daemon: daemon.New(ep, rcfg, daemon.Options{
+			Metrics:     metrics,
+			TracePeriod: cfg.Telemetry.tracePeriod(),
+			Node:        name,
+		}),
+		reg:     reg,
+		metrics: metrics,
+		ctr: busCounters{
+			published:           metrics.Counter("bus.published"),
+			publishedGuaranteed: metrics.Counter("bus.published_guaranteed"),
+			events:              metrics.Counter("bus.events"),
+			undecodableDropped:  metrics.Counter("bus.undecodable_dropped"),
+		},
 	}
 	if cfg.LedgerPath != "" {
-		led, err := ledger.Open(cfg.LedgerPath, ledger.Options{Sync: cfg.LedgerSync})
+		led, err := ledger.Open(cfg.LedgerPath, ledger.Options{Sync: cfg.LedgerSync, Metrics: metrics})
 		if err != nil {
 			_ = h.daemon.Close()
 			return nil, err
 		}
 		h.ledger = led
 		h.retry = newGuaranteeRetrier(h.daemon, led, cfg.RetryInterval)
+	}
+	if cfg.Telemetry.StatsInterval > 0 {
+		sys, err := startSysExporter(h, cfg.Telemetry.StatsInterval)
+		if err != nil {
+			_ = h.Close()
+			return nil, err
+		}
+		h.sys = sys
 	}
 	return h, nil
 }
@@ -106,6 +180,10 @@ func (h *Host) Addr() string { return h.daemon.Addr() }
 
 // Registry returns the host's type registry.
 func (h *Host) Registry() *mop.Registry { return h.reg }
+
+// Metrics returns the host's telemetry registry: bus, daemon, reliable
+// protocol, and ledger counters, one shared namespace per host.
+func (h *Host) Metrics() *telemetry.Registry { return h.metrics }
 
 // Daemon exposes the host daemon, mainly for statistics.
 func (h *Host) Daemon() *daemon.Daemon { return h.daemon }
@@ -131,7 +209,12 @@ func (h *Host) Close() error {
 	}
 	h.closed = true
 	buses := append([]*Bus(nil), h.buses...)
+	sys := h.sys
+	h.sys = nil
 	h.mu.Unlock()
+	if sys != nil {
+		sys.stop()
+	}
 	for _, b := range buses {
 		_ = b.Close()
 	}
@@ -197,6 +280,12 @@ type Event struct {
 	From string
 	// Guaranteed marks guaranteed-delivery publications.
 	Guaranteed bool
+	// TraceID and Trace carry the per-hop telemetry trace when this
+	// publication was sampled (TelemetryConfig.TraceSampling): one
+	// timestamped hop per daemon and router it crossed. Trace is empty for
+	// unsampled publications.
+	TraceID uint64
+	Trace   []busproto.TraceHop
 }
 
 // Subscription is a live subject subscription. Events arrive on C. Cancel
@@ -257,6 +346,11 @@ func (b *Bus) Registry() *mop.Registry { return b.host.reg }
 
 // Publish labels a data object with a subject and disseminates it with
 // reliable delivery.
+//
+// The "_sys.>" subject space is reserved: only the bus machinery publishes
+// there (so subscribers can trust "_sys.stats.<node>" objects), with one
+// exception — any application may publish on "_sys.ping" to probe the
+// exporting nodes.
 func (b *Bus) Publish(subj string, value mop.Value) error {
 	b.mu.Lock()
 	closed := b.closed
@@ -268,10 +362,14 @@ func (b *Bus) Publish(subj string, value mop.Value) error {
 	if err != nil {
 		return err
 	}
+	if subject.IsSys(s) && s.String() != telemetry.PingSubject {
+		return fmt.Errorf("%q: %w", subj, ErrReservedSubject)
+	}
 	payload, err := wire.Marshal(value)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrNotDataObject, err)
 	}
+	b.host.ctr.published.Inc()
 	return b.host.daemon.Publish(s, payload)
 }
 
@@ -289,6 +387,10 @@ func (b *Bus) PublishGuaranteed(subj string, value mop.Value) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if subject.IsSys(s) {
+		// No ping exception here: system probes are fire-and-forget.
+		return 0, fmt.Errorf("%q: %w", subj, ErrReservedSubject)
+	}
 	b.host.mu.Lock()
 	led, retry := b.host.ledger, b.host.retry
 	b.host.mu.Unlock()
@@ -304,6 +406,7 @@ func (b *Bus) PublishGuaranteed(subj string, value mop.Value) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	b.host.ctr.publishedGuaranteed.Inc()
 	if err := b.host.daemon.PublishGuaranteed(s, payload, id); err != nil {
 		return id, err
 	}
@@ -400,13 +503,17 @@ func (b *Bus) dispatchLoop() {
 		}
 		value, err := wire.Unmarshal(dv.Payload, b.host.reg)
 		if err != nil {
+			b.host.ctr.undecodableDropped.Inc()
 			continue // undecodable object: drop (foreign/corrupt payload)
 		}
+		b.host.ctr.events.Inc()
 		ev := Event{
 			Subject:    dv.Subject,
 			Value:      value,
 			From:       dv.From,
 			Guaranteed: dv.Guaranteed,
+			TraceID:    dv.TraceID,
+			Trace:      dv.Trace,
 		}
 		b.mu.Lock()
 		targets := b.subs.Match(dv.Subject)

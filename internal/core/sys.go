@@ -1,0 +1,130 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"infobus/internal/daemon"
+	"infobus/internal/mop"
+	"infobus/internal/subject"
+	"infobus/internal/telemetry"
+	"infobus/internal/wire"
+)
+
+// sysExporter is the host's self-hosted observability agent: on a timer it
+// publishes the host's metrics snapshot as a self-describing SysStats
+// object on "_sys.stats.<node>", and it answers "_sys.ping" probes with a
+// SysPong plus a fresh snapshot. It publishes through the daemon directly —
+// the internal path — which is why applications going through Bus.Publish
+// can be denied the "_sys.>" space without breaking the export.
+type sysExporter struct {
+	h        *Host
+	types    telemetry.SysTypes
+	client   *daemon.Client
+	interval time.Duration
+	node     string
+	start    time.Time
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func startSysExporter(h *Host, interval time.Duration) (*sysExporter, error) {
+	types, err := telemetry.DefineSysTypes(h.reg)
+	if err != nil {
+		return nil, err
+	}
+	client, err := h.daemon.NewClient("_sys-exporter")
+	if err != nil {
+		return nil, err
+	}
+	if err := client.Subscribe(subject.MustParsePattern(telemetry.PingSubject)); err != nil {
+		_ = client.Close()
+		return nil, err
+	}
+	e := &sysExporter{
+		h:        h,
+		types:    types,
+		client:   client,
+		interval: interval,
+		node:     telemetry.SanitizeNode(h.name),
+		start:    time.Now(),
+		done:     make(chan struct{}),
+	}
+	e.wg.Add(2)
+	go e.exportLoop()
+	go e.pingLoop()
+	return e, nil
+}
+
+func (e *sysExporter) stop() {
+	close(e.done)
+	_ = e.client.Close()
+	e.wg.Wait()
+}
+
+func (e *sysExporter) exportLoop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-ticker.C:
+			e.publishStats()
+		}
+	}
+}
+
+// pingLoop answers "_sys.ping" probes. The probe payload may carry a nonce
+// (any integer value, or an object with an integer "nonce" attribute); the
+// pong echoes it so a prober can match answers to its own probe.
+func (e *sysExporter) pingLoop() {
+	defer e.wg.Done()
+	for {
+		dv, ok := e.client.Next(e.done)
+		if !ok {
+			return
+		}
+		var nonce int64
+		if v, err := wire.Unmarshal(dv.Payload, e.h.reg); err == nil {
+			switch x := v.(type) {
+			case int64:
+				nonce = x
+			case *mop.Object:
+				if n, err := x.Get("nonce"); err == nil {
+					if i, ok := n.(int64); ok {
+						nonce = i
+					}
+				}
+			}
+		}
+		e.publishPong(nonce)
+		e.publishStats()
+	}
+}
+
+func (e *sysExporter) publishStats() {
+	now := time.Now()
+	obj := e.types.StatsObject(e.node, now, now.Sub(e.start), e.h.metrics.Snapshot())
+	e.publish(telemetry.StatsSubject(e.node), obj)
+}
+
+func (e *sysExporter) publishPong(nonce int64) {
+	e.publish(telemetry.PongSubject(e.node), e.types.PongObject(e.node, time.Now(), nonce))
+}
+
+func (e *sysExporter) publish(subj string, obj *mop.Object) {
+	s, err := subject.Parse(subj)
+	if err != nil {
+		return
+	}
+	payload, err := wire.Marshal(obj)
+	if err != nil {
+		return
+	}
+	// Best-effort: a closing daemon returns ErrClosed, which is fine.
+	_ = e.h.daemon.Publish(s, payload)
+	_ = e.h.daemon.Flush()
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"infobus/internal/mop"
+	"infobus/internal/telemetry"
+)
+
+// TestSysSubjectReserved pins the anti-spoofing rule: applications cannot
+// publish into "_sys.>", so a monitor subscribed there can trust that stats
+// objects really came from bus machinery. The single carve-out is the
+// "_sys.ping" probe subject, and even that is Publish-only.
+func TestSysSubjectReserved(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	h := newHost(t, seg, "spoofer", HostConfig{})
+	bus, err := h.NewBus("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, subj := range []string{"_sys.stats.spoofer", "_sys.pong.spoofer", "_sys.bogus"} {
+		if err := bus.Publish(subj, int64(1)); !errors.Is(err, ErrReservedSubject) {
+			t.Errorf("Publish(%q) = %v, want ErrReservedSubject", subj, err)
+		}
+	}
+	// Guaranteed delivery has no ping exception: probes are fire-and-forget.
+	for _, subj := range []string{"_sys.stats.spoofer", "_sys.ping"} {
+		if _, err := bus.PublishGuaranteed(subj, int64(1)); !errors.Is(err, ErrReservedSubject) {
+			t.Errorf("PublishGuaranteed(%q) = %v, want ErrReservedSubject", subj, err)
+		}
+	}
+	if err := bus.Publish(telemetry.PingSubject, int64(42)); err != nil {
+		t.Errorf("Publish(_sys.ping) = %v, want nil", err)
+	}
+}
+
+// TestSysStatsExport runs a host with the stats exporter on and checks that
+// an anonymous monitor on another host receives a self-describing SysStats
+// object — without ever linking or registering the telemetry classes (P2).
+func TestSysStatsExport(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	exp := newHost(t, seg, "fab-gauge", HostConfig{
+		Telemetry: TelemetryConfig{StatsInterval: 20 * time.Millisecond},
+	})
+	mon := newHost(t, seg, "fab-mon", HostConfig{})
+	monBus, err := mon.NewBus("monitor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := monBus.Subscribe("_sys.stats.>")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Generate a little traffic so the snapshot has nonzero counters.
+	expBus, err := exp.NewBus("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := expBus.Publish("fab5.cc.temp", int64(7)); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.After(10 * time.Second)
+	for {
+		var ev Event
+		select {
+		case ev = <-sub.C:
+		case <-deadline:
+			t.Fatal("no stats publication received")
+		}
+		obj, ok := ev.Value.(*mop.Object)
+		if !ok {
+			t.Fatalf("stats value = %T", ev.Value)
+		}
+		if obj.Type().Name() != "SysStats" {
+			t.Fatalf("stats type = %q", obj.Type().Name())
+		}
+		if got := obj.MustGet("node"); got != "fab-gauge" {
+			t.Fatalf("node = %v", got)
+		}
+		metrics, ok := obj.MustGet("metrics").(mop.List)
+		if !ok || len(metrics) == 0 {
+			t.Fatalf("metrics list = %v", obj.MustGet("metrics"))
+		}
+		// Find the host's publish counter; it may take a later snapshot to
+		// reflect the publication above.
+		for _, m := range metrics {
+			mo := m.(*mop.Object)
+			if mo.MustGet("name") == "bus.published" && mo.MustGet("value").(int64) >= 1 {
+				return
+			}
+		}
+	}
+}
+
+// TestSysPingPong probes the bus: an application publishes a nonce on
+// "_sys.ping" (the one permitted system publish) and every exporting node
+// answers on "_sys.pong.<node>", echoing the nonce.
+func TestSysPingPong(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	newHost(t, seg, "fab-gauge", HostConfig{
+		Telemetry: TelemetryConfig{StatsInterval: time.Minute}, // exporter on, ticker idle
+	})
+	prober := newHost(t, seg, "fab-probe", HostConfig{})
+	bus, err := prober.NewBus("probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := bus.Subscribe("_sys.pong.>")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-probe until answered: the exporter's ping subscription propagates
+	// asynchronously, so the first probes may fall on deaf ears.
+	deadline := time.After(10 * time.Second)
+	for {
+		if err := bus.Publish(telemetry.PingSubject, int64(99)); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case ev := <-sub.C:
+			obj, ok := ev.Value.(*mop.Object)
+			if !ok || obj.Type().Name() != "SysPong" {
+				t.Fatalf("pong value = %v", ev.Value)
+			}
+			if obj.MustGet("node") != "fab-gauge" || obj.MustGet("nonce") != int64(99) {
+				t.Fatalf("pong = node %v nonce %v", obj.MustGet("node"), obj.MustGet("nonce"))
+			}
+			return
+		case <-deadline:
+			t.Fatal("no pong received")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}

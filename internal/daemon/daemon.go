@@ -23,11 +23,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"infobus/internal/busproto"
 	"infobus/internal/reliable"
 	"infobus/internal/subject"
+	"infobus/internal/telemetry"
 	"infobus/internal/transport"
 )
 
@@ -41,6 +43,11 @@ type Delivery struct {
 	// publisher-side ledger identifier.
 	Guaranteed bool
 	ID         uint64
+	// TraceID and Trace carry the per-hop telemetry trace when the
+	// publication was sampled (Options.TracePeriod); Trace is empty
+	// otherwise. The receiving daemon's own hop is already appended.
+	TraceID uint64
+	Trace   []busproto.TraceHop
 }
 
 // Daemon errors.
@@ -81,7 +88,12 @@ type Daemon struct {
 	guarSeen  map[string]struct{}
 	guarOrder []string
 
-	stats Stats
+	metrics     *telemetry.Registry
+	ctr         counters
+	tracePeriod uint64
+	traceBase   uint64        // random base xored into trace ids
+	traceNode   string        // hop name this daemon records in traces
+	pubSeq      atomic.Uint64 // local publication sequence, drives sampling
 }
 
 // guarSeenCap bounds the duplicate-suppression window.
@@ -98,24 +110,83 @@ type Stats struct {
 	CorruptDropped uint64
 }
 
+// counters holds the daemon's telemetry handles, resolved once at
+// construction so the delivery path never touches the registry lock.
+type counters struct {
+	publishedLocal, inbound, deliveredLocal, noSubscriber *telemetry.Counter
+	guarAcksSent, guarAcksRecv, corruptDropped            *telemetry.Counter
+	traced                                                *telemetry.Counter
+	traceE2E                                              *telemetry.Histogram
+}
+
+// Options tune the daemon beyond the reliable protocol.
+type Options struct {
+	// Metrics is the telemetry registry the daemon's counters live in
+	// (shared with the host's other components so one "_sys.stats.<node>"
+	// object covers the whole host). Nil creates a private registry.
+	Metrics *telemetry.Registry
+	// TracePeriod enables per-hop message tracing: every TracePeriod-th
+	// local publication is sent as a traced envelope carrying a trace id
+	// and hop timestamps (publisher daemon, routers crossed, consumer
+	// daemon). 0 disables tracing; untraced publications are byte-identical
+	// to the legacy envelope format. Sampling is a deterministic counter,
+	// not a random draw, so the hot path stays flat.
+	TracePeriod uint64
+	// Node names this daemon in trace hop records ("pubhost", not
+	// "sim:1"); transport addresses are only unique per segment, so a
+	// trace crossing routers needs the host-level name. Empty falls back
+	// to the transport address.
+	Node string
+}
+
 // New starts a daemon over a transport endpoint. cfg tunes the underlying
-// reliable protocol.
-func New(ep transport.Endpoint, cfg reliable.Config) *Daemon {
+// reliable protocol; opts wires telemetry.
+func New(ep transport.Endpoint, cfg reliable.Config, opts Options) *Daemon {
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = telemetry.NewRegistry()
+	}
+	if cfg.Metrics == nil {
+		// Fold the protocol counters into the same registry so the host's
+		// stats object covers both layers.
+		cfg.Metrics = metrics
+	}
 	d := &Daemon{
-		conn:     reliable.New(ep, cfg),
-		identity: fmt.Sprintf("%s#%016x", ep.Addr(), rand.Uint64()),
-		subs:     subject.NewTrie[*Client](),
-		clients:  make(map[*Client]struct{}),
-		done:     make(chan struct{}),
-		kick:     make(chan struct{}, 1),
-		guarSeen: make(map[string]struct{}),
-		advDirty: true,
+		conn:        reliable.New(ep, cfg),
+		identity:    fmt.Sprintf("%s#%016x", ep.Addr(), rand.Uint64()),
+		subs:        subject.NewTrie[*Client](),
+		clients:     make(map[*Client]struct{}),
+		done:        make(chan struct{}),
+		kick:        make(chan struct{}, 1),
+		guarSeen:    make(map[string]struct{}),
+		advDirty:    true,
+		metrics:     metrics,
+		tracePeriod: opts.TracePeriod,
+		traceNode:   opts.Node,
+		traceBase:   rand.Uint64(),
+	}
+	if d.traceNode == "" {
+		d.traceNode = d.conn.Addr()
+	}
+	d.ctr = counters{
+		publishedLocal: metrics.Counter("daemon.published_local"),
+		inbound:        metrics.Counter("daemon.inbound"),
+		deliveredLocal: metrics.Counter("daemon.delivered_local"),
+		noSubscriber:   metrics.Counter("daemon.no_subscriber"),
+		guarAcksSent:   metrics.Counter("daemon.guar_acks_sent"),
+		guarAcksRecv:   metrics.Counter("daemon.guar_acks_recv"),
+		corruptDropped: metrics.Counter("daemon.corrupt_dropped"),
+		traced:         metrics.Counter("daemon.traced"),
+		traceE2E:       metrics.Histogram("daemon.trace_e2e_ns"),
 	}
 	d.wg.Add(2)
 	go d.recvLoop()
 	go d.interestLoop()
 	return d
 }
+
+// Metrics returns the daemon's telemetry registry.
+func (d *Daemon) Metrics() *telemetry.Registry { return d.metrics }
 
 // Identity returns the daemon's unique origin token. Guaranteed-delivery
 // acknowledgements carry it so routers can steer them back to this daemon.
@@ -129,10 +200,34 @@ func (d *Daemon) Addr() string { return d.conn.Addr() }
 func (d *Daemon) Conn() *reliable.Conn { return d.conn }
 
 // Stats returns a snapshot of the daemon counters.
+//
+// The counters live in the telemetry registry as monotone atomics, so the
+// snapshot is taken in the same consistency domain as the counters
+// themselves: all seven are loaded in one pass, and the pass is repeated
+// until two consecutive reads agree (bounded retries). On a quiescent
+// daemon the result is exact; under load it is a consistent cut whose
+// fields differ from any instant only by events in flight during the call.
 func (d *Daemon) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	read := func() Stats {
+		return Stats{
+			PublishedLocal: d.ctr.publishedLocal.Load(),
+			Inbound:        d.ctr.inbound.Load(),
+			DeliveredLocal: d.ctr.deliveredLocal.Load(),
+			NoSubscriber:   d.ctr.noSubscriber.Load(),
+			GuarAcksSent:   d.ctr.guarAcksSent.Load(),
+			GuarAcksRecv:   d.ctr.guarAcksRecv.Load(),
+			CorruptDropped: d.ctr.corruptDropped.Load(),
+		}
+	}
+	prev := read()
+	for i := 0; i < 3; i++ {
+		cur := read()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	return prev
 }
 
 // OnGuaranteeAck registers the callback invoked when a guaranteed
@@ -166,21 +261,46 @@ func (d *Daemon) Close() error {
 	return err
 }
 
+// traceSample decides whether the next local publication carries a trace
+// and, if so, stamps e with the trace id and the publisher hop.
+func (d *Daemon) traceSample(e *busproto.Envelope) {
+	if d.tracePeriod == 0 {
+		return
+	}
+	seq := d.pubSeq.Add(1)
+	if seq%d.tracePeriod != 0 {
+		return
+	}
+	switch e.Kind {
+	case busproto.KindPublish:
+		e.Kind = busproto.KindPublishTraced
+	case busproto.KindGuaranteed:
+		e.Kind = busproto.KindGuaranteedTraced
+	default:
+		return
+	}
+	e.TraceID = d.traceBase ^ seq
+	e.AppendHop(d.traceNode, time.Now().UnixNano())
+	d.ctr.traced.Inc()
+}
+
 // Publish sends an ordinary reliable publication and routes it to local
 // subscribers (network broadcast does not loop back).
 func (d *Daemon) Publish(subj subject.Subject, payload []byte) error {
-	env := busproto.Encode(busproto.Envelope{Kind: busproto.KindPublish, Subject: subj.String(), Payload: payload})
+	e := busproto.Envelope{Kind: busproto.KindPublish, Subject: subj.String(), Payload: payload}
+	d.traceSample(&e)
+	env := busproto.Encode(e)
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		return ErrClosed
 	}
-	d.stats.PublishedLocal++
 	d.mu.Unlock()
+	d.ctr.publishedLocal.Inc()
 	if err := d.conn.Publish(env); err != nil {
 		return err
 	}
-	d.routeLocal(Delivery{Subject: subj, Payload: payload, From: d.Addr()})
+	d.routeLocal(Delivery{Subject: subj, Payload: payload, From: d.Addr(), TraceID: e.TraceID, Trace: e.Trace})
 	return nil
 }
 
@@ -188,18 +308,20 @@ func (d *Daemon) Publish(subj subject.Subject, payload []byte) error {
 // ledger id. The caller is responsible for logging before calling and for
 // retransmitting until the ack callback fires (see the bus layer).
 func (d *Daemon) PublishGuaranteed(subj subject.Subject, payload []byte, id uint64) error {
-	env := busproto.Encode(busproto.Envelope{
+	e := busproto.Envelope{
 		Kind: busproto.KindGuaranteed, ID: id, Origin: d.identity,
 		Subject: subj.String(), Payload: payload,
-	})
+	}
+	d.traceSample(&e)
+	env := busproto.Encode(e)
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		return ErrClosed
 	}
-	d.stats.PublishedLocal++
 	onAck := d.onAck
 	d.mu.Unlock()
+	d.ctr.publishedLocal.Inc()
 	if err := d.conn.Publish(env); err != nil {
 		return err
 	}
@@ -210,6 +332,7 @@ func (d *Daemon) PublishGuaranteed(subj subject.Subject, payload []byte, id uint
 	}
 	delivered := d.routeLocal(Delivery{
 		Subject: subj, Payload: payload, From: d.Addr(), Guaranteed: true, ID: id,
+		TraceID: e.TraceID, Trace: e.Trace,
 	})
 	if delivered > 0 {
 		d.guarRecordDelivered(d.identity, id)
@@ -415,24 +538,29 @@ func (d *Daemon) recvLoop() {
 func (d *Daemon) handleMessage(m reliable.Message) {
 	env, err := busproto.Decode(m.Payload)
 	if err != nil {
-		d.mu.Lock()
-		d.stats.CorruptDropped++
-		d.mu.Unlock()
+		d.ctr.corruptDropped.Inc()
 		return
 	}
-	switch env.Kind {
+	switch env.Base() {
 	case busproto.KindPublish, busproto.KindGuaranteed:
 		subj, err := subject.Parse(env.Subject)
 		if err != nil {
-			d.mu.Lock()
-			d.stats.CorruptDropped++
-			d.mu.Unlock()
+			d.ctr.corruptDropped.Inc()
 			return
 		}
-		d.mu.Lock()
-		d.stats.Inbound++
-		d.mu.Unlock()
-		if env.Kind == busproto.KindGuaranteed && d.guarAlreadyDelivered(env.Origin, env.ID) {
+		d.ctr.inbound.Inc()
+		guaranteed := env.Base() == busproto.KindGuaranteed
+		if env.Traced() {
+			// Record the consumer-daemon hop and, with the publisher's
+			// first-hop stamp, the end-to-end network+daemon latency (all
+			// simulated nodes share the host clock).
+			now := time.Now().UnixNano()
+			env.AppendHop(d.traceNode, now)
+			if len(env.Trace) > 0 {
+				d.ctr.traceE2E.Observe(time.Duration(now - env.Trace[0].At))
+			}
+		}
+		if guaranteed && d.guarAlreadyDelivered(env.Origin, env.ID) {
 			// Already delivered locally; re-acknowledge in case the
 			// publisher missed our first ack, but do not re-deliver.
 			ack := busproto.Encode(busproto.Envelope{Kind: busproto.KindGuarAck, ID: env.ID, Origin: env.Origin})
@@ -443,26 +571,26 @@ func (d *Daemon) handleMessage(m reliable.Message) {
 			Subject:    subj,
 			Payload:    env.Payload,
 			From:       m.From,
-			Guaranteed: env.Kind == busproto.KindGuaranteed,
+			Guaranteed: guaranteed,
 			ID:         env.ID,
+			TraceID:    env.TraceID,
+			Trace:      env.Trace,
 		}
 		delivered := d.routeLocal(dv)
-		if env.Kind == busproto.KindGuaranteed && delivered > 0 {
+		if guaranteed && delivered > 0 {
 			d.guarRecordDelivered(env.Origin, env.ID)
 			// Acknowledge on behalf of our subscribers, unicast to the
 			// publisher.
 			ack := busproto.Encode(busproto.Envelope{Kind: busproto.KindGuarAck, ID: env.ID, Origin: env.Origin})
-			d.mu.Lock()
-			d.stats.GuarAcksSent++
-			d.mu.Unlock()
+			d.ctr.guarAcksSent.Inc()
 			_ = d.conn.SendTo(m.From, ack)
 		}
 	case busproto.KindGuarAck:
 		if env.Origin != d.identity {
 			return // ack for some other publisher's message
 		}
+		d.ctr.guarAcksRecv.Inc()
 		d.mu.Lock()
-		d.stats.GuarAcksRecv++
 		onAck := d.onAck
 		d.mu.Unlock()
 		if onAck != nil {
@@ -480,13 +608,11 @@ func (d *Daemon) routeLocal(dv Delivery) int {
 			delivered++
 		}
 	}
-	d.mu.Lock()
 	if delivered == 0 {
-		d.stats.NoSubscriber++
+		d.ctr.noSubscriber.Inc()
 	} else {
-		d.stats.DeliveredLocal += uint64(delivered)
+		d.ctr.deliveredLocal.Add(uint64(delivered))
 	}
-	d.mu.Unlock()
 	return delivered
 }
 

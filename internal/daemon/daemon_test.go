@@ -30,7 +30,7 @@ func newPair(t *testing.T) (*Daemon, *Daemon) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	da, db := New(epA, rcfg), New(epB, rcfg)
+	da, db := New(epA, rcfg, Options{}), New(epB, rcfg, Options{})
 	t.Cleanup(func() {
 		_ = da.Close()
 		_ = db.Close()

@@ -21,6 +21,9 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
+
+	"infobus/internal/telemetry"
 )
 
 // Record types.
@@ -57,6 +60,14 @@ type Ledger struct {
 	pending map[uint64]Entry
 	closed  bool
 	sync    bool
+	ctr     counters
+}
+
+// counters holds the ledger's telemetry handles.
+type counters struct {
+	appends, acks, recovered, compactions *telemetry.Counter
+	pending                               *telemetry.Gauge
+	appendNs                              *telemetry.Histogram
 }
 
 // Options configure Open.
@@ -65,6 +76,9 @@ type Options struct {
 	// crashes costs roughly one disk flush per publication; without it the
 	// ledger still survives process crashes.
 	Sync bool
+	// Metrics is the telemetry registry the ledger's counters live in
+	// (the host shares its registry here); nil creates a private one.
+	Metrics *telemetry.Registry
 }
 
 // Open opens or creates a ledger file, replaying any existing records. A
@@ -75,11 +89,25 @@ func Open(path string, opts Options) (*Ledger, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ledger: opening %s: %w", path, err)
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	l := &Ledger{f: f, path: path, pending: make(map[uint64]Entry), sync: opts.Sync}
+	l.ctr = counters{
+		appends:     reg.Counter("ledger.appends"),
+		acks:        reg.Counter("ledger.acks"),
+		recovered:   reg.Counter("ledger.recovered"),
+		compactions: reg.Counter("ledger.compactions"),
+		pending:     reg.Gauge("ledger.pending"),
+		appendNs:    reg.Histogram("ledger.append_ns"),
+	}
 	if err := l.replay(); err != nil {
 		_ = f.Close()
 		return nil, err
 	}
+	l.ctr.recovered.Add(uint64(len(l.pending)))
+	l.ctr.pending.Set(int64(len(l.pending)))
 	return l, nil
 }
 
@@ -138,10 +166,14 @@ func (l *Ledger) Append(subject string, payload []byte) (uint64, error) {
 	id := l.nextID
 	l.nextID++
 	rec := encodeRecord(record{typ: recMessage, id: id, subject: subject, payload: payload})
+	start := time.Now()
 	if err := l.write(rec); err != nil {
 		return 0, err
 	}
+	l.ctr.appendNs.Observe(time.Since(start))
+	l.ctr.appends.Inc()
 	l.pending[id] = Entry{ID: id, Subject: subject, Payload: append([]byte(nil), payload...)}
+	l.ctr.pending.Set(int64(len(l.pending)))
 	return id, nil
 }
 
@@ -160,7 +192,9 @@ func (l *Ledger) Ack(id uint64) error {
 	if err := l.write(rec); err != nil {
 		return err
 	}
+	l.ctr.acks.Inc()
 	delete(l.pending, id)
+	l.ctr.pending.Set(int64(len(l.pending)))
 	return nil
 }
 
@@ -218,6 +252,7 @@ func (l *Ledger) Compact() error {
 		return fmt.Errorf("ledger: reopening after compaction: %w", err)
 	}
 	l.f = f
+	l.ctr.compactions.Inc()
 	return nil
 }
 

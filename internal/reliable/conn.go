@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"infobus/internal/telemetry"
 	"infobus/internal/transport"
 )
 
@@ -43,6 +44,16 @@ type Config struct {
 	// has not seen before, so that network reordering around the first
 	// observed message cannot misorder the stream. Default: NakInterval.
 	JoinGrace time.Duration
+	// Metrics is the telemetry registry the connection's counters live in;
+	// nil gives the connection a private registry (Stats still works, the
+	// counters just are not exported anywhere). The daemon shares its
+	// host's registry here so protocol counters appear in the host's
+	// "_sys.stats.<node>" publications.
+	Metrics *telemetry.Registry
+	// MetricsPrefix namespaces the counter names within Metrics; default
+	// "reliable". Routers give each attachment its own prefix so that
+	// per-attachment streams stay distinguishable in one registry.
+	MetricsPrefix string
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +81,12 @@ func (c Config) withDefaults() Config {
 	if c.JoinGrace <= 0 {
 		c.JoinGrace = c.NakInterval
 	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewRegistry()
+	}
+	if c.MetricsPrefix == "" {
+		c.MetricsPrefix = "reliable"
+	}
 	return c
 }
 
@@ -93,6 +110,30 @@ type Stats struct {
 	Skipped        uint64 // messages abandoned after GapTimeout
 	BatchesFlushed uint64
 	AcksSent       uint64
+}
+
+// counters holds the connection's telemetry handles, resolved once at
+// construction so the hot path never touches the registry lock.
+type counters struct {
+	published, sent, delivered, retransmits *telemetry.Counter
+	naksSent, naksReceived                  *telemetry.Counter
+	duplicates, skipped                     *telemetry.Counter
+	batchesFlushed, acksSent                *telemetry.Counter
+}
+
+func newCounters(reg *telemetry.Registry, prefix string) counters {
+	return counters{
+		published:      reg.Counter(prefix + ".published"),
+		sent:           reg.Counter(prefix + ".sent"),
+		delivered:      reg.Counter(prefix + ".delivered"),
+		retransmits:    reg.Counter(prefix + ".retransmits"),
+		naksSent:       reg.Counter(prefix + ".naks_sent"),
+		naksReceived:   reg.Counter(prefix + ".naks_received"),
+		duplicates:     reg.Counter(prefix + ".duplicates"),
+		skipped:        reg.Counter(prefix + ".skipped"),
+		batchesFlushed: reg.Counter(prefix + ".batches_flushed"),
+		acksSent:       reg.Counter(prefix + ".acks_sent"),
+	}
 }
 
 // Conn errors.
@@ -130,7 +171,7 @@ type Conn struct {
 	uSend map[string]*ucastSend
 
 	closed bool
-	stats  Stats
+	ctr    counters
 }
 
 // bcastRecv is inbound broadcast-stream state for one sender.
@@ -174,6 +215,7 @@ func New(ep transport.Endpoint, cfg Config) *Conn {
 		uPeers: make(map[string]*ucastRecv),
 		uSend:  make(map[string]*ucastSend),
 	}
+	c.ctr = newCounters(c.cfg.Metrics, c.cfg.MetricsPrefix)
 	c.windowMin = 1
 	c.wg.Add(2)
 	go c.recvLoop()
@@ -188,11 +230,22 @@ func (c *Conn) Addr() string { return c.ep.Addr() }
 // when the connection closes.
 func (c *Conn) Recv() <-chan Message { return c.out }
 
-// Stats returns a snapshot of the protocol counters.
+// Stats returns a snapshot of the protocol counters. The counters are
+// monotone atomics read in one pass, so the snapshot is a consistent cut:
+// related counters can disagree only by events in flight during the call.
 func (c *Conn) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Published:      c.ctr.published.Load(),
+		Sent:           c.ctr.sent.Load(),
+		Delivered:      c.ctr.delivered.Load(),
+		Retransmits:    c.ctr.retransmits.Load(),
+		NaksSent:       c.ctr.naksSent.Load(),
+		NaksReceived:   c.ctr.naksReceived.Load(),
+		Duplicates:     c.ctr.duplicates.Load(),
+		Skipped:        c.ctr.skipped.Load(),
+		BatchesFlushed: c.ctr.batchesFlushed.Load(),
+		AcksSent:       c.ctr.acksSent.Load(),
+	}
 }
 
 // Close tears the connection down. Pending batched messages are flushed
@@ -220,7 +273,7 @@ func (c *Conn) Publish(payload []byte) error {
 	if c.closed {
 		return ErrClosed
 	}
-	c.stats.Published++
+	c.ctr.published.Inc()
 	c.nextSeq++
 	seq := c.nextSeq
 	cp := append([]byte(nil), payload...)
@@ -254,13 +307,13 @@ func (c *Conn) flushBatchLocked() error {
 	batch := c.batch
 	c.batch = nil
 	c.batchBytes = 0
-	c.stats.BatchesFlushed++
+	c.ctr.batchesFlushed.Inc()
 	return c.sendDataLocked(batch)
 }
 
 func (c *Conn) sendDataLocked(msgs []msg) error {
 	frame := encodeData(dataFrame{typ: frameData, epoch: c.epoch, msgs: msgs})
-	c.stats.Sent += uint64(len(msgs))
+	c.ctr.sent.Add(uint64(len(msgs)))
 	c.lastBcast = time.Now()
 	if last := msgs[len(msgs)-1].seq; last > c.sentSeq {
 		c.sentSeq = last
@@ -363,7 +416,7 @@ func (c *Conn) handleBroadcastData(from string, f *dataFrame) {
 		}
 		if pr.syncing() {
 			if _, dup := pr.pending[m.seq]; dup {
-				c.stats.Duplicates++
+				c.ctr.duplicates.Inc()
 			} else {
 				pr.pending[m.seq] = m.payload
 			}
@@ -371,7 +424,7 @@ func (c *Conn) handleBroadcastData(from string, f *dataFrame) {
 		}
 		switch {
 		case m.seq < pr.next:
-			c.stats.Duplicates++
+			c.ctr.duplicates.Inc()
 		case m.seq == pr.next:
 			deliver = append(deliver, Message{From: from, Payload: m.payload})
 			pr.next++
@@ -390,7 +443,7 @@ func (c *Conn) handleBroadcastData(from string, f *dataFrame) {
 			}
 		default: // gap
 			if _, dup := pr.pending[m.seq]; dup {
-				c.stats.Duplicates++
+				c.ctr.duplicates.Inc()
 				break
 			}
 			pr.pending[m.seq] = m.payload
@@ -399,7 +452,7 @@ func (c *Conn) handleBroadcastData(from string, f *dataFrame) {
 			}
 		}
 	}
-	c.stats.Delivered += uint64(len(deliver))
+	c.ctr.delivered.Add(uint64(len(deliver)))
 	c.mu.Unlock()
 	c.emit(deliver)
 }
@@ -442,7 +495,7 @@ func (c *Conn) handleUnicastData(from string, f *dataFrame) {
 	for _, m := range f.msgs {
 		switch {
 		case m.seq < ur.next:
-			c.stats.Duplicates++
+			c.ctr.duplicates.Inc()
 		case m.seq == ur.next:
 			deliver = append(deliver, Message{From: from, Payload: m.payload})
 			ur.next++
@@ -459,13 +512,13 @@ func (c *Conn) handleUnicastData(from string, f *dataFrame) {
 			if _, dup := ur.pending[m.seq]; !dup {
 				ur.pending[m.seq] = m.payload
 			} else {
-				c.stats.Duplicates++
+				c.ctr.duplicates.Inc()
 			}
 		}
 	}
 	acks.cum = ur.next - 1
-	c.stats.Delivered += uint64(len(deliver))
-	c.stats.AcksSent++
+	c.ctr.delivered.Add(uint64(len(deliver)))
+	c.ctr.acksSent.Inc()
 	c.mu.Unlock()
 	_ = c.ep.Send(from, encodeAck(acks))
 	c.emit(deliver)
@@ -473,7 +526,7 @@ func (c *Conn) handleUnicastData(from string, f *dataFrame) {
 
 func (c *Conn) handleNak(from string, f *nakFrame) {
 	c.mu.Lock()
-	c.stats.NaksReceived++
+	c.ctr.naksReceived.Inc()
 	if f.epoch != c.epoch {
 		c.mu.Unlock()
 		return
@@ -484,7 +537,7 @@ func (c *Conn) handleNak(from string, f *nakFrame) {
 			msgs = append(msgs, msg{seq: seq, payload: p})
 		}
 	}
-	c.stats.Retransmits += uint64(len(msgs))
+	c.ctr.retransmits.Add(uint64(len(msgs)))
 	c.mu.Unlock()
 	if len(msgs) == 0 {
 		return
@@ -595,7 +648,7 @@ func (c *Conn) tick(now time.Time) {
 				}
 				delete(pr.pending, pr.next)
 				deliver = append(deliver, Message{From: addr, Payload: p})
-				c.stats.Delivered++
+				c.ctr.delivered.Inc()
 				pr.next++
 			}
 			if len(pr.pending) > 0 || pr.next <= pr.maxSeen {
@@ -624,7 +677,7 @@ func (c *Conn) tick(now time.Time) {
 			if len(pr.pending) > 0 {
 				target = minKey(pr.pending)
 			}
-			c.stats.Skipped += target - pr.next
+			c.ctr.skipped.Add(target - pr.next)
 			pr.next = target
 			for {
 				p, ok := pr.pending[pr.next]
@@ -633,7 +686,7 @@ func (c *Conn) tick(now time.Time) {
 				}
 				delete(pr.pending, pr.next)
 				deliver = append(deliver, Message{From: addr, Payload: p})
-				c.stats.Delivered++
+				c.ctr.delivered.Inc()
 				pr.next++
 			}
 			if len(pr.pending) == 0 && pr.next > pr.maxSeen {
@@ -645,7 +698,7 @@ func (c *Conn) tick(now time.Time) {
 		}
 		if now.Sub(pr.lastNak) >= c.cfg.NakInterval && gapEnd >= pr.next {
 			pr.lastNak = now
-			c.stats.NaksSent++
+			c.ctr.naksSent.Inc()
 			naks = append(naks, nakOut{
 				addr:  addr,
 				frame: encodeNak(nakFrame{epoch: pr.epoch, from: pr.next, to: gapEnd}),
@@ -666,7 +719,7 @@ func (c *Conn) tick(now time.Time) {
 			msgs = append(msgs, msg{seq: seq, payload: p})
 		}
 		sortMsgs(msgs)
-		c.stats.Retransmits += uint64(len(msgs))
+		c.ctr.retransmits.Add(uint64(len(msgs)))
 		retrs = append(retrs, retrOut{
 			addr:  addr,
 			frame: encodeData(dataFrame{typ: frameUData, epoch: c.epoch, msgs: msgs}),

@@ -10,6 +10,7 @@ import (
 	"infobus/internal/discovery"
 	"infobus/internal/mop"
 	"infobus/internal/reliable"
+	"infobus/internal/telemetry"
 	"infobus/internal/transport"
 	"infobus/internal/wire"
 )
@@ -51,6 +52,12 @@ type Client struct {
 	conn    *reliable.Conn
 	reg     *mop.Registry
 	opts    DialOptions
+
+	// Host-registry telemetry (aggregated across the host's clients).
+	mInvokes  *telemetry.Counter
+	mRetries  *telemetry.Counter
+	mTimeouts *telemetry.Counter
+	mInvokeNs *telemetry.Histogram
 
 	mu      sync.Mutex
 	waiting map[string]chan *mop.Object
@@ -100,9 +107,19 @@ func Dial(bus *core.Bus, seg transport.Segment, service string, opts DialOptions
 		waiting: make(map[string]chan *mop.Object),
 		done:    make(chan struct{}),
 	}
+	c.bindMetrics(bus.Host().Metrics())
 	c.wg.Add(1)
 	go c.recvLoop()
 	return c, nil
+}
+
+// bindMetrics resolves the client's telemetry handles in the host
+// registry. Every Client constructor must call it before recvLoop starts.
+func (c *Client) bindMetrics(metrics *telemetry.Registry) {
+	c.mInvokes = metrics.Counter("rmi.client.invokes")
+	c.mRetries = metrics.Counter("rmi.client.retries")
+	c.mTimeouts = metrics.Counter("rmi.client.timeouts")
+	c.mInvokeNs = metrics.Histogram("rmi.client.invoke_ns")
 }
 
 type serverInfo struct {
@@ -193,8 +210,13 @@ func (c *Client) Invoke(op string, args ...mop.Value) (mop.Value, error) {
 		return nil, err
 	}
 
+	c.mInvokes.Inc()
+	start := time.Now()
 	attempts := c.opts.Retries + 1
 	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.mRetries.Inc()
+		}
 		if err := c.conn.SendTo(c.server, payload); err != nil {
 			return nil, err
 		}
@@ -202,6 +224,7 @@ func (c *Client) Invoke(op string, args ...mop.Value) (mop.Value, error) {
 		select {
 		case reply := <-ch:
 			timer.Stop()
+			c.mInvokeNs.Observe(time.Since(start))
 			return decodeReply(reply)
 		case <-c.done:
 			timer.Stop()
@@ -211,6 +234,7 @@ func (c *Client) Invoke(op string, args ...mop.Value) (mop.Value, error) {
 			// exactly-once under normal operation.
 		}
 	}
+	c.mTimeouts.Inc()
 	return nil, fmt.Errorf("%s on %s after %d attempts: %w", op, c.server, attempts, ErrTimeout)
 }
 

@@ -170,6 +170,7 @@ func DialAll(bus *core.Bus, seg transport.Segment, service string, opts DialOpti
 			waiting: make(map[string]chan *mop.Object),
 			done:    make(chan struct{}),
 		}
+		c.bindMetrics(bus.Host().Metrics())
 		c.wg.Add(1)
 		go c.recvLoop()
 		clients = append(clients, c)

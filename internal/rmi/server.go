@@ -4,10 +4,13 @@ import (
 	"fmt"
 	"sync"
 
+	"time"
+
 	"infobus/internal/core"
 	"infobus/internal/discovery"
 	"infobus/internal/mop"
 	"infobus/internal/reliable"
+	"infobus/internal/telemetry"
 	"infobus/internal/transport"
 	"infobus/internal/wire"
 )
@@ -36,6 +39,11 @@ type Server struct {
 	conn    *reliable.Conn
 	reg     *mop.Registry
 	opts    ServerOptions
+
+	// Host-registry telemetry (aggregated across the host's servers).
+	mInvoked  *telemetry.Counter
+	mReplayed *telemetry.Counter
+	mHandleNs *telemetry.Histogram
 
 	mu        sync.Mutex
 	announcer *discovery.Announcer
@@ -67,16 +75,20 @@ func NewServer(bus *core.Bus, seg transport.Segment, service string, iface *mop.
 	if err != nil {
 		return nil, err
 	}
+	metrics := bus.Host().Metrics()
 	s := &Server{
-		service: service,
-		iface:   iface,
-		handler: handler,
-		bus:     bus,
-		conn:    reliable.New(ep, opts.Reliable),
-		reg:     bus.Registry(),
-		opts:    opts,
-		cache:   make(map[string]cachedReply),
-		done:    make(chan struct{}),
+		service:   service,
+		iface:     iface,
+		handler:   handler,
+		bus:       bus,
+		conn:      reliable.New(ep, opts.Reliable),
+		reg:       bus.Registry(),
+		opts:      opts,
+		cache:     make(map[string]cachedReply),
+		done:      make(chan struct{}),
+		mInvoked:  metrics.Counter("rmi.server.invoked"),
+		mReplayed: metrics.Counter("rmi.server.replayed"),
+		mHandleNs: metrics.Histogram("rmi.server.handle_ns"),
 	}
 	// Identical re-registration returns nil; a true conflict is fatal.
 	if err := s.reg.Register(iface); err != nil {
@@ -210,6 +222,7 @@ func (s *Server) handleRequest(m reliable.Message) {
 	s.mu.Lock()
 	if cached, hit := s.cache[reqID]; hit {
 		s.mu.Unlock()
+		s.mReplayed.Inc()
 		_ = s.conn.SendTo(m.From, cached.payload)
 		return
 	}
@@ -223,7 +236,9 @@ func (s *Server) handleRequest(m reliable.Message) {
 		args = l
 	}
 
+	start := time.Now()
 	result, invokeErr := s.invoke(op, args)
+	s.mHandleNs.Observe(time.Since(start))
 	reply := mop.MustNew(ReplyType).MustSet("id", reqID)
 	if invokeErr != nil {
 		reply.MustSet("ok", false).MustSet("error", invokeErr.Error())
@@ -237,6 +252,7 @@ func (s *Server) handleRequest(m reliable.Message) {
 	if err != nil {
 		return
 	}
+	s.mInvoked.Inc()
 	s.mu.Lock()
 	s.invoked++
 	s.cache[reqID] = cachedReply{payload: payload, from: m.From}

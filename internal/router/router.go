@@ -28,9 +28,12 @@ import (
 	"time"
 
 	"infobus/internal/busproto"
+	"infobus/internal/mop"
 	"infobus/internal/reliable"
 	"infobus/internal/subject"
+	"infobus/internal/telemetry"
 	"infobus/internal/transport"
+	"infobus/internal/wire"
 )
 
 // Options tune a router.
@@ -44,6 +47,14 @@ type Options struct {
 	InterestTTL time.Duration
 	// Log, if non-nil, receives a line per forwarded message.
 	Log io.Writer
+	// Metrics is the telemetry registry the router's counters live in
+	// (each attachment's reliable-protocol counters are folded in under
+	// "reliable.<attachment>."). Nil creates a private registry.
+	Metrics *telemetry.Registry
+	// StatsInterval enables self-hosted export: the router periodically
+	// publishes its metrics snapshot as a self-describing SysStats object
+	// on "_sys.stats.router-<name>", on every attached segment. 0 disables.
+	StatsInterval time.Duration
 }
 
 // Rule rewrites subjects crossing from one segment to another ("the router
@@ -87,14 +98,15 @@ type interestEntry struct {
 type Router struct {
 	opts Options
 
+	metrics *telemetry.Registry
+	ctr     counters
+
 	mu     sync.Mutex
 	atts   []*attachment
 	guar   map[string]guarPath // origin token -> where it entered
 	closed bool
 	done   chan struct{}
 	wg     sync.WaitGroup
-
-	stats Stats
 }
 
 type guarPath struct {
@@ -111,6 +123,12 @@ type Stats struct {
 	Transformed   uint64 // subjects rewritten by rules
 }
 
+// counters holds the router's telemetry handles.
+type counters struct {
+	forwarded, suppressed, loopDropped *telemetry.Counter
+	acksForwarded, transformed         *telemetry.Counter
+}
+
 // New creates a router bridging the given attachments.
 func New(opts Options, atts ...Attachment) (*Router, error) {
 	if len(atts) < 2 {
@@ -119,10 +137,22 @@ func New(opts Options, atts ...Attachment) (*Router, error) {
 	if opts.InterestTTL <= 0 {
 		opts.InterestTTL = time.Second
 	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = telemetry.NewRegistry()
+	}
 	r := &Router{
-		opts: opts,
-		guar: make(map[string]guarPath),
-		done: make(chan struct{}),
+		opts:    opts,
+		metrics: metrics,
+		guar:    make(map[string]guarPath),
+		done:    make(chan struct{}),
+	}
+	r.ctr = counters{
+		forwarded:     metrics.Counter("router.forwarded"),
+		suppressed:    metrics.Counter("router.suppressed"),
+		loopDropped:   metrics.Counter("router.loop_dropped"),
+		acksForwarded: metrics.Counter("router.acks_forwarded"),
+		transformed:   metrics.Counter("router.transformed"),
 	}
 	for _, a := range atts {
 		ep, err := a.Segment.NewEndpoint("router:" + opts.Name + ":" + a.Name)
@@ -130,9 +160,14 @@ func New(opts Options, atts ...Attachment) (*Router, error) {
 			r.closeAttachments()
 			return nil, err
 		}
+		rcfg := opts.Reliable
+		if rcfg.Metrics == nil {
+			rcfg.Metrics = metrics
+			rcfg.MetricsPrefix = "reliable." + a.Name
+		}
 		att := &attachment{
 			name:     a.Name,
-			conn:     reliable.New(ep, opts.Reliable),
+			conn:     reliable.New(ep, rcfg),
 			rules:    a.Rules,
 			interest: make(map[string]interestEntry),
 		}
@@ -144,14 +179,26 @@ func New(opts Options, atts ...Attachment) (*Router, error) {
 	}
 	r.wg.Add(1)
 	go r.interestRelayLoop()
+	if opts.StatsInterval > 0 {
+		r.wg.Add(1)
+		go r.statsLoop()
+	}
 	return r, nil
 }
 
-// Stats returns a snapshot of the router counters.
+// Metrics returns the router's telemetry registry.
+func (r *Router) Metrics() *telemetry.Registry { return r.metrics }
+
+// Stats returns a snapshot of the router counters (monotone atomics read
+// in one pass: a consistent cut, see daemon.Stats).
 func (r *Router) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	return Stats{
+		Forwarded:     r.ctr.forwarded.Load(),
+		Suppressed:    r.ctr.suppressed.Load(),
+		LoopDropped:   r.ctr.loopDropped.Load(),
+		AcksForwarded: r.ctr.acksForwarded.Load(),
+		Transformed:   r.ctr.transformed.Load(),
+	}
 }
 
 // Close detaches the router from all segments.
@@ -195,7 +242,7 @@ func (r *Router) handle(att *attachment, m reliable.Message) {
 	if err != nil {
 		return
 	}
-	switch env.Kind {
+	switch env.Base() {
 	case busproto.KindInterest:
 		att.recordInterest(env.Patterns, time.Now().Add(r.opts.InterestTTL))
 	case busproto.KindPublish, busproto.KindGuaranteed:
@@ -209,14 +256,14 @@ func (r *Router) handle(att *attachment, m reliable.Message) {
 // matching subscription, applying that segment's subject rules.
 func (r *Router) forward(src *attachment, from string, env busproto.Envelope) {
 	if env.Hops >= busproto.MaxHops {
-		r.bump(func(s *Stats) { s.LoopDropped++ })
+		r.ctr.loopDropped.Inc()
 		return
 	}
 	subj, err := subject.Parse(env.Subject)
 	if err != nil {
 		return
 	}
-	if env.Kind == busproto.KindGuaranteed && env.Origin != "" {
+	if env.Base() == busproto.KindGuaranteed && env.Origin != "" {
 		r.mu.Lock()
 		r.guar[env.Origin] = guarPath{att: src, from: from}
 		r.mu.Unlock()
@@ -233,21 +280,24 @@ func (r *Router) forward(src *attachment, from string, env busproto.Envelope) {
 		out := env
 		out.Hops++
 		out.Subject = outSubj.String()
+		// Traced publications record the router crossing per egress
+		// attachment (AppendHop copies, so fan-out copies do not alias).
+		out.AppendHop("router:"+r.opts.Name+":"+dst.name, time.Now().UnixNano())
 		if err := dst.conn.Publish(busproto.Encode(out)); err != nil {
 			continue
 		}
 		forwardedAnywhere = true
 		if transformed {
-			r.bump(func(s *Stats) { s.Transformed++ })
+			r.ctr.transformed.Inc()
 		}
-		r.bump(func(s *Stats) { s.Forwarded++ })
+		r.ctr.forwarded.Inc()
 		if r.opts.Log != nil {
 			fmt.Fprintf(r.opts.Log, "router %s: %s -> %s subject %s (hops %d)\n",
 				r.opts.Name, src.name, dst.name, out.Subject, out.Hops)
 		}
 	}
 	if !forwardedAnywhere {
-		r.bump(func(s *Stats) { s.Suppressed++ })
+		r.ctr.suppressed.Inc()
 	}
 }
 
@@ -263,7 +313,7 @@ func (r *Router) forwardAck(src *attachment, env busproto.Envelope) {
 	if err := path.att.conn.SendTo(path.from, busproto.Encode(env)); err != nil {
 		return
 	}
-	r.bump(func(s *Stats) { s.AcksForwarded++ })
+	r.ctr.acksForwarded.Inc()
 }
 
 // interestRelayLoop periodically re-advertises, on each segment, the union
@@ -384,10 +434,41 @@ func (a *attachment) transform(s subject.Subject) (subject.Subject, bool) {
 	return s, false
 }
 
-func (r *Router) bump(f func(*Stats)) {
-	r.mu.Lock()
-	f(&r.stats)
-	r.mu.Unlock()
+// statsLoop is the router's self-hosted stats export: like a host daemon,
+// the router periodically publishes its metrics snapshot as a
+// self-describing SysStats object — on every attached segment, so a
+// monitor anywhere on the bridged bus can observe it. The object's types
+// travel with it (P2); no subscriber needs to link against this package.
+func (r *Router) statsLoop() {
+	defer r.wg.Done()
+	reg := mop.NewRegistry()
+	types, err := telemetry.DefineSysTypes(reg)
+	if err != nil {
+		return
+	}
+	node := telemetry.SanitizeNode("router-" + r.opts.Name)
+	start := time.Now()
+	ticker := time.NewTicker(r.opts.StatsInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case now := <-ticker.C:
+			obj := types.StatsObject(node, now, now.Sub(start), r.metrics.Snapshot())
+			payload, err := wire.Marshal(obj)
+			if err != nil {
+				return
+			}
+			env := busproto.Encode(busproto.Envelope{
+				Kind: busproto.KindPublish, Subject: telemetry.StatsSubject(node), Payload: payload,
+			})
+			for _, att := range r.atts {
+				_ = att.conn.Publish(env)
+				_ = att.conn.Flush()
+			}
+		}
+	}
 }
 
 // WantsOn reports whether the named attachment's segment currently holds a

@@ -1,0 +1,58 @@
+package router
+
+import (
+	"strings"
+	"testing"
+
+	"infobus/internal/core"
+)
+
+// TestTracePropagationAcrossRouter publishes with sampling turned all the
+// way up on one segment and consumes on another, then inspects the trace
+// that rode along: publisher daemon → router egress → consumer daemon,
+// with non-decreasing hop timestamps.
+func TestTracePropagationAcrossRouter(t *testing.T) {
+	segA, segB := fastSeg(), fastSeg()
+	defer segA.Close()
+	defer segB.Close()
+	newRouter(t, Options{Name: "r1"},
+		Attachment{Segment: segA, Name: "A"},
+		Attachment{Segment: segB, Name: "B"},
+	)
+	pub := newBus(t, segA, "pubhost", core.HostConfig{
+		Telemetry: core.TelemetryConfig{TraceSampling: 1},
+	})
+	con := newBus(t, segB, "conhost", core.HostConfig{})
+	sub, err := con.Subscribe("fab5.>")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ev := publishUntil(t, pub, "fab5.cc.thick", int64(7), sub)
+	if ev.TraceID == 0 {
+		t.Error("sampled event has zero trace id")
+	}
+	if len(ev.Trace) < 3 {
+		t.Fatalf("trace = %v, want publisher + router + consumer hops", ev.Trace)
+	}
+	var sawRouter bool
+	for i, hop := range ev.Trace {
+		if hop.Node == "" {
+			t.Errorf("hop %d has empty node", i)
+		}
+		if strings.HasPrefix(hop.Node, "router:r1:") {
+			sawRouter = true
+		}
+		if i > 0 && hop.At < ev.Trace[i-1].At {
+			t.Errorf("hop %d timestamp %d precedes hop %d timestamp %d",
+				i, hop.At, i-1, ev.Trace[i-1].At)
+		}
+	}
+	if !sawRouter {
+		t.Errorf("no router hop in trace %v", ev.Trace)
+	}
+	first, last := ev.Trace[0].Node, ev.Trace[len(ev.Trace)-1].Node
+	if first == last {
+		t.Errorf("publisher and consumer daemon hops are both %q", first)
+	}
+}

@@ -41,6 +41,19 @@ const (
 	WildcardRest = ">"
 )
 
+// SysPrefix is the first element of the reserved system subject space
+// "_sys.>", on which the bus publishes telemetry about itself
+// (internal/telemetry): per-node stats objects and ping answers.
+// Subscribing under it is open to everyone (that is the point — anonymous
+// self-observation, P4); publishing is restricted by the bus layer
+// (internal/core) so applications cannot spoof system stats.
+const SysPrefix = "_sys"
+
+// IsSys reports whether the subject lies in the reserved "_sys.>" space.
+func IsSys(s Subject) bool {
+	return len(s.elements) > 0 && s.elements[0] == SysPrefix
+}
+
 // Common validation errors. Parse and ParsePattern wrap these with position
 // information; use errors.Is to test for a category.
 var (

@@ -38,6 +38,28 @@ func TestParseValid(t *testing.T) {
 	}
 }
 
+func TestIsSys(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"_sys.stats.node-1", true},
+		{"_sys.ping", true},
+		{"_sys.x", true},
+		{"_syst.stats", false}, // element-wise, not a string prefix
+		{"news._sys.x", false},
+		{"news.equity.gmc", false},
+	}
+	for _, c := range cases {
+		if got := IsSys(MustParse(c.in)); got != c.want {
+			t.Errorf("IsSys(%q) = %t, want %t", c.in, got, c.want)
+		}
+	}
+	if IsSys(Subject{}) {
+		t.Error("IsSys(zero) must be false")
+	}
+}
+
 func TestParseInvalid(t *testing.T) {
 	cases := []struct {
 		in   string

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds observations whose
+// nanosecond value has bit-length i, i.e. the range [2^(i-1), 2^i). 64
+// buckets cover every possible int64 duration, so the histogram's memory
+// is bounded (one cache line's worth of counters per few buckets) no
+// matter how many observations arrive.
+const histBuckets = 64
+
+// Histogram is a bounded, lock-free latency histogram with power-of-two
+// buckets. Observation costs two atomic adds; quantiles are estimated by
+// log-linear interpolation inside the winning bucket, which is within
+// ~±35% of the true value — ample for the p50/p95/p99 monitoring the
+// "_sys.stats" export serves. The zero value is unusable; obtain
+// histograms from a Registry.
+type Histogram struct {
+	count atomic.Uint64
+	sum   atomic.Int64 // nanoseconds; monotone for non-negative observations
+	bkt   [histBuckets]atomic.Uint64
+}
+
+// Observe records one non-negative duration. Negative durations (clock
+// steps) are clamped to zero rather than corrupting the distribution.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.bkt[bits.Len64(uint64(ns))%histBuckets].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// HistogramSummary is a point-in-time digest of a histogram.
+type HistogramSummary struct {
+	Count  uint64
+	MeanNs float64
+	P50Ns  float64
+	P95Ns  float64
+	P99Ns  float64
+}
+
+// Summary digests the histogram: count, mean, and estimated quantiles.
+func (h *Histogram) Summary() HistogramSummary {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.bkt {
+		counts[i] = h.bkt[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSummary{Count: total}
+	if total == 0 {
+		return s
+	}
+	// Mean from the exact sum (sum/count race only with in-flight
+	// observations; both are monotone so the mean stays in range).
+	s.MeanNs = float64(h.sum.Load()) / float64(total)
+	s.P50Ns = quantile(&counts, total, 0.50)
+	s.P95Ns = quantile(&counts, total, 0.95)
+	s.P99Ns = quantile(&counts, total, 0.99)
+	return s
+}
+
+// quantile estimates the q-quantile from bucket counts: find the bucket
+// holding the q*total-th observation and interpolate linearly between its
+// bounds by the observation's rank within the bucket.
+func quantile(counts *[histBuckets]uint64, total uint64, q float64) float64 {
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lo, hi := bucketBounds(i)
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	_, hi := bucketBounds(histBuckets - 1)
+	return hi
+}
+
+// bucketBounds returns bucket i's value range [lo, hi) in nanoseconds.
+// Bucket 0 holds the exact value 0; bucket i>0 holds [2^(i-1), 2^i).
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 0
+	}
+	return float64(uint64(1) << (i - 1)), float64(uint64(1) << i)
+}

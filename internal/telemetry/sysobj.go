@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"strings"
+	"time"
+
+	"infobus/internal/mop"
+)
+
+// System subject conventions. The "_sys." prefix is reserved by the bus
+// (internal/subject, internal/core): user publications under it are
+// rejected, so an anonymous subscriber can trust that "_sys.stats.<node>"
+// objects really came from that node's bus machinery.
+const (
+	// StatsSubjectPrefix is the subject prefix under which every node
+	// periodically publishes its SysStats object; the final element is the
+	// sanitised node name.
+	StatsSubjectPrefix = "_sys.stats"
+	// PingSubject is the probe subject: any application may publish here
+	// (the one user-publishable system subject), and every exporting node
+	// answers with a SysPong on PongSubjectPrefix.<node> plus a fresh
+	// stats publication.
+	PingSubject = "_sys.ping"
+	// PongSubjectPrefix is the subject prefix for ping answers.
+	PongSubjectPrefix = "_sys.pong"
+)
+
+// SanitizeNode turns an arbitrary node name into a single valid subject
+// element: separator, wildcard, and unprintable characters become '-'.
+// Host names like "127.0.0.1:7001" must be publishable as the final
+// element of "_sys.stats.<node>".
+func SanitizeNode(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		if r < 0x21 || r == 0x7f || r == '.' || r == '*' || r == '>' {
+			b.WriteByte('-')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	if b.Len() == 0 {
+		return "node"
+	}
+	return b.String()
+}
+
+// StatsSubject returns the stats subject for a (sanitised) node name.
+func StatsSubject(node string) string { return StatsSubjectPrefix + "." + node }
+
+// PongSubject returns the ping-answer subject for a (sanitised) node name.
+func PongSubject(node string) string { return PongSubjectPrefix + "." + node }
+
+// SysTypes is the registered system-telemetry class family.
+type SysTypes struct {
+	Metric *mop.Type // SysMetric: one metric value
+	Stats  *mop.Type // SysStats: one node's snapshot
+	Pong   *mop.Type // SysPong: answer to a _sys.ping probe
+}
+
+// DefineSysTypes builds and registers the system-telemetry classes in a
+// registry. Calling it twice with the same registry returns the registered
+// types. Monitors never need to call it: the classes travel self-
+// describing with every "_sys.>" publication (P2).
+func DefineSysTypes(reg *mop.Registry) (SysTypes, error) {
+	if reg.Has("SysStats") {
+		metric, err := reg.Lookup("SysMetric")
+		if err != nil {
+			return SysTypes{}, err
+		}
+		stats, err := reg.Lookup("SysStats")
+		if err != nil {
+			return SysTypes{}, err
+		}
+		pong, err := reg.Lookup("SysPong")
+		if err != nil {
+			return SysTypes{}, err
+		}
+		return SysTypes{Metric: metric, Stats: stats, Pong: pong}, nil
+	}
+	metric := mop.MustNewClass("SysMetric", nil, []mop.Attr{
+		{Name: "name", Type: mop.String},
+		{Name: "kind", Type: mop.String},
+		{Name: "value", Type: mop.Int},
+		{Name: "count", Type: mop.Int},
+		{Name: "mean_ns", Type: mop.Float},
+		{Name: "p50_ns", Type: mop.Float},
+		{Name: "p95_ns", Type: mop.Float},
+		{Name: "p99_ns", Type: mop.Float},
+	}, nil)
+	stats := mop.MustNewClass("SysStats", nil, []mop.Attr{
+		{Name: "node", Type: mop.String},
+		{Name: "at", Type: mop.Time},
+		{Name: "uptime_ns", Type: mop.Int},
+		{Name: "metrics", Type: mop.ListOf(metric)},
+	}, nil)
+	pong := mop.MustNewClass("SysPong", nil, []mop.Attr{
+		{Name: "node", Type: mop.String},
+		{Name: "at", Type: mop.Time},
+		{Name: "nonce", Type: mop.Int},
+	}, nil)
+	for _, t := range []*mop.Type{metric, stats, pong} {
+		if err := reg.Register(t); err != nil {
+			return SysTypes{}, err
+		}
+	}
+	return SysTypes{Metric: metric, Stats: stats, Pong: pong}, nil
+}
+
+// StatsObject renders a registry snapshot as a self-describing SysStats
+// object, ready for wire.Marshal and publication on
+// StatsSubjectPrefix.<node>.
+func (st SysTypes) StatsObject(node string, at time.Time, uptime time.Duration, snap []Metric) *mop.Object {
+	metrics := make(mop.List, 0, len(snap))
+	for _, m := range snap {
+		o := mop.MustNew(st.Metric).
+			MustSet("name", m.Name).
+			MustSet("kind", m.Kind.String()).
+			MustSet("value", m.Value).
+			MustSet("count", int64(m.Count)).
+			MustSet("mean_ns", m.MeanNs).
+			MustSet("p50_ns", m.P50Ns).
+			MustSet("p95_ns", m.P95Ns).
+			MustSet("p99_ns", m.P99Ns)
+		metrics = append(metrics, o)
+	}
+	return mop.MustNew(st.Stats).
+		MustSet("node", node).
+		MustSet("at", at).
+		MustSet("uptime_ns", int64(uptime)).
+		MustSet("metrics", metrics)
+}
+
+// PongObject renders a ping answer.
+func (st SysTypes) PongObject(node string, at time.Time, nonce int64) *mop.Object {
+	return mop.MustNew(st.Pong).
+		MustSet("node", node).
+		MustSet("at", at).
+		MustSet("nonce", nonce)
+}

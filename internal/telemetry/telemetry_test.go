@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"infobus/internal/mop"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.events")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("x.depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name must return the same counter")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("same name must return the same histogram")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash must panic")
+		}
+	}()
+	r.Gauge("a") // registered as a counter above
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 observations spread 1..1000 µs: p50 ≈ 500µs, p99 ≈ 990µs.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Summary()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	mean := time.Duration(s.MeanNs)
+	if mean < 400*time.Microsecond || mean > 600*time.Microsecond {
+		t.Errorf("mean = %v, want ~500µs", mean)
+	}
+	// Power-of-two buckets: estimates must land within one bucket (2x) of
+	// the true quantile.
+	checks := []struct {
+		got  float64
+		want time.Duration
+	}{
+		{s.P50Ns, 500 * time.Microsecond},
+		{s.P95Ns, 950 * time.Microsecond},
+		{s.P99Ns, 990 * time.Microsecond},
+	}
+	for i, c := range checks {
+		lo, hi := float64(c.want)/2, float64(c.want)*2
+		if c.got < lo || c.got > hi {
+			t.Errorf("quantile %d = %v, want within [%v, %v]",
+				i, time.Duration(c.got), time.Duration(lo), time.Duration(hi))
+		}
+	}
+	if s.P50Ns > s.P95Ns || s.P95Ns > s.P99Ns {
+		t.Errorf("quantiles not monotone: %+v", s)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	if s := h.Summary(); s.Count != 0 || s.P99Ns != 0 {
+		t.Fatalf("empty histogram summary = %+v", s)
+	}
+	h.Observe(0)
+	h.Observe(-time.Second) // clamped, must not corrupt buckets
+	s := h.Summary()
+	if s.Count != 2 || s.P99Ns != 0 {
+		t.Fatalf("zero-valued summary = %+v", s)
+	}
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(3)
+	r.Gauge("a.first").Set(-2)
+	r.Histogram("m.mid").Observe(time.Millisecond)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d metrics", len(snap))
+	}
+	if snap[0].Name != "a.first" || snap[1].Name != "m.mid" || snap[2].Name != "z.last" {
+		t.Fatalf("snapshot not sorted: %+v", snap)
+	}
+	if snap[0].Kind != KindGauge || snap[0].Value != -2 {
+		t.Errorf("gauge metric = %+v", snap[0])
+	}
+	if snap[1].Kind != KindHistogram || snap[1].Count != 1 {
+		t.Errorf("histogram metric = %+v", snap[1])
+	}
+	if snap[2].Kind != KindCounter || snap[2].Value != 3 {
+		t.Errorf("counter metric = %+v", snap[2])
+	}
+}
+
+// TestRegistryConcurrent proves the registry race-clean under `go test
+// -race`: concurrent instrument creation, updates, and snapshots.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared.count")
+			h := r.Histogram("shared.lat")
+			g := r.Gauge(fmt.Sprintf("worker.%d", w))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i))
+				g.Set(int64(i))
+				if i%500 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared.count").Load(); got != workers*perWorker {
+		t.Fatalf("shared counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("shared.lat").Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestSysStatsObjectRoundTrip(t *testing.T) {
+	reg := mop.NewRegistry()
+	st, err := DefineSysTypes(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-definition (shared registries in tests).
+	st2, err := DefineSysTypes(reg)
+	if err != nil || st2.Stats != st.Stats {
+		t.Fatalf("re-define: %v (%v vs %v)", err, st2.Stats, st.Stats)
+	}
+	r := NewRegistry()
+	r.Counter("daemon.inbound").Add(42)
+	r.Histogram("daemon.lat").Observe(3 * time.Millisecond)
+	at := time.Unix(100, 0)
+	obj := st.StatsObject("node-1", at, 5*time.Second, r.Snapshot())
+	if got := obj.MustGet("node"); got != "node-1" {
+		t.Errorf("node = %v", got)
+	}
+	metrics := obj.MustGet("metrics").(mop.List)
+	if len(metrics) != 2 {
+		t.Fatalf("metrics = %d entries", len(metrics))
+	}
+	m0 := metrics[0].(*mop.Object)
+	if m0.MustGet("name") != "daemon.inbound" || m0.MustGet("value") != int64(42) {
+		t.Errorf("metric 0 = %v", m0)
+	}
+	// The generic print utility must render it (what ibmon -sys shows).
+	if s := mop.Sprint(obj); len(s) == 0 {
+		t.Error("Sprint produced nothing")
+	}
+	pong := st.PongObject("node-1", at, 7)
+	if pong.MustGet("nonce") != int64(7) {
+		t.Errorf("pong = %v", pong)
+	}
+}
