@@ -19,6 +19,7 @@ import (
 	"infobus/internal/baseline"
 	"infobus/internal/bench"
 	"infobus/internal/core"
+	"infobus/internal/daemon"
 	"infobus/internal/mop"
 	"infobus/internal/netsim"
 	"infobus/internal/reliable"
@@ -476,6 +477,64 @@ func BenchmarkAblationQoS(b *testing.B) {
 	}
 	b.Run("reliable", func(b *testing.B) { run(b, false) })
 	b.Run("guaranteed", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkFanout measures the publish→deliver hot path in isolation: one
+// daemon, one publisher, N local subscribers, the same subject every
+// iteration. Local fan-out happens synchronously inside Publish, so each
+// iteration is one full envelope-encode → reliable-publish → subject-match
+// → N-enqueue round plus N dequeues. The simulated medium runs at Speedup
+// 2000 so the wire never throttles the measurement (this benchmark is about
+// CPU and allocation cost, not modelled network time — see the Figure
+// benchmarks for those). allocs/op is the headline number: the steady-state
+// hot path should stay allocation-free apart from the simulated network's
+// own per-datagram bookkeeping (EXPERIMENTS.md records before/after).
+func BenchmarkFanout(b *testing.B) {
+	for _, nSubs := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("subs=%d", nSubs), func(b *testing.B) {
+			netCfg := netsim.DefaultConfig()
+			netCfg.Speedup = 2000
+			seg := transport.NewSimSegment(netCfg)
+			defer seg.Close()
+			ep, err := seg.NewEndpoint("fanout")
+			if err != nil {
+				b.Fatal(err)
+			}
+			d := daemon.New(ep, reliable.Config{
+				Batching:           true,
+				NakInterval:        2 * time.Millisecond,
+				RetransmitInterval: 3 * time.Millisecond,
+				HeartbeatInterval:  10 * time.Millisecond,
+			}, daemon.Options{})
+			defer d.Close()
+			pat := subject.MustParsePattern("fan.bench.data")
+			clients := make([]*daemon.Client, nSubs)
+			for i := range clients {
+				c, err := d.NewClient(fmt.Sprintf("sub%d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Subscribe(pat); err != nil {
+					b.Fatal(err)
+				}
+				clients[i] = c
+			}
+			subj := subject.MustParse("fan.bench.data")
+			payload := make([]byte, 256)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := d.Publish(subj, payload); err != nil {
+					b.Fatal(err)
+				}
+				for _, c := range clients {
+					if _, ok := c.TryNext(); !ok {
+						b.Fatal("missing local delivery")
+					}
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkTelemetryOverhead measures what the observability subsystem

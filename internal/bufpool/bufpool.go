@@ -1,0 +1,96 @@
+// Package bufpool provides size-classed, sync.Pool-backed byte buffers for
+// the publish→deliver hot path. Every publication used to pay several heap
+// allocations per hop — the envelope encoding, the reliable layer's
+// retransmit-window copy, the frame encoding — all of which have a short,
+// well-defined lifetime. Pooling them keeps the steady-state hot path
+// allocation-free.
+//
+// Ownership discipline (see DESIGN.md "Hot path & buffer ownership" for the
+// full hand-off map): a buffer obtained with Get or CopyOf has exactly one
+// owner at a time. The owner may hand the buffer's contents to a callee
+// that does not retain them (the transport's Send/Broadcast, Conn.Publish,
+// Conn.SendTo) and then Put it back; a buffer whose contents escape to an
+// unknown-lifetime holder (a subscriber, a receive queue) must never be
+// pooled — let the garbage collector have it.
+//
+// Buffers are grouped in power-of-two size classes between 256 B and
+// 64 KB. Requests outside that range are served with plain allocations and
+// silently dropped on Put, so misuse degrades to the garbage collector,
+// never to corruption.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+const (
+	minClassBits = 8  // 256 B: smallest pooled capacity
+	maxClassBits = 16 // 64 KB: largest pooled capacity (one reliable batch)
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+var pools [numClasses]sync.Pool
+
+func init() {
+	for i := range pools {
+		size := 1 << (minClassBits + i)
+		pools[i].New = func() any {
+			b := make([]byte, 0, size)
+			return &b
+		}
+	}
+}
+
+// classFor returns the smallest class whose buffers hold n bytes, or -1 if
+// n exceeds the largest pooled class.
+func classFor(n int) int {
+	if n <= 1<<minClassBits {
+		return 0
+	}
+	if n > 1<<maxClassBits {
+		return -1
+	}
+	return bits.Len(uint(n-1)) - minClassBits
+}
+
+// Get returns a zero-length buffer with capacity at least hint. The caller
+// owns it until Put; the pointer itself is the pooled object, so keep it
+// around for the matching Put.
+func Get(hint int) *[]byte {
+	cls := classFor(hint)
+	if cls < 0 {
+		b := make([]byte, 0, hint)
+		return &b
+	}
+	p := pools[cls].Get().(*[]byte)
+	*p = (*p)[:0]
+	return p
+}
+
+// CopyOf returns a pooled buffer holding a copy of b.
+func CopyOf(b []byte) *[]byte {
+	p := Get(len(b))
+	*p = append(*p, b...)
+	return p
+}
+
+// Put returns a buffer to its size class. The caller must not touch *p (or
+// any slice aliasing it) afterwards. Buffers outside the pooled size range
+// are dropped for the garbage collector.
+func Put(p *[]byte) {
+	if p == nil {
+		return
+	}
+	c := cap(*p)
+	if c < 1<<minClassBits || c > 1<<maxClassBits {
+		return
+	}
+	// Floor class: every buffer in class i has capacity >= 1<<(minClassBits+i),
+	// which is exactly what Get promises.
+	cls := bits.Len(uint(c)) - 1 - minClassBits
+	if cls >= numClasses {
+		cls = numClasses - 1
+	}
+	pools[cls].Put(p)
+}

@@ -1,0 +1,84 @@
+package bufpool
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGetCapacity(t *testing.T) {
+	for _, hint := range []int{0, 1, 255, 256, 257, 1024, 4096, 65536, 100000} {
+		p := Get(hint)
+		if len(*p) != 0 {
+			t.Fatalf("Get(%d): len = %d, want 0", hint, len(*p))
+		}
+		if cap(*p) < hint {
+			t.Fatalf("Get(%d): cap = %d, want >= hint", hint, cap(*p))
+		}
+		Put(p)
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {256, 0}, {257, 1}, {512, 1}, {513, 2},
+		{1 << 16, maxClassBits - minClassBits}, {1<<16 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.want {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestCopyOf(t *testing.T) {
+	src := []byte("hello, bus")
+	p := CopyOf(src)
+	if !bytes.Equal(*p, src) {
+		t.Fatalf("CopyOf = %q, want %q", *p, src)
+	}
+	// Mutating the copy must not touch the source.
+	(*p)[0] = 'X'
+	if src[0] != 'h' {
+		t.Fatal("CopyOf aliases its source")
+	}
+	Put(p)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	p := Get(1024)
+	*p = append(*p, make([]byte, 700)...)
+	Put(p)
+	// A subsequent Get of the same class must yield a zero-length buffer
+	// big enough for the request, whether or not it is the recycled one.
+	q := Get(1000)
+	if len(*q) != 0 || cap(*q) < 1000 {
+		t.Fatalf("after round trip: len=%d cap=%d", len(*q), cap(*q))
+	}
+	Put(q)
+	Put(nil) // must not panic
+}
+
+func TestPutOversizedDropped(t *testing.T) {
+	big := make([]byte, 0, 1<<20)
+	p := &big
+	Put(p) // outside the pooled range: dropped, not corrupted
+	small := make([]byte, 0, 16)
+	Put(&small)
+}
+
+// TestGetAfterGrowth exercises the "caller re-points the container at the
+// grown slice" pattern used by the daemon's envelope encoding.
+func TestGetAfterGrowth(t *testing.T) {
+	p := Get(256)
+	b := *p
+	for i := 0; i < 5000; i++ {
+		b = append(b, byte(i))
+	}
+	*p = b // hand the grown backing array to the pool
+	Put(p)
+	q := Get(5000)
+	if cap(*q) < 5000 {
+		t.Fatalf("cap = %d, want >= 5000", cap(*q))
+	}
+	Put(q)
+}

@@ -106,8 +106,15 @@ const (
 	maxNodeLen     = 256
 )
 
-func Encode(e Envelope) []byte {
-	b := []byte{e.Kind}
+// Encode renders an envelope into a fresh buffer.
+func Encode(e Envelope) []byte { return AppendEncode(nil, e) }
+
+// AppendEncode appends the envelope's encoding to b and returns the
+// extended slice. Hot-path callers (daemon publish, router forward) pass a
+// pooled buffer so steady-state encoding allocates nothing; the result is
+// byte-identical to Encode.
+func AppendEncode(b []byte, e Envelope) []byte {
+	b = append(b, e.Kind)
 	switch e.Kind {
 	case KindPublish:
 		b = append(b, e.Hops)

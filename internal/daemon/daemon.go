@@ -20,12 +20,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"infobus/internal/bufpool"
 	"infobus/internal/busproto"
 	"infobus/internal/reliable"
 	"infobus/internal/subject"
@@ -84,9 +84,19 @@ type Daemon struct {
 	// Guaranteed-delivery duplicate suppression: a publisher retransmits
 	// until acknowledged, so the same (origin, id) may arrive many times;
 	// consumers see it once ("if there is no failure, then the message
-	// will be delivered exactly once", §3.1).
-	guarSeen  map[string]struct{}
-	guarOrder []string
+	// will be delivered exactly once", §3.1). guarRing is a fixed-capacity
+	// FIFO over the set: once full, recording a new key overwrites (and
+	// un-sees) the oldest in place, so eviction never re-slices and never
+	// pins dead backing arrays.
+	guarSeen map[guarKey]struct{}
+	guarRing []guarKey
+	guarHead int // index of the oldest ring entry once the ring is full
+	guarCap  int // captured from guarSeenCap at construction
+
+	// interner caches subject.Parse results for inbound publications;
+	// workloads repeat subjects heavily, so the per-message split becomes a
+	// map hit.
+	interner *subject.Interner
 
 	metrics     *telemetry.Registry
 	ctr         counters
@@ -96,8 +106,18 @@ type Daemon struct {
 	pubSeq      atomic.Uint64 // local publication sequence, drives sampling
 }
 
-// guarSeenCap bounds the duplicate-suppression window.
-const guarSeenCap = 8192
+// guarKey identifies a guaranteed publication: the publisher's origin token
+// plus its ledger id. A struct key keeps dedup lookups allocation-free
+// (string concatenation per inbound retry used to dominate the ack path).
+type guarKey struct {
+	origin string
+	id     uint64
+}
+
+// guarSeenCap bounds the duplicate-suppression window. A variable so tests
+// can shrink it to exercise eviction; each Daemon captures the value at
+// construction.
+var guarSeenCap = 8192
 
 // Stats counts daemon-level events.
 type Stats struct {
@@ -158,7 +178,9 @@ func New(ep transport.Endpoint, cfg reliable.Config, opts Options) *Daemon {
 		clients:     make(map[*Client]struct{}),
 		done:        make(chan struct{}),
 		kick:        make(chan struct{}, 1),
-		guarSeen:    make(map[string]struct{}),
+		guarSeen:    make(map[guarKey]struct{}),
+		guarCap:     guarSeenCap,
+		interner:    subject.NewInterner(0),
 		advDirty:    true,
 		metrics:     metrics,
 		tracePeriod: opts.TracePeriod,
@@ -289,7 +311,12 @@ func (d *Daemon) traceSample(e *busproto.Envelope) {
 func (d *Daemon) Publish(subj subject.Subject, payload []byte) error {
 	e := busproto.Envelope{Kind: busproto.KindPublish, Subject: subj.String(), Payload: payload}
 	d.traceSample(&e)
-	env := busproto.Encode(e)
+	// Pooled encode: Conn.Publish copies the envelope into its retransmit
+	// window before returning, so the buffer can go straight back.
+	buf := bufpool.Get(len(e.Subject) + len(payload) + 16)
+	env := busproto.AppendEncode((*buf)[:0], e)
+	*buf = env
+	defer bufpool.Put(buf)
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -313,7 +340,10 @@ func (d *Daemon) PublishGuaranteed(subj subject.Subject, payload []byte, id uint
 		Subject: subj.String(), Payload: payload,
 	}
 	d.traceSample(&e)
-	env := busproto.Encode(e)
+	buf := bufpool.Get(len(e.Origin) + len(e.Subject) + len(payload) + 32)
+	env := busproto.AppendEncode((*buf)[:0], e)
+	*buf = env
+	defer bufpool.Put(buf)
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -352,10 +382,14 @@ func (d *Daemon) Flush() error { return d.conn.Flush() }
 
 // Client is one local application's attachment to the daemon.
 type Client struct {
-	name   string
-	d      *Daemon
-	mu     sync.Mutex
+	name string
+	d    *Daemon
+	mu   sync.Mutex
+	// queue[head:] are the undelivered entries. The head index (instead of
+	// re-slicing queue[1:]) lets a drained queue rewind to the start of its
+	// backing array, so a steady consumer costs zero appends after warm-up.
 	queue  []Delivery
+	head   int
 	signal chan struct{}
 	closed bool
 	pats   map[string]subject.Pattern
@@ -431,9 +465,7 @@ func (c *Client) Patterns() []string {
 func (c *Client) Next(stop <-chan struct{}) (Delivery, bool) {
 	for {
 		c.mu.Lock()
-		if len(c.queue) > 0 {
-			dv := c.queue[0]
-			c.queue = c.queue[1:]
+		if dv, ok := c.popLocked(); ok {
 			c.mu.Unlock()
 			return dv, true
 		}
@@ -450,23 +482,35 @@ func (c *Client) Next(stop <-chan struct{}) (Delivery, bool) {
 	}
 }
 
+// popLocked removes and returns the oldest queued delivery. A drained
+// queue rewinds to reuse its backing array; the vacated slot is zeroed so
+// a queued payload cannot outlive its delivery.
+func (c *Client) popLocked() (Delivery, bool) {
+	if c.head == len(c.queue) {
+		return Delivery{}, false
+	}
+	dv := c.queue[c.head]
+	c.queue[c.head] = Delivery{}
+	c.head++
+	if c.head == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.head = 0
+	}
+	return dv, true
+}
+
 // TryNext returns a pending delivery without blocking.
 func (c *Client) TryNext() (Delivery, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.queue) == 0 {
-		return Delivery{}, false
-	}
-	dv := c.queue[0]
-	c.queue = c.queue[1:]
-	return dv, true
+	return c.popLocked()
 }
 
 // Pending returns the number of queued deliveries.
 func (c *Client) Pending() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.queue)
+	return len(c.queue) - c.head
 }
 
 // Close detaches the client from the daemon.
@@ -543,7 +587,7 @@ func (d *Daemon) handleMessage(m reliable.Message) {
 	}
 	switch env.Base() {
 	case busproto.KindPublish, busproto.KindGuaranteed:
-		subj, err := subject.Parse(env.Subject)
+		subj, err := d.interner.Parse(env.Subject)
 		if err != nil {
 			d.ctr.corruptDropped.Inc()
 			return
@@ -563,8 +607,7 @@ func (d *Daemon) handleMessage(m reliable.Message) {
 		if guaranteed && d.guarAlreadyDelivered(env.Origin, env.ID) {
 			// Already delivered locally; re-acknowledge in case the
 			// publisher missed our first ack, but do not re-deliver.
-			ack := busproto.Encode(busproto.Envelope{Kind: busproto.KindGuarAck, ID: env.ID, Origin: env.Origin})
-			_ = d.conn.SendTo(m.From, ack)
+			d.sendGuarAck(m.From, env.ID, env.Origin)
 			return
 		}
 		dv := Delivery{
@@ -581,9 +624,8 @@ func (d *Daemon) handleMessage(m reliable.Message) {
 			d.guarRecordDelivered(env.Origin, env.ID)
 			// Acknowledge on behalf of our subscribers, unicast to the
 			// publisher.
-			ack := busproto.Encode(busproto.Envelope{Kind: busproto.KindGuarAck, ID: env.ID, Origin: env.Origin})
 			d.ctr.guarAcksSent.Inc()
-			_ = d.conn.SendTo(m.From, ack)
+			d.sendGuarAck(m.From, env.ID, env.Origin)
 		}
 	case busproto.KindGuarAck:
 		if env.Origin != d.identity {
@@ -597,6 +639,15 @@ func (d *Daemon) handleMessage(m reliable.Message) {
 			onAck(env.ID, m.From)
 		}
 	}
+}
+
+// sendGuarAck unicasts a guaranteed-delivery acknowledgement through a
+// pooled buffer (Conn.SendTo copies before returning).
+func (d *Daemon) sendGuarAck(to string, id uint64, origin string) {
+	buf := bufpool.Get(len(origin) + 16)
+	*buf = busproto.AppendEncode((*buf)[:0], busproto.Envelope{Kind: busproto.KindGuarAck, ID: id, Origin: origin})
+	_ = d.conn.SendTo(to, *buf)
+	bufpool.Put(buf)
 }
 
 // routeLocal fans a delivery out to every matching local client.
@@ -644,8 +695,10 @@ func (d *Daemon) AdvertiseInterest() {
 	if len(patterns) == 0 {
 		return
 	}
-	env := busproto.Encode(busproto.Envelope{Kind: busproto.KindInterest, Patterns: patterns})
-	_ = d.conn.Publish(env)
+	buf := bufpool.Get(256)
+	*buf = busproto.AppendEncode((*buf)[:0], busproto.Envelope{Kind: busproto.KindInterest, Patterns: patterns})
+	_ = d.conn.Publish(*buf)
+	bufpool.Put(buf)
 	_ = d.conn.Flush()
 }
 
@@ -681,7 +734,7 @@ func aggregateInterest(patterns []string, cap int) []string {
 // guarAlreadyDelivered reports whether a guaranteed publication was
 // already delivered to local subscribers.
 func (d *Daemon) guarAlreadyDelivered(origin string, id uint64) bool {
-	key := origin + "/" + strconv.FormatUint(id, 10)
+	key := guarKey{origin: origin, id: id}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	_, seen := d.guarSeen[key]
@@ -693,16 +746,23 @@ func (d *Daemon) guarAlreadyDelivered(origin string, id uint64) bool {
 // the message will be delivered exactly once"). Only delivered messages
 // are recorded: a daemon with no matching subscriber keeps accepting
 // retries, so a subscriber that appears later still receives the message.
+// Recording an already-seen key is a no-op, so the ring holds no
+// duplicates and every slot's eviction removes exactly its own key.
 func (d *Daemon) guarRecordDelivered(origin string, id uint64) {
-	key := origin + "/" + strconv.FormatUint(id, 10)
+	key := guarKey{origin: origin, id: id}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.guarSeen[key] = struct{}{}
-	d.guarOrder = append(d.guarOrder, key)
-	for len(d.guarOrder) > guarSeenCap {
-		delete(d.guarSeen, d.guarOrder[0])
-		d.guarOrder = d.guarOrder[1:]
+	if _, dup := d.guarSeen[key]; dup {
+		return
 	}
+	d.guarSeen[key] = struct{}{}
+	if len(d.guarRing) < d.guarCap {
+		d.guarRing = append(d.guarRing, key)
+		return
+	}
+	delete(d.guarSeen, d.guarRing[d.guarHead])
+	d.guarRing[d.guarHead] = key
+	d.guarHead = (d.guarHead + 1) % d.guarCap
 }
 
 // kickInterest schedules a prompt advertisement without blocking the
@@ -726,7 +786,17 @@ func (d *Daemon) interestLoop() {
 			return
 		case <-d.kick:
 			// Let a burst of Subscribe calls settle briefly, then send one
-			// advertisement covering them all.
+			// advertisement covering them all. Stop-and-drain before Reset:
+			// if the timer fired between our last receive and this kick, the
+			// stale expiry sits in debounce.C and would otherwise make the
+			// reset fire immediately, defeating the debounce (this loop is
+			// the only reader, so the non-blocking drain cannot race).
+			if !debounce.Stop() {
+				select {
+				case <-debounce.C:
+				default:
+				}
+			}
 			debounce.Reset(2 * time.Millisecond)
 		case <-debounce.C:
 			d.AdvertiseInterest()

@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -295,5 +296,118 @@ func TestAggregateInterest(t *testing.T) {
 	}
 	if !covered {
 		t.Error("aggregation narrowed interest")
+	}
+}
+
+// TestGuarRingEviction pushes the dedup window well past 2x its capacity
+// and checks the fixed-size ring: the set never exceeds the cap, the
+// newest cap keys stay deduplicated, the oldest are forgotten, and
+// re-recording a seen key is idempotent (no ring slot burned).
+func TestGuarRingEviction(t *testing.T) {
+	old := guarSeenCap
+	guarSeenCap = 8
+	defer func() { guarSeenCap = old }()
+	da, _ := newPair(t)
+	const total = 20 // > 2x cap
+	for id := uint64(0); id < total; id++ {
+		da.guarRecordDelivered("origin-a", id)
+		// Idempotent re-record: must not consume another ring slot.
+		da.guarRecordDelivered("origin-a", id)
+	}
+	da.mu.Lock()
+	seen, ringLen := len(da.guarSeen), len(da.guarRing)
+	da.mu.Unlock()
+	if seen != 8 || ringLen != 8 {
+		t.Fatalf("seen=%d ring=%d, want cap=8 for both", seen, ringLen)
+	}
+	for id := uint64(total - 8); id < total; id++ {
+		if !da.guarAlreadyDelivered("origin-a", id) {
+			t.Errorf("id %d within the window was forgotten", id)
+		}
+	}
+	for id := uint64(0); id < total-8; id++ {
+		if da.guarAlreadyDelivered("origin-a", id) {
+			t.Errorf("id %d beyond the window still seen", id)
+		}
+	}
+	// Distinct origins with equal ids are distinct keys.
+	da.guarRecordDelivered("origin-b", total-1)
+	if !da.guarAlreadyDelivered("origin-b", total-1) || !da.guarAlreadyDelivered("origin-a", total-1) {
+		t.Error("(origin, id) keys collided across origins")
+	}
+}
+
+// TestGuaranteedLateSubscriberAfterEviction is the network-level eviction
+// scenario: a guaranteed message is still being retried while the consumer
+// daemon's dedup window churns through more than its capacity of OTHER
+// guaranteed deliveries. A subscriber appearing only then must receive the
+// retried message exactly once — the churn must neither deliver duplicates
+// nor lose the pending message.
+func TestGuaranteedLateSubscriberAfterEviction(t *testing.T) {
+	old := guarSeenCap
+	guarSeenCap = 8
+	defer func() { guarSeenCap = old }()
+	da, db := newPair(t)
+
+	// No subscriber for g.target yet: retries are accepted, nothing recorded.
+	target := subject.MustParse("g.target")
+	if err := da.PublishGuaranteed(target, []byte("pending"), 999); err != nil {
+		t.Fatal(err)
+	}
+
+	// Churn the consumer's dedup window: > 2x cap distinct guaranteed
+	// deliveries on another subject, each consumed by a live subscriber.
+	filler, _ := db.NewClient("filler")
+	_ = filler.Subscribe(subject.MustParsePattern("g.fill"))
+	fill := subject.MustParse("g.fill")
+	for id := uint64(1); id <= 20; id++ {
+		if err := da.PublishGuaranteed(fill, []byte("f"), id); err != nil {
+			t.Fatal(err)
+		}
+		nextDelivery(t, filler, 5*time.Second)
+	}
+
+	// The late subscriber appears after the evictions...
+	late, _ := db.NewClient("late")
+	_ = late.Subscribe(subject.MustParsePattern("g.target"))
+	// ...and the publisher's retries continue (same id, as the ledger
+	// retrier does until acked).
+	for i := 0; i < 3; i++ {
+		if err := da.PublishGuaranteed(target, []byte("pending"), 999); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dv := nextDelivery(t, late, 5*time.Second); string(dv.Payload) != "pending" || dv.ID != 999 {
+		t.Fatalf("delivery = %q id %d", dv.Payload, dv.ID)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := late.Pending(); n != 0 {
+		t.Errorf("late subscriber received %d duplicate(s)", n)
+	}
+}
+
+// TestInterestDebounceCoalesces drives the interestLoop's live debounce
+// path: a burst of subscription changes must collapse into a small number
+// of interest broadcasts, not one per change (the timer is stopped and
+// drained before each reset, so a stale expiry cannot defeat the 2ms
+// settle window).
+func TestInterestDebounceCoalesces(t *testing.T) {
+	_, db := newPair(t)
+	c, _ := db.NewClient("bursty")
+	base := db.Conn().Stats().Published
+	for i := 0; i < 40; i++ {
+		if err := c.Subscribe(subject.MustParsePattern(fmt.Sprintf("burst.s%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(60 * time.Millisecond) // let the debounce fire and settle
+	sent := db.Conn().Stats().Published - base
+	// One advertisement per change would be ~40; the debounce plus the
+	// 250ms periodic tick should keep it to a handful.
+	if sent > 10 {
+		t.Errorf("burst of 40 subscriptions caused %d broadcasts, want <= 10", sent)
+	}
+	if sent == 0 {
+		t.Error("debounce never advertised at all")
 	}
 }

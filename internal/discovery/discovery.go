@@ -192,6 +192,15 @@ func Discover(bus *core.Bus, service string, opts Options) ([]Found, error) {
 	for {
 		select {
 		case <-reask.C:
+			// The select picks randomly among ready cases: a stale re-ask
+			// tick can win over an expired deadline, and re-publishing the
+			// query after the window closed would solicit replies nobody
+			// collects. Check the deadline first.
+			select {
+			case <-deadline.C:
+				return found, nil
+			default:
+			}
 			_ = bus.Publish(queryPrefix+service, query)
 			_ = bus.Flush()
 		case <-deadline.C:

@@ -202,3 +202,26 @@ func TestTwoAnnouncersSameHostBothFound(t *testing.T) {
 		t.Fatalf("found = %+v, want both announcers on one host", found)
 	}
 }
+
+// TestDiscoverWindowRespected checks the deadline/re-ask interplay: the
+// round must end promptly once the window closes, even though the re-ask
+// ticker (Window/4 cadence) keeps firing — a stale tick winning the select
+// over an expired deadline must not send another query or stretch the
+// round.
+func TestDiscoverWindowRespected(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	client := newBus(t, seg, "client")
+	const window = 80 * time.Millisecond
+	start := time.Now()
+	found, err := Discover(client, "svc.window", Options{Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 0 {
+		t.Fatalf("found = %+v, want none", found)
+	}
+	if elapsed := time.Since(start); elapsed > 4*window {
+		t.Errorf("Discover took %v for a %v window", elapsed, window)
+	}
+}

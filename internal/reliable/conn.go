@@ -3,10 +3,11 @@ package reliable
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"infobus/internal/bufpool"
 	"infobus/internal/telemetry"
 	"infobus/internal/transport"
 )
@@ -54,6 +55,12 @@ type Config struct {
 	// "reliable". Routers give each attachment its own prefix so that
 	// per-attachment streams stay distinguishable in one registry.
 	MetricsPrefix string
+	// Seed seeds the connection's epoch (the restart-detection token carried
+	// in every frame). Zero, the default, derives a unique epoch from the
+	// clock plus a process-wide counter. Tests that need reproducible epochs
+	// set distinct nonzero seeds per Conn: the same seed always yields the
+	// same epoch, and two live Conns must never share one.
+	Seed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -155,15 +162,21 @@ type Conn struct {
 	wg    sync.WaitGroup
 
 	mu sync.Mutex
-	// Outbound broadcast stream.
+	// Outbound broadcast stream. Window entries are pooled copies
+	// (bufpool.CopyOf) returned to the pool on eviction, so every frame that
+	// references them — batch sends, NAK retransmissions — must be encoded
+	// while mu is held; only the encoded frame (which the transport does not
+	// retain) may cross the unlock.
 	nextSeq    uint64
-	window     map[uint64][]byte
+	window     map[uint64]*[]byte
 	windowMin  uint64 // smallest seq still retained
-	batch      []msg
+	batch      []msg  // entries alias window buffers; flushed before eviction can reach them
 	batchBytes int
 	batchSince time.Time
 	lastBcast  time.Time // last data or heartbeat broadcast
 	sentSeq    uint64    // highest seq actually broadcast (batching may lag nextSeq)
+	sendBuf    []byte    // scratch for frame encoding under mu; transport copies on send
+	oneMsg     [1]msg    // scratch for unbatched single-message sends
 	// Inbound state per remote sender.
 	bPeers map[string]*bcastRecv
 	uPeers map[string]*ucastRecv
@@ -194,23 +207,42 @@ type ucastRecv struct {
 	pending map[uint64][]byte
 }
 
-// ucastSend is outbound unicast-stream state for one destination.
+// ucastSend is outbound unicast-stream state for one destination. unacked
+// holds pooled copies returned to the pool when acknowledged.
 type ucastSend struct {
 	nextSeq  uint64
-	unacked  map[uint64][]byte
+	unacked  map[uint64]*[]byte
 	lastSend time.Time
+}
+
+// epochSalt disambiguates auto-seeded Conns created within one clock tick.
+var epochSalt atomic.Uint64
+
+// newEpoch derives the connection epoch from seed (splitmix64 finalizer),
+// or from the clock plus a process-wide counter when seed is zero. The
+// result is always odd, hence nonzero.
+func newEpoch(seed uint64) uint64 {
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano()) + epochSalt.Add(1)<<32
+	}
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return z | 1
 }
 
 // New layers a reliable connection over ep. The endpoint must not be used
 // directly afterwards.
 func New(ep transport.Endpoint, cfg Config) *Conn {
+	cfg = cfg.withDefaults()
 	c := &Conn{
 		ep:     ep,
-		cfg:    cfg.withDefaults(),
-		epoch:  rand.Uint64() | 1, // nonzero
+		cfg:    cfg,
+		epoch:  newEpoch(cfg.Seed),
 		out:    make(chan Message, 1024),
 		done:   make(chan struct{}),
-		window: make(map[uint64][]byte),
+		window: make(map[uint64]*[]byte),
 		bPeers: make(map[string]*bcastRecv),
 		uPeers: make(map[string]*ucastRecv),
 		uSend:  make(map[string]*ucastSend),
@@ -276,18 +308,23 @@ func (c *Conn) Publish(payload []byte) error {
 	c.ctr.published.Inc()
 	c.nextSeq++
 	seq := c.nextSeq
-	cp := append([]byte(nil), payload...)
-	c.retain(seq, cp)
+	wp := bufpool.CopyOf(payload)
+	c.retain(seq, wp)
+	cp := *wp
 
 	if !c.cfg.Batching {
-		return c.sendDataLocked([]msg{{seq: seq, payload: cp}})
+		c.oneMsg[0] = msg{seq: seq, payload: cp}
+		return c.sendDataLocked(c.oneMsg[:])
 	}
 	if len(c.batch) == 0 {
 		c.batchSince = time.Now()
 	}
 	c.batch = append(c.batch, msg{seq: seq, payload: cp})
 	c.batchBytes += len(cp)
-	if c.batchBytes >= c.cfg.BatchMaxBytes {
+	// Flush on size, and unconditionally before the batch could outlive its
+	// window entries: batch payloads alias window buffers, and an eviction
+	// Put while the batch is pending would recycle bytes still queued.
+	if c.batchBytes >= c.cfg.BatchMaxBytes || len(c.batch) >= c.cfg.Window {
 		return c.flushBatchLocked()
 	}
 	return nil
@@ -304,28 +341,37 @@ func (c *Conn) flushBatchLocked() error {
 	if len(c.batch) == 0 {
 		return nil
 	}
-	batch := c.batch
-	c.batch = nil
 	c.batchBytes = 0
 	c.ctr.batchesFlushed.Inc()
-	return c.sendDataLocked(batch)
+	err := c.sendDataLocked(c.batch)
+	// The send is synchronous (the frame bytes are copied or written before
+	// Broadcast returns), so the slice can be reused for the next batch.
+	c.batch = c.batch[:0]
+	return err
 }
 
+// sendDataLocked encodes msgs into the connection's scratch buffer and
+// broadcasts the frame. Callers hold c.mu; the payloads may alias pooled
+// window buffers, which is safe exactly because encoding happens under the
+// same lock that serializes eviction.
 func (c *Conn) sendDataLocked(msgs []msg) error {
-	frame := encodeData(dataFrame{typ: frameData, epoch: c.epoch, msgs: msgs})
+	c.sendBuf = appendData(c.sendBuf[:0], dataFrame{typ: frameData, epoch: c.epoch, msgs: msgs})
 	c.ctr.sent.Add(uint64(len(msgs)))
 	c.lastBcast = time.Now()
 	if last := msgs[len(msgs)-1].seq; last > c.sentSeq {
 		c.sentSeq = last
 	}
-	return c.ep.Broadcast(frame)
+	return c.ep.Broadcast(c.sendBuf)
 }
 
 // retain stores a sent broadcast message for NAK-triggered retransmission,
-// evicting the oldest entries beyond the window.
-func (c *Conn) retain(seq uint64, payload []byte) {
+// evicting (and pooling) the oldest entries beyond the window.
+func (c *Conn) retain(seq uint64, payload *[]byte) {
 	c.window[seq] = payload
 	for len(c.window) > c.cfg.Window {
+		if old, ok := c.window[c.windowMin]; ok {
+			bufpool.Put(old)
+		}
 		delete(c.window, c.windowMin)
 		c.windowMin++
 	}
@@ -342,7 +388,7 @@ func (c *Conn) SendTo(addr string, payload []byte) error {
 	}
 	us := c.uSend[addr]
 	if us == nil {
-		us = &ucastSend{unacked: make(map[uint64][]byte)}
+		us = &ucastSend{unacked: make(map[uint64]*[]byte)}
 		c.uSend[addr] = us
 	}
 	if len(us.unacked) >= c.cfg.Window {
@@ -350,11 +396,12 @@ func (c *Conn) SendTo(addr string, payload []byte) error {
 	}
 	us.nextSeq++
 	seq := us.nextSeq
-	cp := append([]byte(nil), payload...)
-	us.unacked[seq] = cp
+	wp := bufpool.CopyOf(payload)
+	us.unacked[seq] = wp
 	us.lastSend = time.Now()
-	frame := encodeData(dataFrame{typ: frameUData, epoch: c.epoch, msgs: []msg{{seq: seq, payload: cp}}})
-	return c.ep.Send(addr, frame)
+	c.oneMsg[0] = msg{seq: seq, payload: *wp}
+	c.sendBuf = appendData(c.sendBuf[:0], dataFrame{typ: frameUData, epoch: c.epoch, msgs: c.oneMsg[:]})
+	return c.ep.Send(addr, c.sendBuf)
 }
 
 // ---------------------------------------------------------------------------
@@ -534,18 +581,21 @@ func (c *Conn) handleNak(from string, f *nakFrame) {
 	var msgs []msg
 	for seq := f.from; seq <= f.to; seq++ {
 		if p, ok := c.window[seq]; ok {
-			msgs = append(msgs, msg{seq: seq, payload: p})
+			msgs = append(msgs, msg{seq: seq, payload: *p})
 		}
 	}
 	c.ctr.retransmits.Add(uint64(len(msgs)))
-	c.mu.Unlock()
-	if len(msgs) == 0 {
-		return
+	// Encode and send before unlocking: the payloads are pooled window
+	// buffers that a concurrent Publish could evict (and recycle) the moment
+	// mu is free, and the scratch sendBuf is likewise guarded by mu. The
+	// transport copies (or writes) the frame before Send returns, so nothing
+	// escapes the lock. Retransmission is unicast to the requester only;
+	// other receivers either have the messages or will NAK on their own.
+	if len(msgs) > 0 {
+		c.sendBuf = appendData(c.sendBuf[:0], dataFrame{typ: frameData, epoch: c.epoch, msgs: msgs})
+		_ = c.ep.Send(from, c.sendBuf)
 	}
-	// Retransmit unicast to the requester only; other receivers either
-	// have the messages or will NAK on their own.
-	frame := encodeData(dataFrame{typ: frameData, epoch: c.epoch, msgs: msgs})
-	_ = c.ep.Send(from, frame)
+	c.mu.Unlock()
 }
 
 func (c *Conn) handleAck(from string, f *ackFrame) {
@@ -558,8 +608,9 @@ func (c *Conn) handleAck(from string, f *ackFrame) {
 	if us == nil {
 		return
 	}
-	for seq := range us.unacked {
+	for seq, p := range us.unacked {
 		if seq <= f.cum {
+			bufpool.Put(p)
 			delete(us.unacked, seq)
 		}
 	}
@@ -716,7 +767,9 @@ func (c *Conn) tick(now time.Time) {
 		us.lastSend = now
 		var msgs []msg
 		for seq, p := range us.unacked {
-			msgs = append(msgs, msg{seq: seq, payload: p})
+			// *p is a pooled buffer; the frame is encoded below, still under
+			// mu, before an ack could recycle it.
+			msgs = append(msgs, msg{seq: seq, payload: *p})
 		}
 		sortMsgs(msgs)
 		c.ctr.retransmits.Add(uint64(len(msgs)))

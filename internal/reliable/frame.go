@@ -87,7 +87,14 @@ func appendUvarint(b []byte, v uint64) []byte {
 }
 
 func encodeData(f dataFrame) []byte {
-	b := []byte{f.typ}
+	return appendData(nil, f)
+}
+
+// appendData appends the frame's encoding to dst and returns the extended
+// slice. The send path reuses one scratch buffer per Conn through it, so
+// steady-state framing allocates nothing.
+func appendData(dst []byte, f dataFrame) []byte {
+	b := append(dst, f.typ)
 	b = appendUvarint(b, f.epoch)
 	b = appendUvarint(b, uint64(len(f.msgs)))
 	for _, m := range f.msgs {

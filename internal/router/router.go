@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"infobus/internal/bufpool"
 	"infobus/internal/busproto"
 	"infobus/internal/mop"
 	"infobus/internal/reliable"
@@ -87,7 +88,17 @@ type attachment struct {
 
 	mu       sync.Mutex
 	interest map[string]interestEntry // pattern -> entry
+	// wantsCache memoizes wants() by subject: the linear scan over the
+	// interest table runs per forwarded message, but interest changes only
+	// on advertisement arrival or expiry. Cleared whenever the interest SET
+	// changes (a refresh of an existing pattern does not).
+	wantsCache map[string]bool
 }
+
+// maxWantsCache bounds each attachment's wants memo; when full, further
+// subjects just re-scan the interest table (same skip-on-full policy as
+// the subject trie's match cache).
+const maxWantsCache = 4096
 
 type interestEntry struct {
 	pat     subject.Pattern
@@ -100,6 +111,9 @@ type Router struct {
 
 	metrics *telemetry.Registry
 	ctr     counters
+	// interner caches subject parses on the forwarding path (subjects
+	// repeat far more often than they vary).
+	interner *subject.Interner
 
 	mu     sync.Mutex
 	atts   []*attachment
@@ -142,10 +156,11 @@ func New(opts Options, atts ...Attachment) (*Router, error) {
 		metrics = telemetry.NewRegistry()
 	}
 	r := &Router{
-		opts:    opts,
-		metrics: metrics,
-		guar:    make(map[string]guarPath),
-		done:    make(chan struct{}),
+		opts:     opts,
+		metrics:  metrics,
+		interner: subject.NewInterner(0),
+		guar:     make(map[string]guarPath),
+		done:     make(chan struct{}),
 	}
 	r.ctr = counters{
 		forwarded:     metrics.Counter("router.forwarded"),
@@ -259,7 +274,7 @@ func (r *Router) forward(src *attachment, from string, env busproto.Envelope) {
 		r.ctr.loopDropped.Inc()
 		return
 	}
-	subj, err := subject.Parse(env.Subject)
+	subj, err := r.interner.Parse(env.Subject)
 	if err != nil {
 		return
 	}
@@ -283,7 +298,13 @@ func (r *Router) forward(src *attachment, from string, env busproto.Envelope) {
 		// Traced publications record the router crossing per egress
 		// attachment (AppendHop copies, so fan-out copies do not alias).
 		out.AppendHop("router:"+r.opts.Name+":"+dst.name, time.Now().UnixNano())
-		if err := dst.conn.Publish(busproto.Encode(out)); err != nil {
+		// Pooled encode: Publish copies into the retransmit window before
+		// returning, so the buffer goes straight back to the pool.
+		buf := bufpool.Get(len(out.Subject) + len(out.Payload) + 48)
+		*buf = busproto.AppendEncode((*buf)[:0], out)
+		err := dst.conn.Publish(*buf)
+		bufpool.Put(buf)
+		if err != nil {
 			continue
 		}
 		forwardedAnywhere = true
@@ -365,36 +386,65 @@ func (r *Router) interestRelayLoop() {
 func (a *attachment) recordInterest(patterns []string, expires time.Time) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	changed := false
 	for _, ps := range patterns {
+		if e, ok := a.interest[ps]; ok {
+			// Refresh only: the pattern set (hence wants answers) is
+			// unchanged, so the memo survives.
+			e.expires = expires
+			a.interest[ps] = e
+			continue
+		}
 		pat, err := subject.ParsePattern(ps)
 		if err != nil {
 			continue
 		}
 		a.interest[ps] = interestEntry{pat: pat, expires: expires}
+		changed = true
+	}
+	if changed {
+		clear(a.wantsCache)
 	}
 }
 
 func (a *attachment) prune(now time.Time) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	changed := false
 	for k, e := range a.interest {
 		if now.After(e.expires) {
 			delete(a.interest, k)
+			changed = true
 		}
+	}
+	if changed {
+		clear(a.wantsCache)
 	}
 }
 
 // wants reports whether any live interest on this attachment's segment
-// matches the subject.
+// matches the subject, memoized per subject until the interest set changes.
 func (a *attachment) wants(s subject.Subject) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	raw := s.String()
+	if w, ok := a.wantsCache[raw]; ok {
+		return w
+	}
+	w := false
 	for _, e := range a.interest {
 		if e.pat.Matches(s) {
-			return true
+			w = true
+			break
 		}
 	}
-	return false
+	if len(a.wantsCache) < maxWantsCache {
+		if a.wantsCache == nil {
+			a.wantsCache = make(map[string]bool)
+		}
+		a.wantsCache[raw] = w
+	}
+	return w
 }
 
 func (a *attachment) patterns() []string {

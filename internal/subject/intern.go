@@ -1,0 +1,54 @@
+package subject
+
+import "sync"
+
+// Interner caches Parse results by raw string. Daemons and routers parse
+// the subject of every inbound publication; workloads repeat subjects
+// heavily (the paper's Figure 6/7 runs publish thousands of messages per
+// subject), so interning turns the per-message strings.Split allocation
+// into a map hit. Safe for concurrent use.
+//
+// The cache is bounded: when full, new subjects are parsed but not cached
+// (no eviction bookkeeping, and no clear-on-overflow churn — a workload
+// cycling through more subjects than the cap would defeat a cleared cache
+// entirely). Parse failures are not cached — corrupt subjects are dropped
+// by the caller anyway, and caching them would let garbage churn the table.
+type Interner struct {
+	mu  sync.Mutex
+	max int
+	m   map[string]Subject
+}
+
+// defaultInternerSize bounds an Interner built with NewInterner(0); sized
+// above Figure 8's 10 000-subject workload.
+const defaultInternerSize = 16384
+
+// NewInterner returns an interner holding at most max subjects (0 selects
+// the package default).
+func NewInterner(max int) *Interner {
+	if max <= 0 {
+		max = defaultInternerSize
+	}
+	return &Interner{max: max, m: make(map[string]Subject)}
+}
+
+// Parse is Subject Parse with caching: repeated raws return the identical
+// Subject value without re-splitting.
+func (in *Interner) Parse(raw string) (Subject, error) {
+	in.mu.Lock()
+	if s, ok := in.m[raw]; ok {
+		in.mu.Unlock()
+		return s, nil
+	}
+	in.mu.Unlock()
+	s, err := Parse(raw)
+	if err != nil {
+		return Subject{}, err
+	}
+	in.mu.Lock()
+	if len(in.m) < in.max {
+		in.m[raw] = s
+	}
+	in.mu.Unlock()
+	return s, nil
+}

@@ -248,3 +248,79 @@ func BenchmarkTrieMatch(b *testing.B) {
 		})
 	}
 }
+
+// TestTrieMatchCacheInvalidation exercises the match cache: repeated
+// Match calls on the same subject are served from cache, and any Add or
+// Remove must invalidate it so results never go stale.
+func TestTrieMatchCacheInvalidation(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Add(MustParsePattern("a.>"), "first")
+	s := MustParse("a.b")
+	for i := 0; i < 3; i++ { // warm and re-hit the cache
+		if got := tr.Match(s); len(got) != 1 || got[0] != "first" {
+			t.Fatalf("Match #%d = %v", i, got)
+		}
+	}
+	tr.Add(MustParsePattern("a.b"), "second")
+	if got := tr.Match(s); len(got) != 2 {
+		t.Fatalf("after Add: Match = %v, want 2 values", got)
+	}
+	tr.Remove(MustParsePattern("a.>"), "first")
+	if got := tr.Match(s); len(got) != 1 || got[0] != "second" {
+		t.Fatalf("after Remove: Match = %v, want [second]", got)
+	}
+	// A ">"-terminated add takes the early-return path in Add; it must
+	// invalidate too.
+	tr.Add(MustParsePattern(">"), "rest")
+	if got := tr.Match(s); len(got) != 2 {
+		t.Fatalf("after rest-Add: Match = %v, want 2 values", got)
+	}
+}
+
+// TestTrieMatchCacheConcurrent hammers Match while the subscription set
+// churns; run under -race this guards the gen/cacheMu protocol.
+func TestTrieMatchCacheConcurrent(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Add(MustParsePattern("stable.>"), 0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			tr.Add(MustParsePattern("churn.x"), i)
+			tr.Remove(MustParsePattern("churn.x"), i)
+		}
+	}()
+	s := MustParse("stable.subject")
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			if got := tr.Match(s); len(got) != 1 || got[0] != 0 {
+				t.Fatalf("Match = %v", got)
+			}
+		}
+	}
+}
+
+func TestInterner(t *testing.T) {
+	in := NewInterner(2)
+	a1, err := in.Parse("x.y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := in.Parse("x.y")
+	if a1.String() != a2.String() || a1.Depth() != a2.Depth() {
+		t.Fatalf("interned parse mismatch: %v vs %v", a1, a2)
+	}
+	if _, err := in.Parse("..bad"); err == nil {
+		t.Fatal("interner accepted an invalid subject")
+	}
+	// Past the cap, parses stay correct (just uncached).
+	for _, raw := range []string{"a.b", "c.d", "e.f", "x.y"} {
+		s, err := in.Parse(raw)
+		if err != nil || s.String() != raw {
+			t.Fatalf("Parse(%q) = %v, %v", raw, s, err)
+		}
+	}
+}

@@ -90,7 +90,14 @@ var ErrTooDeep = errors.New("wire: value or type nested too deeply")
 
 // Marshal encodes a value as a self-contained, self-describing message.
 func Marshal(v mop.Value) ([]byte, error) {
-	var b buffer
+	return AppendMarshal(nil, v)
+}
+
+// AppendMarshal appends the marshalled encoding of v to dst and returns the
+// extended slice. It lets hot-path callers reuse a scratch buffer; the bytes
+// appended are identical to Marshal's output.
+func AppendMarshal(dst []byte, v mop.Value) ([]byte, error) {
+	b := buffer{bytes: dst}
 	b.writeByte(Magic0)
 	b.writeByte(Magic1)
 	b.writeByte(Version)

@@ -1,0 +1,37 @@
+#!/bin/sh
+# check.sh — the full pre-merge gate for this repo.
+#
+#   scripts/check.sh          # build, vet, tests, race suite, fuzz smoke
+#   scripts/check.sh -q       # skip the race suite and fuzz smoke (quick)
+#
+# The race suite must stay clean (see CLAUDE.md) and every network-facing
+# codec keeps a fuzzer; the 5 s smoke here catches regressions in the
+# parse-depth/length guards without the cost of a long fuzz run.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+quick=0
+[ "${1:-}" = "-q" ] && quick=1
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+if [ "$quick" -eq 0 ]; then
+    echo "==> go test -race ./..."
+    go test -race ./...
+
+    echo "==> fuzz smoke (5s each)"
+    go test -run xxx -fuzz FuzzUnmarshal     -fuzztime 5s ./internal/wire/
+    go test -run xxx -fuzz FuzzDecode        -fuzztime 5s ./internal/busproto/
+    go test -run xxx -fuzz FuzzParsePattern  -fuzztime 5s ./internal/subject/
+    go test -run xxx -fuzz FuzzParseRecord   -fuzztime 5s ./internal/ledger/
+fi
+
+echo "==> all checks passed"
