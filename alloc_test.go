@@ -1,0 +1,89 @@
+package infobus
+
+import (
+	"testing"
+	"time"
+
+	"infobus/internal/daemon"
+	"infobus/internal/netsim"
+	"infobus/internal/reliable"
+	"infobus/internal/subject"
+	"infobus/internal/telemetry"
+	"infobus/internal/transport"
+)
+
+// TestPublishDeliverAllocBudget pins the publish→deliver hot path at one
+// allocation per operation — the envelope buffer the retransmit window
+// keeps — with the health tier ENABLED, so the slow-consumer watermark
+// bookkeeping (atomic depth mirror sampled by the alarm engine) provably
+// costs the hot path nothing. scripts/check.sh runs this as a gate; if it
+// fails, something on the daemon publish or local-delivery path gained an
+// allocation.
+func TestPublishDeliverAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the budget is pinned by the non-race run in scripts/check.sh")
+	}
+	netCfg := netsim.DefaultConfig()
+	netCfg.Speedup = 2000
+	seg := transport.NewSimSegment(netCfg)
+	defer seg.Close()
+	ep, err := seg.NewEndpoint("allocbudget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcfg := telemetry.HealthConfig{Interval: time.Hour}.WithDefaults()
+	rec := telemetry.NewRecorder(hcfg.RecorderSize)
+	engine := telemetry.NewEngine("allocbudget", telemetry.NewRegistry(), rec)
+	d := daemon.New(ep, reliable.Config{
+		Batching:           true,
+		NakInterval:        2 * time.Millisecond,
+		RetransmitInterval: 3 * time.Millisecond,
+		HeartbeatInterval:  10 * time.Millisecond,
+		Recorder:           rec,
+	}, daemon.Options{
+		Health:            engine,
+		Recorder:          rec,
+		SlowConsumerDepth: hcfg.SlowConsumerDepth,
+	})
+	defer d.Close()
+	c, err := d.NewClient("sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe(subject.MustParsePattern("fan.bench.data")); err != nil {
+		t.Fatal(err)
+	}
+	subj := subject.MustParse("fan.bench.data")
+	payload := make([]byte, 256)
+	publishDeliver := func() {
+		if err := d.Publish(subj, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.TryNext(); !ok {
+			t.Fatal("missing local delivery")
+		}
+	}
+	// Warm up lazily-allocated state (interner entries, trie match cache,
+	// batch buffers) before measuring. The run count must be high enough to
+	// amortise periodic work (batch flushes, netsim datagram bookkeeping) —
+	// BenchmarkFanout converges to 1 alloc/op around 10^5 iterations.
+	for i := 0; i < 1000; i++ {
+		publishDeliver()
+	}
+	// Budget: 1 alloc/op (the retransmit-window copy) plus slack for the
+	// simulated network's background per-datagram bookkeeping, which
+	// AllocsPerRun cannot exclude. AllocsPerRun counts every malloc in the
+	// process, so when other packages' test binaries compete for the CPU
+	// (go test ./...) a slowed-down run picks up timer/GC noise; contention
+	// only ever adds allocations, so the minimum over a few attempts is the
+	// true per-op cost.
+	best := testing.AllocsPerRun(100000, publishDeliver)
+	for attempt := 0; attempt < 4 && best > 1.5; attempt++ {
+		if a := testing.AllocsPerRun(100000, publishDeliver); a < best {
+			best = a
+		}
+	}
+	if best > 1.5 {
+		t.Fatalf("publish→deliver = %.2f allocs/op, budget 1 (+0.5 netsim slack)", best)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"infobus/internal/netsim"
 	"infobus/internal/reliable"
 	"infobus/internal/subject"
+	"infobus/internal/telemetry"
 	"infobus/internal/transport"
 	"infobus/internal/wire"
 )
@@ -563,6 +564,42 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			}
 			cfg := benchConfig(14)
 			cfg.Telemetry = core.TelemetryConfig{TraceSampling: tc.sampling}
+			r, err := bench.MeasureThroughput(cfg, 64, n, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.MsgsPerSec, "model-msgs/sec")
+		})
+	}
+}
+
+// BenchmarkHealthOverhead (A8) measures what the health tier costs on the
+// Figure 6 workload when no alarms fire — the common case: every host runs
+// the alarm engine (slow-consumer, dedup-pressure, retransmit-storm, and
+// ledger-backlog watches sampling at 5 ms) and a flight recorder, but all
+// signals stay below their watermarks so the engine only ever reads
+// atomics. The acceptance bar is overhead within run-to-run noise versus
+// off (EXPERIMENTS.md A8 records the measured numbers at Speedup 10 via
+// cmd/ibbench).
+func BenchmarkHealthOverhead(b *testing.B) {
+	cases := []struct {
+		name   string
+		health core.TelemetryConfig
+	}{
+		{"off", core.TelemetryConfig{}},
+		{"on", core.TelemetryConfig{Health: telemetry.HealthConfig{Interval: 5 * time.Millisecond}}},
+	}
+	for _, tc := range cases {
+		b.Run("health="+tc.name, func(b *testing.B) {
+			n := b.N
+			if n < 50 {
+				n = 50
+			}
+			if n > 2000 {
+				n = 2000
+			}
+			cfg := benchConfig(14)
+			cfg.Telemetry = tc.health
 			r, err := bench.MeasureThroughput(cfg, 64, n, 1)
 			if err != nil {
 				b.Fatal(err)

@@ -14,7 +14,18 @@
 //	pubn <subject> <number>  publish an int object
 //	stats                    daemon and protocol counters
 //	metrics                  full telemetry registry snapshot
+//	alarms                   currently raised health alarms (-health)
+//	dump                     flight-recorder dump (-health)
 //	quit
+//
+// With -health <interval> the host runs the health tier: slow-consumer /
+// retransmit-storm / dedup-pressure / ledger-backlog alarms publish on
+// "_sys.alarm.<name>.<kind>", and "_sys.dump" probes are answered with the
+// flight recorder. With -debug-addr the host serves net/http/pprof, a
+// /metrics JSON snapshot, and the /dump flight-recorder text over HTTP.
+// The debug server is off by default and meant for loopback addresses
+// only — it exposes profiling data and is entirely unauthenticated; never
+// bind it to a public interface.
 //
 // Anything received on a subscription is pretty-printed through the
 // generic introspective print utility, whatever its type (P2).
@@ -24,11 +35,14 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"infobus"
+	"infobus/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +51,8 @@ func main() {
 	name := flag.String("name", "busd", "host name")
 	statsEvery := flag.Duration("stats-interval", 0, "publish host stats on _sys.stats.<name> at this interval (0 disables)")
 	sampling := flag.Float64("trace-sampling", 0, "fraction of publications to trace per-hop (0 disables, 1 every message)")
+	healthEvery := flag.Duration("health", 0, "run the health tier (alarms on _sys.alarm.>, flight recorder) sampling at this interval (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof + /metrics + /dump on this address (UNAUTHENTICATED: loopback only, e.g. 127.0.0.1:6060; empty disables)")
 	flag.Parse()
 
 	seg := infobus.NewStaticUDPSegment(*listen, strings.Split(*peers, ","))
@@ -44,6 +60,7 @@ func main() {
 		Telemetry: infobus.TelemetryConfig{
 			StatsInterval: *statsEvery,
 			TraceSampling: *sampling,
+			Health:        infobus.HealthConfig{Interval: *healthEvery},
 		},
 	})
 	if err != nil {
@@ -51,13 +68,24 @@ func main() {
 		os.Exit(1)
 	}
 	defer host.Close()
+	if *debugAddr != "" {
+		handler := telemetry.DebugHandler(host.Metrics(), host.Recorder())
+		srv := &http.Server{Addr: *debugAddr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			fmt.Printf("busd: debug server on http://%s/ (pprof, /metrics, /dump) — do not expose beyond loopback\n", *debugAddr)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "busd: debug server: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+	}
 	bus, err := host.NewBus("console")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "busd: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("busd: host %q on %s (peers: %s)\n", *name, *listen, *peers)
-	fmt.Println("busd: commands: sub <pattern> | pub <subject> <text> | pubn <subject> <n> | stats | metrics | quit")
+	fmt.Println("busd: commands: sub <pattern> | pub <subject> <text> | pubn <subject> <n> | stats | metrics | alarms | dump | quit")
 
 	subs := make(map[string]*infobus.Subscription)
 	printer := make(chan string, 64)
@@ -126,6 +154,29 @@ func main() {
 		case "metrics":
 			for _, m := range host.Metrics().Snapshot() {
 				fmt.Println(m)
+			}
+		case "alarms":
+			alarms := host.ActiveAlarms()
+			if host.Recorder() == nil {
+				fmt.Println("health tier disabled (start with -health <interval>)")
+				continue
+			}
+			if len(alarms) == 0 {
+				fmt.Println("no alarms raised")
+				continue
+			}
+			for _, a := range alarms {
+				label := a.Kind
+				if a.Target != "" {
+					label += ":" + a.Target
+				}
+				fmt.Printf("RAISED %s value=%d threshold=%d\n", label, a.Value, a.Threshold)
+			}
+		case "dump":
+			if text := host.HealthDump(); text != "" {
+				fmt.Print(text)
+			} else {
+				fmt.Println("health tier disabled (start with -health <interval>)")
 			}
 		default:
 			fmt.Printf("unknown command %q\n", fields[0])

@@ -24,10 +24,11 @@ import (
 	"time"
 
 	"infobus/internal/bench"
+	"infobus/internal/telemetry"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to run: 5, 6, 7, 8, i1, i2, or all")
+	fig := flag.String("fig", "all", "figure to run: 5, 6, 7, 8, i1, i2, a8, or all")
 	consumers := flag.Int("consumers", 14, "number of consumer hosts")
 	speedup := flag.Float64("speedup", 20, "simulation speedup factor")
 	msgs := flag.Int("msgs", 1000, "messages per throughput point")
@@ -114,6 +115,29 @@ func main() {
 			return err
 		}
 		bench.PrintInvariantI2(os.Stdout, rows)
+		return nil
+	})
+	run("a8", func() error {
+		// A8: health-tier overhead on the Figure 6 workload when no alarms
+		// fire. Every host runs the alarm engine (5 ms sampling) and flight
+		// recorder; all signals stay below their watermarks, so the tick
+		// loop only reads atomics. Overhead should be within noise.
+		fmt.Println("A8: health-tier overhead (Figure 6 workload, alarms idle)")
+		fmt.Printf("%10s %18s %18s %9s\n", "size", "off msgs/s", "on msgs/s", "delta")
+		for _, size := range bench.PaperSizes {
+			off, err := bench.MeasureThroughput(cfg, size, *msgs, 1)
+			if err != nil {
+				return err
+			}
+			oncfg := cfg
+			oncfg.Telemetry.Health = telemetry.HealthConfig{Interval: 5 * time.Millisecond}
+			on, err := bench.MeasureThroughput(oncfg, size, *msgs, 1)
+			if err != nil {
+				return err
+			}
+			delta := (on.MsgsPerSec - off.MsgsPerSec) / off.MsgsPerSec * 100
+			fmt.Printf("%10d %18.0f %18.0f %8.1f%%\n", size, off.MsgsPerSec, on.MsgsPerSec, delta)
+		}
 		return nil
 	})
 

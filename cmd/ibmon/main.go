@@ -9,10 +9,17 @@
 // With -sys it watches the bus watching itself: it subscribes to the
 // reserved "_sys.>" telemetry space and periodically publishes a probe on
 // "_sys.ping", so every exporting node answers with a pong and a fresh
-// SysStats object. The stats render through the same generic print path —
-// ibmon links no telemetry schema.
+// SysStats object. Consecutive SysStats snapshots from the same node are
+// differenced into per-interval rates (msgs/s, bytes/s, retransmits/s);
+// SysAlarm raise/clear edges and SysDump flight-recorder answers render as
+// one-line events and verbatim text. Sampled per-hop traces riding on
+// observed publications are assembled into publisher→router→consumer
+// paths with per-hop latency percentiles, printed on exit (and
+// periodically with -traces). The stats render through the same generic
+// print path — ibmon links no telemetry schema.
 //
 //	ibmon -listen 127.0.0.1:7009 -peers 127.0.0.1:7001 -sys
+//	ibmon -listen 127.0.0.1:7009 -peers 127.0.0.1:7001 -sys -dump
 package main
 
 import (
@@ -24,6 +31,8 @@ import (
 	"time"
 
 	"infobus"
+	"infobus/internal/mop"
+	"infobus/internal/telemetry"
 )
 
 func main() {
@@ -32,6 +41,8 @@ func main() {
 	subFlag := flag.String("sub", ">", "comma-separated subscription patterns")
 	sys := flag.Bool("sys", false, "monitor bus telemetry: subscribe _sys.> and ping exporters")
 	pingEvery := flag.Duration("ping", 5*time.Second, "probe interval in -sys mode (0 disables)")
+	dump := flag.Bool("dump", false, "publish a _sys.dump probe on each ping tick (prints flight recorders)")
+	traces := flag.Duration("traces", 0, "print the assembled trace table at this interval (0: only on exit)")
 	flag.Parse()
 
 	seg := infobus.NewStaticUDPSegment(*listen, strings.Split(*peers, ","))
@@ -45,6 +56,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ibmon: %v\n", err)
 		os.Exit(1)
+	}
+
+	mon := &monitor{
+		rates: make(map[string]*snapshot),
+		asm:   telemetry.NewTraceAssembler(),
 	}
 
 	patterns := strings.Split(*subFlag, ",")
@@ -64,11 +80,7 @@ func main() {
 		fmt.Printf("ibmon: watching %s\n", pattern)
 		go func() {
 			for ev := range sub.C {
-				qos := ""
-				if ev.Guaranteed {
-					qos = " (guaranteed)"
-				}
-				fmt.Printf("[%s]%s %s\n", ev.Subject, qos, infobus.Print(ev.Value))
+				mon.handle(ev)
 			}
 		}()
 	}
@@ -83,7 +95,23 @@ func main() {
 				if err := bus.Publish(infobus.SysPingSubject, nonce); err != nil {
 					return
 				}
+				if *dump {
+					if err := bus.Publish(infobus.SysDumpSubject, nonce); err != nil {
+						return
+					}
+				}
 				<-ticker.C
+			}
+		}()
+	}
+	if *traces > 0 {
+		go func() {
+			ticker := time.NewTicker(*traces)
+			defer ticker.Stop()
+			for range ticker.C {
+				if len(mon.asm.Routes()) > 0 {
+					fmt.Print(mon.asm.Render())
+				}
 			}
 		}()
 	}
@@ -91,5 +119,206 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
 	<-stop
+	if len(mon.asm.Routes()) > 0 {
+		fmt.Print(mon.asm.Render())
+	}
 	fmt.Println("ibmon: bye")
+}
+
+// monitor holds the -sys state: last stats snapshot per node (for rate
+// differencing) and the trace assembler. All access is from the single
+// subscription goroutine per pattern; with -sys there is exactly one
+// pattern, so no locking is needed — the assembler locks internally for
+// the periodic Render goroutine.
+type monitor struct {
+	rates map[string]*snapshot
+	asm   *telemetry.TraceAssembler
+}
+
+type snapshot struct {
+	at       time.Time
+	counters map[string]int64
+}
+
+func (m *monitor) handle(ev infobus.Event) {
+	if len(ev.Trace) >= 2 {
+		m.asm.Add(ev.Trace)
+	}
+	subj := ev.Subject.String()
+	switch {
+	case strings.HasPrefix(subj, infobus.SysStatsPrefix+"."):
+		if line, ok := m.statsLine(ev.Value); ok {
+			fmt.Println(line)
+			return
+		}
+	case strings.HasPrefix(subj, infobus.SysAlarmPrefix+"."):
+		if line, ok := alarmLine(ev.Value); ok {
+			fmt.Println(line)
+			return
+		}
+	case strings.HasPrefix(subj, infobus.SysDumpedPrefix+"."):
+		if text, ok := dumpText(ev.Value); ok {
+			fmt.Print(text)
+			return
+		}
+	}
+	qos := ""
+	if ev.Guaranteed {
+		qos = " (guaranteed)"
+	}
+	fmt.Printf("[%s]%s %s\n", subj, qos, infobus.Print(ev.Value))
+}
+
+// statsLine differences a SysStats snapshot against the node's previous
+// one: msgs/s from the daemon's inbound counter (router.forwarded for
+// routers), bytes/s from the reliable streams' delivered-byte counters,
+// retransmits/s from their retransmission counters.
+func (m *monitor) statsLine(v infobus.Value) (string, bool) {
+	o, ok := v.(*mop.Object)
+	if !ok {
+		return "", false
+	}
+	node, _ := getString(o, "node")
+	at, _ := getTime(o, "at")
+	if node == "" || at.IsZero() {
+		return "", false
+	}
+	cur := &snapshot{at: at, counters: make(map[string]int64)}
+	if list, err := o.Get("metrics"); err == nil {
+		if metrics, ok := list.(mop.List); ok {
+			for _, mv := range metrics {
+				mo, ok := mv.(*mop.Object)
+				if !ok {
+					continue
+				}
+				name, _ := getString(mo, "name")
+				kind, _ := getString(mo, "kind")
+				val, _ := getInt(mo, "value")
+				if kind == "counter" || kind == "gauge" {
+					cur.counters[name] = val
+				}
+			}
+		}
+	}
+	prev := m.rates[node]
+	m.rates[node] = cur
+	if prev == nil {
+		return fmt.Sprintf("[stats %s] baseline snapshot (%d metrics)", node, len(cur.counters)), true
+	}
+	dt := cur.at.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		return fmt.Sprintf("[stats %s] duplicate snapshot", node), true
+	}
+	rate := func(names ...string) float64 {
+		var d int64
+		for name := range cur.counters {
+			for _, want := range names {
+				if name == want || strings.HasSuffix(name, want) {
+					d += cur.counters[name] - prev.counters[name]
+					break
+				}
+			}
+		}
+		return float64(d) / dt
+	}
+	msgs := rate("daemon.inbound", "router.forwarded")
+	bytes := rate(".delivered_bytes")
+	retx := rate(".retransmits")
+	return fmt.Sprintf("[stats %s] %.0f msgs/s  %s/s  %.0f retx/s (over %.1fs)",
+		node, msgs, fmtBytes(bytes), retx, dt), true
+}
+
+// alarmLine renders a SysAlarm edge: RAISE in the caller's face, clear
+// quietly symmetric.
+func alarmLine(v infobus.Value) (string, bool) {
+	o, ok := v.(*mop.Object)
+	if !ok {
+		return "", false
+	}
+	node, ok1 := getString(o, "node")
+	kind, ok2 := getString(o, "kind")
+	if !ok1 || !ok2 {
+		return "", false
+	}
+	target, _ := getString(o, "target")
+	raised := false
+	if rv, err := o.Get("raised"); err == nil {
+		raised, _ = rv.(bool)
+	}
+	value, _ := getInt(o, "value")
+	threshold, _ := getInt(o, "threshold")
+	edge := "CLEAR"
+	if raised {
+		edge = "RAISE"
+	}
+	at := ""
+	if t, ok := getTime(o, "at"); ok {
+		at = " at " + t.Format("15:04:05.000")
+	}
+	if target != "" {
+		kind += ":" + target
+	}
+	return fmt.Sprintf("[alarm %s] %s %s value=%d threshold=%d%s",
+		node, edge, kind, value, threshold, at), true
+}
+
+// dumpText renders a SysDump answer: a header plus the node's verbatim
+// flight-recorder text, indented so interleaved dumps stay readable.
+func dumpText(v infobus.Value) (string, bool) {
+	o, ok := v.(*mop.Object)
+	if !ok {
+		return "", false
+	}
+	node, ok1 := getString(o, "node")
+	text, ok2 := getString(o, "text")
+	if !ok1 || !ok2 {
+		return "", false
+	}
+	events, _ := getInt(o, "events")
+	var b strings.Builder
+	fmt.Fprintf(&b, "[dump %s] %d events recorded\n", node, events)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		b.WriteString("  ")
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String(), true
+}
+
+func getString(o *mop.Object, name string) (string, bool) {
+	v, err := o.Get(name)
+	if err != nil {
+		return "", false
+	}
+	s, ok := v.(string)
+	return s, ok
+}
+
+func getInt(o *mop.Object, name string) (int64, bool) {
+	v, err := o.Get(name)
+	if err != nil {
+		return 0, false
+	}
+	n, ok := v.(int64)
+	return n, ok
+}
+
+func getTime(o *mop.Object, name string) (time.Time, bool) {
+	v, err := o.Get(name)
+	if err != nil {
+		return time.Time{}, false
+	}
+	t, ok := v.(time.Time)
+	return t, ok
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
 }

@@ -129,6 +129,18 @@ type (
 	Metrics = telemetry.Registry
 	// MetricValue is one exported metric in a registry snapshot.
 	MetricValue = telemetry.Metric
+	// HealthConfig enables and tunes the health tier — slow-consumer,
+	// retransmit-storm, dedup-pressure, and ledger-backlog alarms plus the
+	// flight recorder (TelemetryConfig.Health, RouterOptions.Health).
+	HealthConfig = telemetry.HealthConfig
+	// AlarmEvent is one alarm raise/clear edge (Host.ActiveAlarms()).
+	AlarmEvent = telemetry.AlarmEvent
+	// FlightRecorder is the fixed-size ring of notable bus events a
+	// health-enabled node keeps (Host.Recorder()).
+	FlightRecorder = telemetry.Recorder
+	// TraceAssembler groups sampled hop traces (Event.Trace) into
+	// per-route latency breakdowns; ibmon -sys uses it.
+	TraceAssembler = telemetry.TraceAssembler
 )
 
 // System subjects. The "_sys.>" space is reserved: user publications are
@@ -139,6 +151,15 @@ const (
 	SysStatsPrefix = telemetry.StatsSubjectPrefix
 	SysPingSubject = telemetry.PingSubject
 	SysPongPrefix  = telemetry.PongSubjectPrefix
+	// SysAlarmPrefix: health alarm edges publish on
+	// "_sys.alarm.<node>.<kind>" when TelemetryConfig.Health is enabled.
+	SysAlarmPrefix = telemetry.AlarmSubjectPrefix
+	// SysDumpSubject: the second user-publishable system subject; every
+	// health-enabled node answers a probe here with its flight-recorder
+	// dump on SysDumpedPrefix.<node>.
+	SysDumpSubject = telemetry.DumpSubject
+	// SysDumpedPrefix: flight-recorder dump answers.
+	SysDumpedPrefix = telemetry.DumpedSubjectPrefix
 )
 
 // ErrReservedSubject rejects user publications into "_sys.>".

@@ -48,8 +48,13 @@ type Host struct {
 	ledger *ledger.Ledger
 	retry  *guaranteeRetrier
 	sys    *sysExporter
+	health *healthAgent
 	buses  []*Bus
 	closed bool
+
+	// Health tier (nil unless Telemetry.Health.Interval > 0).
+	recorder *telemetry.Recorder
+	engine   *telemetry.Engine
 }
 
 // busCounters are the host's bus-layer telemetry handles.
@@ -75,6 +80,12 @@ type TelemetryConfig struct {
 	// on "_sys.stats.<node>" and answers "_sys.ping" probes with a SysPong
 	// plus a fresh snapshot. 0 disables.
 	StatsInterval time.Duration
+	// Health enables the alarm engine and flight recorder: slow-consumer,
+	// retransmit-storm, dedup-pressure, and ledger-backlog alarms are
+	// published on "_sys.alarm.<node>.<kind>", and "_sys.dump" probes are
+	// answered with the flight recorder's recent-event ring. Zero (its
+	// Interval in particular) disables the tier entirely.
+	Health telemetry.HealthConfig
 }
 
 // tracePeriod converts a sampling fraction to the daemon's every-Nth
@@ -136,15 +147,31 @@ func NewHost(seg transport.Segment, name string, cfg HostConfig) (*Host, error) 
 	if rcfg.Metrics == nil {
 		rcfg.Metrics = metrics
 	}
+	hcfg := cfg.Telemetry.Health
+	var engine *telemetry.Engine
+	var rec *telemetry.Recorder
+	if hcfg.Enabled() {
+		hcfg = hcfg.WithDefaults()
+		rec = telemetry.NewRecorder(hcfg.RecorderSize)
+		engine = telemetry.NewEngine(name, metrics, rec)
+		if rcfg.Recorder == nil {
+			rcfg.Recorder = rec
+		}
+	}
 	h := &Host{
 		name: name,
 		daemon: daemon.New(ep, rcfg, daemon.Options{
-			Metrics:     metrics,
-			TracePeriod: cfg.Telemetry.tracePeriod(),
-			Node:        name,
+			Metrics:           metrics,
+			TracePeriod:       cfg.Telemetry.tracePeriod(),
+			Node:              name,
+			Health:            engine,
+			Recorder:          rec,
+			SlowConsumerDepth: hcfg.SlowConsumerDepth,
 		}),
-		reg:     reg,
-		metrics: metrics,
+		reg:      reg,
+		metrics:  metrics,
+		recorder: rec,
+		engine:   engine,
 		ctr: busCounters{
 			published:           metrics.Counter("bus.published"),
 			publishedGuaranteed: metrics.Counter("bus.published_guaranteed"),
@@ -153,7 +180,7 @@ func NewHost(seg transport.Segment, name string, cfg HostConfig) (*Host, error) 
 		},
 	}
 	if cfg.LedgerPath != "" {
-		led, err := ledger.Open(cfg.LedgerPath, ledger.Options{Sync: cfg.LedgerSync, Metrics: metrics})
+		led, err := ledger.Open(cfg.LedgerPath, ledger.Options{Sync: cfg.LedgerSync, Metrics: metrics, Recorder: rec})
 		if err != nil {
 			_ = h.daemon.Close()
 			return nil, err
@@ -168,6 +195,18 @@ func NewHost(seg transport.Segment, name string, cfg HostConfig) (*Host, error) 
 			return nil, err
 		}
 		h.sys = sys
+	}
+	if engine != nil {
+		prefix := rcfg.MetricsPrefix
+		if prefix == "" {
+			prefix = "reliable"
+		}
+		agent, err := startHealthAgent(h, engine, rec, hcfg, prefix)
+		if err != nil {
+			_ = h.Close()
+			return nil, err
+		}
+		h.health = agent
 	}
 	return h, nil
 }
@@ -187,6 +226,29 @@ func (h *Host) Metrics() *telemetry.Registry { return h.metrics }
 
 // Daemon exposes the host daemon, mainly for statistics.
 func (h *Host) Daemon() *daemon.Daemon { return h.daemon }
+
+// Recorder returns the host's flight recorder, or nil when the health
+// tier is disabled (TelemetryConfig.Health).
+func (h *Host) Recorder() *telemetry.Recorder { return h.recorder }
+
+// ActiveAlarms returns the currently raised health alarms (nil when the
+// health tier is disabled, or when nothing is raised).
+func (h *Host) ActiveAlarms() []telemetry.AlarmEvent {
+	if h.engine == nil {
+		return nil
+	}
+	return h.engine.Active()
+}
+
+// HealthDump returns the active alarms plus the flight-recorder ring as
+// text — the same answer a "_sys.dump" probe gets — or "" when the health
+// tier is disabled.
+func (h *Host) HealthDump() string {
+	if h.engine == nil {
+		return ""
+	}
+	return h.engine.DumpText()
+}
 
 // PendingGuaranteed returns the guaranteed publications not yet
 // acknowledged (from the ledger), including entries recovered after a
@@ -211,7 +273,12 @@ func (h *Host) Close() error {
 	buses := append([]*Bus(nil), h.buses...)
 	sys := h.sys
 	h.sys = nil
+	health := h.health
+	h.health = nil
 	h.mu.Unlock()
+	if health != nil {
+		health.stop()
+	}
 	if sys != nil {
 		sys.stop()
 	}
@@ -348,9 +415,9 @@ func (b *Bus) Registry() *mop.Registry { return b.host.reg }
 // reliable delivery.
 //
 // The "_sys.>" subject space is reserved: only the bus machinery publishes
-// there (so subscribers can trust "_sys.stats.<node>" objects), with one
-// exception — any application may publish on "_sys.ping" to probe the
-// exporting nodes.
+// there (so subscribers can trust "_sys.stats.<node>" objects), with two
+// exceptions — any application may publish on "_sys.ping" to probe the
+// exporting nodes and on "_sys.dump" to request flight-recorder dumps.
 func (b *Bus) Publish(subj string, value mop.Value) error {
 	b.mu.Lock()
 	closed := b.closed
@@ -362,8 +429,10 @@ func (b *Bus) Publish(subj string, value mop.Value) error {
 	if err != nil {
 		return err
 	}
-	if subject.IsSys(s) && s.String() != telemetry.PingSubject {
-		return fmt.Errorf("%q: %w", subj, ErrReservedSubject)
+	if subject.IsSys(s) {
+		if str := s.String(); str != telemetry.PingSubject && str != telemetry.DumpSubject {
+			return fmt.Errorf("%q: %w", subj, ErrReservedSubject)
+		}
 	}
 	payload, err := wire.Marshal(value)
 	if err != nil {

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"infobus/internal/daemon"
+	"infobus/internal/subject"
+	"infobus/internal/telemetry"
+	"infobus/internal/wire"
+)
+
+// healthAgent is the host's alarm publisher: it owns the alarm engine's
+// tick loop, turns raise/clear edges into self-describing SysAlarm
+// publications on "_sys.alarm.<node>.<kind>", and answers "_sys.dump"
+// probes with the process flight recorder's text dump. Like sysExporter,
+// it publishes through the daemon directly — the internal path — so the
+// "_sys.>" reservation enforced on Bus.Publish does not apply to it.
+//
+// Watch topology: the daemon registers its own watches (per-client queue
+// depth, dedup-ring pressure) because it owns those signals; the agent
+// registers the host-level ones — the retransmission rate of the host's
+// reliable stream and the guaranteed-delivery ledger backlog — because
+// those layers only expose gauges and counters, not policy.
+type healthAgent struct {
+	h      *Host
+	engine *telemetry.Engine
+	rec    *telemetry.Recorder
+	types  telemetry.SysTypes
+	client *daemon.Client
+	node   string
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func startHealthAgent(h *Host, engine *telemetry.Engine, rec *telemetry.Recorder,
+	hcfg telemetry.HealthConfig, metricsPrefix string) (*healthAgent, error) {
+	types, err := telemetry.DefineSysTypes(h.reg)
+	if err != nil {
+		return nil, err
+	}
+	client, err := h.daemon.NewClient("_sys-health")
+	if err != nil {
+		return nil, err
+	}
+	if err := client.Subscribe(subject.MustParsePattern(telemetry.DumpSubject)); err != nil {
+		_ = client.Close()
+		return nil, err
+	}
+	a := &healthAgent{
+		h:      h,
+		engine: engine,
+		rec:    rec,
+		types:  types,
+		client: client,
+		node:   engine.Node(),
+		done:   make(chan struct{}),
+	}
+	// Retransmit storm: the per-second rate of the host stream's
+	// retransmissions. A lossy segment or a receiver NAK-looping drives
+	// this; sustained storms starve the shared medium (the appendix's
+	// throughput figures assume a lightly loaded Ethernet).
+	engine.WatchRate(telemetry.WatchConfig{
+		Kind:  "retransmit-storm",
+		Raise: hcfg.RetransmitStormRate,
+	}, h.metrics.Counter(metricsPrefix+".retransmits"))
+	if h.ledger != nil {
+		// Ledger backlog: guaranteed publications no consumer has
+		// acknowledged. Growth means the retrier is spinning on a
+		// publication nobody subscribes to, or consumers are gone.
+		engine.Watch(telemetry.WatchConfig{
+			Kind:  "ledger-backlog",
+			Raise: hcfg.LedgerBacklog,
+		}, h.metrics.Gauge("ledger.pending").Load)
+	}
+	engine.SetSink(a.publishAlarm)
+	a.wg.Add(1)
+	go a.dumpLoop()
+	engine.Start(hcfg.Interval)
+	return a, nil
+}
+
+func (a *healthAgent) stop() {
+	a.engine.Stop()
+	close(a.done)
+	_ = a.client.Close()
+	a.wg.Wait()
+}
+
+// publishAlarm is the engine sink: one SysAlarm publication per edge,
+// flushed immediately — an alarm must not sit in a batch buffer.
+func (a *healthAgent) publishAlarm(ev telemetry.AlarmEvent) {
+	subj, err := subject.Parse(telemetry.AlarmSubject(ev.Node, ev.Kind))
+	if err != nil {
+		return
+	}
+	payload, err := wire.Marshal(a.types.AlarmObject(ev))
+	if err != nil {
+		return
+	}
+	_ = a.h.daemon.Publish(subj, payload)
+	_ = a.h.daemon.Flush()
+}
+
+// dumpLoop answers "_sys.dump" probes with the flight-recorder text.
+func (a *healthAgent) dumpLoop() {
+	defer a.wg.Done()
+	for {
+		_, ok := a.client.Next(a.done)
+		if !ok {
+			return
+		}
+		a.publishDump()
+	}
+}
+
+func (a *healthAgent) publishDump() {
+	subj, err := subject.Parse(telemetry.DumpedSubject(a.node))
+	if err != nil {
+		return
+	}
+	now := time.Now()
+	obj := a.types.DumpObject(a.node, now, int64(a.rec.Total()), a.engine.DumpText())
+	payload, err := wire.Marshal(obj)
+	if err != nil {
+		return
+	}
+	a.rec.Record(telemetry.EventDump, a.node, 0, 0)
+	_ = a.h.daemon.Publish(subj, payload)
+	_ = a.h.daemon.Flush()
+}

@@ -104,6 +104,16 @@ type Daemon struct {
 	traceBase   uint64        // random base xored into trace ids
 	traceNode   string        // hop name this daemon records in traces
 	pubSeq      atomic.Uint64 // local publication sequence, drives sampling
+
+	// Health tier (nil when disabled): the alarm engine watching this
+	// daemon's clients and dedup ring, and the flight recorder notable
+	// events land in. Watch samples are atomic loads of gauges the
+	// delivery path already maintains, so detection costs the hot path
+	// nothing beyond those gauge updates.
+	health        *telemetry.Engine
+	rec           *telemetry.Recorder
+	slowDepth     int64
+	guarSeenGauge *telemetry.Gauge
 }
 
 // guarKey identifies a guaranteed publication: the publisher's origin token
@@ -157,6 +167,18 @@ type Options struct {
 	// trace crossing routers needs the host-level name. Empty falls back
 	// to the transport address.
 	Node string
+	// Health is the alarm engine this daemon registers its watches with
+	// (per-client queue depth, dedup-ring pressure). Nil disables
+	// detection.
+	Health *telemetry.Engine
+	// Recorder is the process flight recorder; notable daemon events
+	// (corrupt drops, sampled trace completions) are recorded into it.
+	// Nil disables recording.
+	Recorder *telemetry.Recorder
+	// SlowConsumerDepth is the client queue depth at which the
+	// "slow-consumer" alarm raises. Zero means the telemetry default
+	// (1024).
+	SlowConsumerDepth int64
 }
 
 // New starts a daemon over a transport endpoint. cfg tunes the underlying
@@ -170,6 +192,10 @@ func New(ep transport.Endpoint, cfg reliable.Config, opts Options) *Daemon {
 		// Fold the protocol counters into the same registry so the host's
 		// stats object covers both layers.
 		cfg.Metrics = metrics
+	}
+	if cfg.Recorder == nil {
+		// The protocol layer shares the process flight recorder.
+		cfg.Recorder = opts.Recorder
 	}
 	d := &Daemon{
 		conn:        reliable.New(ep, cfg),
@@ -186,9 +212,15 @@ func New(ep transport.Endpoint, cfg reliable.Config, opts Options) *Daemon {
 		tracePeriod: opts.TracePeriod,
 		traceNode:   opts.Node,
 		traceBase:   rand.Uint64(),
+		health:      opts.Health,
+		rec:         opts.Recorder,
+		slowDepth:   opts.SlowConsumerDepth,
 	}
 	if d.traceNode == "" {
 		d.traceNode = d.conn.Addr()
+	}
+	if d.slowDepth <= 0 {
+		d.slowDepth = telemetry.HealthConfig{}.WithDefaults().SlowConsumerDepth
 	}
 	d.ctr = counters{
 		publishedLocal: metrics.Counter("daemon.published_local"),
@@ -200,6 +232,16 @@ func New(ep transport.Endpoint, cfg reliable.Config, opts Options) *Daemon {
 		corruptDropped: metrics.Counter("daemon.corrupt_dropped"),
 		traced:         metrics.Counter("daemon.traced"),
 		traceE2E:       metrics.Histogram("daemon.trace_e2e_ns"),
+	}
+	d.guarSeenGauge = metrics.Gauge("daemon.guar_seen")
+	if d.health != nil {
+		// Dedup-ring pressure: a ring running near capacity is at risk of
+		// un-seeing a publication still being retransmitted, which would
+		// surface as a duplicate delivery. Raise at 80% of capacity.
+		d.health.Watch(telemetry.WatchConfig{
+			Kind:  "dedup-pressure",
+			Raise: int64(d.guarCap) * 8 / 10,
+		}, d.guarSeenGauge.Load)
 	}
 	d.wg.Add(2)
 	go d.recvLoop()
@@ -393,6 +435,11 @@ type Client struct {
 	signal chan struct{}
 	closed bool
 	pats   map[string]subject.Pattern
+
+	// depth mirrors len(queue)-head as an atomic so the alarm engine can
+	// watch the client's backlog without touching c.mu.
+	depth atomic.Int64
+	watch *telemetry.Watch // slow-consumer watch; nil when health is off
 }
 
 // NewClient registers a local application with the daemon.
@@ -407,6 +454,13 @@ func (d *Daemon) NewClient(name string) (*Client, error) {
 		d:      d,
 		signal: make(chan struct{}, 1),
 		pats:   make(map[string]subject.Pattern),
+	}
+	if d.health != nil {
+		c.watch = d.health.Watch(telemetry.WatchConfig{
+			Kind:   "slow-consumer",
+			Target: name,
+			Raise:  d.slowDepth,
+		}, c.depth.Load)
 	}
 	d.clients[c] = struct{}{}
 	return c, nil
@@ -496,6 +550,7 @@ func (c *Client) popLocked() (Delivery, bool) {
 		c.queue = c.queue[:0]
 		c.head = 0
 	}
+	c.depth.Add(-1)
 	return dv, true
 }
 
@@ -526,6 +581,12 @@ func (c *Client) Close() error {
 		delete(c.d.clients, c)
 	}
 	c.d.mu.Unlock()
+	// Outside d.mu: removing a raised watch emits a clear edge, and the
+	// engine sink publishes through this daemon (which takes d.mu).
+	if c.watch != nil {
+		c.d.health.Unwatch(c.watch)
+		c.watch = nil
+	}
 	c.shutdown()
 	return nil
 }
@@ -553,6 +614,7 @@ func (c *Client) enqueue(dv Delivery) bool {
 		return false
 	}
 	c.queue = append(c.queue, dv)
+	c.depth.Add(1)
 	c.mu.Unlock()
 	select {
 	case c.signal <- struct{}{}:
@@ -583,6 +645,9 @@ func (d *Daemon) handleMessage(m reliable.Message) {
 	env, err := busproto.Decode(m.Payload)
 	if err != nil {
 		d.ctr.corruptDropped.Inc()
+		if d.rec != nil {
+			d.rec.Record(telemetry.EventDrop, "corrupt-envelope", 1, 0)
+		}
 		return
 	}
 	switch env.Base() {
@@ -602,6 +667,10 @@ func (d *Daemon) handleMessage(m reliable.Message) {
 			env.AppendHop(d.traceNode, now)
 			if len(env.Trace) > 0 {
 				d.ctr.traceE2E.Observe(time.Duration(now - env.Trace[0].At))
+				if d.rec != nil {
+					d.rec.Record(telemetry.EventTrace, d.traceNode,
+						now-env.Trace[0].At, int64(len(env.Trace)))
+				}
 			}
 		}
 		if guaranteed && d.guarAlreadyDelivered(env.Origin, env.ID) {
@@ -758,11 +827,13 @@ func (d *Daemon) guarRecordDelivered(origin string, id uint64) {
 	d.guarSeen[key] = struct{}{}
 	if len(d.guarRing) < d.guarCap {
 		d.guarRing = append(d.guarRing, key)
+		d.guarSeenGauge.Set(int64(len(d.guarSeen)))
 		return
 	}
 	delete(d.guarSeen, d.guarRing[d.guarHead])
 	d.guarRing[d.guarHead] = key
 	d.guarHead = (d.guarHead + 1) % d.guarCap
+	d.guarSeenGauge.Set(int64(len(d.guarSeen)))
 }
 
 // kickInterest schedules a prompt advertisement without blocking the

@@ -79,6 +79,10 @@ type Options struct {
 	// Metrics is the telemetry registry the ledger's counters live in
 	// (the host shares its registry here); nil creates a private one.
 	Metrics *telemetry.Registry
+	// Recorder is the process flight recorder; a non-empty recovery at
+	// Open is recorded into it so a post-restart dump shows how much
+	// undelivered backlog the process came back with. Nil disables it.
+	Recorder *telemetry.Recorder
 }
 
 // Open opens or creates a ledger file, replaying any existing records. A
@@ -108,6 +112,9 @@ func Open(path string, opts Options) (*Ledger, error) {
 	}
 	l.ctr.recovered.Add(uint64(len(l.pending)))
 	l.ctr.pending.Set(int64(len(l.pending)))
+	if opts.Recorder != nil && len(l.pending) > 0 {
+		opts.Recorder.Record(telemetry.EventRecover, "ledger", int64(len(l.pending)), 0)
+	}
 	return l, nil
 }
 

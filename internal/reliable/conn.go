@@ -55,6 +55,11 @@ type Config struct {
 	// "reliable". Routers give each attachment its own prefix so that
 	// per-attachment streams stay distinguishable in one registry.
 	MetricsPrefix string
+	// Recorder is the process flight recorder; the connection records
+	// notable protocol events into it (gap skips, retransmission bursts,
+	// peer restarts). Nil disables recording. These are failure-path
+	// events: the steady state records nothing.
+	Recorder *telemetry.Recorder
 	// Seed seeds the connection's epoch (the restart-detection token carried
 	// in every frame). Zero, the default, derives a unique epoch from the
 	// clock plus a process-wide counter. Tests that need reproducible epochs
@@ -126,6 +131,7 @@ type counters struct {
 	naksSent, naksReceived                  *telemetry.Counter
 	duplicates, skipped                     *telemetry.Counter
 	batchesFlushed, acksSent                *telemetry.Counter
+	publishedBytes, deliveredBytes          *telemetry.Counter
 }
 
 func newCounters(reg *telemetry.Registry, prefix string) counters {
@@ -140,6 +146,10 @@ func newCounters(reg *telemetry.Registry, prefix string) counters {
 		skipped:        reg.Counter(prefix + ".skipped"),
 		batchesFlushed: reg.Counter(prefix + ".batches_flushed"),
 		acksSent:       reg.Counter(prefix + ".acks_sent"),
+		// Byte counters let a monitor turn successive snapshots into
+		// bytes/second without decoding any payload.
+		publishedBytes: reg.Counter(prefix + ".published_bytes"),
+		deliveredBytes: reg.Counter(prefix + ".delivered_bytes"),
 	}
 }
 
@@ -185,6 +195,7 @@ type Conn struct {
 
 	closed bool
 	ctr    counters
+	rec    *telemetry.Recorder
 }
 
 // bcastRecv is inbound broadcast-stream state for one sender.
@@ -248,6 +259,7 @@ func New(ep transport.Endpoint, cfg Config) *Conn {
 		uSend:  make(map[string]*ucastSend),
 	}
 	c.ctr = newCounters(c.cfg.Metrics, c.cfg.MetricsPrefix)
+	c.rec = cfg.Recorder
 	c.windowMin = 1
 	c.wg.Add(2)
 	go c.recvLoop()
@@ -306,6 +318,7 @@ func (c *Conn) Publish(payload []byte) error {
 		return ErrClosed
 	}
 	c.ctr.published.Inc()
+	c.ctr.publishedBytes.Add(uint64(len(payload)))
 	c.nextSeq++
 	seq := c.nextSeq
 	wp := bufpool.CopyOf(payload)
@@ -450,6 +463,9 @@ func (c *Conn) handleBroadcastData(from string, f *dataFrame) {
 		// across failures). The stream starts in the syncing state: we
 		// buffer briefly so network reordering around our first sighting
 		// cannot make us skip the true earliest message.
+		if pr != nil && c.rec != nil {
+			c.rec.Record(telemetry.EventRestart, from, int64(f.epoch), int64(pr.epoch))
+		}
 		pr = &bcastRecv{
 			epoch:     f.epoch,
 			pending:   make(map[uint64][]byte),
@@ -585,6 +601,9 @@ func (c *Conn) handleNak(from string, f *nakFrame) {
 		}
 	}
 	c.ctr.retransmits.Add(uint64(len(msgs)))
+	if c.rec != nil && len(msgs) > 0 {
+		c.rec.Record(telemetry.EventRetransmit, from, int64(len(msgs)), 0)
+	}
 	// Encode and send before unlocking: the payloads are pooled window
 	// buffers that a concurrent Publish could evict (and recycle) the moment
 	// mu is free, and the scratch sendBuf is likewise guarded by mu. The
@@ -617,14 +636,23 @@ func (c *Conn) handleAck(from string, f *ackFrame) {
 }
 
 // emit hands messages to the application channel, blocking if the consumer
-// is slow (delivery order must be preserved).
+// is slow (delivery order must be preserved). Delivered-byte accounting
+// lives here because every delivery path funnels through emit.
 func (c *Conn) emit(msgs []Message) {
+	var bytes uint64
 	for _, m := range msgs {
 		select {
 		case c.out <- m:
+			bytes += uint64(len(m.Payload))
 		case <-c.done:
+			if bytes > 0 {
+				c.ctr.deliveredBytes.Add(bytes)
+			}
 			return
 		}
+	}
+	if bytes > 0 {
+		c.ctr.deliveredBytes.Add(bytes)
 	}
 }
 
@@ -729,6 +757,9 @@ func (c *Conn) tick(now time.Time) {
 				target = minKey(pr.pending)
 			}
 			c.ctr.skipped.Add(target - pr.next)
+			if c.rec != nil {
+				c.rec.Record(telemetry.EventDrop, addr, int64(target-pr.next), 0)
+			}
 			pr.next = target
 			for {
 				p, ok := pr.pending[pr.next]
@@ -773,6 +804,9 @@ func (c *Conn) tick(now time.Time) {
 		}
 		sortMsgs(msgs)
 		c.ctr.retransmits.Add(uint64(len(msgs)))
+		if c.rec != nil {
+			c.rec.Record(telemetry.EventRetransmit, addr, int64(len(msgs)), 0)
+		}
 		retrs = append(retrs, retrOut{
 			addr:  addr,
 			frame: encodeData(dataFrame{typ: frameUData, epoch: c.epoch, msgs: msgs}),

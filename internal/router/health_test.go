@@ -1,0 +1,150 @@
+package router
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"infobus/internal/core"
+	"infobus/internal/mop"
+	"infobus/internal/telemetry"
+)
+
+// TestTraceAssemblyAcrossRouter is the monitor-side acceptance path: feed
+// the sampled hop traces a consumer sees into the assembler (exactly what
+// ibmon -sys does) and reconstruct the publisher → router → consumer route
+// with monotone, non-negative per-hop latencies.
+func TestTraceAssemblyAcrossRouter(t *testing.T) {
+	segA, segB := fastSeg(), fastSeg()
+	defer segA.Close()
+	defer segB.Close()
+	newRouter(t, Options{Name: "r1"},
+		Attachment{Segment: segA, Name: "A"},
+		Attachment{Segment: segB, Name: "B"},
+	)
+	pub := newBus(t, segA, "pubhost", core.HostConfig{
+		Telemetry: core.TelemetryConfig{TraceSampling: 1},
+	})
+	con := newBus(t, segB, "conhost", core.HostConfig{})
+	sub, err := con.Subscribe("fab5.>")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	asm := telemetry.NewTraceAssembler()
+	ev := publishUntil(t, pub, "fab5.cc.thick", int64(7), sub)
+	asm.Add(ev.Trace)
+	// A few more samples so the histograms have a distribution.
+	for i := 0; i < 5; i++ {
+		ev := publishUntil(t, pub, "fab5.cc.thick", int64(i), sub)
+		asm.Add(ev.Trace)
+	}
+
+	routes := asm.Routes()
+	if len(routes) != 1 {
+		t.Fatalf("routes = %d, want 1 (%+v)", len(routes), routes)
+	}
+	r := routes[0]
+	if r.Count < 6 {
+		t.Fatalf("route count = %d, want >= 6", r.Count)
+	}
+	if len(r.Path) < 3 {
+		t.Fatalf("path = %v, want publisher + router + consumer", r.Path)
+	}
+	if r.Path[0] != "pubhost" || r.Path[len(r.Path)-1] != "conhost" {
+		t.Fatalf("path endpoints = %v", r.Path)
+	}
+	sawRouter := false
+	for _, node := range r.Path {
+		if strings.HasPrefix(node, "router:r1:") {
+			sawRouter = true
+		}
+	}
+	if !sawRouter {
+		t.Fatalf("no router hop in path %v", r.Path)
+	}
+	// Per-hop latencies are non-negative and sum consistently: each hop's
+	// mean is bounded by the end-to-end mean (monotone decomposition).
+	var hopSum float64
+	for i, h := range r.Hops {
+		if h.MeanNs < 0 {
+			t.Errorf("hop %d mean = %v", i, h.MeanNs)
+		}
+		if h.MeanNs > r.E2E.MeanNs {
+			t.Errorf("hop %d mean %.0fns exceeds end-to-end %.0fns", i, h.MeanNs, r.E2E.MeanNs)
+		}
+		hopSum += h.MeanNs
+	}
+	if r.E2E.MeanNs <= 0 {
+		t.Fatalf("end-to-end mean = %v", r.E2E.MeanNs)
+	}
+	// The hop means decompose the route: their sum equals the e2e mean up
+	// to float rounding (same samples, telescoping deltas).
+	if diff := hopSum - r.E2E.MeanNs; diff > 1 || diff < -1 {
+		t.Errorf("hop means sum %.0fns != e2e mean %.0fns", hopSum, r.E2E.MeanNs)
+	}
+	render := asm.Render()
+	if !strings.Contains(render, "pubhost") || !strings.Contains(render, "end-to-end") {
+		t.Fatalf("render = %q", render)
+	}
+}
+
+// TestRouterAnswersDumpProbe: a "_sys.dump" probe published by any
+// application reaches the router, which answers with its own SysDump on
+// "_sys.dumped.router-<name>" on every attached segment — and still
+// forwards the probe.
+func TestRouterAnswersDumpProbe(t *testing.T) {
+	segA, segB := fastSeg(), fastSeg()
+	defer segA.Close()
+	defer segB.Close()
+	newRouter(t, Options{Name: "r1", Health: telemetry.HealthConfig{Interval: 5 * time.Millisecond}},
+		Attachment{Segment: segA, Name: "A"},
+		Attachment{Segment: segB, Name: "B"},
+	)
+	prober := newBus(t, segA, "prober", core.HostConfig{})
+	sub, err := prober.Subscribe("_sys.dumped.>")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.After(10 * time.Second)
+	for {
+		if err := prober.Publish(telemetry.DumpSubject, int64(1)); err != nil {
+			t.Fatal(err)
+		}
+		_ = prober.Flush()
+		select {
+		case ev := <-sub.C:
+			if got := ev.Subject.String(); got != "_sys.dumped.router-r1" {
+				t.Fatalf("dump subject = %q", got)
+			}
+			obj, ok := ev.Value.(*mop.Object)
+			if !ok || obj.Type().Name() != "SysDump" {
+				t.Fatalf("dump value = %v", ev.Value)
+			}
+			text, _ := obj.MustGet("text").(string)
+			if !strings.Contains(text, "flight recorder:") {
+				t.Fatalf("dump text = %q", text)
+			}
+			return
+		case <-deadline:
+			t.Fatal("router never answered the dump probe")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// TestRouterHealthDisabled pins that a router without Options.Health runs
+// no engine and never publishes on "_sys.alarm.>" or "_sys.dumped.>".
+func TestRouterHealthDisabled(t *testing.T) {
+	segA, segB := fastSeg(), fastSeg()
+	defer segA.Close()
+	defer segB.Close()
+	r := newRouter(t, Options{Name: "r0"},
+		Attachment{Segment: segA, Name: "A"},
+		Attachment{Segment: segB, Name: "B"},
+	)
+	if r.engine != nil || r.rec != nil {
+		t.Fatal("health tier allocated without Options.Health")
+	}
+}

@@ -56,6 +56,12 @@ type Options struct {
 	// publishes its metrics snapshot as a self-describing SysStats object
 	// on "_sys.stats.router-<name>", on every attached segment. 0 disables.
 	StatsInterval time.Duration
+	// Health enables the router's alarm engine and flight recorder:
+	// per-attachment retransmit-storm alarms are published on
+	// "_sys.alarm.router-<name>.<kind>" on every attached segment, and
+	// "_sys.dump" probes are answered with the recorder's text dump. Zero
+	// disables the tier.
+	Health telemetry.HealthConfig
 }
 
 // Rule rewrites subjects crossing from one segment to another ("the router
@@ -121,6 +127,12 @@ type Router struct {
 	closed bool
 	done   chan struct{}
 	wg     sync.WaitGroup
+
+	// Health tier (nil/zero unless Options.Health is enabled).
+	engine   *telemetry.Engine
+	rec      *telemetry.Recorder
+	sysTypes telemetry.SysTypes
+	sysNode  string
 }
 
 type guarPath struct {
@@ -162,6 +174,18 @@ func New(opts Options, atts ...Attachment) (*Router, error) {
 		guar:     make(map[string]guarPath),
 		done:     make(chan struct{}),
 	}
+	hcfg := opts.Health
+	if hcfg.Enabled() {
+		hcfg = hcfg.WithDefaults()
+		r.rec = telemetry.NewRecorder(hcfg.RecorderSize)
+		r.engine = telemetry.NewEngine("router-"+opts.Name, metrics, r.rec)
+		r.sysNode = r.engine.Node()
+		types, err := telemetry.DefineSysTypes(mop.NewRegistry())
+		if err != nil {
+			return nil, err
+		}
+		r.sysTypes = types
+	}
 	r.ctr = counters{
 		forwarded:     metrics.Counter("router.forwarded"),
 		suppressed:    metrics.Counter("router.suppressed"),
@@ -180,6 +204,9 @@ func New(opts Options, atts ...Attachment) (*Router, error) {
 			rcfg.Metrics = metrics
 			rcfg.MetricsPrefix = "reliable." + a.Name
 		}
+		if r.rec != nil && rcfg.Recorder == nil {
+			rcfg.Recorder = r.rec
+		}
 		att := &attachment{
 			name:     a.Name,
 			conn:     reliable.New(ep, rcfg),
@@ -187,6 +214,19 @@ func New(opts Options, atts ...Attachment) (*Router, error) {
 			interest: make(map[string]interestEntry),
 		}
 		r.atts = append(r.atts, att)
+		if r.engine != nil {
+			// Per-attachment retransmit storms: each attachment's stream has
+			// its own counter prefix, so storms are attributed to a segment.
+			prefix := rcfg.MetricsPrefix
+			if prefix == "" {
+				prefix = "reliable"
+			}
+			r.engine.WatchRate(telemetry.WatchConfig{
+				Kind:   "retransmit-storm",
+				Target: a.Name,
+				Raise:  hcfg.RetransmitStormRate,
+			}, rcfg.Metrics.Counter(prefix+".retransmits"))
+		}
 	}
 	for _, att := range r.atts {
 		r.wg.Add(1)
@@ -197,6 +237,10 @@ func New(opts Options, atts ...Attachment) (*Router, error) {
 	if opts.StatsInterval > 0 {
 		r.wg.Add(1)
 		go r.statsLoop()
+	}
+	if r.engine != nil {
+		r.engine.SetSink(r.publishAlarm)
+		r.engine.Start(hcfg.Interval)
 	}
 	return r, nil
 }
@@ -226,6 +270,9 @@ func (r *Router) Close() error {
 	r.closed = true
 	close(r.done)
 	r.mu.Unlock()
+	if r.engine != nil {
+		r.engine.Stop()
+	}
 	r.closeAttachments()
 	r.wg.Wait()
 	return nil
@@ -261,6 +308,12 @@ func (r *Router) handle(att *attachment, m reliable.Message) {
 	case busproto.KindInterest:
 		att.recordInterest(env.Patterns, time.Now().Add(r.opts.InterestTTL))
 	case busproto.KindPublish, busproto.KindGuaranteed:
+		if r.engine != nil && env.Base() == busproto.KindPublish && env.Subject == telemetry.DumpSubject {
+			// A "_sys.dump" probe: answer with this router's flight recorder
+			// on every segment, then forward the probe so hosts behind other
+			// attachments answer too.
+			r.publishDump()
+		}
 		r.forward(att, m.From, env)
 	case busproto.KindGuarAck:
 		r.forwardAck(att, env)
@@ -518,6 +571,43 @@ func (r *Router) statsLoop() {
 				_ = att.conn.Flush()
 			}
 		}
+	}
+}
+
+// publishAlarm is the router engine's sink: one SysAlarm publication per
+// raise/clear edge, broadcast on every attached segment so a monitor
+// anywhere on the bridged bus sees the router's health.
+func (r *Router) publishAlarm(ev telemetry.AlarmEvent) {
+	payload, err := wire.Marshal(r.sysTypes.AlarmObject(ev))
+	if err != nil {
+		return
+	}
+	env := busproto.Encode(busproto.Envelope{
+		Kind: busproto.KindPublish, Subject: telemetry.AlarmSubject(ev.Node, ev.Kind), Payload: payload,
+	})
+	r.broadcastSys(env)
+}
+
+// publishDump answers a "_sys.dump" probe with the router's active alarms
+// and flight-recorder ring.
+func (r *Router) publishDump() {
+	now := time.Now()
+	obj := r.sysTypes.DumpObject(r.sysNode, now, int64(r.rec.Total()), r.engine.DumpText())
+	payload, err := wire.Marshal(obj)
+	if err != nil {
+		return
+	}
+	r.rec.Record(telemetry.EventDump, r.sysNode, 0, 0)
+	env := busproto.Encode(busproto.Envelope{
+		Kind: busproto.KindPublish, Subject: telemetry.DumpedSubject(r.sysNode), Payload: payload,
+	})
+	r.broadcastSys(env)
+}
+
+func (r *Router) broadcastSys(env []byte) {
+	for _, att := range r.atts {
+		_ = att.conn.Publish(env)
+		_ = att.conn.Flush()
 	}
 }
 

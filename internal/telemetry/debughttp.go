@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler serves the local debug surface busd exposes behind
+// -debug-addr: the stdlib pprof profiles under /debug/pprof/, a JSON
+// snapshot of the metrics registry at /metrics, and the flight-recorder
+// text dump at /dump. There is no authentication — the listener must stay
+// loopback-bound (the busd flag documentation says so); this handler is a
+// diagnostics port, not an API.
+//
+// rec may be nil (health tier disabled); /dump then reports that.
+func DebugHandler(reg *Registry, rec *Recorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		type jsonMetric struct {
+			Name   string  `json:"name"`
+			Kind   string  `json:"kind"`
+			Value  int64   `json:"value,omitempty"`
+			Count  uint64  `json:"count,omitempty"`
+			MeanNs float64 `json:"mean_ns,omitempty"`
+			P50Ns  float64 `json:"p50_ns,omitempty"`
+			P95Ns  float64 `json:"p95_ns,omitempty"`
+			P99Ns  float64 `json:"p99_ns,omitempty"`
+		}
+		snap := reg.Snapshot()
+		out := make([]jsonMetric, 0, len(snap))
+		for _, m := range snap {
+			out = append(out, jsonMetric{
+				Name: m.Name, Kind: m.Kind.String(), Value: m.Value,
+				Count: m.Count, MeanNs: m.MeanNs,
+				P50Ns: m.P50Ns, P95Ns: m.P95Ns, P99Ns: m.P99Ns,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+	mux.HandleFunc("/dump", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if rec == nil {
+			_, _ = w.Write([]byte("flight recorder disabled (health tier off)\n"))
+			return
+		}
+		_, _ = w.Write([]byte(rec.Dump()))
+	})
+	return mux
+}

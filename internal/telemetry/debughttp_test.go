@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDebugHandlerMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("daemon.inbound").Add(42)
+	reg.Gauge("ledger.pending").Set(-1)
+	reg.Histogram("daemon.lat").Observe(time.Millisecond)
+	srv := httptest.NewServer(DebugHandler(reg, nil))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var metrics []struct {
+		Name  string `json:"name"`
+		Kind  string `json:"kind"`
+		Value int64  `json:"value"`
+		Count uint64 `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]int)
+	for i, m := range metrics {
+		byName[m.Name] = i
+	}
+	if i, ok := byName["daemon.inbound"]; !ok || metrics[i].Kind != "counter" || metrics[i].Value != 42 {
+		t.Fatalf("daemon.inbound = %+v", metrics)
+	}
+	if i, ok := byName["ledger.pending"]; !ok || metrics[i].Value != -1 {
+		t.Fatalf("ledger.pending = %+v", metrics)
+	}
+	if i, ok := byName["daemon.lat"]; !ok || metrics[i].Kind != "histogram" || metrics[i].Count != 1 {
+		t.Fatalf("daemon.lat = %+v", metrics)
+	}
+}
+
+func TestDebugHandlerDump(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(8)
+	rec.Record(EventRestart, "h2", 5, 4)
+	srv := httptest.NewServer(DebugHandler(reg, rec))
+	defer srv.Close()
+
+	body := get(t, srv.URL+"/dump")
+	if !strings.Contains(body, "flight recorder: 1 events retained") ||
+		!strings.Contains(body, "peer-restart") {
+		t.Fatalf("dump = %q", body)
+	}
+
+	// nil recorder (health tier off) reports that rather than 404ing.
+	off := httptest.NewServer(DebugHandler(reg, nil))
+	defer off.Close()
+	if body := get(t, off.URL+"/dump"); !strings.Contains(body, "disabled") {
+		t.Fatalf("disabled dump = %q", body)
+	}
+}
+
+func TestDebugHandlerPprof(t *testing.T) {
+	srv := httptest.NewServer(DebugHandler(NewRegistry(), nil))
+	defer srv.Close()
+	body := get(t, srv.URL+"/debug/pprof/")
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index = %q", body)
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

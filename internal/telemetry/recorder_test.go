@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(4)
+	for i := int64(0); i < 6; i++ {
+		r.Record(EventDrop, "peer", i, 0)
+	}
+	if got := r.Total(); got != 6 {
+		t.Fatalf("Total = %d, want 6", got)
+	}
+	events := r.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d, want 4", len(events))
+	}
+	// Oldest first: events 2..5 survive, 0 and 1 were overwritten.
+	for i, ev := range events {
+		if ev.A != int64(i+2) {
+			t.Fatalf("events[%d].A = %d, want %d (oldest-first order)", i, ev.A, i+2)
+		}
+	}
+}
+
+func TestRecorderPartialFill(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(EventRestart, "h2", 3, 1)
+	r.Record(EventRetransmit, "h3", 12, 0)
+	events := r.Events()
+	if len(events) != 2 || events[0].Kind != EventRestart || events[1].Kind != EventRetransmit {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].Target != "h2" || events[0].A != 3 || events[0].B != 1 {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+}
+
+// TestRecordAllocs pins the contract the hot paths rely on: Record never
+// allocates, neither while the ring is filling nor once it wraps.
+func TestRecordAllocs(t *testing.T) {
+	r := NewRecorder(32)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Record(EventRetransmit, "peer", 1, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestRecorderDump(t *testing.T) {
+	r := NewRecorder(8)
+	text := r.Dump()
+	if !strings.Contains(text, "flight recorder: 0 events retained, 0 recorded") {
+		t.Fatalf("empty dump = %q", text)
+	}
+	r.Record(EventAlarmRaise, "slow-consumer:app1", 2048, 1024)
+	r.Record(EventTrace, "h1", 1500000, 3)
+	r.Record(EventDrop, "peer", 7, 0)
+	text = r.Dump()
+	for _, want := range []string{
+		"3 events retained, 3 recorded",
+		"alarm-raise",
+		"slow-consumer:app1 value=2048 threshold=1024",
+		"trace",
+		"e2e=1.5ms hops=3",
+		"drop",
+		"n=7",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("dump missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRecorderDefaultSize(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 300; i++ {
+		r.Record(EventDrop, "", 0, 0)
+	}
+	if got := len(r.Events()); got != 256 {
+		t.Fatalf("default ring retains %d, want 256", got)
+	}
+}

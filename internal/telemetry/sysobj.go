@@ -23,6 +23,17 @@ const (
 	PingSubject = "_sys.ping"
 	// PongSubjectPrefix is the subject prefix for ping answers.
 	PongSubjectPrefix = "_sys.pong"
+	// AlarmSubjectPrefix is the subject prefix for health alarm edges:
+	// a raise or clear is published on "_sys.alarm.<node>.<kind>", so a
+	// monitor can subscribe to one node ("_sys.alarm.host3.>"), one kind
+	// ("_sys.alarm.*.slow-consumer"), or everything ("_sys.alarm.>").
+	AlarmSubjectPrefix = "_sys.alarm"
+	// DumpSubject is the flight-recorder probe: any application may
+	// publish here (like PingSubject, it is user-publishable), and every
+	// health-enabled node answers with a SysDump on DumpedSubjectPrefix.<node>.
+	DumpSubject = "_sys.dump"
+	// DumpedSubjectPrefix is the subject prefix for flight-recorder dumps.
+	DumpedSubjectPrefix = "_sys.dumped"
 )
 
 // SanitizeNode turns an arbitrary node name into a single valid subject
@@ -50,11 +61,24 @@ func StatsSubject(node string) string { return StatsSubjectPrefix + "." + node }
 // PongSubject returns the ping-answer subject for a (sanitised) node name.
 func PongSubject(node string) string { return PongSubjectPrefix + "." + node }
 
+// AlarmSubject returns the alarm subject for a (sanitised) node name and
+// an alarm kind ("slow-consumer"). Kinds contain only hyphen-separated
+// lowercase words, which are valid subject elements.
+func AlarmSubject(node, kind string) string {
+	return AlarmSubjectPrefix + "." + node + "." + kind
+}
+
+// DumpedSubject returns the flight-recorder dump subject for a
+// (sanitised) node name.
+func DumpedSubject(node string) string { return DumpedSubjectPrefix + "." + node }
+
 // SysTypes is the registered system-telemetry class family.
 type SysTypes struct {
 	Metric *mop.Type // SysMetric: one metric value
 	Stats  *mop.Type // SysStats: one node's snapshot
 	Pong   *mop.Type // SysPong: answer to a _sys.ping probe
+	Alarm  *mop.Type // SysAlarm: one health alarm raise/clear edge
+	Dump   *mop.Type // SysDump: answer to a _sys.dump probe
 }
 
 // DefineSysTypes builds and registers the system-telemetry classes in a
@@ -75,7 +99,15 @@ func DefineSysTypes(reg *mop.Registry) (SysTypes, error) {
 		if err != nil {
 			return SysTypes{}, err
 		}
-		return SysTypes{Metric: metric, Stats: stats, Pong: pong}, nil
+		alarm, err := reg.Lookup("SysAlarm")
+		if err != nil {
+			return SysTypes{}, err
+		}
+		dump, err := reg.Lookup("SysDump")
+		if err != nil {
+			return SysTypes{}, err
+		}
+		return SysTypes{Metric: metric, Stats: stats, Pong: pong, Alarm: alarm, Dump: dump}, nil
 	}
 	metric := mop.MustNewClass("SysMetric", nil, []mop.Attr{
 		{Name: "name", Type: mop.String},
@@ -98,12 +130,27 @@ func DefineSysTypes(reg *mop.Registry) (SysTypes, error) {
 		{Name: "at", Type: mop.Time},
 		{Name: "nonce", Type: mop.Int},
 	}, nil)
-	for _, t := range []*mop.Type{metric, stats, pong} {
+	alarm := mop.MustNewClass("SysAlarm", nil, []mop.Attr{
+		{Name: "node", Type: mop.String},
+		{Name: "kind", Type: mop.String},
+		{Name: "target", Type: mop.String},
+		{Name: "raised", Type: mop.Bool},
+		{Name: "value", Type: mop.Int},
+		{Name: "threshold", Type: mop.Int},
+		{Name: "at", Type: mop.Time},
+	}, nil)
+	dump := mop.MustNewClass("SysDump", nil, []mop.Attr{
+		{Name: "node", Type: mop.String},
+		{Name: "at", Type: mop.Time},
+		{Name: "events", Type: mop.Int},
+		{Name: "text", Type: mop.String},
+	}, nil)
+	for _, t := range []*mop.Type{metric, stats, pong, alarm, dump} {
 		if err := reg.Register(t); err != nil {
 			return SysTypes{}, err
 		}
 	}
-	return SysTypes{Metric: metric, Stats: stats, Pong: pong}, nil
+	return SysTypes{Metric: metric, Stats: stats, Pong: pong, Alarm: alarm, Dump: dump}, nil
 }
 
 // StatsObject renders a registry snapshot as a self-describing SysStats
@@ -136,4 +183,26 @@ func (st SysTypes) PongObject(node string, at time.Time, nonce int64) *mop.Objec
 		MustSet("node", node).
 		MustSet("at", at).
 		MustSet("nonce", nonce)
+}
+
+// AlarmObject renders one alarm edge as a self-describing SysAlarm
+// object, ready for publication on AlarmSubject(ev.Node, ev.Kind).
+func (st SysTypes) AlarmObject(ev AlarmEvent) *mop.Object {
+	return mop.MustNew(st.Alarm).
+		MustSet("node", ev.Node).
+		MustSet("kind", ev.Kind).
+		MustSet("target", ev.Target).
+		MustSet("raised", ev.Raised).
+		MustSet("value", ev.Value).
+		MustSet("threshold", ev.Threshold).
+		MustSet("at", ev.At)
+}
+
+// DumpObject renders a flight-recorder dump answer.
+func (st SysTypes) DumpObject(node string, at time.Time, events int64, text string) *mop.Object {
+	return mop.MustNew(st.Dump).
+		MustSet("node", node).
+		MustSet("at", at).
+		MustSet("events", events).
+		MustSet("text", text)
 }

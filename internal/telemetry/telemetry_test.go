@@ -93,6 +93,45 @@ func TestHistogramEdges(t *testing.T) {
 	}
 }
 
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	s := h.Summary()
+	if s.Count != 1 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if time.Duration(s.MeanNs) != time.Millisecond {
+		t.Errorf("mean = %v, want exactly 1ms (exact sum)", time.Duration(s.MeanNs))
+	}
+	// All quantiles fall in the single occupied bucket [2^19ns, 2^20ns).
+	for i, q := range []float64{s.P50Ns, s.P95Ns, s.P99Ns} {
+		if q < float64(int64(1)<<19) || q > float64(int64(1)<<20) {
+			t.Errorf("quantile %d = %v outside the sample's bucket", i, time.Duration(q))
+		}
+	}
+}
+
+func TestHistogramAllOneBucket(t *testing.T) {
+	var h Histogram
+	// 100 identical observations: every quantile interpolates within the
+	// same bucket, so p50 < p95 < p99 but all within a 2x band of the value.
+	for i := 0; i < 100; i++ {
+		h.Observe(700 * time.Nanosecond) // bucket [512ns, 1024ns)
+	}
+	s := h.Summary()
+	if s.Count != 100 || s.MeanNs != 700 {
+		t.Fatalf("summary = %+v", s)
+	}
+	for i, q := range []float64{s.P50Ns, s.P95Ns, s.P99Ns} {
+		if q < 512 || q > 1024 {
+			t.Errorf("quantile %d = %.0fns outside bucket [512,1024)", i, q)
+		}
+	}
+	if !(s.P50Ns <= s.P95Ns && s.P95Ns <= s.P99Ns) {
+		t.Errorf("quantiles not monotone within bucket: %+v", s)
+	}
+}
+
 func TestSnapshotSortedAndComplete(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("z.last").Add(3)

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"infobus/internal/busproto"
+)
+
+// Trace assembly: the sampled per-hop records that ride traced envelopes
+// (busproto.TraceHop) arrive at a monitor one delivery at a time; the
+// assembler groups them by route — the exact node path
+// publisher→router…→consumer — and accumulates per-hop latency
+// histograms, so "this publication took 40 ms because it sat in
+// router-2's queue" is readable straight off the per-route table.
+
+// TraceAssembler collects hop traces into per-route latency breakdowns.
+// Safe for concurrent use.
+type TraceAssembler struct {
+	mu     sync.Mutex
+	routes map[string]*traceRoute
+}
+
+type traceRoute struct {
+	nodes []string
+	hops  []*Histogram // hops[i]: latency from nodes[i] to nodes[i+1]
+	e2e   *Histogram   // first hop to last hop; its count is the route count
+}
+
+// NewTraceAssembler creates an empty assembler.
+func NewTraceAssembler() *TraceAssembler {
+	return &TraceAssembler{routes: make(map[string]*traceRoute)}
+}
+
+// Add feeds one delivery's hop trace. Traces with fewer than two hops
+// (nothing to measure) are ignored. Negative hop deltas (distinct clocks
+// on a real network) are clamped to zero by the histogram.
+func (a *TraceAssembler) Add(trace []busproto.TraceHop) {
+	if len(trace) < 2 {
+		return
+	}
+	var key strings.Builder
+	for i, h := range trace {
+		if i > 0 {
+			key.WriteByte('\x00')
+		}
+		key.WriteString(h.Node)
+	}
+	a.mu.Lock()
+	r, ok := a.routes[key.String()]
+	if !ok {
+		r = &traceRoute{
+			nodes: make([]string, len(trace)),
+			hops:  make([]*Histogram, len(trace)-1),
+			e2e:   &Histogram{},
+		}
+		for i, h := range trace {
+			r.nodes[i] = h.Node
+		}
+		for i := range r.hops {
+			r.hops[i] = &Histogram{}
+		}
+		a.routes[key.String()] = r
+	}
+	a.mu.Unlock()
+	// Histogram operations are atomic; only the map needs the lock.
+	for i := 0; i < len(trace)-1; i++ {
+		r.hops[i].Observe(time.Duration(trace[i+1].At - trace[i].At))
+	}
+	r.e2e.Observe(time.Duration(trace[len(trace)-1].At - trace[0].At))
+}
+
+// HopSummary is one hop's latency digest within a route.
+type HopSummary struct {
+	From, To string
+	HistogramSummary
+}
+
+// RouteSummary is one assembled route.
+type RouteSummary struct {
+	Path  []string // node names in hop order
+	Count uint64   // deliveries assembled (e2e histogram count)
+	Hops  []HopSummary
+	E2E   HistogramSummary
+}
+
+// Routes returns every assembled route, most-traveled first.
+func (a *TraceAssembler) Routes() []RouteSummary {
+	a.mu.Lock()
+	routes := make([]*traceRoute, 0, len(a.routes))
+	for _, r := range a.routes {
+		routes = append(routes, r)
+	}
+	a.mu.Unlock()
+	out := make([]RouteSummary, 0, len(routes))
+	for _, r := range routes {
+		s := RouteSummary{
+			Path: append([]string(nil), r.nodes...),
+			E2E:  r.e2e.Summary(),
+		}
+		s.Count = s.E2E.Count
+		for i, h := range r.hops {
+			s.Hops = append(s.Hops, HopSummary{
+				From: r.nodes[i], To: r.nodes[i+1], HistogramSummary: h.Summary(),
+			})
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return strings.Join(out[i].Path, "→") < strings.Join(out[j].Path, "→")
+	})
+	return out
+}
+
+// Render prints the per-route hop latency breakdown as a text table.
+func (a *TraceAssembler) Render() string {
+	routes := a.Routes()
+	var b strings.Builder
+	if len(routes) == 0 {
+		b.WriteString("trace assembly: no complete routes yet\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "trace assembly: %d route(s)\n", len(routes))
+	for _, r := range routes {
+		fmt.Fprintf(&b, "route %s  (%d sampled deliveries)\n",
+			strings.Join(r.Path, " → "), r.Count)
+		fmt.Fprintf(&b, "  %-44s %10s %10s %10s %10s\n", "hop", "mean", "p50", "p95", "p99")
+		for _, h := range r.Hops {
+			fmt.Fprintf(&b, "  %-44s %10s %10s %10s %10s\n",
+				h.From+" → "+h.To,
+				fmtNs(h.MeanNs), fmtNs(h.P50Ns), fmtNs(h.P95Ns), fmtNs(h.P99Ns))
+		}
+		fmt.Fprintf(&b, "  %-44s %10s %10s %10s %10s\n", "end-to-end",
+			fmtNs(r.E2E.MeanNs), fmtNs(r.E2E.P50Ns), fmtNs(r.E2E.P95Ns), fmtNs(r.E2E.P99Ns))
+	}
+	return b.String()
+}
+
+func fmtNs(ns float64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

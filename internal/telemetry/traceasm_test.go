@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"infobus/internal/busproto"
+)
+
+func hop(node string, at time.Duration) busproto.TraceHop {
+	return busproto.TraceHop{Node: node, At: int64(at)}
+}
+
+func TestTraceAssembly(t *testing.T) {
+	a := NewTraceAssembler()
+	// Two deliveries over the same 3-node route, one over a direct route.
+	a.Add([]busproto.TraceHop{
+		hop("pub", 0), hop("router:r", 2*time.Millisecond), hop("con", 5*time.Millisecond),
+	})
+	a.Add([]busproto.TraceHop{
+		hop("pub", 0), hop("router:r", 4*time.Millisecond), hop("con", 9*time.Millisecond),
+	})
+	a.Add([]busproto.TraceHop{hop("pub", 0), hop("con", time.Millisecond)})
+	a.Add([]busproto.TraceHop{hop("lonely", 0)}) // < 2 hops: ignored
+	a.Add(nil)
+
+	routes := a.Routes()
+	if len(routes) != 2 {
+		t.Fatalf("routes = %d, want 2", len(routes))
+	}
+	// Most-traveled first.
+	r := routes[0]
+	if r.Count != 2 || strings.Join(r.Path, ",") != "pub,router:r,con" {
+		t.Fatalf("route 0 = %+v", r)
+	}
+	if len(r.Hops) != 2 {
+		t.Fatalf("hops = %d, want 2", len(r.Hops))
+	}
+	if r.Hops[0].From != "pub" || r.Hops[0].To != "router:r" ||
+		r.Hops[1].From != "router:r" || r.Hops[1].To != "con" {
+		t.Fatalf("hop endpoints = %+v", r.Hops)
+	}
+	// Hop means: (2ms+4ms)/2 = 3ms, (3ms+5ms)/2 = 4ms; e2e (5ms+9ms)/2 = 7ms.
+	if got := time.Duration(r.Hops[0].MeanNs); got != 3*time.Millisecond {
+		t.Errorf("hop 0 mean = %v, want 3ms", got)
+	}
+	if got := time.Duration(r.Hops[1].MeanNs); got != 4*time.Millisecond {
+		t.Errorf("hop 1 mean = %v, want 4ms", got)
+	}
+	if got := time.Duration(r.E2E.MeanNs); got != 7*time.Millisecond {
+		t.Errorf("e2e mean = %v, want 7ms", got)
+	}
+	if routes[1].Count != 1 || len(routes[1].Hops) != 1 {
+		t.Fatalf("route 1 = %+v", routes[1])
+	}
+}
+
+func TestTraceAssemblyNegativeDelta(t *testing.T) {
+	a := NewTraceAssembler()
+	// Clock skew on a real network: the second hop's stamp is earlier.
+	a.Add([]busproto.TraceHop{hop("pub", 2*time.Millisecond), hop("con", time.Millisecond)})
+	r := a.Routes()[0]
+	if r.Hops[0].MeanNs != 0 {
+		t.Fatalf("negative delta must clamp to 0, got %v", r.Hops[0].MeanNs)
+	}
+}
+
+func TestTraceRender(t *testing.T) {
+	a := NewTraceAssembler()
+	if got := a.Render(); !strings.Contains(got, "no complete routes") {
+		t.Fatalf("empty render = %q", got)
+	}
+	a.Add([]busproto.TraceHop{
+		hop("pub", 0), hop("router:r", 2*time.Millisecond), hop("con", 5*time.Millisecond),
+	})
+	got := a.Render()
+	for _, want := range []string{
+		"trace assembly: 1 route(s)",
+		"route pub → router:r → con  (1 sampled deliveries)",
+		"pub → router:r",
+		"router:r → con",
+		"end-to-end",
+		"p95",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("render missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -23,6 +23,9 @@ go vet ./...
 echo "==> go test ./..."
 go test ./...
 
+echo "==> alloc gate (publish->deliver budget)"
+go test -run TestPublishDeliverAllocBudget -count=1 .
+
 if [ "$quick" -eq 0 ]; then
     echo "==> go test -race ./..."
     go test -race ./...
