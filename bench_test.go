@@ -538,6 +538,71 @@ func BenchmarkFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkDictCompression (A9) measures type-dictionary compression: the
+// self-describing codec against the compact steady state for each A9
+// object shape, reporting wire bytes per message alongside encode and
+// decode cost. The compact decode resolves classes through the receiver's
+// fingerprint cache, skipping the per-message type-table parse entirely.
+func BenchmarkDictCompression(b *testing.B) {
+	for _, shape := range bench.DictShapes() {
+		legacy, err := wire.Marshal(shape.Value)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dict := wire.NewSendDict(1 << 30)
+		first, err := dict.Marshal(shape.Value)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steady, err := dict.Marshal(shape.Value)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 0, 2*len(legacy))
+
+		b.Run(shape.Name+"/encode/legacy", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.AppendMarshal(buf[:0], shape.Value); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(legacy)), "bytes/msg")
+		})
+		b.Run(shape.Name+"/encode/compact", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dict.AppendMarshal(buf[:0], shape.Value); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(steady)), "bytes/msg")
+		})
+
+		reg := mop.NewRegistry()
+		cache := wire.NewTypeCache(0)
+		if _, err := wire.UnmarshalWith(first, reg, cache); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(shape.Name+"/decode/legacy", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.Unmarshal(legacy, reg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(shape.Name+"/decode/compact", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.UnmarshalWith(steady, reg, cache); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTelemetryOverhead measures what the observability subsystem
 // costs on the Figure 6 workload (small messages, batching on, full
 // 15-node topology): telemetry off entirely, metrics only (counters are

@@ -53,10 +53,12 @@ func main() {
 	sampling := flag.Float64("trace-sampling", 0, "fraction of publications to trace per-hop (0 disables, 1 every message)")
 	healthEvery := flag.Duration("health", 0, "run the health tier (alarms on _sys.alarm.>, flight recorder) sampling at this interval (0 disables)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof + /metrics + /dump on this address (UNAUTHENTICATED: loopback only, e.g. 127.0.0.1:6060; empty disables)")
+	compact := flag.Bool("compact", false, "publish with type-dictionary compression (class descriptors cross the wire once; receivers need no flag)")
 	flag.Parse()
 
 	seg := infobus.NewStaticUDPSegment(*listen, strings.Split(*peers, ","))
 	host, err := infobus.NewHost(seg, *name, infobus.HostConfig{
+		CompactTypes: *compact,
 		Telemetry: infobus.TelemetryConfig{
 			StatsInterval: *statsEvery,
 			TraceSampling: *sampling,

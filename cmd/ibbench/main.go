@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to run: 5, 6, 7, 8, i1, i2, a8, or all")
+	fig := flag.String("fig", "all", "figure to run: 5, 6, 7, 8, i1, i2, a8, a9, or all")
 	consumers := flag.Int("consumers", 14, "number of consumer hosts")
 	speedup := flag.Float64("speedup", 20, "simulation speedup factor")
 	msgs := flag.Int("msgs", 1000, "messages per throughput point")
@@ -138,6 +138,27 @@ func main() {
 			delta := (on.MsgsPerSec - off.MsgsPerSec) / off.MsgsPerSec * 100
 			fmt.Printf("%10d %18.0f %18.0f %8.1f%%\n", size, off.MsgsPerSec, on.MsgsPerSec, delta)
 		}
+		return nil
+	})
+	run("a9", func() error {
+		// A9: type-dictionary compression. Codec-level wire bytes + CPU,
+		// then the Figure 6 workload with structured objects, dictionary
+		// off vs on.
+		rows, err := bench.MeasureDictCompression(0)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigureA9(os.Stdout, rows)
+		fmt.Println()
+		var trows []bench.DictThroughputRow
+		for _, shape := range bench.DictShapes() {
+			row, err := bench.MeasureDictThroughput(cfg, shape, *msgs)
+			if err != nil {
+				return err
+			}
+			trows = append(trows, row)
+		}
+		bench.PrintFigureA9Throughput(os.Stdout, trows)
 		return nil
 	})
 

@@ -41,6 +41,9 @@ type Config struct {
 	// (BenchmarkTelemetryOverhead measures its cost; the figure
 	// experiments leave it zero).
 	Telemetry core.TelemetryConfig
+	// Compact enables type-dictionary compression on the publisher host
+	// (experiment A9; the figure experiments leave it off).
+	Compact bool
 }
 
 // DefaultConfig is the paper's topology.
@@ -74,7 +77,7 @@ func buildTopology(cfg Config, patterns []string) (*topology, error) {
 	}
 	seg := transport.NewSimSegment(cfg.Net)
 	tp := &topology{seg: seg}
-	pubHost, err := core.NewHost(seg, "publisher", core.HostConfig{Reliable: cfg.Reliable, Telemetry: cfg.Telemetry})
+	pubHost, err := core.NewHost(seg, "publisher", core.HostConfig{Reliable: cfg.Reliable, Telemetry: cfg.Telemetry, CompactTypes: cfg.Compact})
 	if err != nil {
 		seg.Close()
 		return nil, err

@@ -1,0 +1,288 @@
+// Experiment A9 — type-dictionary compression for the broadcast path
+// (wire/dict.go, HostConfig.CompactTypes). Not in the paper: the paper's
+// §6 measurements use opaque payloads, which hide the cost of the
+// self-describing format this reproduction implements for P2/P3. A9
+// quantifies that cost and how much of it the per-sender class dictionary
+// recovers: codec-level wire bytes and CPU (MeasureDictCompression), and
+// the Figure-6 workload re-run with structured objects, dictionary off vs
+// on (MeasureDictThroughput).
+
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"infobus/internal/core"
+	"infobus/internal/mop"
+	"infobus/internal/wire"
+)
+
+// DictShape is one object shape measured by A9.
+type DictShape struct {
+	Name  string
+	Value mop.Value
+}
+
+// DictShapes builds the A9 object set: the paper's §5 news story at
+// growing body sizes, plus a market tick as the small-message extreme.
+// Classes are built fresh per call so repeated runs do not share
+// fingerprint or registry state.
+func DictShapes() []DictShape {
+	tick := mop.MustNewClass("EquityTick", nil, []mop.Attr{
+		{Name: "symbol", Type: mop.String},
+		{Name: "exchange", Type: mop.String},
+		{Name: "price", Type: mop.Float},
+		{Name: "size", Type: mop.Int},
+		{Name: "at", Type: mop.Time},
+	}, nil)
+	group := mop.MustNewClass("IndustryGroup", nil, []mop.Attr{
+		{Name: "code", Type: mop.String},
+		{Name: "weight", Type: mop.Float},
+	}, nil)
+	story := mop.MustNewClass("Story", nil, []mop.Attr{
+		{Name: "headline", Type: mop.String},
+		{Name: "body", Type: mop.String},
+		{Name: "groups", Type: mop.ListOf(group)},
+		{Name: "published", Type: mop.Time},
+	}, nil)
+	mkStory := func(bodyBytes int) *mop.Object {
+		return mop.MustNew(story).
+			MustSet("headline", "GM announces record earnings").
+			MustSet("body", strings.Repeat("x", bodyBytes)).
+			MustSet("groups", mop.List{
+				mop.MustNew(group).MustSet("code", "AUTO").MustSet("weight", 0.75),
+			}).
+			MustSet("published", time.Unix(749571200, 0).UTC())
+	}
+	return []DictShape{
+		{Name: "tick/64B", Value: mop.MustNew(tick).
+			MustSet("symbol", "GM").
+			MustSet("exchange", "NYSE").
+			MustSet("price", 42.125).
+			MustSet("size", int64(1200)).
+			MustSet("at", time.Unix(749571200, 0).UTC())},
+		{Name: "story/256B", Value: mkStory(256)},
+		{Name: "story/1KB", Value: mkStory(1024)},
+		{Name: "story/4KB", Value: mkStory(4096)},
+	}
+}
+
+// DictRow is one codec-level row of A9.
+type DictRow struct {
+	Shape string
+	// Wire bytes per message: legacy self-describing, compact with the
+	// class definitions inline (first contact), compact steady state.
+	LegacyBytes, FirstBytes, SteadyBytes int
+	// ReductionPct is the steady-state saving over the legacy format.
+	ReductionPct float64
+	// Encode/decode CPU per message (host nanoseconds, not modelled time).
+	LegacyEncNs, SteadyEncNs float64
+	LegacyDecNs, SteadyDecNs float64
+}
+
+// MeasureDictCompression measures the codec in isolation: no network, one
+// encode and one decode per message, iters messages per shape.
+func MeasureDictCompression(iters int) ([]DictRow, error) {
+	if iters <= 0 {
+		iters = 20000
+	}
+	rows := make([]DictRow, 0, 4)
+	for _, shape := range DictShapes() {
+		legacy, err := wire.Marshal(shape.Value)
+		if err != nil {
+			return nil, err
+		}
+		dict := wire.NewSendDict(1 << 30) // steady state stays reference-only
+		first, err := dict.Marshal(shape.Value)
+		if err != nil {
+			return nil, err
+		}
+		steady, err := dict.Marshal(shape.Value)
+		if err != nil {
+			return nil, err
+		}
+
+		buf := make([]byte, 0, 2*len(legacy))
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := wire.AppendMarshal(buf[:0], shape.Value); err != nil {
+				return nil, err
+			}
+		}
+		legacyEnc := time.Since(start)
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := dict.AppendMarshal(buf[:0], shape.Value); err != nil {
+				return nil, err
+			}
+		}
+		steadyEnc := time.Since(start)
+
+		// Decode against warm state: the legacy path re-parses and
+		// re-verifies the type table every message; the compact path hits
+		// the fingerprint cache.
+		reg := mop.NewRegistry()
+		cache := wire.NewTypeCache(0)
+		if _, err := wire.UnmarshalWith(first, reg, cache); err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := wire.Unmarshal(legacy, reg); err != nil {
+				return nil, err
+			}
+		}
+		legacyDec := time.Since(start)
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := wire.UnmarshalWith(steady, reg, cache); err != nil {
+				return nil, err
+			}
+		}
+		steadyDec := time.Since(start)
+
+		rows = append(rows, DictRow{
+			Shape:        shape.Name,
+			LegacyBytes:  len(legacy),
+			FirstBytes:   len(first),
+			SteadyBytes:  len(steady),
+			ReductionPct: 100 * (1 - float64(len(steady))/float64(len(legacy))),
+			LegacyEncNs:  float64(legacyEnc.Nanoseconds()) / float64(iters),
+			SteadyEncNs:  float64(steadyEnc.Nanoseconds()) / float64(iters),
+			LegacyDecNs:  float64(legacyDec.Nanoseconds()) / float64(iters),
+			SteadyDecNs:  float64(steadyDec.Nanoseconds()) / float64(iters),
+		})
+	}
+	return rows, nil
+}
+
+// PrintFigureA9 renders the codec-level table.
+func PrintFigureA9(w io.Writer, rows []DictRow) {
+	fmt.Fprintln(w, "A9: type-dictionary compression (codec level, steady state vs self-describing)")
+	fmt.Fprintf(w, "%12s %10s %10s %10s %10s %12s %12s %12s %12s\n",
+		"shape", "legacy B", "first B", "steady B", "saved", "enc ns", "enc' ns", "dec ns", "dec' ns")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12s %10d %10d %10d %9.1f%% %12.0f %12.0f %12.0f %12.0f\n",
+			r.Shape, r.LegacyBytes, r.FirstBytes, r.SteadyBytes, r.ReductionPct,
+			r.LegacyEncNs, r.SteadyEncNs, r.LegacyDecNs, r.SteadyDecNs)
+	}
+}
+
+// DictThroughputRow is one end-to-end row of A9: the Figure 6 workload
+// with structured objects instead of opaque payloads.
+type DictThroughputRow struct {
+	Shape               string
+	WireBytesOff        int // steady-state payload bytes, dictionary off
+	WireBytesOn         int // steady-state payload bytes, dictionary on
+	MsgsPerSecOff       float64
+	MsgsPerSecOn        float64
+	DeltaPct            float64
+	Messages, Consumers int
+}
+
+// MeasureDictThroughput re-runs the Figure 6 experiment with a structured
+// object per message, dictionary off then on, and reports single-
+// subscriber rates in modelled network time.
+func MeasureDictThroughput(cfg Config, shape DictShape, nMsgs int) (DictThroughputRow, error) {
+	offRate, offBytes, err := measureObjectThroughput(cfg, shape.Value, nMsgs, false)
+	if err != nil {
+		return DictThroughputRow{}, err
+	}
+	onRate, onBytes, err := measureObjectThroughput(cfg, shape.Value, nMsgs, true)
+	if err != nil {
+		return DictThroughputRow{}, err
+	}
+	consumers := cfg.Consumers
+	if consumers <= 0 {
+		consumers = 14
+	}
+	return DictThroughputRow{
+		Shape:         shape.Name,
+		WireBytesOff:  offBytes,
+		WireBytesOn:   onBytes,
+		MsgsPerSecOff: offRate,
+		MsgsPerSecOn:  onRate,
+		DeltaPct:      (onRate - offRate) / offRate * 100,
+		Messages:      nMsgs,
+		Consumers:     consumers,
+	}, nil
+}
+
+// measureObjectThroughput publishes nMsgs copies of value as fast as the
+// stack accepts (batching on) and returns the single-subscriber message
+// rate in modelled time plus the steady-state payload size.
+func measureObjectThroughput(cfg Config, value mop.Value, nMsgs int, compact bool) (float64, int, error) {
+	rcfg := cfg.Reliable
+	rcfg.Batching = true
+	runCfg := cfg
+	runCfg.Reliable = rcfg
+	runCfg.Compact = compact
+
+	tp, err := buildTopology(runCfg, []string{"bench.dict"})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer tp.Close()
+
+	var counters sync.WaitGroup
+	dones := make([]chan struct{}, 0, len(tp.subs))
+	for _, sub := range tp.subs {
+		done := make(chan struct{})
+		dones = append(dones, done)
+		counters.Add(1)
+		go func(sub *core.Subscription, done chan struct{}) {
+			defer counters.Done()
+			got := 0
+			for range sub.C {
+				if got++; got >= nMsgs {
+					close(done)
+					return
+				}
+			}
+		}(sub, done)
+	}
+
+	start := time.Now()
+	for i := 0; i < nMsgs; i++ {
+		if err := tp.pubBus.Publish("bench.dict", value); err != nil {
+			return 0, 0, err
+		}
+	}
+	_ = tp.pubBus.Flush()
+	for _, done := range dones {
+		<-done
+	}
+	wall := time.Since(start)
+	counters.Wait()
+
+	// Steady-state payload size for the wire-occupancy column.
+	var steady []byte
+	if compact {
+		d := wire.NewSendDict(1 << 30)
+		if _, err := d.Marshal(value); err != nil {
+			return 0, 0, err
+		}
+		steady, err = d.Marshal(value)
+	} else {
+		steady, err = wire.Marshal(value)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return float64(nMsgs) / (wall.Seconds() * speedupOf(cfg)), len(steady), nil
+}
+
+// PrintFigureA9Throughput renders the end-to-end table.
+func PrintFigureA9Throughput(w io.Writer, rows []DictThroughputRow) {
+	fmt.Fprintln(w, "A9: Figure 6 workload with structured objects, dictionary off vs on")
+	fmt.Fprintf(w, "%12s %10s %10s %14s %14s %9s\n",
+		"shape", "off B/msg", "on B/msg", "off msgs/s", "on msgs/s", "delta")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12s %10d %10d %14.0f %14.0f %8.1f%%\n",
+			r.Shape, r.WireBytesOff, r.WireBytesOn, r.MsgsPerSecOff, r.MsgsPerSecOn, r.DeltaPct)
+	}
+}

@@ -9,6 +9,7 @@ func FuzzDecode(f *testing.F) {
 	f.Add(Encode(Envelope{Kind: KindGuarAck, ID: 1, Origin: "o"}))
 	f.Add(Encode(Envelope{Kind: KindInterest, Patterns: []string{"a.>", "*"}}))
 	f.Add([]byte{})
+	addCompactSeeds(f)
 	// Traced envelopes: empty trace, populated trace, negative timestamps.
 	f.Add(Encode(Envelope{Kind: KindPublishTraced, Subject: "a.b", Payload: []byte("x"), TraceID: 7}))
 	f.Add(Encode(Envelope{Kind: KindPublishTraced, Hops: 2, Subject: "t", TraceID: 1,
@@ -41,4 +42,14 @@ func FuzzDecode(f *testing.F) {
 			}
 		}
 	})
+}
+
+// Compact-kind seeds exercise the shared layout paths under the new kind
+// bytes (added with the dictionary compression of the broadcast path).
+func addCompactSeeds(f *testing.F) {
+	f.Add(Encode(Envelope{Kind: KindPublishCompact, Hops: 1, Subject: "c.d", Payload: []byte{'I', 'B', 2, 0, 0, 0}}))
+	f.Add(Encode(Envelope{Kind: KindGuaranteedCompact, ID: 3, Origin: "o", Subject: "g", Payload: []byte{1}}))
+	f.Add(Encode(Envelope{Kind: KindPublishCompactTraced, Subject: "t", TraceID: 5,
+		Trace: []TraceHop{{Node: "n", At: 1}}}))
+	f.Add(Encode(Envelope{Kind: KindGuaranteedCompactTraced, ID: 8, Origin: "o", Subject: "s", TraceID: 2}))
 }

@@ -28,7 +28,40 @@ const (
 	// tracing disabled costs zero wire bytes.
 	KindPublishTraced    = 5
 	KindGuaranteedTraced = 6
+	// Compact variants: the payload is a wire.VersionCompact dictionary
+	// message (fingerprint type table) rather than a fully self-describing
+	// one. Envelope layout is byte-identical to the corresponding plain
+	// kind — only the kind byte differs — so legacy encodings stay golden
+	// and routers forward both without caring. Receivers that cannot
+	// resolve a fingerprint NAK on _sys.class.req (see internal/core).
+	KindPublishCompact          = 7
+	KindGuaranteedCompact       = 8
+	KindPublishCompactTraced    = 9
+	KindGuaranteedCompactTraced = 10
 )
+
+// DataKind returns the publication kind byte for the given combination of
+// delivery guarantee, payload compaction, and tracing.
+func DataKind(guaranteed, compact, traced bool) byte {
+	switch {
+	case guaranteed && compact && traced:
+		return KindGuaranteedCompactTraced
+	case guaranteed && compact:
+		return KindGuaranteedCompact
+	case guaranteed && traced:
+		return KindGuaranteedTraced
+	case guaranteed:
+		return KindGuaranteed
+	case compact && traced:
+		return KindPublishCompactTraced
+	case compact:
+		return KindPublishCompact
+	case traced:
+		return KindPublishTraced
+	default:
+		return KindPublish
+	}
+}
 
 // MaxHops bounds how many routers a publication may cross.
 const MaxHops = 8
@@ -67,9 +100,9 @@ type Envelope struct {
 // Dispatch on Base so tracing stays invisible to delivery semantics.
 func (e Envelope) Base() byte {
 	switch e.Kind {
-	case KindPublishTraced:
+	case KindPublishTraced, KindPublishCompact, KindPublishCompactTraced:
 		return KindPublish
-	case KindGuaranteedTraced:
+	case KindGuaranteedTraced, KindGuaranteedCompact, KindGuaranteedCompactTraced:
 		return KindGuaranteed
 	default:
 		return e.Kind
@@ -78,7 +111,23 @@ func (e Envelope) Base() byte {
 
 // Traced reports whether the envelope carries a hop trace.
 func (e Envelope) Traced() bool {
-	return e.Kind == KindPublishTraced || e.Kind == KindGuaranteedTraced
+	switch e.Kind {
+	case KindPublishTraced, KindGuaranteedTraced,
+		KindPublishCompactTraced, KindGuaranteedCompactTraced:
+		return true
+	}
+	return false
+}
+
+// Compact reports whether the envelope's payload uses the compact
+// dictionary wire format.
+func (e Envelope) Compact() bool {
+	switch e.Kind {
+	case KindPublishCompact, KindGuaranteedCompact,
+		KindPublishCompactTraced, KindGuaranteedCompactTraced:
+		return true
+	}
+	return false
 }
 
 // AppendHop records a hop on a traced envelope, dropping the record (not
@@ -116,22 +165,22 @@ func Encode(e Envelope) []byte { return AppendEncode(nil, e) }
 func AppendEncode(b []byte, e Envelope) []byte {
 	b = append(b, e.Kind)
 	switch e.Kind {
-	case KindPublish:
+	case KindPublish, KindPublishCompact:
 		b = append(b, e.Hops)
 		b = appendString(b, e.Subject)
 		b = append(b, e.Payload...)
-	case KindPublishTraced:
+	case KindPublishTraced, KindPublishCompactTraced:
 		b = append(b, e.Hops)
 		b = appendTrace(b, e)
 		b = appendString(b, e.Subject)
 		b = append(b, e.Payload...)
-	case KindGuaranteed:
+	case KindGuaranteed, KindGuaranteedCompact:
 		b = append(b, e.Hops)
 		b = binary.AppendUvarint(b, e.ID)
 		b = appendString(b, e.Origin)
 		b = appendString(b, e.Subject)
 		b = append(b, e.Payload...)
-	case KindGuaranteedTraced:
+	case KindGuaranteedTraced, KindGuaranteedCompactTraced:
 		b = append(b, e.Hops)
 		b = binary.AppendUvarint(b, e.ID)
 		b = appendString(b, e.Origin)
@@ -248,11 +297,11 @@ func Decode(data []byte) (Envelope, error) {
 	r := &envReader{data: data, pos: 1}
 	var err error
 	switch e.Kind {
-	case KindPublish, KindPublishTraced:
+	case KindPublish, KindPublishTraced, KindPublishCompact, KindPublishCompactTraced:
 		if e.Hops, err = r.byteVal(); err != nil {
 			return Envelope{}, err
 		}
-		if e.Kind == KindPublishTraced {
+		if e.Traced() {
 			if err = r.trace(&e); err != nil {
 				return Envelope{}, err
 			}
@@ -261,7 +310,7 @@ func Decode(data []byte) (Envelope, error) {
 			return Envelope{}, err
 		}
 		e.Payload = data[r.pos:]
-	case KindGuaranteed, KindGuaranteedTraced:
+	case KindGuaranteed, KindGuaranteedTraced, KindGuaranteedCompact, KindGuaranteedCompactTraced:
 		if e.Hops, err = r.byteVal(); err != nil {
 			return Envelope{}, err
 		}
@@ -271,7 +320,7 @@ func Decode(data []byte) (Envelope, error) {
 		if e.Origin, err = r.str(maxOriginLen); err != nil {
 			return Envelope{}, err
 		}
-		if e.Kind == KindGuaranteedTraced {
+		if e.Traced() {
 			if err = r.trace(&e); err != nil {
 				return Envelope{}, err
 			}

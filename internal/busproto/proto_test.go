@@ -183,3 +183,65 @@ func TestQuickEnvelopeRobust(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCompactEnvelopeRoundTrip(t *testing.T) {
+	cases := []Envelope{
+		{Kind: KindPublishCompact, Hops: 2, Subject: "a.b", Payload: []byte("data")},
+		{Kind: KindGuaranteedCompact, Hops: 1, ID: 42, Origin: "sim:0#abc", Subject: "g.s", Payload: []byte{1, 2}},
+		{Kind: KindPublishCompactTraced, Subject: "x", TraceID: 7,
+			Trace: []TraceHop{{Node: "sim:0", At: 123}}},
+		{Kind: KindGuaranteedCompactTraced, ID: 9, Origin: "o", Subject: "s", TraceID: 3,
+			Payload: []byte{5}, Trace: []TraceHop{{Node: "n", At: -1}}},
+	}
+	for _, e := range cases {
+		got, err := Decode(Encode(e))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", e, err)
+		}
+		if got.Kind != e.Kind || got.ID != e.ID || got.Subject != e.Subject ||
+			got.Origin != e.Origin || got.Hops != e.Hops || got.TraceID != e.TraceID ||
+			string(got.Payload) != string(e.Payload) || len(got.Trace) != len(e.Trace) {
+			t.Errorf("round trip %+v -> %+v", e, got)
+		}
+	}
+}
+
+func TestCompactHelpers(t *testing.T) {
+	kinds := []struct {
+		kind                       byte
+		base                       byte
+		guaranteed, compact, trace bool
+	}{
+		{KindPublish, KindPublish, false, false, false},
+		{KindGuaranteed, KindGuaranteed, true, false, false},
+		{KindPublishTraced, KindPublish, false, false, true},
+		{KindGuaranteedTraced, KindGuaranteed, true, false, true},
+		{KindPublishCompact, KindPublish, false, true, false},
+		{KindGuaranteedCompact, KindGuaranteed, true, true, false},
+		{KindPublishCompactTraced, KindPublish, false, true, true},
+		{KindGuaranteedCompactTraced, KindGuaranteed, true, true, true},
+	}
+	for _, k := range kinds {
+		e := Envelope{Kind: k.kind}
+		if e.Base() != k.base {
+			t.Errorf("kind %d: Base = %d, want %d", k.kind, e.Base(), k.base)
+		}
+		if e.Compact() != k.compact {
+			t.Errorf("kind %d: Compact = %t", k.kind, e.Compact())
+		}
+		if e.Traced() != k.trace {
+			t.Errorf("kind %d: Traced = %t", k.kind, e.Traced())
+		}
+		if got := DataKind(k.guaranteed, k.compact, k.trace); got != k.kind {
+			t.Errorf("DataKind(%t,%t,%t) = %d, want %d", k.guaranteed, k.compact, k.trace, got, k.kind)
+		}
+	}
+	// Compact layout matches the plain layout except for the kind byte, so
+	// routers and the retransmit machinery treat both identically.
+	plain := Encode(Envelope{Kind: KindPublish, Hops: 3, Subject: "a.b", Payload: []byte{9}})
+	compact := Encode(Envelope{Kind: KindPublishCompact, Hops: 3, Subject: "a.b", Payload: []byte{9}})
+	if plain[0] != KindPublish || compact[0] != KindPublishCompact ||
+		string(plain[1:]) != string(compact[1:]) {
+		t.Fatalf("compact layout diverged: % x vs % x", plain, compact)
+	}
+}

@@ -44,11 +44,19 @@ type Host struct {
 	metrics *telemetry.Registry
 	ctr     busCounters
 
+	// Type-dictionary compression (wire/dict.go). typeCache is always
+	// live — any host may receive compact publications; sendDict is set
+	// only when HostConfig.CompactTypes enables compact publishing.
+	typeCache   *wire.TypeCache
+	sendDict    *wire.SendDict
+	nakInterval time.Duration
+
 	mu     sync.Mutex
 	ledger *ledger.Ledger
 	retry  *guaranteeRetrier
 	sys    *sysExporter
 	health *healthAgent
+	csync  *classSync
 	buses  []*Bus
 	closed bool
 
@@ -61,6 +69,13 @@ type Host struct {
 type busCounters struct {
 	published, publishedGuaranteed *telemetry.Counter
 	events, undecodableDropped     *telemetry.Counter
+	// Type-dictionary compression: compact publications sent, compact
+	// events decoded, deliveries deferred on a fingerprint miss, NAK
+	// requests sent/served, and definitions harvested from replies.
+	compactPublished, compactEvents *telemetry.Counter
+	decodeDeferred                  *telemetry.Counter
+	classNakSent, classNakServed    *telemetry.Counter
+	classDefsHarvested              *telemetry.Counter
 }
 
 // TelemetryConfig tunes the host's self-observation (internal/telemetry).
@@ -119,6 +134,23 @@ type HostConfig struct {
 	Registry *mop.Registry
 	// Telemetry tunes metrics, tracing, and the "_sys.>" stats export.
 	Telemetry TelemetryConfig
+	// CompactTypes enables type-dictionary compression for this host's
+	// publications: class descriptors cross the medium once (wire.SendDict)
+	// and thereafter travel as 8-byte fingerprints, cutting the
+	// self-describing overhead out of steady-state messages. Receivers
+	// need no configuration — the compact envelope kinds are understood
+	// by every daemon, which resolves fingerprints through its cache and
+	// NAKs unknown ones on "_sys.class.req".
+	CompactTypes bool
+	// CompactResendEvery is the inline fallback period: a class whose
+	// definition has ridden as a fingerprint for this many consecutive
+	// publications gets its full definition re-sent, so progress never
+	// depends on the NAK path. <= 0 selects wire.DefaultResendEvery.
+	CompactResendEvery int
+	// CompactNakInterval is how often outstanding class-definition
+	// requests are re-published while undecoded compact deliveries are
+	// pending. Default 50ms.
+	CompactNakInterval time.Duration
 }
 
 // Bus errors.
@@ -177,7 +209,18 @@ func NewHost(seg transport.Segment, name string, cfg HostConfig) (*Host, error) 
 			publishedGuaranteed: metrics.Counter("bus.published_guaranteed"),
 			events:              metrics.Counter("bus.events"),
 			undecodableDropped:  metrics.Counter("bus.undecodable_dropped"),
+			compactPublished:    metrics.Counter("bus.compact_published"),
+			compactEvents:       metrics.Counter("bus.compact_events"),
+			decodeDeferred:      metrics.Counter("bus.decode_deferred"),
+			classNakSent:        metrics.Counter("bus.class_nak_sent"),
+			classNakServed:      metrics.Counter("bus.class_nak_served"),
+			classDefsHarvested:  metrics.Counter("bus.class_defs_harvested"),
 		},
+		typeCache:   wire.NewTypeCache(0),
+		nakInterval: cfg.CompactNakInterval,
+	}
+	if cfg.CompactTypes {
+		h.sendDict = wire.NewSendDict(cfg.CompactResendEvery)
 	}
 	if cfg.LedgerPath != "" {
 		led, err := ledger.Open(cfg.LedgerPath, ledger.Options{Sync: cfg.LedgerSync, Metrics: metrics, Recorder: rec})
@@ -195,6 +238,16 @@ func NewHost(seg transport.Segment, name string, cfg HostConfig) (*Host, error) 
 			return nil, err
 		}
 		h.sys = sys
+	}
+	if cfg.CompactTypes {
+		// A compact publisher must answer _sys.class.req NAKs from the
+		// start; pure receivers start the agent lazily on the first
+		// fingerprint miss instead, so legacy topologies advertise no
+		// extra interest.
+		if _, err := h.ensureClassSync(); err != nil {
+			_ = h.Close()
+			return nil, err
+		}
 	}
 	if engine != nil {
 		prefix := rcfg.MetricsPrefix
@@ -275,12 +328,17 @@ func (h *Host) Close() error {
 	h.sys = nil
 	health := h.health
 	h.health = nil
+	csync := h.csync
+	h.csync = nil
 	h.mu.Unlock()
 	if health != nil {
 		health.stop()
 	}
 	if sys != nil {
 		sys.stop()
+	}
+	if csync != nil {
+		csync.stop()
 	}
 	for _, b := range buses {
 		_ = b.Close()
@@ -333,7 +391,19 @@ type Bus struct {
 	subs   *subject.Trie[*Subscription]
 	all    []*Subscription
 	closed bool
+
+	// pending holds compact deliveries whose class fingerprints are not
+	// resolved yet; they are retried when _sys.class.def replies land
+	// (classSync). Bounded: beyond maxPendingDecodes the oldest entry is
+	// dropped — the guaranteed-delivery retrier or the publisher's inline
+	// fallback will carry the data again.
+	pendingMu sync.Mutex
+	pending   []daemon.Delivery
 }
+
+// maxPendingDecodes bounds the per-bus stash of undecodable compact
+// deliveries awaiting class definitions.
+const maxPendingDecodes = 64
 
 // Event is one received publication, decoded back into a self-describing
 // object.
@@ -434,12 +504,27 @@ func (b *Bus) Publish(subj string, value mop.Value) error {
 			return fmt.Errorf("%q: %w", subj, ErrReservedSubject)
 		}
 	}
-	payload, err := wire.Marshal(value)
+	payload, compact, err := b.host.marshal(value)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrNotDataObject, err)
 	}
 	b.host.ctr.published.Inc()
+	if compact {
+		b.host.ctr.compactPublished.Inc()
+		return b.host.daemon.PublishCompact(s, payload)
+	}
 	return b.host.daemon.Publish(s, payload)
+}
+
+// marshal encodes a value for the wire: through the host's send
+// dictionary when compact publishing is enabled, self-contained otherwise.
+func (h *Host) marshal(value mop.Value) (payload []byte, compact bool, err error) {
+	if h.sendDict != nil {
+		p, err := h.sendDict.Marshal(value)
+		return p, true, err
+	}
+	p, err := wire.Marshal(value)
+	return p, false, err
 }
 
 // PublishGuaranteed logs the object to the host ledger, then disseminates
@@ -466,17 +551,24 @@ func (b *Bus) PublishGuaranteed(subj string, value mop.Value) (uint64, error) {
 	if led == nil {
 		return 0, ErrNoLedger
 	}
-	payload, err := wire.Marshal(value)
+	payload, compact, err := b.host.marshal(value)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrNotDataObject, err)
 	}
-	// Log before sending (§3.1).
+	// Log before sending (§3.1). The ledger stores the payload as
+	// encoded; the retrier re-detects the compact format by its header.
 	id, err := led.Append(s.String(), payload)
 	if err != nil {
 		return 0, err
 	}
 	b.host.ctr.publishedGuaranteed.Inc()
-	if err := b.host.daemon.PublishGuaranteed(s, payload, id); err != nil {
+	if compact {
+		b.host.ctr.compactPublished.Inc()
+		err = b.host.daemon.PublishGuaranteedCompact(s, payload, id)
+	} else {
+		err = b.host.daemon.PublishGuaranteed(s, payload, id)
+	}
+	if err != nil {
 		return id, err
 	}
 	_ = retry // the retrier re-publishes on its timer until the ack lands
@@ -570,26 +662,67 @@ func (b *Bus) dispatchLoop() {
 		if !ok {
 			return
 		}
-		value, err := wire.Unmarshal(dv.Payload, b.host.reg)
-		if err != nil {
-			b.host.ctr.undecodableDropped.Inc()
-			continue // undecodable object: drop (foreign/corrupt payload)
+		b.dispatch(dv)
+	}
+}
+
+// dispatch decodes one delivery and fans it out. A compact delivery whose
+// class fingerprints are not cached yet is stashed and NAKed instead of
+// dropped; classSync retries it once the definitions arrive.
+func (b *Bus) dispatch(dv daemon.Delivery) {
+	compact := wire.IsCompact(dv.Payload)
+	value, err := wire.UnmarshalWith(dv.Payload, b.host.reg, b.host.typeCache)
+	if err != nil {
+		var missing *wire.MissingFingerprintsError
+		if errors.As(err, &missing) {
+			b.host.ctr.decodeDeferred.Inc()
+			b.stashPending(dv)
+			b.host.requestClasses(missing.FPs)
+			return
 		}
-		b.host.ctr.events.Inc()
-		ev := Event{
-			Subject:    dv.Subject,
-			Value:      value,
-			From:       dv.From,
-			Guaranteed: dv.Guaranteed,
-			TraceID:    dv.TraceID,
-			Trace:      dv.Trace,
-		}
-		b.mu.Lock()
-		targets := b.subs.Match(dv.Subject)
-		b.mu.Unlock()
-		for _, sub := range targets {
-			sub.deliver(ev, b.done)
-		}
+		b.host.ctr.undecodableDropped.Inc()
+		return // undecodable object: drop (foreign/corrupt payload)
+	}
+	b.host.ctr.events.Inc()
+	if compact {
+		b.host.ctr.compactEvents.Inc()
+	}
+	ev := Event{
+		Subject:    dv.Subject,
+		Value:      value,
+		From:       dv.From,
+		Guaranteed: dv.Guaranteed,
+		TraceID:    dv.TraceID,
+		Trace:      dv.Trace,
+	}
+	b.mu.Lock()
+	targets := b.subs.Match(dv.Subject)
+	b.mu.Unlock()
+	for _, sub := range targets {
+		sub.deliver(ev, b.done)
+	}
+}
+
+func (b *Bus) stashPending(dv daemon.Delivery) {
+	b.pendingMu.Lock()
+	if len(b.pending) >= maxPendingDecodes {
+		b.host.ctr.undecodableDropped.Inc()
+		copy(b.pending, b.pending[1:])
+		b.pending = b.pending[:len(b.pending)-1]
+	}
+	b.pending = append(b.pending, dv)
+	b.pendingMu.Unlock()
+}
+
+// retryPending re-dispatches stashed deliveries after new class
+// definitions were installed; still-unresolved ones re-stash themselves.
+func (b *Bus) retryPending() {
+	b.pendingMu.Lock()
+	stash := b.pending
+	b.pending = nil
+	b.pendingMu.Unlock()
+	for _, dv := range stash {
+		b.dispatch(dv)
 	}
 }
 
@@ -643,7 +776,15 @@ func (r *guaranteeRetrier) loop() {
 			if err != nil {
 				continue
 			}
-			if err := r.d.PublishGuaranteed(subj, e.Payload, e.ID); err != nil {
+			// The ledger stores payloads as encoded; a compact payload must
+			// go back out under a compact envelope kind so receivers route
+			// it through their fingerprint cache.
+			if wire.IsCompact(e.Payload) {
+				err = r.d.PublishGuaranteedCompact(subj, e.Payload, e.ID)
+			} else {
+				err = r.d.PublishGuaranteed(subj, e.Payload, e.ID)
+			}
+			if err != nil {
 				break // daemon closed or backpressure; retry next tick
 			}
 		}

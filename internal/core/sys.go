@@ -88,7 +88,7 @@ func (e *sysExporter) pingLoop() {
 			return
 		}
 		var nonce int64
-		if v, err := wire.Unmarshal(dv.Payload, e.h.reg); err == nil {
+		if v, err := wire.UnmarshalWith(dv.Payload, e.h.reg, e.h.typeCache); err == nil {
 			switch x := v.(type) {
 			case int64:
 				nonce = x

@@ -340,6 +340,10 @@ func (d *Daemon) traceSample(e *busproto.Envelope) {
 		e.Kind = busproto.KindPublishTraced
 	case busproto.KindGuaranteed:
 		e.Kind = busproto.KindGuaranteedTraced
+	case busproto.KindPublishCompact:
+		e.Kind = busproto.KindPublishCompactTraced
+	case busproto.KindGuaranteedCompact:
+		e.Kind = busproto.KindGuaranteedCompactTraced
 	default:
 		return
 	}
@@ -351,7 +355,19 @@ func (d *Daemon) traceSample(e *busproto.Envelope) {
 // Publish sends an ordinary reliable publication and routes it to local
 // subscribers (network broadcast does not loop back).
 func (d *Daemon) Publish(subj subject.Subject, payload []byte) error {
-	e := busproto.Envelope{Kind: busproto.KindPublish, Subject: subj.String(), Payload: payload}
+	return d.publishData(subj, payload, busproto.KindPublish)
+}
+
+// PublishCompact sends an ordinary reliable publication whose payload uses
+// the compact dictionary wire format (wire.SendDict). The envelope kind
+// tells receivers and routers that fingerprint resolution may be needed;
+// everything else is identical to Publish.
+func (d *Daemon) PublishCompact(subj subject.Subject, payload []byte) error {
+	return d.publishData(subj, payload, busproto.KindPublishCompact)
+}
+
+func (d *Daemon) publishData(subj subject.Subject, payload []byte, kind byte) error {
+	e := busproto.Envelope{Kind: kind, Subject: subj.String(), Payload: payload}
 	d.traceSample(&e)
 	// Pooled encode: Conn.Publish copies the envelope into its retransmit
 	// window before returning, so the buffer can go straight back.
@@ -377,8 +393,18 @@ func (d *Daemon) Publish(subj subject.Subject, payload []byte) error {
 // ledger id. The caller is responsible for logging before calling and for
 // retransmitting until the ack callback fires (see the bus layer).
 func (d *Daemon) PublishGuaranteed(subj subject.Subject, payload []byte, id uint64) error {
+	return d.publishGuaranteed(subj, payload, id, busproto.KindGuaranteed)
+}
+
+// PublishGuaranteedCompact is PublishGuaranteed for a compact-format
+// payload (see PublishCompact).
+func (d *Daemon) PublishGuaranteedCompact(subj subject.Subject, payload []byte, id uint64) error {
+	return d.publishGuaranteed(subj, payload, id, busproto.KindGuaranteedCompact)
+}
+
+func (d *Daemon) publishGuaranteed(subj subject.Subject, payload []byte, id uint64, kind byte) error {
 	e := busproto.Envelope{
-		Kind: busproto.KindGuaranteed, ID: id, Origin: d.identity,
+		Kind: kind, ID: id, Origin: d.identity,
 		Subject: subj.String(), Payload: payload,
 	}
 	d.traceSample(&e)

@@ -121,6 +121,15 @@ type Router struct {
 	// repeat far more often than they vary).
 	interner *subject.Interner
 
+	// typeCache holds class definitions harvested from def-carrying
+	// compact publications crossing the router, keyed by fingerprint.
+	// Definitions resolve structurally (no registry): the router never
+	// decodes application values, it only answers "_sys.class.req" NAKs
+	// on behalf of publishers on other segments — a late subscriber's
+	// request is served at its own segment boundary instead of waiting a
+	// round trip to the origin.
+	typeCache *wire.TypeCache
+
 	mu     sync.Mutex
 	atts   []*attachment
 	guar   map[string]guarPath // origin token -> where it entered
@@ -151,8 +160,9 @@ type Stats struct {
 
 // counters holds the router's telemetry handles.
 type counters struct {
-	forwarded, suppressed, loopDropped *telemetry.Counter
-	acksForwarded, transformed         *telemetry.Counter
+	forwarded, suppressed, loopDropped  *telemetry.Counter
+	acksForwarded, transformed          *telemetry.Counter
+	classDefsHarvested, classNaksServed *telemetry.Counter
 }
 
 // New creates a router bridging the given attachments.
@@ -168,11 +178,12 @@ func New(opts Options, atts ...Attachment) (*Router, error) {
 		metrics = telemetry.NewRegistry()
 	}
 	r := &Router{
-		opts:     opts,
-		metrics:  metrics,
-		interner: subject.NewInterner(0),
-		guar:     make(map[string]guarPath),
-		done:     make(chan struct{}),
+		opts:      opts,
+		metrics:   metrics,
+		interner:  subject.NewInterner(0),
+		guar:      make(map[string]guarPath),
+		typeCache: wire.NewTypeCache(0),
+		done:      make(chan struct{}),
 	}
 	hcfg := opts.Health
 	if hcfg.Enabled() {
@@ -187,11 +198,13 @@ func New(opts Options, atts ...Attachment) (*Router, error) {
 		r.sysTypes = types
 	}
 	r.ctr = counters{
-		forwarded:     metrics.Counter("router.forwarded"),
-		suppressed:    metrics.Counter("router.suppressed"),
-		loopDropped:   metrics.Counter("router.loop_dropped"),
-		acksForwarded: metrics.Counter("router.acks_forwarded"),
-		transformed:   metrics.Counter("router.transformed"),
+		forwarded:          metrics.Counter("router.forwarded"),
+		suppressed:         metrics.Counter("router.suppressed"),
+		loopDropped:        metrics.Counter("router.loop_dropped"),
+		acksForwarded:      metrics.Counter("router.acks_forwarded"),
+		transformed:        metrics.Counter("router.transformed"),
+		classDefsHarvested: metrics.Counter("router.class_defs_harvested"),
+		classNaksServed:    metrics.Counter("router.class_naks_served"),
 	}
 	for _, a := range atts {
 		ep, err := a.Segment.NewEndpoint("router:" + opts.Name + ":" + a.Name)
@@ -314,6 +327,22 @@ func (r *Router) handle(att *attachment, m reliable.Message) {
 			// attachments answer too.
 			r.publishDump()
 		}
+		if env.Compact() && wire.CompactCarriesDefs(env.Payload) {
+			// Class definitions are crossing this segment: harvest them so
+			// this router can answer "_sys.class.req" locally. Resolution
+			// is structural (nil registry) — the router keeps every
+			// fingerprint it sees, including superseded TDL definitions
+			// still referenced by old publications.
+			if err := wire.HarvestDefs(env.Payload, nil, r.typeCache); err == nil {
+				r.ctr.classDefsHarvested.Inc()
+			}
+		}
+		if env.Subject == telemetry.ClassReqSubject {
+			// Answer on the requester's segment with whatever definitions
+			// this router holds, then forward the request — the origin or
+			// holders on other segments fill in the rest.
+			r.serveClassReq(att, env)
+		}
 		r.forward(att, m.From, env)
 	case busproto.KindGuarAck:
 		r.forwardAck(att, env)
@@ -372,6 +401,36 @@ func (r *Router) forward(src *attachment, from string, env busproto.Envelope) {
 	}
 	if !forwardedAnywhere {
 		r.ctr.suppressed.Inc()
+	}
+}
+
+// serveClassReq answers a "_sys.class.req" fingerprint request with the
+// definitions this router has harvested, published on "_sys.class.def" on
+// the segment the request arrived from.
+func (r *Router) serveClassReq(att *attachment, env busproto.Envelope) {
+	v, err := wire.UnmarshalWith(env.Payload, nil, r.typeCache)
+	if err != nil {
+		return
+	}
+	var held []*mop.Type
+	for _, fp := range wire.RequestedFPs(v) {
+		if t, ok := r.typeCache.Lookup(fp); ok {
+			held = append(held, t)
+		}
+	}
+	if len(held) == 0 {
+		return
+	}
+	payload, err := wire.MarshalDefs(held)
+	if err != nil {
+		return
+	}
+	out := busproto.Encode(busproto.Envelope{
+		Kind: busproto.KindPublishCompact, Subject: telemetry.ClassDefSubject, Payload: payload,
+	})
+	if err := att.conn.Publish(out); err == nil {
+		r.ctr.classNaksServed.Inc()
+		_ = att.conn.Flush()
 	}
 }
 

@@ -34,6 +34,17 @@ const (
 	DumpSubject = "_sys.dump"
 	// DumpedSubjectPrefix is the subject prefix for flight-recorder dumps.
 	DumpedSubjectPrefix = "_sys.dumped"
+	// ClassReqSubject is the class-definition NAK subject of the compact
+	// dictionary format: a receiver holding a compact publication whose
+	// class fingerprints it cannot resolve publishes the fingerprint list
+	// here, and any holder of the definitions (the origin host, or a
+	// router that saw them cross its segment) answers on ClassDefSubject.
+	ClassReqSubject = "_sys.class.req"
+	// ClassDefSubject carries class-definition replies: a compact
+	// wire message whose def table holds the requested definitions
+	// (wire.MarshalDefs). Replies are broadcast — definitions are
+	// content-addressed, so every listener may harvest them.
+	ClassDefSubject = "_sys.class.def"
 )
 
 // SanitizeNode turns an arbitrary node name into a single valid subject

@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"infobus/internal/mop"
+)
+
+// Class fingerprints identify a class's structural definition — the exact
+// bytes writeTypeDef would put on the wire for the class and everything it
+// transitively references — with a 64-bit content hash. Two classes built
+// independently from the same definition hash identically; any structural
+// change (an attribute added by dynamic classing, a supertype swapped, an
+// operation signature changed) produces a new fingerprint. The dictionary
+// compression of the broadcast path (dict.go) keys its caches on these
+// fingerprints, so a redefined class can never hit a stale cache entry: a
+// different definition *is* a different fingerprint.
+//
+// The hash walks the class closure in the same deterministic order the
+// encoder emits type tables (supertypes and referenced classes before their
+// dependents), so it is cycle-safe for the same reason the encoder is:
+// classes reference each other by name inside writeTypeDef, and the closure
+// walk visits each class exactly once.
+
+// fpCache memoizes Fingerprint per class descriptor. mop.Types are
+// immutable, so a pointer's fingerprint never changes.
+var fpCache sync.Map // *mop.Type -> uint64
+
+// Fingerprint returns the structural content hash of a class type.
+// Fingerprints only make sense for class definitions (fundamentals and
+// lists are structural and never travel as defs); a non-class input
+// returns 0, which no class hashes to in practice and which the dictionary
+// machinery never emits.
+func Fingerprint(t *mop.Type) uint64 {
+	if t == nil || t.Kind() != mop.KindClass {
+		return 0
+	}
+	if v, ok := fpCache.Load(t); ok {
+		return v.(uint64)
+	}
+	c := &collector{seen: make(map[*mop.Type]bool)}
+	c.class(t)
+	var b buffer
+	for _, ct := range c.out {
+		writeTypeDef(&b, ct)
+	}
+	sum := sha256.Sum256(b.bytes)
+	fp := binary.BigEndian.Uint64(sum[:8])
+	fpCache.Store(t, fp)
+	return fp
+}

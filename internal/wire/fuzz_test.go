@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"testing"
 
 	"infobus/internal/mop"
@@ -26,6 +27,86 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		if _, err := Marshal(v); err != nil {
 			t.Fatalf("decoded value failed to re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzUnmarshalCompact: the compact dictionary decoder must survive
+// arbitrary bytes — including crafted def/ref counts (length caps) and
+// class indices — with or without a warm TypeCache, and anything that fully
+// decodes must re-encode through a SendDict.
+func FuzzUnmarshalCompact(f *testing.F) {
+	_, dj, group := newsTypes(f)
+	story := sampleStory(f, dj, group)
+	first, err := NewSendDict(0).Marshal(story) // all defs inline
+	if err != nil {
+		f.Fatal(err)
+	}
+	warm := NewSendDict(0)
+	if _, err := warm.Marshal(story); err != nil {
+		f.Fatal(err)
+	}
+	steady, err := warm.Marshal(story) // refs only
+	if err != nil {
+		f.Fatal(err)
+	}
+	defsOnly, err := MarshalDefs([]*mop.Type{dj})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(first)
+	f.Add(steady)
+	f.Add(defsOnly)
+	f.Add([]byte{Magic0, Magic1, VersionCompact, 0, 0, tagNil})
+	// Huge def/ref counts must hit the maxDictClasses cap, not allocate.
+	f.Add([]byte{Magic0, Magic1, VersionCompact, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add([]byte{Magic0, Magic1, VersionCompact, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	// Out-of-range class index.
+	f.Add([]byte{Magic0, Magic1, VersionCompact, 0, 0, tagObject, 0x05})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reg := mop.NewRegistry()
+		cache := NewTypeCache(0)
+		v, err := UnmarshalWith(data, reg, cache)
+		if err != nil {
+			return
+		}
+		if _, err := NewSendDict(0).Marshal(v); err != nil {
+			t.Fatalf("decoded value failed to re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzStreamDecoder: the frame-stream decoder holds dictionary state across
+// frames; arbitrary byte streams — however they split into frames — must
+// never panic it, corrupt its cross-frame state, or bypass the frame length
+// cap, and every cleanly decoded frame must re-encode.
+func FuzzStreamDecoder(f *testing.F) {
+	_, dj, group := newsTypes(f)
+	story := sampleStory(f, dj, group)
+	var stream bytes.Buffer
+	enc := NewEncoder(&stream)
+	for i := 0; i < 3; i++ { // frame 1 carries defs, 2-3 ride the dictionary
+		if err := enc.Encode(story); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(stream.Bytes())
+	f.Add([]byte{})
+	// Frame-length field far beyond the payload.
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F, Magic0, Magic1, Version})
+	// One good frame followed by a re-definition of the same class name
+	// (stream.Bytes() truncated mid-second-frame).
+	f.Add(stream.Bytes()[:stream.Len()/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data), mop.NewRegistry())
+		for i := 0; i < 64; i++ {
+			v, err := dec.Decode()
+			if err != nil {
+				return
+			}
+			if _, err := Marshal(v); err != nil {
+				t.Fatalf("frame %d decoded but failed to re-encode: %v", i, err)
+			}
 		}
 	})
 }

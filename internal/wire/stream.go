@@ -22,6 +22,7 @@ import (
 type Encoder struct {
 	w    *bufio.Writer
 	sent map[*mop.Type]bool
+	buf  []byte // reused frame scratch
 }
 
 // NewEncoder returns an Encoder writing frames to w.
@@ -32,7 +33,7 @@ func NewEncoder(w io.Writer) *Encoder {
 // Encode writes one value frame, including descriptions of any classes the
 // stream has not seen yet, and flushes.
 func (e *Encoder) Encode(v mop.Value) error {
-	var b buffer
+	b := buffer{bytes: e.buf[:0]}
 	b.writeByte(Magic0)
 	b.writeByte(Magic1)
 	b.writeByte(Version)
@@ -47,9 +48,10 @@ func (e *Encoder) Encode(v mop.Value) error {
 	for _, t := range fresh {
 		writeTypeDef(&b, t)
 	}
-	if err := writeValue(&b, v); err != nil {
+	if err := writeValue(&b, v, nil); err != nil {
 		return err
 	}
+	e.buf = b.bytes
 	// Only mark types as sent once the frame is fully assembled, so an
 	// encoding error does not poison the dictionary.
 	for _, t := range fresh {
@@ -72,15 +74,18 @@ func (e *Encoder) Encode(v mop.Value) error {
 //
 // A Decoder is not safe for concurrent use.
 type Decoder struct {
-	r    *bufio.Reader
-	reg  *mop.Registry
-	defs map[string]*typeDef
+	r   *bufio.Reader
+	res resolver // persists defs and resolved classes across frames
+	buf []byte   // reused frame buffer
 }
 
 // NewDecoder returns a Decoder reading frames from r and resolving classes
 // against reg.
 func NewDecoder(r io.Reader, reg *mop.Registry) *Decoder {
-	return &Decoder{r: bufio.NewReader(r), reg: reg, defs: make(map[string]*typeDef)}
+	return &Decoder{
+		r:   bufio.NewReader(r),
+		res: resolver{reg: reg, defs: make(map[string]*typeDef)},
+	}
 }
 
 // Decode reads the next value frame. It returns io.EOF at a clean end of
@@ -96,7 +101,13 @@ func (d *Decoder) Decode() (mop.Value, error) {
 	if frameLen > maxLen {
 		return nil, fmt.Errorf("frame of %d bytes: %w", frameLen, ErrTooLarge)
 	}
-	frame := make([]byte, frameLen)
+	// Reuse the frame buffer across Decode calls: everything readValue
+	// returns is copied out of the frame (readBytes/readString), so nothing
+	// aliases it once Decode returns.
+	if uint64(cap(d.buf)) < frameLen {
+		d.buf = make([]byte, frameLen)
+	}
+	frame := d.buf[:frameLen]
 	if _, err := io.ReadFull(d.r, frame); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
@@ -112,10 +123,15 @@ func (d *Decoder) Decode() (mop.Value, error) {
 		return nil, err
 	}
 	for name, def := range table {
-		d.defs[name] = def
+		// A well-behaved Encoder sends each class once; if a stream re-sends
+		// a name, drop the cached resolution so the def is re-checked against
+		// the registry instead of silently reusing a possibly-stale class.
+		if _, again := d.res.defs[name]; again {
+			delete(d.res.built, name)
+		}
+		d.res.defs[name] = def
 	}
-	res := &resolver{reg: d.reg, defs: d.defs, built: make(map[string]*mop.Type)}
-	v, err := readValue(r, res, 0)
+	v, err := readValue(r, &d.res, nil, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -107,25 +107,31 @@ func AppendMarshal(dst []byte, v mop.Value) ([]byte, error) {
 	for _, t := range types {
 		writeTypeDef(&b, t)
 	}
-	if err := writeValue(&b, v); err != nil {
+	if err := writeValue(&b, v, nil); err != nil {
 		return nil, err
 	}
 	return b.bytes, nil
 }
 
 // Unmarshal decodes a self-describing message, resolving or registering
-// class descriptions in reg.
+// class descriptions in reg. It accepts both the self-contained format and
+// the compact dictionary format (dict.go), but without a TypeCache a
+// compact message can only decode if it carries all of its definitions
+// inline; use UnmarshalWith on paths that receive steady-state compact
+// traffic.
 func Unmarshal(data []byte, reg *mop.Registry) (mop.Value, error) {
-	r := &reader{data: data}
-	if err := readHeader(r); err != nil {
-		return nil, err
-	}
+	return UnmarshalWith(data, reg, nil)
+}
+
+// unmarshalLegacy decodes the body of a Version-1 message (r is positioned
+// just past the header).
+func unmarshalLegacy(r *reader, reg *mop.Registry) (mop.Value, error) {
 	table, err := readTypeTable(r)
 	if err != nil {
 		return nil, err
 	}
-	res := &resolver{reg: reg, defs: table, built: make(map[string]*mop.Type)}
-	v, err := readValue(r, res, 0)
+	res := &resolver{reg: reg, defs: table}
+	v, err := readValue(r, res, nil, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -135,15 +141,25 @@ func Unmarshal(data []byte, reg *mop.Registry) (mop.Value, error) {
 	return v, nil
 }
 
-func readHeader(r *reader) error {
+// readHeaderVer validates the magic bytes and returns the version byte,
+// which the caller dispatches on.
+func readHeaderVer(r *reader) (byte, error) {
 	m0, err0 := r.readByte()
 	m1, err1 := r.readByte()
 	ver, err2 := r.readByte()
 	if err0 != nil || err1 != nil || err2 != nil {
-		return ErrTruncated
+		return 0, ErrTruncated
 	}
 	if m0 != Magic0 || m1 != Magic1 {
-		return ErrBadMagic
+		return 0, ErrBadMagic
+	}
+	return ver, nil
+}
+
+func readHeader(r *reader) error {
+	ver, err := readHeaderVer(r)
+	if err != nil {
+		return err
 	}
 	if ver != Version {
 		return fmt.Errorf("version %d: %w", ver, ErrBadVersion)
@@ -309,7 +325,10 @@ func readTypeTable(r *reader) (map[string]*typeDef, error) {
 	if err != nil {
 		return nil, err
 	}
-	table := make(map[string]*typeDef, n)
+	if n > maxLen {
+		return nil, fmt.Errorf("type table of %d: %w", n, ErrTooLarge)
+	}
+	table := make(map[string]*typeDef, min(int(n), 1024))
 	for i := uint64(0); i < n; i++ {
 		def, err := readTypeDef(r)
 		if err != nil {
@@ -430,12 +449,30 @@ func readTypeRefDepth(r *reader, depth int) (typeRef, error) {
 // Type resolution (decoder side)
 
 // resolver turns typeDefs into *mop.Type, preferring classes already in the
-// registry and registering newly built ones.
+// registry and registering newly built ones. built is allocated lazily so a
+// message that carries no classes (the common broadcast payload) resolves
+// nothing and allocates nothing.
 type resolver struct {
 	reg   *mop.Registry
 	defs  map[string]*typeDef
 	built map[string]*mop.Type
 	depth int
+	// strict refuses to bind a class name to a registry entry unless the
+	// message carries a def for it (so the binding is compatibility-checked)
+	// or the name was pre-seeded into built (fingerprint-matched). Compact
+	// dictionary messages (dict.go) always carry their whole class closure
+	// as defs+fingerprints, so under strict mode an unmatched name is a
+	// missing-fingerprint condition — never a silent bind to a local class
+	// that may predate a TDL redefinition.
+	strict bool
+}
+
+// remember records a resolved class, allocating the memo on first use.
+func (res *resolver) remember(name string, t *mop.Type) {
+	if res.built == nil {
+		res.built = make(map[string]*mop.Type, 4)
+	}
+	res.built[name] = t
 }
 
 // maxClassDepth bounds supertype-chain recursion while rebuilding classes
@@ -460,8 +497,10 @@ func (res *resolver) class(name string) (*mop.Type, error) {
 				if err := res.checkCompatible(t, def); err != nil {
 					return nil, err
 				}
+			} else if res.strict {
+				return nil, fmt.Errorf("class %q not carried by compact message: %w", name, ErrCorrupt)
 			}
-			res.built[name] = t
+			res.remember(name, t)
 			return t, nil
 		}
 	}
@@ -511,7 +550,7 @@ func (res *resolver) class(name string) (*mop.Type, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rebuilding class %q: %w", name, err)
 	}
-	res.built[name] = t
+	res.remember(name, t)
 	if res.reg != nil {
 		if err := res.reg.Register(t); err != nil {
 			// A concurrent decode may have registered the same name first;
@@ -520,7 +559,7 @@ func (res *resolver) class(name string) (*mop.Type, error) {
 				if cerr := res.checkCompatible(regd, def); cerr != nil {
 					return nil, cerr
 				}
-				res.built[name] = regd
+				res.remember(name, regd)
 				return regd, nil
 			}
 			return nil, err
@@ -674,7 +713,11 @@ func refEqual(a, b typeRef) bool {
 // ---------------------------------------------------------------------------
 // Values
 
-func writeValue(b *buffer, v mop.Value) error {
+// writeValue encodes a tagged value. When cidx is non-nil (compact
+// dictionary mode, dict.go) objects reference their class by index into the
+// message's class table instead of by name string, which is where most of
+// the per-object overhead of the self-describing format goes.
+func writeValue(b *buffer, v mop.Value, cidx map[*mop.Type]int) error {
 	switch x := v.(type) {
 	case nil:
 		b.writeByte(tagNil)
@@ -705,7 +748,7 @@ func writeValue(b *buffer, v mop.Value) error {
 		b.writeByte(tagList)
 		b.writeUvarint(uint64(len(x)))
 		for _, e := range x {
-			if err := writeValue(b, e); err != nil {
+			if err := writeValue(b, e, cidx); err != nil {
 				return err
 			}
 		}
@@ -715,9 +758,18 @@ func writeValue(b *buffer, v mop.Value) error {
 			return nil
 		}
 		b.writeByte(tagObject)
-		b.writeString(x.Type().Name())
+		if cidx != nil {
+			i, ok := cidx[x.Type()]
+			if !ok {
+				return fmt.Errorf("class %q not in message class table: %w",
+					x.Type().Name(), ErrUnmarshalable)
+			}
+			b.writeUvarint(uint64(i))
+		} else {
+			b.writeString(x.Type().Name())
+		}
 		for i := range x.Type().Attrs() {
-			if err := writeValue(b, x.GetAt(i)); err != nil {
+			if err := writeValue(b, x.GetAt(i), cidx); err != nil {
 				return err
 			}
 		}
@@ -727,7 +779,10 @@ func writeValue(b *buffer, v mop.Value) error {
 	return nil
 }
 
-func readValue(r *reader, res *resolver, depth int) (mop.Value, error) {
+// readValue decodes a tagged value. When table is non-nil (compact
+// dictionary mode) objects name their class by index into table; otherwise
+// by name, resolved through res.
+func readValue(r *reader, res *resolver, table []*mop.Type, depth int) (mop.Value, error) {
 	if depth > maxValueDepth {
 		return nil, ErrTooDeep
 	}
@@ -776,7 +831,7 @@ func readValue(r *reader, res *resolver, depth int) (mop.Value, error) {
 		}
 		out := make(mop.List, 0, min(int(n), 4096))
 		for i := uint64(0); i < n; i++ {
-			e, err := readValue(r, res, depth+1)
+			e, err := readValue(r, res, table, depth+1)
 			if err != nil {
 				return nil, err
 			}
@@ -784,25 +839,37 @@ func readValue(r *reader, res *resolver, depth int) (mop.Value, error) {
 		}
 		return out, nil
 	case tagObject:
-		name, err := r.readString()
-		if err != nil {
-			return nil, err
-		}
-		t, err := res.class(name)
-		if err != nil {
-			return nil, err
+		var t *mop.Type
+		if table != nil {
+			idx, err := r.readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			if idx >= uint64(len(table)) {
+				return nil, fmt.Errorf("class index %d of %d: %w", idx, len(table), ErrCorrupt)
+			}
+			t = table[idx]
+		} else {
+			name, err := r.readString()
+			if err != nil {
+				return nil, err
+			}
+			t, err = res.class(name)
+			if err != nil {
+				return nil, err
+			}
 		}
 		o, err := mop.New(t)
 		if err != nil {
 			return nil, err
 		}
 		for i := 0; i < t.NumAttrs(); i++ {
-			v, err := readValue(r, res, depth+1)
+			v, err := readValue(r, res, table, depth+1)
 			if err != nil {
 				return nil, err
 			}
 			if err := o.SetAt(i, v); err != nil {
-				return nil, fmt.Errorf("decoding %q: %w", name, err)
+				return nil, fmt.Errorf("decoding %q: %w", t.Name(), err)
 			}
 		}
 		return o, nil

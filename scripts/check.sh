@@ -26,15 +26,20 @@ go test ./...
 echo "==> alloc gate (publish->deliver budget)"
 go test -run TestPublishDeliverAllocBudget -count=1 .
 
+echo "==> wire-bytes gate (steady-state dictionary compression >= 40%)"
+go test -run 'TestCompactGoldenBytes|TestSendDictSteadyStateAllocs' -count=1 ./internal/wire/
+
 if [ "$quick" -eq 0 ]; then
     echo "==> go test -race ./..."
     go test -race ./...
 
     echo "==> fuzz smoke (5s each)"
-    go test -run xxx -fuzz FuzzUnmarshal     -fuzztime 5s ./internal/wire/
-    go test -run xxx -fuzz FuzzDecode        -fuzztime 5s ./internal/busproto/
-    go test -run xxx -fuzz FuzzParsePattern  -fuzztime 5s ./internal/subject/
-    go test -run xxx -fuzz FuzzParseRecord   -fuzztime 5s ./internal/ledger/
+    go test -run xxx -fuzz 'FuzzUnmarshal$'        -fuzztime 5s ./internal/wire/
+    go test -run xxx -fuzz 'FuzzUnmarshalCompact$' -fuzztime 5s ./internal/wire/
+    go test -run xxx -fuzz 'FuzzStreamDecoder$'    -fuzztime 5s ./internal/wire/
+    go test -run xxx -fuzz 'FuzzDecode$'           -fuzztime 5s ./internal/busproto/
+    go test -run xxx -fuzz 'FuzzParsePattern$'     -fuzztime 5s ./internal/subject/
+    go test -run xxx -fuzz 'FuzzParseRecord$'      -fuzztime 5s ./internal/ledger/
 fi
 
 echo "==> all checks passed"
