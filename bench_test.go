@@ -480,6 +480,88 @@ func BenchmarkAblationQoS(b *testing.B) {
 	b.Run("guaranteed", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkGuaranteedPublish (A10, end-to-end): the guaranteed QoS path —
+// group-committed ledger append, publish, local consumer ack — under
+// parallel publishers, with and without Sync, group commit vs the
+// per-append-fsync baseline. With Sync on, concurrent publishers share
+// one fsync per committed batch, so "sync/pubs=8/group" must beat
+// "sync/pubs=8/per-append" by a wide margin with fsyncs/msg well under 1
+// (scripts/check.sh asserts the same property via the ledger-level gate).
+// Real disk, real time: the fsync is the quantity under test.
+func BenchmarkGuaranteedPublish(b *testing.B) {
+	netCfg := netsim.DefaultConfig()
+	netCfg.Speedup = 2000
+	rcfg := reliable.Config{
+		NakInterval:        2 * time.Millisecond,
+		RetransmitInterval: 3 * time.Millisecond,
+		HeartbeatInterval:  10 * time.Millisecond,
+	}
+	run := func(b *testing.B, pubs int, syncOn, group bool) {
+		seg := transport.NewSimSegment(netCfg)
+		defer seg.Close()
+		host, err := core.NewHost(seg, "pub", core.HostConfig{
+			Reliable:                 rcfg,
+			LedgerPath:               filepath.Join(b.TempDir(), "bench.ledger"),
+			LedgerSync:               syncOn,
+			LedgerDisableGroupCommit: !group,
+			RetryInterval:            500 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer host.Close()
+		bus, _ := host.NewBus("p")
+		// A local subscriber consumes and acks, draining the ledger.
+		conBus, _ := host.NewBus("c")
+		sub, _ := conBus.Subscribe("qos.data")
+		var drained sync.WaitGroup
+		drained.Add(1)
+		go func() {
+			defer drained.Done()
+			for range sub.C {
+			}
+		}()
+		payload := make([]byte, 256)
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for g := 0; g < pubs; g++ {
+			n := b.N / pubs
+			if g < b.N%pubs {
+				n++
+			}
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					if _, err := bus.PublishGuaranteed("qos.data", payload); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(n)
+		}
+		wg.Wait()
+		b.StopTimer()
+		fsyncs := host.Metrics().Counter("ledger.fsyncs").Load()
+		b.ReportMetric(float64(fsyncs)/float64(b.N), "fsyncs/msg")
+		sub.Cancel()
+		drained.Wait()
+	}
+	for _, syncOn := range []bool{false, true} {
+		for _, pubs := range []int{1, 8} {
+			for _, group := range []bool{false, true} {
+				mode := "per-append"
+				if group {
+					mode = "group"
+				}
+				b.Run(fmt.Sprintf("sync=%v/pubs=%d/%s", syncOn, pubs, mode), func(b *testing.B) {
+					run(b, pubs, syncOn, group)
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkFanout measures the publish→deliver hot path in isolation: one
 // daemon, one publisher, N local subscribers, the same subject every
 // iteration. Local fan-out happens synchronously inside Publish, so each

@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to run: 5, 6, 7, 8, i1, i2, a8, a9, or all")
+	fig := flag.String("fig", "all", "figure to run: 5, 6, 7, 8, i1, i2, a8, a9, a10, or all")
 	consumers := flag.Int("consumers", 14, "number of consumer hosts")
 	speedup := flag.Float64("speedup", 20, "simulation speedup factor")
 	msgs := flag.Int("msgs", 1000, "messages per throughput point")
@@ -159,6 +159,18 @@ func main() {
 			trows = append(trows, row)
 		}
 		bench.PrintFigureA9Throughput(os.Stdout, trows)
+		return nil
+	})
+
+	run("a10", func() error {
+		// A10: the group-commit ledger against the per-append-fsync
+		// baseline. Real filesystem, real time: -speedup does not apply to
+		// this figure (an fsync cannot be simulated faster).
+		rows, err := bench.FigureA10([]int{1, 2, 4, 8}, 0)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigureA10(os.Stdout, rows)
 		return nil
 	})
 

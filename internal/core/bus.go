@@ -69,6 +69,10 @@ type Host struct {
 type busCounters struct {
 	published, publishedGuaranteed *telemetry.Counter
 	events, undecodableDropped     *telemetry.Counter
+	// guarRetransmits counts guaranteed-delivery retransmissions; together
+	// with the reliable stream's retransmit counter it feeds the
+	// retransmit-storm alarm.
+	guarRetransmits *telemetry.Counter
 	// Type-dictionary compression: compact publications sent, compact
 	// events decoded, deliveries deferred on a fingerprint miss, NAK
 	// requests sent/served, and definitions harvested from replies.
@@ -124,11 +128,25 @@ type HostConfig struct {
 	// publications awaiting acknowledgement. Empty disables
 	// PublishGuaranteed on this host.
 	LedgerPath string
-	// LedgerSync forces an fsync per guaranteed publication.
+	// LedgerSync makes guaranteed publications durable against machine
+	// crashes: each committed ledger batch is fsynced before
+	// PublishGuaranteed returns. Concurrent publications share one fsync
+	// per group-committed batch.
 	LedgerSync bool
-	// RetryInterval is how often unacknowledged guaranteed publications
-	// are retransmitted. Default 100ms.
+	// LedgerSegmentBytes is the ledger's segment rotation threshold;
+	// <= 0 selects ledger.DefaultSegmentBytes.
+	LedgerSegmentBytes int64
+	// LedgerDisableGroupCommit reverts the ledger to a write(+fsync) per
+	// record — the measured baseline for experiment A10. Leave it false.
+	LedgerDisableGroupCommit bool
+	// RetryInterval is the base delay before an unacknowledged guaranteed
+	// publication is first retransmitted; further retransmissions back off
+	// exponentially from it. Default 100ms.
 	RetryInterval time.Duration
+	// RetryBackoffCap bounds the exponential backoff between
+	// retransmissions of one unacknowledged publication. Default 5s (and
+	// never below RetryInterval).
+	RetryBackoffCap time.Duration
 	// Registry lets several hosts share one type universe (common in
 	// tests). Nil creates a fresh registry.
 	Registry *mop.Registry
@@ -207,6 +225,7 @@ func NewHost(seg transport.Segment, name string, cfg HostConfig) (*Host, error) 
 		ctr: busCounters{
 			published:           metrics.Counter("bus.published"),
 			publishedGuaranteed: metrics.Counter("bus.published_guaranteed"),
+			guarRetransmits:     metrics.Counter("bus.guar_retransmits"),
 			events:              metrics.Counter("bus.events"),
 			undecodableDropped:  metrics.Counter("bus.undecodable_dropped"),
 			compactPublished:    metrics.Counter("bus.compact_published"),
@@ -223,13 +242,19 @@ func NewHost(seg transport.Segment, name string, cfg HostConfig) (*Host, error) 
 		h.sendDict = wire.NewSendDict(cfg.CompactResendEvery)
 	}
 	if cfg.LedgerPath != "" {
-		led, err := ledger.Open(cfg.LedgerPath, ledger.Options{Sync: cfg.LedgerSync, Metrics: metrics, Recorder: rec})
+		led, err := ledger.Open(cfg.LedgerPath, ledger.Options{
+			Sync:               cfg.LedgerSync,
+			SegmentBytes:       cfg.LedgerSegmentBytes,
+			DisableGroupCommit: cfg.LedgerDisableGroupCommit,
+			Metrics:            metrics,
+			Recorder:           rec,
+		})
 		if err != nil {
 			_ = h.daemon.Close()
 			return nil, err
 		}
 		h.ledger = led
-		h.retry = newGuaranteeRetrier(h.daemon, led, cfg.RetryInterval)
+		h.retry = newGuaranteeRetrier(h.daemon, led, cfg.RetryInterval, cfg.RetryBackoffCap, h.ctr.guarRetransmits)
 	}
 	if cfg.Telemetry.StatsInterval > 0 {
 		sys, err := startSysExporter(h, cfg.Telemetry.StatsInterval)
@@ -726,67 +751,4 @@ func (b *Bus) retryPending() {
 	}
 }
 
-// ---------------------------------------------------------------------------
-// Guaranteed-delivery retrier
-
-// guaranteeRetrier periodically re-publishes ledger entries that no
-// consumer has acknowledged yet — including entries recovered from the
-// ledger after a crash ("regardless of failures").
-type guaranteeRetrier struct {
-	d        *daemon.Daemon
-	led      *ledger.Ledger
-	interval time.Duration
-	done     chan struct{}
-	wg       sync.WaitGroup
-}
-
-func newGuaranteeRetrier(d *daemon.Daemon, led *ledger.Ledger, interval time.Duration) *guaranteeRetrier {
-	if interval <= 0 {
-		interval = 100 * time.Millisecond
-	}
-	r := &guaranteeRetrier{
-		d:        d,
-		led:      led,
-		interval: interval,
-		done:     make(chan struct{}),
-	}
-	d.OnGuaranteeAck(func(id uint64, _ string) { _ = led.Ack(id) })
-	r.wg.Add(1)
-	go r.loop()
-	return r
-}
-
-func (r *guaranteeRetrier) stop() {
-	close(r.done)
-	r.wg.Wait()
-}
-
-func (r *guaranteeRetrier) loop() {
-	defer r.wg.Done()
-	ticker := time.NewTicker(r.interval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-r.done:
-			return
-		case <-ticker.C:
-		}
-		for _, e := range r.led.Pending() {
-			subj, err := subject.Parse(e.Subject)
-			if err != nil {
-				continue
-			}
-			// The ledger stores payloads as encoded; a compact payload must
-			// go back out under a compact envelope kind so receivers route
-			// it through their fingerprint cache.
-			if wire.IsCompact(e.Payload) {
-				err = r.d.PublishGuaranteedCompact(subj, e.Payload, e.ID)
-			} else {
-				err = r.d.PublishGuaranteed(subj, e.Payload, e.ID)
-			}
-			if err != nil {
-				break // daemon closed or backpressure; retry next tick
-			}
-		}
-	}
-}
+// The guaranteed-delivery retrier lives in retry.go.

@@ -57,14 +57,18 @@ func startHealthAgent(h *Host, engine *telemetry.Engine, rec *telemetry.Recorder
 		node:   engine.Node(),
 		done:   make(chan struct{}),
 	}
-	// Retransmit storm: the per-second rate of the host stream's
-	// retransmissions. A lossy segment or a receiver NAK-looping drives
-	// this; sustained storms starve the shared medium (the appendix's
-	// throughput figures assume a lightly loaded Ethernet).
-	engine.WatchRate(telemetry.WatchConfig{
+	// Retransmit storm: the per-second rate of the host's retransmissions —
+	// the reliable stream's plus the guaranteed-delivery retrier's, since
+	// both re-occupy the medium. A lossy segment, a receiver NAK-looping,
+	// or a guaranteed publication with no live consumer drives this;
+	// sustained storms starve the shared medium (the appendix's throughput
+	// figures assume a lightly loaded Ethernet).
+	relRetrans := h.metrics.Counter(metricsPrefix + ".retransmits")
+	guarRetrans := h.ctr.guarRetransmits
+	engine.WatchRateFunc(telemetry.WatchConfig{
 		Kind:  "retransmit-storm",
 		Raise: hcfg.RetransmitStormRate,
-	}, h.metrics.Counter(metricsPrefix+".retransmits"))
+	}, func() int64 { return int64(relRetrans.Load() + guarRetrans.Load()) })
 	if h.ledger != nil {
 		// Ledger backlog: guaranteed publications no consumer has
 		// acknowledged. Growth means the retrier is spinning on a

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"infobus/internal/ledger"
+	"infobus/internal/telemetry"
+)
+
+// TestGuaranteedRetransmitBackoff: a guaranteed publication nobody ever
+// acknowledges must back off exponentially to the cap instead of
+// re-occupying the medium on every retry tick — and a late subscriber is
+// still served off the backed-off schedule.
+func TestGuaranteedRetransmitBackoff(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	pub := newHost(t, seg, "backoff-pub", HostConfig{
+		LedgerPath:      filepath.Join(t.TempDir(), "pub.ledger"),
+		RetryInterval:   5 * time.Millisecond,
+		RetryBackoffCap: 50 * time.Millisecond,
+	})
+	pubBus, err := pub.NewBus("producer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pubBus.PublishGuaranteed("g.backoff", "unheard"); err != nil {
+		t.Fatal(err)
+	}
+
+	// No consumer exists. Over this window a per-tick retrier would
+	// retransmit ~120 times; the backoff schedule (5, 10, 20, 40, then
+	// 50ms at the cap) allows ~13.
+	time.Sleep(600 * time.Millisecond)
+	n := pub.Metrics().Counter("bus.guar_retransmits").Load()
+	if n < 2 {
+		t.Fatalf("only %d retransmissions; the retrier looks stalled", n)
+	}
+	if n > 40 {
+		t.Fatalf("%d retransmissions in 600ms; backoff to the cap should allow ~13", n)
+	}
+
+	// A subscriber arriving long after the publication still gets it from
+	// the retransmission schedule.
+	sub := newHost(t, seg, "backoff-sub", HostConfig{})
+	subBus, err := sub.NewBus("consumer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := subBus.Subscribe("g.backoff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := recvEvent(t, late, 10*time.Second)
+	if ev.Value != "unheard" {
+		t.Fatalf("late subscriber got %v", ev.Value)
+	}
+}
+
+// TestRetransmitStormAlarmStillFires: backoff must not blind the
+// retransmit-storm alarm — with the cap forced down to the base interval
+// (no effective backoff) a never-acked publication is a real storm, and
+// the health tier must raise on it. The alarm is fed by the sum of the
+// reliable stream's and the guaranteed retrier's retransmit counters.
+func TestRetransmitStormAlarmStillFires(t *testing.T) {
+	seg := fastSeg()
+	defer seg.Close()
+	h := newHost(t, seg, "stormhost", HostConfig{
+		LedgerPath:      filepath.Join(t.TempDir(), "pub.ledger"),
+		RetryInterval:   time.Millisecond,
+		RetryBackoffCap: time.Millisecond, // cap == base: retransmit every tick
+		Telemetry: TelemetryConfig{Health: telemetry.HealthConfig{
+			Interval:            2 * time.Millisecond,
+			RetransmitStormRate: 100, // ~1000/s storm sails past this
+		}},
+	})
+	b, err := h.NewBus("producer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.PublishGuaranteed("g.storm", "again and again"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		for _, ev := range h.ActiveAlarms() {
+			if ev.Kind == "retransmit-storm" {
+				if !ev.Raised || ev.Value < 100 {
+					t.Fatalf("storm alarm edge = %+v", ev)
+				}
+				return
+			}
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("retransmit-storm never raised (retransmits=%d, active=%+v)",
+				h.Metrics().Counter("bus.guar_retransmits").Load(), h.ActiveAlarms())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestIdleRetrierNoAllocs pins the retrier's steady state: a tick where
+// nothing is due — pending entries merely waiting out their backoff, or
+// an empty ledger — allocates nothing.
+func TestIdleRetrierNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	led, err := ledger.Open(filepath.Join(t.TempDir(), "g.log"), ledger.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+	// Build the retrier without its loop (and without a daemon): a tick
+	// with nothing due never touches either.
+	r := &guaranteeRetrier{
+		led:         led,
+		interval:    time.Hour,
+		cap:         time.Hour,
+		retransmits: telemetry.NewRegistry().Counter("bus.guar_retransmits"),
+		state:       make(map[uint64]retryState),
+	}
+	r.visit = r.visitPending
+
+	for i := 0; i < 32; i++ {
+		if _, err := led.Append("idle.s", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := time.Now()
+	r.tick(now) // first sight: populates retry state (allocates)
+	if got := testing.AllocsPerRun(200, func() { r.tick(now) }); got > 0 {
+		t.Fatalf("pending-but-not-due tick = %.1f allocs/op, want 0", got)
+	}
+
+	for _, e := range led.Pending() {
+		if err := led.Ack(e.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.tick(now) // sweep the acked entries' state
+	if len(r.state) != 0 {
+		t.Fatalf("%d stale retry states survived the sweep", len(r.state))
+	}
+	if got := testing.AllocsPerRun(200, func() { r.tick(now) }); got > 0 {
+		t.Fatalf("empty-ledger tick = %.1f allocs/op, want 0", got)
+	}
+}
+
+// TestRetrierStatePrunedAfterAck: the per-entry backoff state must not
+// leak once entries are acknowledged (mark-sweep by tick generation).
+func TestRetrierStatePruned(t *testing.T) {
+	led, err := ledger.Open(filepath.Join(t.TempDir(), "g.log"), ledger.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+	r := &guaranteeRetrier{
+		led:         led,
+		interval:    time.Hour,
+		cap:         time.Hour,
+		retransmits: telemetry.NewRegistry().Counter("bus.guar_retransmits"),
+		state:       make(map[uint64]retryState),
+	}
+	r.visit = r.visitPending
+	var ids []uint64
+	for i := 0; i < 10; i++ {
+		id, err := led.Append("p.s", []byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	r.tick(time.Now())
+	if len(r.state) != 10 {
+		t.Fatalf("state = %d entries, want 10", len(r.state))
+	}
+	for _, id := range ids[:7] {
+		if err := led.Ack(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.tick(time.Now())
+	if len(r.state) != 3 {
+		t.Fatalf("state = %d entries after acking 7 of 10, want 3", len(r.state))
+	}
+}

@@ -4,37 +4,46 @@
 // delivered at least once, regardless of failures. The publisher will
 // retransmit the message at appropriate times until a reply is received."
 //
-// A Ledger is an append-only file of records, each protected by a CRC.
-// Records are either message entries (id, subject, payload) or
-// acknowledgement entries (id). On open, the ledger replays the file and
-// reports every message that was logged but never acknowledged — exactly
-// the set a restarted publisher must retransmit. Compact rewrites the file
-// retaining only unacknowledged messages.
+// The log is a sequence of size-rotated segment files, each an append-only
+// run of CRC-protected records. Records are either message entries (id,
+// subject, payload) or acknowledgement entries (id). On open, the ledger
+// replays the segments in order and reports every message that was logged
+// but never acknowledged — exactly the set a restarted publisher must
+// retransmit.
+//
+// Durability is group-committed: concurrent Append callers stage records
+// into the current batch and block only until a committer goroutine has
+// flushed that batch with a single write (and, with Sync, a single fsync).
+// Under contention the fsync cost is paid once per batch instead of once
+// per message; an uncontended Append commits immediately with no added
+// linger. Ack records ride the same pipeline but never block the caller:
+// losing an unflushed ack in a crash only means the message is
+// retransmitted once more, and consumers' (origin, id) dedup absorbs it.
+//
+// Compaction is incremental: fully-acknowledged leading segments are
+// unlinked as soon as the log rotates past them, and Compact rewrites only
+// the oldest partially-acknowledged segment — appends keep flowing to the
+// active segment throughout.
 package ledger
 
 import (
-	"encoding/binary"
 	"errors"
-	"fmt"
-	"hash/crc32"
-	"io"
 	"os"
-	"sort"
+	"path/filepath"
+	"slices"
 	"sync"
 	"time"
 
 	"infobus/internal/telemetry"
 )
 
-// Record types.
-const (
-	recMessage = 1
-	recAck     = 2
-)
+// DefaultSegmentBytes is the segment rotation threshold when
+// Options.SegmentBytes is zero.
+const DefaultSegmentBytes = 4 << 20
 
-// maxRecord bounds one record body so a corrupt length cannot provoke a
-// huge allocation.
-const maxRecord = 16 << 20
+// DefaultLinger is the bounded group-forming wait when Options.Linger is
+// zero. It only ever applies under proven contention; see Options.Linger.
+const DefaultLinger = 100 * time.Microsecond
 
 // Entry is one logged, possibly unacknowledged message.
 type Entry struct {
@@ -50,32 +59,101 @@ var (
 	ErrTooBig  = errors.New("ledger: record exceeds size limit")
 )
 
+// entryState is a pending message plus the segment its record lives in
+// (seg == 0 until the record's batch has been committed).
+type entryState struct {
+	e   Entry
+	seg uint64
+}
+
+// segment is one log file. segs[len-1] is the active (append) segment;
+// live counts the pending messages whose records it holds.
+type segment struct {
+	seq  uint64
+	path string
+	size int64
+	live int
+}
+
+// batch is one group-commit unit: the staged record bytes of every caller
+// that arrived while the previous batch was being flushed. done is closed
+// once the batch is durable (err set first).
+type batch struct {
+	buf    []byte
+	msgIDs []uint64 // ids of recMessage records staged in this batch
+	recs   int
+	rotate bool // a Compact waiter asked for rotation after this batch
+	err    error
+	done   chan struct{}
+}
+
 // Ledger is a crash-safe append-only message log. It is safe for
 // concurrent use.
 type Ledger struct {
-	mu      sync.Mutex
-	f       *os.File
-	path    string
-	nextID  uint64
-	pending map[uint64]Entry
-	closed  bool
-	sync    bool
-	ctr     counters
+	path   string // segment name prefix: <path>.<seq>.seg
+	dir    string
+	sync   bool
+	group  bool
+	linger time.Duration
+	segMax int64
+
+	kick chan struct{} // committer wake-up (buffered, non-blocking send)
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu         sync.Mutex
+	closed     bool
+	lastCohort int // appenders woken by the previous flush (linger target)
+	nextID     uint64
+	pending    map[uint64]*entryState
+	segs       []*segment
+	f          *os.File // active segment, append position at EOF
+	cur        *batch
+	bufFree    [][]byte
+	idsFree    [][]uint64
+	iterBuf    []Entry
+	compacting bool
+
+	// compactHold, when non-nil, blocks Compact between writing the
+	// rewritten segment and swapping it in — a test seam proving Append
+	// never waits on a compaction in progress.
+	compactHold chan struct{}
+
+	ctr counters
 }
 
 // counters holds the ledger's telemetry handles.
 type counters struct {
 	appends, acks, recovered, compactions *telemetry.Counter
-	pending                               *telemetry.Gauge
-	appendNs                              *telemetry.Histogram
+	commits, fsyncs, rotations            *telemetry.Counter
+	pending, segments                     *telemetry.Gauge
+	appendNs, commitNs                    *telemetry.Histogram
+	groupSize                             *telemetry.Histogram
 }
 
 // Options configure Open.
 type Options struct {
-	// Sync forces an fsync after every append. Durability against machine
-	// crashes costs roughly one disk flush per publication; without it the
-	// ledger still survives process crashes.
+	// Sync makes a commit durable against machine crashes: each committed
+	// batch is fsynced before its Append callers return. Without it the
+	// ledger still survives process crashes. Group commit coalesces
+	// concurrent appends so the cost is per batch, not per message.
 	Sync bool
+	// SegmentBytes is the rotation threshold for one segment file; the
+	// active segment is rolled once it grows past this. <= 0 selects
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+	// Linger bounds the extra wait a commit spends letting a forming group
+	// reach the size of the previous one, once contention is proven (the
+	// previous batch carried more than one Append). Goroutine wake-up can
+	// be slower than a small fsync, so without this the pipeline can
+	// degenerate into near-singleton batches. An uncontended Append never
+	// waits regardless of the setting. Zero selects DefaultLinger;
+	// negative disables lingering entirely.
+	Linger time.Duration
+	// DisableGroupCommit reverts to a write(+fsync) per record under the
+	// ledger lock — the pre-group-commit behaviour, kept as the measured
+	// baseline for experiment A10. Leave it false.
+	DisableGroupCommit bool
 	// Metrics is the telemetry registry the ledger's counters live in
 	// (the host shares its registry here); nil creates a private one.
 	Metrics *telemetry.Registry
@@ -85,182 +163,193 @@ type Options struct {
 	Recorder *telemetry.Recorder
 }
 
-// Open opens or creates a ledger file, replaying any existing records. A
-// trailing partial record (from a crash mid-append) is truncated away;
-// corruption anywhere earlier is reported as ErrCorrupt.
+// Open opens or creates a ledger, replaying any existing segments. path
+// names the ledger; segment files live beside it as "<path>.<seq>.seg" (a
+// pre-segmentation monolithic file at exactly path is migrated in place).
+// A trailing partial record in the newest segment (from a crash
+// mid-commit) is truncated away; corruption anywhere earlier is reported
+// as ErrCorrupt.
 func Open(path string, opts Options) (*Ledger, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("ledger: opening %s: %w", path, err)
+	segMax := opts.SegmentBytes
+	if segMax <= 0 {
+		segMax = DefaultSegmentBytes
+	}
+	linger := opts.Linger
+	if linger == 0 {
+		linger = DefaultLinger
+	} else if linger < 0 {
+		linger = 0
 	}
 	reg := opts.Metrics
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
-	l := &Ledger{f: f, path: path, pending: make(map[uint64]Entry), sync: opts.Sync}
+	l := &Ledger{
+		path:    path,
+		dir:     filepath.Dir(path),
+		sync:    opts.Sync,
+		group:   !opts.DisableGroupCommit,
+		linger:  linger,
+		segMax:  segMax,
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		pending: make(map[uint64]*entryState),
+	}
 	l.ctr = counters{
 		appends:     reg.Counter("ledger.appends"),
 		acks:        reg.Counter("ledger.acks"),
 		recovered:   reg.Counter("ledger.recovered"),
 		compactions: reg.Counter("ledger.compactions"),
+		commits:     reg.Counter("ledger.commits"),
+		fsyncs:      reg.Counter("ledger.fsyncs"),
+		rotations:   reg.Counter("ledger.rotations"),
 		pending:     reg.Gauge("ledger.pending"),
+		segments:    reg.Gauge("ledger.segments"),
 		appendNs:    reg.Histogram("ledger.append_ns"),
+		commitNs:    reg.Histogram("ledger.commit_ns"),
+		groupSize:   reg.Histogram("ledger.group_size"),
 	}
-	if err := l.replay(); err != nil {
-		_ = f.Close()
+	if err := l.openSegments(); err != nil {
 		return nil, err
 	}
+	l.cur = l.newBatchLocked()
 	l.ctr.recovered.Add(uint64(len(l.pending)))
 	l.ctr.pending.Set(int64(len(l.pending)))
+	l.ctr.segments.Set(int64(len(l.segs)))
 	if opts.Recorder != nil && len(l.pending) > 0 {
 		opts.Recorder.Record(telemetry.EventRecover, "ledger", int64(len(l.pending)), 0)
+	}
+	if l.group {
+		l.wg.Add(1)
+		go l.commitLoop()
 	}
 	return l, nil
 }
 
-// replay scans the file, rebuilding the pending set, and truncates a
-// trailing torn record.
-func (l *Ledger) replay() error {
-	data, err := io.ReadAll(l.f)
-	if err != nil {
-		return fmt.Errorf("ledger: reading %s: %w", l.path, err)
-	}
-	off := 0
-	validEnd := 0
-	for off < len(data) {
-		rec, n, err := parseRecord(data[off:])
-		if err != nil {
-			if errors.Is(err, errTorn) {
-				// Crash mid-append: discard the tail.
-				break
-			}
-			return fmt.Errorf("ledger: %s at offset %d: %w", l.path, off, err)
-		}
-		switch rec.typ {
-		case recMessage:
-			e := Entry{ID: rec.id, Subject: rec.subject, Payload: rec.payload}
-			l.pending[rec.id] = e
-			if rec.id >= l.nextID {
-				l.nextID = rec.id + 1
-			}
-		case recAck:
-			delete(l.pending, rec.id)
-			if rec.id >= l.nextID {
-				l.nextID = rec.id + 1
-			}
-		}
-		off += n
-		validEnd = off
-	}
-	if validEnd < len(data) {
-		if err := l.f.Truncate(int64(validEnd)); err != nil {
-			return fmt.Errorf("ledger: truncating torn tail of %s: %w", l.path, err)
-		}
-	}
-	if _, err := l.f.Seek(0, io.SeekEnd); err != nil {
-		return err
-	}
-	return nil
-}
-
-// Append logs a message before transmission and returns its ledger ID.
+// Append logs a message before transmission and returns its ledger ID. It
+// returns once the record is committed — with Sync, once it is on disk —
+// sharing the write and fsync with every other Append staged into the
+// same batch.
 func (l *Ledger) Append(subject string, payload []byte) (uint64, error) {
+	start := time.Now()
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return 0, ErrClosed
 	}
 	id := l.nextID
 	l.nextID++
-	rec := encodeRecord(record{typ: recMessage, id: id, subject: subject, payload: payload})
-	start := time.Now()
-	if err := l.write(rec); err != nil {
-		return 0, err
-	}
-	l.ctr.appendNs.Observe(time.Since(start))
+	b := l.cur
+	b.buf = appendRecord(b.buf, record{typ: recMessage, id: id, subject: subject, payload: payload})
+	b.msgIDs = append(b.msgIDs, id)
+	b.recs++
+	l.pending[id] = &entryState{e: Entry{ID: id, Subject: subject, Payload: append([]byte(nil), payload...)}}
 	l.ctr.appends.Inc()
-	l.pending[id] = Entry{ID: id, Subject: subject, Payload: append([]byte(nil), payload...)}
 	l.ctr.pending.Set(int64(len(l.pending)))
-	return id, nil
+	if !l.group {
+		err := l.commitBatchLocked(b)
+		l.mu.Unlock()
+		l.ctr.appendNs.Observe(time.Since(start))
+		return id, err
+	}
+	l.mu.Unlock()
+	l.kickCommitter()
+	<-b.done
+	l.ctr.appendNs.Observe(time.Since(start))
+	return id, b.err
 }
 
-// Ack records that the message with the given ID was acknowledged; it will
-// not be reported as pending after a restart.
+// Ack records that the message with the given ID was acknowledged; it
+// will not be reported as pending after a restart. The ack record rides
+// the commit pipeline asynchronously: Ack never waits for the disk. If a
+// crash loses an unflushed ack, the message is retransmitted once more
+// after replay and the consumer-side (origin, id) dedup absorbs it.
 func (l *Ledger) Ack(id uint64) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
-	if _, ok := l.pending[id]; !ok {
+	st, ok := l.pending[id]
+	if !ok {
+		l.mu.Unlock()
 		return nil // duplicate ack: idempotent
 	}
-	rec := encodeRecord(record{typ: recAck, id: id})
-	if err := l.write(rec); err != nil {
+	delete(l.pending, id)
+	if st.seg != 0 {
+		if s := l.segBySeqLocked(st.seg); s != nil {
+			s.live--
+		}
+	}
+	b := l.cur
+	b.buf = appendRecord(b.buf, record{typ: recAck, id: id})
+	b.recs++
+	l.ctr.acks.Inc()
+	l.ctr.pending.Set(int64(len(l.pending)))
+	if !l.group {
+		err := l.commitBatchLocked(b)
+		l.mu.Unlock()
 		return err
 	}
-	l.ctr.acks.Inc()
-	delete(l.pending, id)
-	l.ctr.pending.Set(int64(len(l.pending)))
+	l.mu.Unlock()
+	l.kickCommitter()
 	return nil
 }
 
 // Pending returns every logged-but-unacknowledged message, oldest first.
+// The returned payload slices are the ledger's own; callers must not
+// mutate them.
 func (l *Ledger) Pending() []Entry {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	out := make([]Entry, 0, len(l.pending))
-	for _, e := range l.pending {
-		out = append(out, e)
+	for _, st := range l.pending {
+		out = append(out, st.e)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	l.mu.Unlock()
+	slices.SortFunc(out, func(a, b Entry) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
 	return out
 }
 
-// Compact rewrites the ledger keeping only pending messages, bounding file
-// growth on long-running publishers.
-func (l *Ledger) Compact() error {
+// ForEachPending calls f for every pending message, oldest first, without
+// allocating: the entries are copied into a reused internal buffer under
+// the lock, then f runs with no ledger lock held (so it may Ack, Append,
+// or publish). f returns false to stop early. The *Entry and its payload
+// are only valid during the call; an entry acked concurrently may still
+// be visited once (guaranteed delivery is at-least-once).
+func (l *Ledger) ForEachPending(f func(e *Entry) bool) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return ErrClosed
+	if len(l.pending) == 0 {
+		l.mu.Unlock()
+		return
 	}
-	tmpPath := l.path + ".compact"
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("ledger: creating %s: %w", tmpPath, err)
+	buf := l.iterBuf[:0]
+	for _, st := range l.pending {
+		buf = append(buf, st.e)
 	}
-	ids := make([]uint64, 0, len(l.pending))
-	for id := range l.pending {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		e := l.pending[id]
-		rec := encodeRecord(record{typ: recMessage, id: e.ID, subject: e.Subject, payload: e.Payload})
-		if _, err := tmp.Write(rec); err != nil {
-			_ = tmp.Close()
-			return err
+	l.iterBuf = buf
+	l.mu.Unlock()
+	slices.SortFunc(buf, func(a, b Entry) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	for i := range buf {
+		if !f(&buf[i]) {
+			return
 		}
 	}
-	if err := tmp.Sync(); err != nil {
-		_ = tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmpPath, l.path); err != nil {
-		return fmt.Errorf("ledger: swapping compacted file: %w", err)
-	}
-	_ = l.f.Close()
-	f, err := os.OpenFile(l.path, os.O_RDWR|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("ledger: reopening after compaction: %w", err)
-	}
-	l.f = f
-	l.ctr.compactions.Inc()
-	return nil
 }
 
 // Len returns the number of pending (unacknowledged) messages.
@@ -270,107 +359,29 @@ func (l *Ledger) Len() int {
 	return len(l.pending)
 }
 
-// Close releases the file.
+// Close flushes staged records and releases the active segment.
 func (l *Ledger) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
 	l.closed = true
+	l.mu.Unlock()
+	if l.group {
+		close(l.stop)
+		l.wg.Wait() // the committer drains staged acks before exiting
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return l.f.Close()
 }
 
-func (l *Ledger) write(rec []byte) error {
-	if _, err := l.f.Write(rec); err != nil {
-		return fmt.Errorf("ledger: appending: %w", err)
-	}
-	if l.sync {
-		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("ledger: syncing: %w", err)
+func (l *Ledger) segBySeqLocked(seq uint64) *segment {
+	for _, s := range l.segs {
+		if s.seq == seq {
+			return s
 		}
 	}
 	return nil
-}
-
-// ---------------------------------------------------------------------------
-// Record format: u32 bodyLen | u32 crc(body) | body
-// body: u8 type | uvarint id | [uvarint subjLen | subj | uvarint payloadLen | payload]
-
-type record struct {
-	typ     byte
-	id      uint64
-	subject string
-	payload []byte
-}
-
-var errTorn = errors.New("ledger: torn record")
-
-func encodeRecord(r record) []byte {
-	body := []byte{r.typ}
-	body = binary.AppendUvarint(body, r.id)
-	if r.typ == recMessage {
-		body = binary.AppendUvarint(body, uint64(len(r.subject)))
-		body = append(body, r.subject...)
-		body = binary.AppendUvarint(body, uint64(len(r.payload)))
-		body = append(body, r.payload...)
-	}
-	out := make([]byte, 8, 8+len(body))
-	binary.BigEndian.PutUint32(out[0:4], uint32(len(body)))
-	binary.BigEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(body))
-	return append(out, body...)
-}
-
-// parseRecord decodes one record from the front of data, returning the
-// bytes consumed. errTorn means the data ends mid-record (a crashed
-// append); other errors mean real corruption.
-func parseRecord(data []byte) (record, int, error) {
-	if len(data) < 8 {
-		return record{}, 0, errTorn
-	}
-	bodyLen := binary.BigEndian.Uint32(data[0:4])
-	if bodyLen > maxRecord {
-		return record{}, 0, fmt.Errorf("body of %d bytes: %w", bodyLen, ErrTooBig)
-	}
-	if len(data) < 8+int(bodyLen) {
-		return record{}, 0, errTorn
-	}
-	body := data[8 : 8+bodyLen]
-	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(data[4:8]) {
-		return record{}, 0, fmt.Errorf("crc mismatch: %w", ErrCorrupt)
-	}
-	if len(body) < 1 {
-		return record{}, 0, ErrCorrupt
-	}
-	r := record{typ: body[0]}
-	pos := 1
-	id, n := binary.Uvarint(body[pos:])
-	if n <= 0 {
-		return record{}, 0, ErrCorrupt
-	}
-	pos += n
-	r.id = id
-	switch r.typ {
-	case recAck:
-		if pos != len(body) {
-			return record{}, 0, ErrCorrupt
-		}
-	case recMessage:
-		slen, n := binary.Uvarint(body[pos:])
-		if n <= 0 || pos+n+int(slen) > len(body) {
-			return record{}, 0, ErrCorrupt
-		}
-		pos += n
-		r.subject = string(body[pos : pos+int(slen)])
-		pos += int(slen)
-		plen, n := binary.Uvarint(body[pos:])
-		if n <= 0 || pos+n+int(plen) != len(body) {
-			return record{}, 0, ErrCorrupt
-		}
-		pos += n
-		r.payload = append([]byte(nil), body[pos:pos+int(plen)]...)
-	default:
-		return record{}, 0, fmt.Errorf("type %d: %w", r.typ, ErrCorrupt)
-	}
-	return r, 8 + int(bodyLen), nil
 }

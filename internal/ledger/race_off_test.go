@@ -1,0 +1,5 @@
+//go:build !race
+
+package ledger
+
+const raceEnabled = false

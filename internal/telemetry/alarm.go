@@ -183,6 +183,13 @@ func (e *Engine) WatchRate(cfg WatchConfig, c *Counter) *Watch {
 	return e.register(cfg, func() int64 { return int64(c.Load()) }, true)
 }
 
+// WatchRateFunc is WatchRate over an arbitrary cumulative sample — e.g.
+// the sum of several counters feeding one alarm. Like every sample
+// function it runs with the engine lock held and must be lock-free.
+func (e *Engine) WatchRateFunc(cfg WatchConfig, sample func() int64) *Watch {
+	return e.register(cfg, sample, true)
+}
+
 func (e *Engine) register(cfg WatchConfig, sample func() int64, rate bool) *Watch {
 	cfg = cfg.withDefaults()
 	w := &Watch{cfg: cfg, sample: sample, rate: rate, label: cfg.Kind}

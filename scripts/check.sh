@@ -26,6 +26,12 @@ go test ./...
 echo "==> alloc gate (publish->deliver budget)"
 go test -run TestPublishDeliverAllocBudget -count=1 .
 
+echo "==> alloc gate (guaranteed publish budget)"
+go test -run TestGuaranteedPublishAllocBudget -count=1 .
+
+echo "==> fsync gate (8 Sync publishers average well under one fsync/message)"
+go test -run TestGroupCommitFsyncBudget -count=1 ./internal/ledger/
+
 echo "==> wire-bytes gate (steady-state dictionary compression >= 40%)"
 go test -run 'TestCompactGoldenBytes|TestSendDictSteadyStateAllocs' -count=1 ./internal/wire/
 
@@ -40,6 +46,7 @@ if [ "$quick" -eq 0 ]; then
     go test -run xxx -fuzz 'FuzzDecode$'           -fuzztime 5s ./internal/busproto/
     go test -run xxx -fuzz 'FuzzParsePattern$'     -fuzztime 5s ./internal/subject/
     go test -run xxx -fuzz 'FuzzParseRecord$'      -fuzztime 5s ./internal/ledger/
+    go test -run xxx -fuzz 'FuzzSegmentedReplay$'  -fuzztime 5s ./internal/ledger/
 fi
 
 echo "==> all checks passed"
