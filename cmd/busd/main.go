@@ -12,11 +12,19 @@
 //	sub <pattern>            subscribe ("news.>", "fab5.*.temp", ...)
 //	pub <subject> <text>     publish a string object
 //	pubn <subject> <number>  publish an int object
+//	pubg <subject> <text>    publish with guaranteed delivery (-ledger)
 //	stats                    daemon and protocol counters
 //	metrics                  full telemetry registry snapshot
 //	alarms                   currently raised health alarms (-health)
 //	dump                     flight-recorder dump (-health)
 //	quit
+//
+// With -ledger <path> the host logs guaranteed publications (pubg) to a
+// write-ahead log. -replication N mirrors committed batches to N peer
+// replicas and acknowledges pubg at majority durability; peers started
+// with -replica-dir <dir> store those mirrors and elect a recovery
+// coordinator if the publisher dies (-replica-ack-timeout and -repl-fsync
+// tune the quorum wait and replica durability).
 //
 // With -health <interval> the host runs the health tier: slow-consumer /
 // retransmit-storm / dedup-pressure / ledger-backlog alarms publish on
@@ -54,11 +62,22 @@ func main() {
 	healthEvery := flag.Duration("health", 0, "run the health tier (alarms on _sys.alarm.>, flight recorder) sampling at this interval (0 disables)")
 	debugAddr := flag.String("debug-addr", "", "serve pprof + /metrics + /dump on this address (UNAUTHENTICATED: loopback only, e.g. 127.0.0.1:6060; empty disables)")
 	compact := flag.Bool("compact", false, "publish with type-dictionary compression (class descriptors cross the wire once; receivers need no flag)")
+	ledgerPath := flag.String("ledger", "", "write-ahead log path enabling guaranteed delivery (pubg); empty disables")
+	replication := flag.Int("replication", 0, "mirror committed guaranteed batches to this many peer replicas and ack at majority durability (needs -ledger)")
+	replicaAck := flag.Duration("replica-ack-timeout", 0, "how long pubg waits for a write quorum before reporting the guarantee unconfirmed (0 selects the default)")
+	replFsync := flag.String("repl-fsync", "", "replica-side fsync policy: batch (fsync per applied run) or lazy (no fsync); empty selects batch")
+	replicaDir := flag.String("replica-dir", "", "store mirrored peers' replica logs under this directory (enrolls the host as a replica)")
 	flag.Parse()
 
 	seg := infobus.NewStaticUDPSegment(*listen, strings.Split(*peers, ","))
 	host, err := infobus.NewHost(seg, *name, infobus.HostConfig{
-		CompactTypes: *compact,
+		CompactTypes:      *compact,
+		LedgerPath:        *ledgerPath,
+		LedgerSync:        *ledgerPath != "",
+		ReplicationFactor: *replication,
+		ReplicaAckTimeout: *replicaAck,
+		ReplFsyncPolicy:   *replFsync,
+		ReplicaDir:        *replicaDir,
 		Telemetry: infobus.TelemetryConfig{
 			StatsInterval: *statsEvery,
 			TraceSampling: *sampling,
@@ -87,7 +106,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("busd: host %q on %s (peers: %s)\n", *name, *listen, *peers)
-	fmt.Println("busd: commands: sub <pattern> | pub <subject> <text> | pubn <subject> <n> | stats | metrics | alarms | dump | quit")
+	fmt.Println("busd: commands: sub <pattern> | pub <subject> <text> | pubn <subject> <n> | pubg <subject> <text> | stats | metrics | alarms | dump | quit")
 
 	subs := make(map[string]*infobus.Subscription)
 	printer := make(chan string, 64)
@@ -128,6 +147,17 @@ func main() {
 				}
 			}(pattern, sub)
 			fmt.Printf("subscribed to %s\n", pattern)
+		case "pubg":
+			if len(fields) < 3 {
+				fmt.Println("usage: pubg <subject> <text>")
+				continue
+			}
+			id, err := bus.PublishGuaranteed(fields[1], strings.Join(fields[2:], " "))
+			if err != nil {
+				fmt.Printf("pubg: %v\n", err)
+				continue
+			}
+			fmt.Printf("=> [%s] id=%d (guaranteed)\n", fields[1], id)
 		case "pub", "pubn":
 			if len(fields) < 3 {
 				fmt.Printf("usage: %s <subject> <value>\n", fields[0])

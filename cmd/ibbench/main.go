@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to run: 5, 6, 7, 8, i1, i2, a8, a9, a10, or all")
+	fig := flag.String("fig", "all", "figure to run: 5, 6, 7, 8, i1, i2, a8, a9, a10, a11, or all")
 	consumers := flag.Int("consumers", 14, "number of consumer hosts")
 	speedup := flag.Float64("speedup", 20, "simulation speedup factor")
 	msgs := flag.Int("msgs", 1000, "messages per throughput point")
@@ -171,6 +171,18 @@ func main() {
 			return err
 		}
 		bench.PrintFigureA10(os.Stdout, rows)
+		return nil
+	})
+
+	run("a11", func() error {
+		// A11: replicated guaranteed delivery. Like A10 the fsyncs are
+		// real, so wall time dominates; -speedup only accelerates the
+		// simulated network between the publisher and its replicas.
+		rows, err := bench.FigureA11(cfg.Net, 0, 0)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigureA11(os.Stdout, rows)
 		return nil
 	})
 

@@ -35,6 +35,7 @@ import (
 	"infobus/internal/discovery"
 	"infobus/internal/mop"
 	"infobus/internal/netsim"
+	"infobus/internal/qledger"
 	"infobus/internal/reliable"
 	"infobus/internal/rmi"
 	"infobus/internal/router"
@@ -165,6 +166,12 @@ const (
 // ErrReservedSubject rejects user publications into "_sys.>".
 var ErrReservedSubject = core.ErrReservedSubject
 
+// ErrQuorumTimeout: a guaranteed publication on a replicated host
+// (HostConfig.ReplicationFactor > 0) did not reach majority durability
+// within ReplicaAckTimeout. The entry is still durable locally and
+// retransmitted; only the quorum guarantee is unconfirmed.
+var ErrQuorumTimeout = qledger.ErrQuorumTimeout
+
 // Fundamental types of the meta-object protocol.
 var (
 	Bool   = mop.Bool
@@ -192,9 +199,30 @@ func NewStaticUDPSegment(listen string, peers []string) *transport.StaticUDPSegm
 	return transport.NewStaticUDPSegment(listen, peers)
 }
 
-// NewHost attaches a workstation to a segment.
+// NewHost attaches a workstation to a segment. When the HostConfig's
+// replication fields are set (ReplicationFactor > 0 and/or ReplicaDir),
+// the quorum ledger tier (internal/qledger) is attached on top: committed
+// guaranteed-delivery batches mirror to peer replicas, PublishGuaranteed
+// acknowledges at majority durability, and the replica hosts elect a
+// recovery coordinator that replays a dead publisher's pending entries.
 func NewHost(seg Segment, name string, cfg HostConfig) (*Host, error) {
-	return core.NewHost(seg, name, cfg)
+	h, err := core.NewHost(seg, name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ReplicationFactor > 0 || cfg.ReplicaDir != "" {
+		_, err := qledger.Attach(h, qledger.Config{
+			Factor:      cfg.ReplicationFactor,
+			AckTimeout:  cfg.ReplicaAckTimeout,
+			FsyncPolicy: cfg.ReplFsyncPolicy,
+			Dir:         cfg.ReplicaDir,
+		})
+		if err != nil {
+			_ = h.Close()
+			return nil, err
+		}
+	}
+	return h, nil
 }
 
 // NewRegistry creates an empty type registry.

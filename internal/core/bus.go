@@ -59,6 +59,14 @@ type Host struct {
 	csync  *classSync
 	buses  []*Bus
 	closed bool
+	// guarGate, when set, blocks PublishGuaranteed returns until the
+	// replication tier confirms quorum durability (internal/qledger). Nil —
+	// the default — costs one pointer load under the mutex already taken.
+	guarGate func(id uint64) error
+	// closeHooks run first in Close, in reverse registration order, so
+	// layers stacked above the host (replication agents) detach before the
+	// daemon and ledger go away underneath them.
+	closeHooks []func()
 
 	// Health tier (nil unless Telemetry.Health.Interval > 0).
 	recorder *telemetry.Recorder
@@ -169,6 +177,24 @@ type HostConfig struct {
 	// requests are re-published while undecoded compact deliveries are
 	// pending. Default 50ms.
 	CompactNakInterval time.Duration
+	// ReplicationFactor enables the quorum ledger tier (internal/qledger,
+	// wired by infobus.NewHost): each committed ledger batch is mirrored to
+	// this many peer replicas and PublishGuaranteed returns only once a
+	// majority of the replication group is durable. 0 — the default — keeps
+	// the single-node guaranteed path byte-for-byte unchanged. The core
+	// package itself only carries the value; it never reads it.
+	ReplicationFactor int
+	// ReplicaAckTimeout bounds how long a guaranteed publication waits for
+	// quorum acknowledgement before failing with qledger.ErrQuorumTimeout.
+	// 0 selects the qledger default.
+	ReplicaAckTimeout time.Duration
+	// ReplFsyncPolicy selects replica-side durability: "batch" (default —
+	// fsync each applied batch, the paper-faithful quorum) or "lazy" (write
+	// without fsync; quorum means process-crash durability only).
+	ReplFsyncPolicy string
+	// ReplicaDir is where this host stores mirrored peers' replica logs.
+	// Non-empty enrolls the host as a replica even with ReplicationFactor 0.
+	ReplicaDir string
 }
 
 // Bus errors.
@@ -328,6 +354,38 @@ func (h *Host) HealthDump() string {
 	return h.engine.DumpText()
 }
 
+// Ledger exposes the host's write-ahead ledger (nil without LedgerPath).
+// The replication tier hooks its commit stream; applications use the Bus
+// API instead.
+func (h *Host) Ledger() *ledger.Ledger {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ledger
+}
+
+// HealthEngine returns the host's alarm engine, or nil when the health
+// tier is disabled (TelemetryConfig.Health).
+func (h *Host) HealthEngine() *telemetry.Engine { return h.engine }
+
+// SetGuaranteeGate installs (or, with nil, removes) the quorum gate:
+// PublishGuaranteed calls it with the ledger id after local durability and
+// dissemination, and propagates its error. The entry stays pending on
+// error, so the retrier and crash recovery still cover it.
+func (h *Host) SetGuaranteeGate(gate func(id uint64) error) {
+	h.mu.Lock()
+	h.guarGate = gate
+	h.mu.Unlock()
+}
+
+// AddCloseHook registers f to run at the start of Close, before the buses,
+// daemon, and ledger shut down. Hooks run in reverse registration order,
+// once, on the closing goroutine.
+func (h *Host) AddCloseHook(f func()) {
+	h.mu.Lock()
+	h.closeHooks = append(h.closeHooks, f)
+	h.mu.Unlock()
+}
+
 // PendingGuaranteed returns the guaranteed publications not yet
 // acknowledged (from the ledger), including entries recovered after a
 // restart.
@@ -355,7 +413,12 @@ func (h *Host) Close() error {
 	h.health = nil
 	csync := h.csync
 	h.csync = nil
+	hooks := h.closeHooks
+	h.closeHooks = nil
 	h.mu.Unlock()
+	for i := len(hooks) - 1; i >= 0; i-- {
+		hooks[i]()
+	}
 	if health != nil {
 		health.stop()
 	}
@@ -571,7 +634,7 @@ func (b *Bus) PublishGuaranteed(subj string, value mop.Value) (uint64, error) {
 		return 0, fmt.Errorf("%q: %w", subj, ErrReservedSubject)
 	}
 	b.host.mu.Lock()
-	led, retry := b.host.ledger, b.host.retry
+	led, retry, gate := b.host.ledger, b.host.retry, b.host.guarGate
 	b.host.mu.Unlock()
 	if led == nil {
 		return 0, ErrNoLedger
@@ -597,6 +660,15 @@ func (b *Bus) PublishGuaranteed(subj string, value mop.Value) (uint64, error) {
 		return id, err
 	}
 	_ = retry // the retrier re-publishes on its timer until the ack lands
+	if gate != nil {
+		// Replicated mode: hold the publisher until a majority of replicas
+		// acknowledged the commit batch carrying this id. On error the entry
+		// is already pending locally and disseminated, so nothing is lost —
+		// the caller just lacks the quorum guarantee.
+		if gerr := gate(id); gerr != nil {
+			return id, gerr
+		}
+	}
 	return id, nil
 }
 

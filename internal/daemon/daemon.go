@@ -69,10 +69,15 @@ type Daemon struct {
 	subs    *subject.Trie[*Client]
 	clients map[*Client]struct{}
 	onAck   func(id uint64, from string)
-	closed  bool
-	done    chan struct{}
-	kick    chan struct{} // debounced interest re-advertisement requests
-	wg      sync.WaitGroup
+	// foster routes guaranteed-delivery acks addressed to other origins —
+	// crashed publishers this daemon is replaying for (qledger recovery).
+	// Nil until the first FosterAcks call, so the ack path costs an
+	// untouched daemon nothing.
+	foster map[string]func(id uint64, from string)
+	closed bool
+	done   chan struct{}
+	kick   chan struct{} // debounced interest re-advertisement requests
+	wg     sync.WaitGroup
 
 	// Cached, aggregated interest advertisement; recomputed only when the
 	// subscription set changes (a full trie walk is too expensive to run
@@ -442,6 +447,73 @@ func (d *Daemon) publishGuaranteed(subj subject.Subject, payload []byte, id uint
 	return nil
 }
 
+// PublishGuaranteedOrigin re-publishes a guaranteed publication on behalf
+// of another publisher: the envelope carries origin (the crashed
+// publisher's identity token) instead of this daemon's, so consumer-side
+// (origin, id) dedup treats the replay and any original transmission as
+// one publication. compact marks a payload in the compact dictionary
+// format. Acknowledgements come back to this daemon (acks are unicast to
+// the sender) and are routed through FosterAcks.
+func (d *Daemon) PublishGuaranteedOrigin(subj subject.Subject, payload []byte, id uint64, origin string, compact bool) error {
+	kind := byte(busproto.KindGuaranteed)
+	if compact {
+		kind = busproto.KindGuaranteedCompact
+	}
+	e := busproto.Envelope{
+		Kind: kind, ID: id, Origin: origin,
+		Subject: subj.String(), Payload: payload,
+	}
+	buf := bufpool.Get(len(e.Origin) + len(e.Subject) + len(payload) + 32)
+	env := busproto.AppendEncode((*buf)[:0], e)
+	*buf = env
+	defer bufpool.Put(buf)
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	foster := d.foster[origin]
+	d.mu.Unlock()
+	d.ctr.publishedLocal.Inc()
+	if err := d.conn.Publish(env); err != nil {
+		return err
+	}
+	if d.guarAlreadyDelivered(origin, id) {
+		return nil
+	}
+	delivered := d.routeLocal(Delivery{
+		Subject: subj, Payload: payload, From: d.Addr(), Guaranteed: true, ID: id,
+	})
+	if delivered > 0 {
+		d.guarRecordDelivered(origin, id)
+		if foster != nil {
+			// A local subscriber consumed it: self-acknowledge to the
+			// fostering replayer.
+			foster(id, d.Addr())
+		}
+	}
+	return nil
+}
+
+// FosterAcks routes guaranteed-delivery acknowledgements addressed to
+// origin — a publisher this daemon is replaying for — to f. One callback
+// per origin; DropFosterAcks removes it.
+func (d *Daemon) FosterAcks(origin string, f func(id uint64, from string)) {
+	d.mu.Lock()
+	if d.foster == nil {
+		d.foster = make(map[string]func(id uint64, from string))
+	}
+	d.foster[origin] = f
+	d.mu.Unlock()
+}
+
+// DropFosterAcks stops routing acks for origin.
+func (d *Daemon) DropFosterAcks(origin string) {
+	d.mu.Lock()
+	delete(d.foster, origin)
+	d.mu.Unlock()
+}
+
 // Flush forces batched publications onto the wire.
 func (d *Daemon) Flush() error { return d.conn.Flush() }
 
@@ -724,7 +796,17 @@ func (d *Daemon) handleMessage(m reliable.Message) {
 		}
 	case busproto.KindGuarAck:
 		if env.Origin != d.identity {
-			return // ack for some other publisher's message
+			// Not ours — but it may belong to a crashed publisher this
+			// daemon is replaying for (the acker unicasts to whoever
+			// retransmitted, which is us).
+			d.mu.Lock()
+			foster := d.foster[env.Origin]
+			d.mu.Unlock()
+			if foster != nil {
+				d.ctr.guarAcksRecv.Inc()
+				foster(env.ID, m.From)
+			}
+			return
 		}
 		d.ctr.guarAcksRecv.Inc()
 		d.mu.Lock()

@@ -100,9 +100,18 @@ func (l *Ledger) flushOnce() bool {
 	l.cur = l.newBatchLocked()
 	f := l.f
 	seg := l.segs[len(l.segs)-1]
+	hook := l.onCommit
 	l.mu.Unlock()
 
 	err := l.writeBatch(f, b)
+	if err == nil && hook != nil && b.recs > 0 {
+		// Replication hook: the batch is durable but its Append callers
+		// have not woken yet (done closes below), so a publisher returning
+		// from Append can rely on the batch having been mirrored already.
+		// Only the committer touches commitSeq in group mode.
+		l.commitSeq++
+		hook(CommitBatch{Seq: l.commitSeq, Records: b.buf, MsgIDs: b.msgIDs})
+	}
 
 	l.mu.Lock()
 	l.creditBatchLocked(b, seg)
@@ -163,6 +172,10 @@ func (l *Ledger) creditBatchLocked(b *batch, seg *segment) {
 func (l *Ledger) commitBatchLocked(b *batch) error {
 	l.cur = l.newBatchLocked()
 	err := l.writeBatch(l.f, b)
+	if err == nil && l.onCommit != nil && b.recs > 0 {
+		l.commitSeq++
+		l.onCommit(CommitBatch{Seq: l.commitSeq, Records: b.buf, MsgIDs: b.msgIDs})
+	}
 	seg := l.segs[len(l.segs)-1]
 	l.creditBatchLocked(b, seg)
 	if err == nil && seg.size >= l.segMax {

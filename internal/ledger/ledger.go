@@ -45,6 +45,10 @@ const DefaultSegmentBytes = 4 << 20
 // zero. It only ever applies under proven contention; see Options.Linger.
 const DefaultLinger = 100 * time.Microsecond
 
+// DefaultAckLinger is the deferred-commit window for batches holding only
+// ack records when Options.AckLinger is zero; see Options.AckLinger.
+const DefaultAckLinger = 2 * time.Millisecond
+
 // Entry is one logged, possibly unacknowledged message.
 type Entry struct {
 	ID      uint64
@@ -90,12 +94,13 @@ type batch struct {
 // Ledger is a crash-safe append-only message log. It is safe for
 // concurrent use.
 type Ledger struct {
-	path   string // segment name prefix: <path>.<seq>.seg
-	dir    string
-	sync   bool
-	group  bool
-	linger time.Duration
-	segMax int64
+	path      string // segment name prefix: <path>.<seq>.seg
+	dir       string
+	sync      bool
+	group     bool
+	linger    time.Duration
+	ackLinger time.Duration
+	segMax    int64
 
 	kick chan struct{} // committer wake-up (buffered, non-blocking send)
 	stop chan struct{}
@@ -103,7 +108,10 @@ type Ledger struct {
 
 	mu         sync.Mutex
 	closed     bool
-	lastCohort int // appenders woken by the previous flush (linger target)
+	onCommit   func(cb CommitBatch) // replication hook; see SetOnCommit
+	commitSeq  uint64               // batches committed so far (hook's Seq)
+	lastCohort int                  // appenders woken by the previous flush (linger target)
+	ackTimer   *time.Timer          // pending deferred-ack kick; see Options.AckLinger
 	nextID     uint64
 	pending    map[uint64]*entryState
 	segs       []*segment
@@ -150,6 +158,15 @@ type Options struct {
 	// waits regardless of the setting. Zero selects DefaultLinger;
 	// negative disables lingering entirely.
 	Linger time.Duration
+	// AckLinger defers the commit kick when the staged batch holds only
+	// ack records. Nothing waits on an ack commit and its durability is
+	// advisory (a crash that loses recent acks causes re-deliveries that
+	// consumers dedup), but under a steady ack trickle an immediate kick
+	// buys each ack its own fsync and starves message appends of cohort
+	// partners. Deferred acks ride the next message batch, the deferral
+	// timer, or Close — they are never dropped while the process lives.
+	// Zero selects DefaultAckLinger; negative disables deferral.
+	AckLinger time.Duration
 	// DisableGroupCommit reverts to a write(+fsync) per record under the
 	// ledger lock — the pre-group-commit behaviour, kept as the measured
 	// baseline for experiment A10. Leave it false.
@@ -180,20 +197,27 @@ func Open(path string, opts Options) (*Ledger, error) {
 	} else if linger < 0 {
 		linger = 0
 	}
+	ackLinger := opts.AckLinger
+	if ackLinger == 0 {
+		ackLinger = DefaultAckLinger
+	} else if ackLinger < 0 {
+		ackLinger = 0
+	}
 	reg := opts.Metrics
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
 	l := &Ledger{
-		path:    path,
-		dir:     filepath.Dir(path),
-		sync:    opts.Sync,
-		group:   !opts.DisableGroupCommit,
-		linger:  linger,
-		segMax:  segMax,
-		kick:    make(chan struct{}, 1),
-		stop:    make(chan struct{}),
-		pending: make(map[uint64]*entryState),
+		path:      path,
+		dir:       filepath.Dir(path),
+		sync:      opts.Sync,
+		group:     !opts.DisableGroupCommit,
+		linger:    linger,
+		ackLinger: ackLinger,
+		segMax:    segMax,
+		kick:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		pending:   make(map[uint64]*entryState),
 	}
 	l.ctr = counters{
 		appends:     reg.Counter("ledger.appends"),
@@ -291,6 +315,20 @@ func (l *Ledger) Ack(id uint64) error {
 		l.mu.Unlock()
 		return err
 	}
+	// A batch of nothing but ack records has no waiter: defer its kick so
+	// the acks ride a message batch instead of buying their own fsync.
+	if l.ackLinger > 0 && len(b.msgIDs) == 0 {
+		if l.ackTimer == nil {
+			l.ackTimer = time.AfterFunc(l.ackLinger, func() {
+				l.mu.Lock()
+				l.ackTimer = nil
+				l.mu.Unlock()
+				l.kickCommitter()
+			})
+		}
+		l.mu.Unlock()
+		return nil
+	}
 	l.mu.Unlock()
 	l.kickCommitter()
 	return nil
@@ -367,6 +405,10 @@ func (l *Ledger) Close() error {
 		return nil
 	}
 	l.closed = true
+	if l.ackTimer != nil {
+		l.ackTimer.Stop() // a late firing is harmless; the drain below covers it
+		l.ackTimer = nil
+	}
 	l.mu.Unlock()
 	if l.group {
 		close(l.stop)

@@ -705,3 +705,84 @@ func TestQuickRecordRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAckLingerDefersCommit proves the deferred-ack pipeline: a lone ack
+// record does not buy its own commit inside the linger window, rides the
+// next message batch when one forms, still reaches disk via the deferral
+// timer when none does, and is never lost across Close.
+func TestAckLingerDefersCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.log")
+	reg := telemetry.NewRegistry()
+	l, err := Open(path, Options{Metrics: reg, AckLinger: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := l.Append("fab5.wip", []byte("lot-44"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := reg.Counter("ledger.commits").Load()
+	if err := l.Ack(id); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // well inside the linger window
+	if got := reg.Counter("ledger.commits").Load(); got != base {
+		t.Fatalf("ack committed eagerly: %d commits (was %d)", got, base)
+	}
+	// A message append sweeps the staged ack along with it.
+	if _, err := l.Append("fab5.wip", []byte("lot-45")); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("ledger.commits").Load(); got != base+1 {
+		t.Fatalf("message batch did not sweep the ack: %d commits", got)
+	}
+	// Close drains a deferred ack staged moments earlier; a reopen must
+	// not resurrect the acked message.
+	id2 := uint64(0)
+	if id2, err = l.Append("fab5.wip", []byte("lot-46")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Ack(id2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	for _, e := range l2.Pending() {
+		if e.ID == id2 {
+			t.Fatal("deferred ack lost across Close: message resurrected")
+		}
+	}
+}
+
+// TestAckLingerTimerFlush proves a deferred ack reaches disk on its own
+// once the linger timer expires, without any later append to ride.
+func TestAckLingerTimerFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.log")
+	reg := telemetry.NewRegistry()
+	l, err := Open(path, Options{Metrics: reg, AckLinger: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	id, err := l.Append("fab5.wip", []byte("lot-47"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := reg.Counter("ledger.commits").Load()
+	if err := l.Ack(id); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Counter("ledger.commits").Load() == base {
+		if time.Now().After(deadline) {
+			t.Fatal("deferred ack never committed after the linger window")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

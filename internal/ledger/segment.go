@@ -104,6 +104,7 @@ func (l *Ledger) openSegments() error {
 		l.segs = []*segment{{seq: 1, path: segPath(l.path, 1)}}
 		return nil
 	}
+	tornTail := false
 	for i, seq := range seqs {
 		path := segPath(l.path, seq)
 		data, err := os.ReadFile(path)
@@ -113,6 +114,9 @@ func (l *Ledger) openSegments() error {
 		validEnd, err := l.replaySegment(seq, data, i == len(seqs)-1)
 		if err != nil {
 			return fmt.Errorf("ledger: %s: %w", path, err)
+		}
+		if i == len(seqs)-1 && validEnd < len(data) {
+			tornTail = true
 		}
 		l.segs = append(l.segs, &segment{seq: seq, path: path, size: int64(validEnd)})
 	}
@@ -130,6 +134,23 @@ func (l *Ledger) openSegments() error {
 	if err := f.Truncate(active.size); err != nil {
 		_ = f.Close()
 		return fmt.Errorf("ledger: truncating torn tail of %s: %w", active.path, err)
+	}
+	if tornTail {
+		// Removing a torn tail is a recovery-time mutation and must be as
+		// durable as the rename/create/unlink paths: fsync the file so the
+		// truncation itself survives a crash right after replay, and the
+		// directory so the metadata change does too. Without this a second
+		// crash could resurrect the torn bytes mid-file once new appends
+		// land beyond them, turning a tolerated tear into real corruption.
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("ledger: syncing truncated %s: %w", active.path, err)
+		}
+		l.ctr.fsyncs.Inc()
+		if err := fsyncDir(l.dir); err != nil {
+			_ = f.Close()
+			return err
+		}
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		_ = f.Close()

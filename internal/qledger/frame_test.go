@@ -1,0 +1,80 @@
+package qledger
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"infobus/internal/ledger"
+)
+
+func appendTestMessage(dst []byte, id uint64, subj, payload string) []byte {
+	return ledger.AppendMessageRecord(dst, id, subj, []byte(payload))
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []Frame{
+		{Type: FrameBatch, Origin: "sim:1#aa", Seq: 42, Records: []byte("recs")},
+		{Type: FrameAck, Origin: "sim:1#aa", Seq: 7, Replica: "r-01", MaxSeq: 6},
+		{Type: FrameBeat, Origin: "sim:2#bb"},
+		{Type: FrameReadReq, Origin: "sim:1#aa", Round: 3},
+		{Type: FrameReadRep, Origin: "sim:1#aa", Round: 3, Replica: "r-02", Records: []byte{1, 2, 3}, MaxSeq: 9},
+		{Type: FrameRelease, Origin: "sim:1#aa", Records: []byte("acks")},
+	}
+	for _, want := range cases {
+		got, err := ParseFrame(AppendFrame(nil, want))
+		if err != nil {
+			t.Fatalf("%+v: %v", want, err)
+		}
+		if got.Type != want.Type || got.Origin != want.Origin || got.Seq != want.Seq ||
+			got.Replica != want.Replica || got.Round != want.Round || got.MaxSeq != want.MaxSeq ||
+			!bytes.Equal(got.Records, want.Records) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+// TestFrameUnknownTagSkipped: a newer peer's extra field must not break an
+// older parser — the self-describing property the format exists for.
+func TestFrameUnknownTagSkipped(t *testing.T) {
+	buf := AppendFrame(nil, Frame{Type: FrameAck, Origin: "o", Seq: 5, Replica: "r"})
+	buf = binary.AppendUvarint(buf, 99) // unknown tag
+	buf = binary.AppendUvarint(buf, 3)
+	buf = append(buf, "xyz"...)
+	buf = appendUintField(buf, tagMaxSeq, 4) // known field after the unknown one
+	f, err := ParseFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Seq != 5 || f.MaxSeq != 4 || f.Origin != "o" || f.Replica != "r" {
+		t.Fatalf("parse after unknown tag: %+v", f)
+	}
+}
+
+func TestFrameRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{'Q'},
+		{'Q', frameVersion},
+		{'X', frameVersion, FrameBatch},     // wrong magic
+		{'Q', 99, FrameBatch},               // wrong version
+		{'Q', frameVersion, 0},              // bad type
+		{'Q', frameVersion, 200},            // unknown type
+		{'Q', frameVersion, FrameAck, 0x80}, // truncated tag varint
+		{'Q', frameVersion, FrameAck, 1, 10, 'x'}, // length past end
+		append([]byte{'Q', frameVersion, FrameAck}, // oversized token
+			append([]byte{tagOrigin, 255}, make([]byte, 255)...)...),
+	}
+	// Token over maxTokenLen.
+	big := AppendFrame(nil, Frame{Type: FrameAck})
+	big = appendField(big, tagOrigin, make([]byte, maxTokenLen+1))
+	cases = append(cases, big)
+	for i, c := range cases {
+		if _, err := ParseFrame(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		} else if !errors.Is(err, ErrBadFrame) {
+			t.Errorf("case %d: err = %v, want ErrBadFrame", i, err)
+		}
+	}
+}

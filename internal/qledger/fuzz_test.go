@@ -1,0 +1,34 @@
+package qledger
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReplFrame: the replication codec parses network-facing bytes, so it
+// must survive arbitrary input (length caps, token caps, field-count
+// bound) and round-trip whatever it accepts.
+func FuzzReplFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, Frame{Type: FrameBatch, Origin: "sim:1#00aa", Seq: 3, Records: []byte("payload")}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameAck, Origin: "o", Seq: 1, Replica: "r-0011", MaxSeq: 1}))
+	f.Add(AppendFrame(nil, Frame{Type: FrameReadRep, Origin: "o", Round: 9, Replica: "r", Records: bytes.Repeat([]byte{7}, 100)}))
+	f.Add([]byte{'Q', frameVersion, FrameBeat})
+	f.Add([]byte("not a frame"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := ParseFrame(data) // must never panic
+		if err != nil {
+			return
+		}
+		// Accepted frames re-encode and re-parse to the same value
+		// (canonical fields only; unknown tags are dropped by design).
+		out, err := ParseFrame(AppendFrame(nil, frame))
+		if err != nil {
+			t.Fatalf("re-parse of accepted frame failed: %v", err)
+		}
+		if out.Type != frame.Type || out.Origin != frame.Origin || out.Seq != frame.Seq ||
+			out.Replica != frame.Replica || out.Round != frame.Round || out.MaxSeq != frame.MaxSeq ||
+			!bytes.Equal(out.Records, frame.Records) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", frame, out)
+		}
+	})
+}

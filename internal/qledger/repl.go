@@ -1,0 +1,745 @@
+package qledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"infobus/internal/core"
+	"infobus/internal/daemon"
+	"infobus/internal/ledger"
+	"infobus/internal/rmi"
+	"infobus/internal/subject"
+	"infobus/internal/telemetry"
+)
+
+// Replication subjects. They live in the reserved "_sys" space: only the
+// bus machinery publishes there, so replicas can trust the frames.
+var (
+	subjBatch   = subject.MustParse("_sys.repl.batch")
+	subjAck     = subject.MustParse("_sys.repl.ack")
+	subjBeat    = subject.MustParse("_sys.repl.beat")
+	subjRead    = subject.MustParse("_sys.repl.read")
+	subjReadRep = subject.MustParse("_sys.repl.readrep")
+	subjRelease = subject.MustParse("_sys.repl.release")
+
+	replPattern = subject.MustParsePattern("_sys.repl.>")
+)
+
+// Agent errors.
+var (
+	// ErrQuorumTimeout: a guaranteed publication did not reach a majority
+	// of the replication group within Config.AckTimeout. The entry is
+	// still durable locally, disseminated, and covered by the retrier and
+	// crash recovery — only the quorum guarantee is unconfirmed.
+	ErrQuorumTimeout = errors.New("qledger: quorum acknowledgement timeout")
+	// ErrClosed: the agent (or its host) is shutting down.
+	ErrClosed = errors.New("qledger: closed")
+)
+
+// Config tunes a replication agent. The zero value is not valid — use
+// core.HostConfig's replication fields through infobus.NewHost, or fill
+// Factor/Dir explicitly in tests.
+type Config struct {
+	// Factor is the number of peer replicas each committed batch is
+	// mirrored to; the replication group is this host plus Factor
+	// replicas, and publishes are acknowledged at majority durability.
+	// 0 disables the publisher role.
+	Factor int
+	// AckTimeout bounds the quorum wait in PublishGuaranteed. Default 5s.
+	AckTimeout time.Duration
+	// FsyncPolicy selects replica durability: "batch" (default, fsync per
+	// applied batch) or "lazy" (no fsync).
+	FsyncPolicy string
+	// Dir enables the replica role: mirrored batches from other
+	// publishers are stored in per-origin ledgers under it.
+	Dir string
+	// BeatInterval is the publisher's liveness beacon period. Default
+	// 250ms.
+	BeatInterval time.Duration
+	// CrashTimeout is how long a replica-side coordinator waits without
+	// hearing a publisher before fostering its pending entries. Default
+	// 4x BeatInterval.
+	CrashTimeout time.Duration
+	// ReadTimeout bounds one majority-read round during recovery. Default
+	// 500ms.
+	ReadTimeout time.Duration
+	// RetryInterval paces chunk retransmission and recovery replay.
+	// Default 100ms.
+	RetryInterval time.Duration
+	// GatherDelay is the replica-side group-commit window: on receiving a
+	// mirrored chunk the replica waits this long for trailing chunks so a
+	// single fsync (and a single ack round) covers the whole run. Without
+	// it a steady trickle of staggered publishers settles into one fsync
+	// per chunk — each ack releases one publisher, whose next commit
+	// arrives alone, so batches never re-form anywhere in the pipeline.
+	// Costs its value in quorum latency when traffic is sparse. 0
+	// disables (the default).
+	GatherDelay time.Duration
+	// Election tunes the recovery-coordinator election.
+	Election rmi.ElectionOptions
+	// DisableRecovery keeps this replica out of the coordinator election
+	// (it still stores and acks batches).
+	DisableRecovery bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 5 * time.Second
+	}
+	if c.BeatInterval <= 0 {
+		c.BeatInterval = 250 * time.Millisecond
+	}
+	if c.CrashTimeout <= 0 {
+		c.CrashTimeout = 4 * c.BeatInterval
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 500 * time.Millisecond
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 100 * time.Millisecond
+	}
+	return c
+}
+
+// maxChunk bounds one mirrored frame's record run; a larger commit batch
+// is split at record boundaries into several chunks.
+const maxChunk = 256 << 10
+
+// maxReadRep bounds one recovery read reply. A replica with more pending
+// data answers with a prefix; the coordinator's re-scan covers the rest.
+const maxReadRep = 1 << 20
+
+// chunk is one mirrored batch awaiting quorum.
+type chunk struct {
+	frame []byte   // encoded FrameBatch, kept for retransmission
+	ids   []uint64 // message ids the chunk carries
+	acks  map[string]struct{}
+	done  chan struct{} // closed at quorum
+	sent  time.Time     // last (re)transmission, for retry pacing
+}
+
+// Agent is one host's replication tier: the publisher side mirrors ledger
+// commits and gates PublishGuaranteed on quorum acks; the replica side
+// stores peers' batches and takes part in the recovery-coordinator
+// election. Attach wires it; the host's Close tears it down.
+type Agent struct {
+	h      *core.Host
+	d      *daemon.Daemon
+	cfg    Config
+	client *daemon.Client
+	store  *Store // nil without Config.Dir
+
+	origin  string // this host's publisher identity (daemon token)
+	replica string // stable replica identity (store token)
+	need    int    // replica acks for a write quorum
+	readQ   int    // distinct replicas for a read quorum
+
+	lag  *telemetry.Gauge // chunks mirrored but not yet at quorum
+	lost *telemetry.Gauge // 1 while the last quorum wait timed out
+	ctr  counters
+	rec  *telemetry.Recorder
+
+	mu         sync.Mutex
+	nextSeq    uint64
+	outbox     map[uint64]*chunk
+	idSeq      map[uint64]uint64 // ledger id -> chunk seq, until quorum
+	ackBuf     []byte            // deferred ack records, piggybacked on the next chunk
+	heard      map[string]time.Time
+	recovering map[string]bool
+	readReps   map[uint64]chan Frame
+	round      uint64
+	closed     bool
+
+	done     chan struct{}
+	wg       sync.WaitGroup
+	election *rmi.Election
+	ebus     *core.Bus
+
+	scanMu   sync.Mutex
+	scanStop chan struct{}
+}
+
+type counters struct {
+	batchesSent, acksRecv     *telemetry.Counter
+	batchesStored, acksSent   *telemetry.Counter
+	recoveries, replayedMsgs  *telemetry.Counter
+	quorumTimeouts, retransms *telemetry.Counter
+}
+
+// Attach starts the replication tier on a host. With Factor > 0 the host
+// must have a ledger (the publisher role hooks its commit stream); with
+// Dir set the host stores peers' batches. The agent registers itself as a
+// host close hook, so a plain Host.Close tears everything down in order.
+func Attach(h *core.Host, cfg Config) (*Agent, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Factor < 0 {
+		return nil, fmt.Errorf("qledger: negative replication factor %d", cfg.Factor)
+	}
+	if cfg.Factor == 0 && cfg.Dir == "" {
+		return nil, errors.New("qledger: nothing to do (Factor 0 and no replica dir)")
+	}
+	switch cfg.FsyncPolicy {
+	case "", "batch", "lazy":
+	default:
+		return nil, fmt.Errorf("qledger: unknown fsync policy %q", cfg.FsyncPolicy)
+	}
+	led := h.Ledger()
+	if cfg.Factor > 0 && led == nil {
+		return nil, errors.New("qledger: replication requires a ledger (set LedgerPath)")
+	}
+	a := &Agent{
+		h:          h,
+		d:          h.Daemon(),
+		cfg:        cfg,
+		origin:     h.Daemon().Identity(),
+		need:       (cfg.Factor + 1) / 2,
+		readQ:      cfg.Factor + 1 - (cfg.Factor+1)/2,
+		outbox:     make(map[uint64]*chunk),
+		idSeq:      make(map[uint64]uint64),
+		heard:      make(map[string]time.Time),
+		recovering: make(map[string]bool),
+		readReps:   make(map[uint64]chan Frame),
+		done:       make(chan struct{}),
+		rec:        h.Recorder(),
+	}
+	m := h.Metrics()
+	a.lag = m.Gauge("qledger.repl_lag")
+	a.lost = m.Gauge("qledger.quorum_lost")
+	a.ctr = counters{
+		batchesSent:    m.Counter("qledger.batches_sent"),
+		acksRecv:       m.Counter("qledger.acks_recv"),
+		batchesStored:  m.Counter("qledger.batches_stored"),
+		acksSent:       m.Counter("qledger.acks_sent"),
+		recoveries:     m.Counter("qledger.recoveries"),
+		replayedMsgs:   m.Counter("qledger.replayed_msgs"),
+		quorumTimeouts: m.Counter("qledger.quorum_timeouts"),
+		retransms:      m.Counter("qledger.retransmits"),
+	}
+	if cfg.Dir != "" {
+		store, err := OpenStore(cfg.Dir, cfg.FsyncPolicy != "lazy", m)
+		if err != nil {
+			return nil, err
+		}
+		tok, err := stableReplicaToken(cfg.Dir)
+		if err != nil {
+			_ = store.Close()
+			return nil, err
+		}
+		a.store, a.replica = store, tok
+	}
+	client, err := a.d.NewClient("_qledger")
+	if err != nil {
+		_ = a.closeStore()
+		return nil, err
+	}
+	a.client = client
+	if err := client.Subscribe(replPattern); err != nil {
+		_ = client.Close()
+		_ = a.closeStore()
+		return nil, err
+	}
+	if a.store != nil && !cfg.DisableRecovery {
+		ebus, err := h.NewBus("_qledger")
+		if err != nil {
+			_ = client.Close()
+			_ = a.closeStore()
+			return nil, err
+		}
+		election, err := rmi.NewElection(ebus, a, "_qrecover", cfg.Election)
+		if err != nil {
+			_ = ebus.Close()
+			_ = client.Close()
+			_ = a.closeStore()
+			return nil, err
+		}
+		a.ebus, a.election = ebus, election
+	}
+	if cfg.Factor > 0 {
+		led.SetOnCommit(a.onCommit)
+		h.SetGuaranteeGate(a.Gate)
+		if eng := h.HealthEngine(); eng != nil {
+			eng.Watch(telemetry.WatchConfig{Kind: "quorum-lost", Raise: 1},
+				a.lost.Load)
+		}
+	}
+	a.wg.Add(2)
+	go a.recvLoop()
+	go a.tickLoop()
+	h.AddCloseHook(a.Close)
+	return a, nil
+}
+
+func (a *Agent) closeStore() error {
+	if a.store == nil {
+		return nil
+	}
+	return a.store.Close()
+}
+
+// Store exposes the replica store (nil on a publisher-only agent).
+func (a *Agent) Store() *Store { return a.store }
+
+// Origin returns this host's publisher identity token.
+func (a *Agent) Origin() string { return a.origin }
+
+// Leading reports whether this agent currently is the recovery
+// coordinator.
+func (a *Agent) Leading() bool {
+	return a.election != nil && a.election.Leading()
+}
+
+// Close detaches the tier: retire from the election, stop the loops,
+// close the replica store. Idempotent; also runs as the host close hook.
+func (a *Agent) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	// Unblock every pending quorum gate.
+	outbox := a.outbox
+	a.outbox = make(map[uint64]*chunk)
+	a.idSeq = make(map[uint64]uint64)
+	a.mu.Unlock()
+	for _, c := range outbox {
+		close(c.done)
+	}
+	if a.cfg.Factor > 0 {
+		if led := a.h.Ledger(); led != nil {
+			led.SetOnCommit(nil)
+		}
+		a.h.SetGuaranteeGate(nil)
+	}
+	if a.election != nil {
+		a.election.Close()
+	}
+	close(a.done)
+	if a.ebus != nil {
+		_ = a.ebus.Close()
+	}
+	_ = a.client.Close()
+	a.wg.Wait()
+	_ = a.closeStore()
+}
+
+// ---------------------------------------------------------------------------
+// Publisher side
+
+// onCommit runs on the ledger committer for every durable batch. Message
+// records mirror immediately — a publisher is gated on them. Ack records
+// are deferred: they only drive replica-side trimming, and a frame per
+// consumer acknowledgement would double the chunk (and replica fsync)
+// rate, so they ride along in front of the next data chunk, or go out on
+// the beat tick when the publisher is idle. The hook must not retain cb's
+// slices (the ledger recycles them), so everything is copied here.
+func (a *Agent) onCommit(cb ledger.CommitBatch) {
+	var msgs, acks []byte
+	for off := 0; off < len(cb.Records); {
+		rec, n, err := ledger.NextRecord(cb.Records[off:])
+		if err != nil {
+			// The committer just wrote these bytes; a parse failure here is
+			// a programming error, not runtime input.
+			panic(fmt.Sprintf("qledger: commit batch does not re-parse: %v", err))
+		}
+		if rec.Ack {
+			acks = append(acks, cb.Records[off:off+n]...)
+		} else {
+			msgs = append(msgs, cb.Records[off:off+n]...)
+		}
+		off += n
+	}
+	var frames [][]byte
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.ackBuf = append(a.ackBuf, acks...)
+	if len(msgs) > 0 || len(a.ackBuf) >= maxChunk {
+		// Deferred acks go in front: an ack's message record always sits in
+		// an earlier chunk (the consumer acked a mirrored publication), so
+		// prepending cannot reorder an ack before its message.
+		records := append(a.ackBuf, msgs...)
+		a.ackBuf = nil
+		frames = a.buildChunksLocked(records)
+	}
+	a.lag.Set(int64(len(a.outbox)))
+	a.mu.Unlock()
+	for _, f := range frames {
+		_ = a.d.Publish(subjBatch, f)
+		a.ctr.batchesSent.Inc()
+	}
+	if len(frames) > 0 {
+		_ = a.d.Flush()
+	}
+}
+
+// buildChunksLocked cuts a validated record run into outbox chunks at
+// record boundaries (maxChunk each) and returns the frames to broadcast.
+// Caller holds a.mu.
+func (a *Agent) buildChunksLocked(records []byte) [][]byte {
+	var frames [][]byte
+	for len(records) > 0 {
+		end := 0
+		var ids []uint64
+		for end < len(records) {
+			rec, n, err := ledger.NextRecord(records[end:])
+			if err != nil {
+				panic(fmt.Sprintf("qledger: chunk run does not re-parse: %v", err))
+			}
+			if end > 0 && end+n > maxChunk {
+				break
+			}
+			if !rec.Ack {
+				ids = append(ids, rec.ID)
+			}
+			end += n
+		}
+		a.nextSeq++
+		c := &chunk{
+			frame: AppendFrame(nil, Frame{
+				Type: FrameBatch, Origin: a.origin, Seq: a.nextSeq,
+				Records: records[:end],
+			}),
+			ids:  ids,
+			acks: make(map[string]struct{}),
+			done: make(chan struct{}),
+			sent: time.Now(),
+		}
+		a.outbox[a.nextSeq] = c
+		for _, id := range ids {
+			a.idSeq[id] = a.nextSeq
+		}
+		frames = append(frames, c.frame)
+		records = records[end:]
+	}
+	return frames
+}
+
+// Gate blocks a PublishGuaranteed caller until the chunk carrying its
+// ledger id reaches quorum, the timeout passes, or the agent closes. It
+// is installed as the host's guarantee gate.
+func (a *Agent) Gate(id uint64) error {
+	a.mu.Lock()
+	seq, ok := a.idSeq[id]
+	if !ok {
+		// Already at quorum (acks can land between the commit hook and
+		// the publisher waking up), or not replicated at all.
+		a.mu.Unlock()
+		return nil
+	}
+	c := a.outbox[seq]
+	a.mu.Unlock()
+	if c == nil {
+		return nil
+	}
+	timer := time.NewTimer(a.cfg.AckTimeout)
+	defer timer.Stop()
+	select {
+	case <-c.done:
+		a.mu.Lock()
+		closed := a.closed
+		a.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		return nil
+	case <-a.done:
+		return ErrClosed
+	case <-timer.C:
+		a.lost.Set(1)
+		a.ctr.quorumTimeouts.Inc()
+		if a.rec != nil {
+			a.rec.Record(telemetry.EventRepl, "quorum-timeout", int64(id), int64(seq))
+		}
+		a.mu.Lock()
+		got := len(c.acks)
+		a.mu.Unlock()
+		return fmt.Errorf("%w (id %d, %d/%d replica acks)",
+			ErrQuorumTimeout, id, got, a.need)
+	}
+}
+
+// handleAck credits one replica ack to the publisher's outbox. MaxSeq
+// closes every straggling chunk at or below the replica's contiguous
+// high-water mark — content the replica provably holds even if the exact
+// ack frame for it was lost.
+func (a *Agent) handleAck(f Frame) {
+	if f.Origin != a.origin || f.Replica == "" {
+		return
+	}
+	a.ctr.acksRecv.Inc()
+	var ready []*chunk
+	a.mu.Lock()
+	for seq, c := range a.outbox {
+		if seq != f.Seq && seq > f.MaxSeq {
+			continue
+		}
+		if _, dup := c.acks[f.Replica]; dup {
+			continue
+		}
+		c.acks[f.Replica] = struct{}{}
+		if len(c.acks) >= a.need {
+			delete(a.outbox, seq)
+			for _, id := range c.ids {
+				delete(a.idSeq, id)
+			}
+			ready = append(ready, c)
+		}
+	}
+	if len(ready) > 0 {
+		a.lost.Set(0)
+	}
+	a.lag.Set(int64(len(a.outbox)))
+	a.mu.Unlock()
+	for _, c := range ready {
+		close(c.done)
+	}
+}
+
+// tickLoop drives publisher-side time: chunk retransmission every
+// RetryInterval and liveness beats every BeatInterval; on the replica
+// side, the coordinator's crash scan piggybacks on the beat tick.
+func (a *Agent) tickLoop() {
+	defer a.wg.Done()
+	retry := time.NewTicker(a.cfg.RetryInterval)
+	defer retry.Stop()
+	beat := time.NewTicker(a.cfg.BeatInterval)
+	defer beat.Stop()
+	var beatFrame []byte
+	if a.cfg.Factor > 0 {
+		beatFrame = AppendFrame(nil, Frame{Type: FrameBeat, Origin: a.origin})
+	}
+	for {
+		select {
+		case <-a.done:
+			return
+		case now := <-retry.C:
+			// Retransmit only chunks that have gone a full RetryInterval
+			// without an ack. Reflooding the whole outbox every tick would
+			// congest the medium exactly when the replicas are behind.
+			a.mu.Lock()
+			frames := make([][]byte, 0, len(a.outbox))
+			for _, c := range a.outbox {
+				if now.Sub(c.sent) < a.cfg.RetryInterval {
+					continue
+				}
+				c.sent = now
+				frames = append(frames, c.frame)
+			}
+			a.mu.Unlock()
+			for _, f := range frames {
+				_ = a.d.Publish(subjBatch, f)
+				a.ctr.retransms.Inc()
+			}
+			if len(frames) > 0 {
+				_ = a.d.Flush()
+			}
+		case <-beat.C:
+			if beatFrame != nil {
+				// Idle flush for deferred ack records: with no data chunks
+				// to ride on, replica trimming proceeds at beat cadence.
+				a.mu.Lock()
+				var frames [][]byte
+				if len(a.ackBuf) > 0 && !a.closed {
+					records := a.ackBuf
+					a.ackBuf = nil
+					frames = a.buildChunksLocked(records)
+				}
+				a.mu.Unlock()
+				for _, f := range frames {
+					_ = a.d.Publish(subjBatch, f)
+					a.ctr.batchesSent.Inc()
+				}
+				_ = a.d.Publish(subjBeat, beatFrame)
+				_ = a.d.Flush()
+			}
+			if a.store != nil && a.Leading() {
+				a.scanForCrashed()
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Replica side
+
+// maxDrain caps how many queued batch frames the recv loop folds into one
+// replica group commit.
+const maxDrain = 256
+
+// recvLoop dispatches replication frames from the daemon client. Batch
+// frames are the hot path: when one arrives, every batch frame already
+// queued behind it is drained and applied in a single ledger append — the
+// replica-side half of the fsync amortization. Draining stops at the
+// first non-batch frame so global FIFO order is preserved exactly.
+func (a *Agent) recvLoop() {
+	defer a.wg.Done()
+	for {
+		dv, ok := a.client.Next(a.done)
+		if !ok {
+			return
+		}
+		f, err := ParseFrame(dv.Payload)
+		if err != nil {
+			continue // foreign or corrupt frame: drop, never crash
+		}
+		if f.Type != FrameBatch {
+			a.dispatch(f)
+			continue
+		}
+		if a.cfg.GatherDelay > 0 {
+			// Replica-side linger: let the chunks behind this one land
+			// before the group commit below cuts the batch.
+			time.Sleep(a.cfg.GatherDelay)
+		}
+		batch := []Frame{f}
+		var tail []Frame
+		for len(batch) < maxDrain {
+			dv, ok := a.client.TryNext()
+			if !ok {
+				break
+			}
+			g, err := ParseFrame(dv.Payload)
+			if err != nil {
+				continue
+			}
+			if g.Type != FrameBatch {
+				tail = append(tail, g)
+				break
+			}
+			batch = append(batch, g)
+		}
+		a.handleBatches(batch)
+		for _, g := range tail {
+			a.dispatch(g)
+		}
+	}
+}
+
+// dispatch handles one non-batch replication frame.
+func (a *Agent) dispatch(f Frame) {
+	switch f.Type {
+	case FrameAck:
+		a.handleAck(f)
+	case FrameBeat:
+		a.noteHeard(f.Origin)
+	case FrameReadReq:
+		a.handleReadReq(f)
+	case FrameReadRep:
+		a.routeReadRep(f)
+	case FrameRelease:
+		if a.store != nil && f.Origin != "" && len(f.Records) > 0 {
+			_ = a.store.Release(f.Origin, f.Records)
+		}
+	}
+}
+
+func (a *Agent) noteHeard(origin string) {
+	if origin == "" || origin == a.origin {
+		return
+	}
+	a.mu.Lock()
+	a.heard[origin] = time.Now()
+	a.mu.Unlock()
+}
+
+// handleBatches stores a drained run of mirrored chunks — one ledger
+// append (one fsync) per origin — and acks them. In the common in-order
+// case one ack frame per origin covers the whole run via the contiguous
+// high-water mark; chunks applied above a gap get an exact-seq ack each.
+// Duplicates (retransmissions) skip the disk but still ack — the content
+// is already durable here.
+func (a *Agent) handleBatches(frames []Frame) {
+	if a.store == nil {
+		return
+	}
+	type run struct {
+		seqs []uint64
+		recs [][]byte
+	}
+	var order []string
+	runs := make(map[string]*run)
+	for _, f := range frames {
+		if f.Origin == "" || f.Origin == a.origin || f.Seq == 0 {
+			continue
+		}
+		a.noteHeard(f.Origin)
+		r := runs[f.Origin]
+		if r == nil {
+			r = &run{}
+			runs[f.Origin] = r
+			order = append(order, f.Origin)
+		}
+		r.seqs = append(r.seqs, f.Seq)
+		r.recs = append(r.recs, f.Records)
+	}
+	sent := 0
+	for _, origin := range order {
+		r := runs[origin]
+		contig, err := a.store.ApplyRun(origin, r.seqs, r.recs)
+		if err != nil {
+			continue // disk trouble: withhold the acks, the publisher retries
+		}
+		a.ctr.batchesStored.Add(uint64(len(r.seqs)))
+		acked := make(map[uint64]bool)
+		for _, seq := range r.seqs {
+			if seq <= contig || acked[seq] {
+				continue // covered by the closing high-water ack below
+			}
+			acked[seq] = true
+			_ = a.d.Publish(subjAck, AppendFrame(nil, Frame{
+				Type: FrameAck, Origin: origin, Seq: seq, Replica: a.replica,
+				MaxSeq: contig,
+			}))
+			sent++
+		}
+		if contig > 0 {
+			_ = a.d.Publish(subjAck, AppendFrame(nil, Frame{
+				Type: FrameAck, Origin: origin, Seq: contig, Replica: a.replica,
+				MaxSeq: contig,
+			}))
+			sent++
+		}
+	}
+	if sent > 0 {
+		_ = a.d.Flush()
+		a.ctr.acksSent.Add(uint64(sent))
+	}
+}
+
+// handleReadReq answers a recovery coordinator's majority read with this
+// replica's pending set for the origin. Replicas holding nothing answer
+// too: an empty reply still counts toward the read quorum.
+func (a *Agent) handleReadReq(f Frame) {
+	if a.store == nil || f.Origin == "" || f.Round == 0 {
+		return
+	}
+	rep := AppendFrame(nil, Frame{
+		Type: FrameReadRep, Origin: f.Origin, Round: f.Round,
+		Replica: a.replica, Records: a.store.PendingRecords(f.Origin, maxReadRep),
+		MaxSeq: a.store.Contiguous(f.Origin),
+	})
+	_ = a.d.Publish(subjReadRep, rep)
+	_ = a.d.Flush()
+}
+
+// routeReadRep hands a read reply to the recovery waiting on its round.
+func (a *Agent) routeReadRep(f Frame) {
+	a.mu.Lock()
+	ch := a.readReps[f.Round]
+	a.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	// Records aliases the delivery buffer; the recovery goroutine retains
+	// it across the channel, so copy here.
+	f.Records = append([]byte(nil), f.Records...)
+	select {
+	case ch <- f:
+	default:
+	}
+}

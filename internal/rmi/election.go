@@ -10,26 +10,39 @@ import (
 	"infobus/internal/mop"
 )
 
-// Election implements the server-side multiple-server policy of §3.3:
-// "The servers can decide among themselves which one will respond to a
-// request from the client." A group of equivalent servers for one service
-// subject run an election over the bus itself — no coordinator, no name
-// service, just publications on a well-known election subject (P4):
+// The election in this file implements the server-side multiple-server
+// policy of §3.3: "The servers can decide among themselves which one will
+// respond to a request from the client." A group of equivalent members for
+// one service subject run an election over the bus itself — no
+// coordinator, no name service, just publications on a well-known election
+// subject (P4):
 //
 //   - every member periodically publishes a presence beacon carrying a
 //     stable identity token;
 //   - each member tracks the beacons it hears; a member whose token is
 //     the smallest among live members considers itself leader;
-//   - the leader Promotes its RMI server (answers discovery); everyone
-//     else Retires. When the leader dies, its beacons stop, its entry
-//     expires, and the next-smallest member promotes itself.
-//
-// The hand-off window is bounded by BeaconInterval and Lifetime. During a
-// hand-off, clients either reach the old leader (still draining) or
-// re-discover the new one — the continuous-operation story of R1.
+//   - the leader Promotes its candidate; everyone else Retires. When the
+//     leader dies, its beacons stop, its entry expires, and the
+//     next-smallest member promotes itself.
+
+// Candidate is what an election promotes and retires: an *rmi.Server
+// answering discovery only while leading, or any other standby role — the
+// qledger recovery coordinator elects one coordinator among the replica
+// hosts this way. Promote and Retire are called on leadership transitions
+// only, never concurrently with each other.
+type Candidate interface {
+	Promote() error
+	Retire()
+}
+
+// Election enrolls one member (and its Candidate) in the election group
+// for a service. The hand-off window is bounded by BeaconInterval and
+// Lifetime. During a hand-off, clients either reach the old leader (still
+// draining) or re-discover the new one — the continuous-operation story
+// of R1.
 type Election struct {
 	bus     *core.Bus
-	server  *Server
+	cand    Candidate
 	subject string
 	token   string
 	opts    ElectionOptions
@@ -57,10 +70,11 @@ var beaconType = mop.MustNewClass("RMIElectionBeacon", nil, []mop.Attr{
 	{Name: "token", Type: mop.String},
 }, nil)
 
-// NewElection enrolls a server in the election group for its service. The
-// server should be constructed with Standby: true; the election decides
-// who answers discovery. Close the election before closing the server.
-func NewElection(bus *core.Bus, server *Server, service string, opts ElectionOptions) (*Election, error) {
+// NewElection enrolls a candidate in the election group for its service.
+// An *rmi.Server candidate should be constructed with Standby: true; the
+// election decides who answers discovery. Close the election before
+// closing the candidate.
+func NewElection(bus *core.Bus, cand Candidate, service string, opts ElectionOptions) (*Election, error) {
 	if opts.BeaconInterval <= 0 {
 		opts.BeaconInterval = 50 * time.Millisecond
 	}
@@ -74,7 +88,7 @@ func NewElection(bus *core.Bus, server *Server, service string, opts ElectionOpt
 	}
 	e := &Election{
 		bus:     bus,
-		server:  server,
+		cand:    cand,
 		subject: subjectName,
 		token:   fmt.Sprintf("%016x-%s", rand.Uint64(), bus.Host().Addr()),
 		opts:    opts,
@@ -129,7 +143,7 @@ func (e *Election) Close() {
 	e.sub.Cancel()
 	e.wg.Wait()
 	if wasLeading {
-		e.server.Retire()
+		e.cand.Retire()
 	}
 }
 
@@ -199,8 +213,8 @@ func (e *Election) evaluate() {
 		return
 	}
 	if shouldLead {
-		_ = e.server.Promote()
+		_ = e.cand.Promote()
 	} else {
-		e.server.Retire()
+		e.cand.Retire()
 	}
 }

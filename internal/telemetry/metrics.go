@@ -131,8 +131,8 @@ type Metric struct {
 	Kind  Kind
 	Value int64 // counter count (as int64) or gauge level
 	// Histogram summary; zero for counters and gauges.
-	Count            uint64
-	MeanNs           float64
+	Count               uint64
+	MeanNs              float64
 	P50Ns, P95Ns, P99Ns float64
 }
 

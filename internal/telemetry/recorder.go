@@ -29,6 +29,7 @@ const (
 	EventRecover                         // ledger recovery at open; A=entries replayed
 	EventTrace                           // a sampled traced delivery completed; A=end-to-end ns, B=hops
 	EventDump                            // a _sys.dump probe was answered
+	EventRepl                            // a replication-tier event (quorum timeout, recovery); A=context
 )
 
 func (k EventKind) String() string {
@@ -49,6 +50,8 @@ func (k EventKind) String() string {
 		return "trace"
 	case EventDump:
 		return "dump"
+	case EventRepl:
+		return "repl"
 	default:
 		return "event"
 	}

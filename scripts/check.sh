@@ -35,6 +35,9 @@ go test -run TestGroupCommitFsyncBudget -count=1 ./internal/ledger/
 echo "==> wire-bytes gate (steady-state dictionary compression >= 40%)"
 go test -run 'TestCompactGoldenBytes|TestSendDictSteadyStateAllocs' -count=1 ./internal/wire/
 
+echo "==> quorum-liveness gate (replicated guaranteed delivery reaches quorum)"
+go test -run TestQuorumLiveness -count=1 ./internal/qledger/
+
 if [ "$quick" -eq 0 ]; then
     echo "==> go test -race ./..."
     go test -race ./...
@@ -47,6 +50,7 @@ if [ "$quick" -eq 0 ]; then
     go test -run xxx -fuzz 'FuzzParsePattern$'     -fuzztime 5s ./internal/subject/
     go test -run xxx -fuzz 'FuzzParseRecord$'      -fuzztime 5s ./internal/ledger/
     go test -run xxx -fuzz 'FuzzSegmentedReplay$'  -fuzztime 5s ./internal/ledger/
+    go test -run xxx -fuzz 'FuzzReplFrame$'        -fuzztime 5s ./internal/qledger/
 fi
 
 echo "==> all checks passed"
