@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -617,6 +618,42 @@ func BenchmarkFanout(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFanoutLanes (A12) measures the sharded delivery engine: one
+// daemon with 64-512 local subscriber clients fed by four independent
+// senders, DeliveryLanes=1 vs a full lane pool. The metric is aggregate
+// wall-clock deliveries/sec across all subscribers; on a multicore host
+// the lane pool must win (scripts/check.sh gates >= 3x at 8 cores via
+// TestLaneScalingGate), while on a single core the two configurations
+// should tie — the lanes add no serial overhead worth seeing.
+func BenchmarkFanoutLanes(b *testing.B) {
+	pool := 8
+	if p := runtime.GOMAXPROCS(0); p < pool {
+		pool = p
+	}
+	laneCounts := []int{1}
+	if pool > 1 {
+		laneCounts = append(laneCounts, pool)
+	}
+	for _, nSubs := range []int{64, 512} {
+		for _, lanes := range laneCounts {
+			b.Run(fmt.Sprintf("subs=%d/lanes=%d", nSubs, lanes), func(b *testing.B) {
+				n := b.N
+				if n < 320 {
+					n = 320
+				}
+				if n > 4000 {
+					n = 4000
+				}
+				r, err := bench.MeasureFanoutLanes(benchConfig(0), lanes, nSubs, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.DeliveriesPerSec, "deliveries/sec")
+			})
+		}
 	}
 }
 

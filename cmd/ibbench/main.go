@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"infobus/internal/bench"
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to run: 5, 6, 7, 8, i1, i2, a8, a9, a10, a11, or all")
+	fig := flag.String("fig", "all", "figure to run: 5, 6, 7, 8, i1, i2, a8, a9, a10, a11, a12, or all")
 	consumers := flag.Int("consumers", 14, "number of consumer hosts")
 	speedup := flag.Float64("speedup", 20, "simulation speedup factor")
 	msgs := flag.Int("msgs", 1000, "messages per throughput point")
@@ -183,6 +184,22 @@ func main() {
 			return err
 		}
 		bench.PrintFigureA11(os.Stdout, rows)
+		return nil
+	})
+
+	run("a12", func() error {
+		// A12: the sharded delivery engine. CPU-bound by construction —
+		// the harness pins the simulated wire at a very high speedup so
+		// the medium never throttles local delivery, and -speedup does
+		// not apply (like A10's fsyncs). The lanes-vs-1 ratio is the
+		// published quantity; it only exceeds 1 on a multicore host.
+		laneCounts := []int{1, 2, 4, 8}
+		rows, err := bench.FigureA12(cfg, laneCounts, []int{64, 256, 512}, *msgs)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigureA12(os.Stdout, rows)
+		fmt.Printf("(GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
 		return nil
 	})
 

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestMeasureFanoutLanesSanity checks the A12 harness itself: every
+// broadcast message reaches every subscriber of its subject family,
+// whatever the lane count.
+func TestMeasureFanoutLanesSanity(t *testing.T) {
+	for _, lanes := range []int{1, 4} {
+		r, err := MeasureFanoutLanes(quickConfig(0), lanes, 32, 160)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 160 messages over 16 families x 32 subscribers (2 per family):
+		// every message fans out to exactly 2 clients.
+		if want := 160 * 32 / fanoutGroups; r.Deliveries != want {
+			t.Fatalf("lanes=%d: deliveries = %d, want %d", lanes, r.Deliveries, want)
+		}
+		if r.DeliveriesPerSec <= 0 {
+			t.Fatalf("lanes=%d: rate = %v", lanes, r.DeliveriesPerSec)
+		}
+	}
+}
+
+// TestLaneScalingGate is the pre-merge acceptance gate for the sharded
+// delivery engine (scripts/check.sh): on a multicore host the lane pool
+// must actually buy parallel speedup on the fan-out workload. The issue's
+// bar is >= 3x aggregate throughput at 8 lanes vs 1 on 8 cores; below 8
+// cores perfect scaling is impossible, so the bar drops to 1.5x, and below
+// 4 cores the gate skips — there is no parallelism to measure.
+func TestLaneScalingGate(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 4 {
+		t.Skipf("lane scaling needs >= 4 cores; GOMAXPROCS = %d", procs)
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	lanes := 8
+	want := 3.0
+	if procs < 8 {
+		lanes = procs
+		want = 1.5
+	}
+	cfg := DefaultConfig()
+	const subscribers, msgs = 256, 4000
+	one, err := MeasureFanoutLanes(cfg, 1, subscribers, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := MeasureFanoutLanes(cfg, lanes, subscribers, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := many.DeliveriesPerSec / one.DeliveriesPerSec
+	t.Logf("lanes=1: %.0f del/s; lanes=%d: %.0f del/s; ratio %.2fx (gate %.1fx)",
+		one.DeliveriesPerSec, lanes, many.DeliveriesPerSec, ratio, want)
+	if ratio < want {
+		t.Fatalf("lane scaling %.2fx below the %.1fx gate (lanes=%d, GOMAXPROCS=%d)",
+			ratio, want, lanes, procs)
+	}
+}

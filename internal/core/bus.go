@@ -195,6 +195,12 @@ type HostConfig struct {
 	// ReplicaDir is where this host stores mirrored peers' replica logs.
 	// Non-empty enrolls the host as a replica even with ReplicationFactor 0.
 	ReplicaDir string
+	// DeliveryLanes shards the daemon's subscription matching and client
+	// delivery queues across this many lanes keyed by subject-prefix hash
+	// (see internal/daemon). 0 — the default — selects min(GOMAXPROCS, 8);
+	// 1 disables sharding (the single-lane path is behaviorally identical
+	// to the pre-lane daemon).
+	DeliveryLanes int
 }
 
 // Bus errors.
@@ -243,6 +249,7 @@ func NewHost(seg transport.Segment, name string, cfg HostConfig) (*Host, error) 
 			Health:            engine,
 			Recorder:          rec,
 			SlowConsumerDepth: hcfg.SlowConsumerDepth,
+			DeliveryLanes:     cfg.DeliveryLanes,
 		}),
 		reg:      reg,
 		metrics:  metrics,
@@ -330,6 +337,13 @@ func (h *Host) Metrics() *telemetry.Registry { return h.metrics }
 
 // Daemon exposes the host daemon, mainly for statistics.
 func (h *Host) Daemon() *daemon.Daemon { return h.daemon }
+
+// Token draws the next value from the host's seeded random-token stream
+// (HostConfig.Reliable.Seed). Components layered on the bus — discovery
+// round tokens, election tokens, random server picks — draw here instead
+// of the global math/rand source, so a seeded netsim run is deterministic
+// end to end.
+func (h *Host) Token() uint64 { return h.daemon.Token() }
 
 // Recorder returns the host's flight recorder, or nil when the health
 // tier is disabled (TelemetryConfig.Health).

@@ -18,7 +18,6 @@ package daemon
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -64,6 +63,19 @@ const InterestInterval = 250 * time.Millisecond
 type Daemon struct {
 	conn     *reliable.Conn
 	identity string // globally unique origin token for guaranteed acks
+	// tokens is the daemon's seeded random stream (identity, trace bases,
+	// Token); see lanes.go.
+	tokens *tokenSource
+
+	// Delivery lanes (lanes.go): match-cache shards + per-lane telemetry.
+	// Immutable after construction. workers is the inbound pool, nil when
+	// len(lanes) == 1 (the seed path: inline handling on recvLoop).
+	lanes   []*lane
+	workers []*inWorker
+	inWg    sync.WaitGroup
+	// closedFlag mirrors closed for the publish hot path, which must not
+	// take d.mu (it would serialize concurrent local publishers).
+	closedFlag atomic.Bool
 
 	mu      sync.Mutex
 	subs    *subject.Trie[*Client]
@@ -97,6 +109,12 @@ type Daemon struct {
 	guarRing []guarKey
 	guarHead int // index of the oldest ring entry once the ring is full
 	guarCap  int // captured from guarSeenCap at construction
+	// guarInflight claims a (origin, id) for the worker currently fanning
+	// it out, closing the check-then-deliver window between guarSeen reads:
+	// with several inbound workers, the origin's retransmission and a
+	// recovery replayer's copy can arrive on different workers at once, and
+	// without the claim both would deliver. Lazily allocated.
+	guarInflight map[guarKey]struct{}
 
 	// interner caches subject.Parse results for inbound publications;
 	// workloads repeat subjects heavily, so the per-message split becomes a
@@ -184,6 +202,12 @@ type Options struct {
 	// "slow-consumer" alarm raises. Zero means the telemetry default
 	// (1024).
 	SlowConsumerDepth int64
+	// DeliveryLanes shards subscription matching and client delivery
+	// queues across this many lanes keyed by subject-prefix hash (see
+	// lanes.go). 0 — the default — selects min(GOMAXPROCS, 8). 1 disables
+	// sharding: a single cache shard, a single queue column, inline
+	// inbound handling — behaviorally the pre-lane path.
+	DeliveryLanes int
 }
 
 // New starts a daemon over a transport endpoint. cfg tunes the underlying
@@ -202,9 +226,15 @@ func New(ep transport.Endpoint, cfg reliable.Config, opts Options) *Daemon {
 		// The protocol layer shares the process flight recorder.
 		cfg.Recorder = opts.Recorder
 	}
+	// The token stream seeds from the same knob as the reliable epoch
+	// (reliable.Config.Seed): a fixed per-host seed makes identities and
+	// trace bases reproducible across netsim runs, zero stays unique.
+	tokens := newTokenSource(cfg.Seed)
 	d := &Daemon{
 		conn:        reliable.New(ep, cfg),
-		identity:    fmt.Sprintf("%s#%016x", ep.Addr(), rand.Uint64()),
+		identity:    fmt.Sprintf("%s#%016x", ep.Addr(), tokens.Next()),
+		tokens:      tokens,
+		lanes:       newLanes(resolveLanes(opts.DeliveryLanes), metrics),
 		subs:        subject.NewTrie[*Client](),
 		clients:     make(map[*Client]struct{}),
 		done:        make(chan struct{}),
@@ -216,7 +246,7 @@ func New(ep transport.Endpoint, cfg reliable.Config, opts Options) *Daemon {
 		metrics:     metrics,
 		tracePeriod: opts.TracePeriod,
 		traceNode:   opts.Node,
-		traceBase:   rand.Uint64(),
+		traceBase:   tokens.Next(),
 		health:      opts.Health,
 		rec:         opts.Recorder,
 		slowDepth:   opts.SlowConsumerDepth,
@@ -248,6 +278,21 @@ func New(ep transport.Endpoint, cfg reliable.Config, opts Options) *Daemon {
 			Raise: int64(d.guarCap) * 8 / 10,
 		}, d.guarSeenGauge.Load)
 	}
+	if len(d.lanes) > 1 {
+		// Inbound worker pool, one worker per lane, keyed by sender hash
+		// in recvLoop: a sender's messages always land on one worker, in
+		// arrival order, so per-sender FIFO survives the parallelism.
+		d.workers = make([]*inWorker, len(d.lanes))
+		d.inWg.Add(len(d.workers))
+		for i := range d.workers {
+			w := &inWorker{
+				ch:       make(chan reliable.Message, workerQueueDepth),
+				interner: subject.NewInterner(0),
+			}
+			d.workers[i] = w
+			go d.workerLoop(w)
+		}
+	}
 	d.wg.Add(2)
 	go d.recvLoop()
 	go d.interestLoop()
@@ -260,6 +305,46 @@ func (d *Daemon) Metrics() *telemetry.Registry { return d.metrics }
 // Identity returns the daemon's unique origin token. Guaranteed-delivery
 // acknowledgements carry it so routers can steer them back to this daemon.
 func (d *Daemon) Identity() string { return d.identity }
+
+// Token draws the next value from the daemon's seeded random-token stream
+// (reliable.Config.Seed). Host-level components (discovery round tokens,
+// election tokens, random server picks) draw here instead of the global
+// math/rand source, so a seeded netsim run is deterministic end to end.
+func (d *Daemon) Token() uint64 { return d.tokens.Next() }
+
+// Lanes returns the effective delivery-lane count.
+func (d *Daemon) Lanes() int { return len(d.lanes) }
+
+// LaneDepths returns a coherent per-lane snapshot of outstanding
+// deliveries (the "daemon.lane<N>.depth" gauges). The gauges are atomics
+// updated under their lane locks; the pass is repeated until two
+// consecutive reads agree (bounded retries), the same cut discipline as
+// Stats, so a monitor never sees a delivery torn across two lanes.
+func (d *Daemon) LaneDepths() []int64 {
+	read := func(out []int64) {
+		for i, ln := range d.lanes {
+			out[i] = ln.depth.Load()
+		}
+	}
+	prev := make([]int64, len(d.lanes))
+	cur := make([]int64, len(d.lanes))
+	read(prev)
+	for attempt := 0; attempt < 3; attempt++ {
+		read(cur)
+		equal := true
+		for i := range cur {
+			if cur[i] != prev[i] {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			return cur
+		}
+		prev, cur = cur, prev
+	}
+	return prev
+}
 
 // Addr returns the daemon's transport address (the publisher identity
 // subscribers see).
@@ -316,6 +401,7 @@ func (d *Daemon) Close() error {
 		return nil
 	}
 	d.closed = true
+	d.closedFlag.Store(true)
 	close(d.done)
 	clients := make([]*Client, 0, len(d.clients))
 	for c := range d.clients {
@@ -380,12 +466,11 @@ func (d *Daemon) publishData(subj subject.Subject, payload []byte, kind byte) er
 	env := busproto.AppendEncode((*buf)[:0], e)
 	*buf = env
 	defer bufpool.Put(buf)
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
+	// Atomic closed check: taking d.mu here would serialize every local
+	// publisher on the host through one lock for a boolean read.
+	if d.closedFlag.Load() {
 		return ErrClosed
 	}
-	d.mu.Unlock()
 	d.ctr.publishedLocal.Inc()
 	if err := d.conn.Publish(env); err != nil {
 		return err
@@ -428,21 +513,21 @@ func (d *Daemon) publishGuaranteed(subj subject.Subject, payload []byte, id uint
 	if err := d.conn.Publish(env); err != nil {
 		return err
 	}
-	if d.guarAlreadyDelivered(d.identity, id) {
-		// A retransmission: remote daemons that missed it will take it
-		// from the broadcast; local subscribers already received it.
+	claimed, seen := d.guarBegin(d.identity, id)
+	if seen || !claimed {
+		// A retransmission (already delivered locally — remote daemons that
+		// missed it will take it from the broadcast), or the retrier racing
+		// the original publish mid-delivery.
 		return nil
 	}
 	delivered := d.routeLocal(Delivery{
 		Subject: subj, Payload: payload, From: d.Addr(), Guaranteed: true, ID: id,
 		TraceID: e.TraceID, Trace: e.Trace,
 	})
-	if delivered > 0 {
-		d.guarRecordDelivered(d.identity, id)
-		if onAck != nil {
-			// A local subscriber consumed it: self-acknowledge.
-			onAck(id, d.Addr())
-		}
+	d.guarEnd(d.identity, id, delivered > 0)
+	if delivered > 0 && onAck != nil {
+		// A local subscriber consumed it: self-acknowledge.
+		onAck(id, d.Addr())
 	}
 	return nil
 }
@@ -478,19 +563,18 @@ func (d *Daemon) PublishGuaranteedOrigin(subj subject.Subject, payload []byte, i
 	if err := d.conn.Publish(env); err != nil {
 		return err
 	}
-	if d.guarAlreadyDelivered(origin, id) {
+	claimed, seen := d.guarBegin(origin, id)
+	if seen || !claimed {
 		return nil
 	}
 	delivered := d.routeLocal(Delivery{
 		Subject: subj, Payload: payload, From: d.Addr(), Guaranteed: true, ID: id,
 	})
-	if delivered > 0 {
-		d.guarRecordDelivered(origin, id)
-		if foster != nil {
-			// A local subscriber consumed it: self-acknowledge to the
-			// fostering replayer.
-			foster(id, d.Addr())
-		}
+	d.guarEnd(origin, id, delivered > 0)
+	if delivered > 0 && foster != nil {
+		// A local subscriber consumed it: self-acknowledge to the
+		// fostering replayer.
+		foster(id, d.Addr())
 	}
 	return nil
 }
@@ -524,20 +608,54 @@ func (d *Daemon) Flush() error { return d.conn.Flush() }
 type Client struct {
 	name string
 	d    *Daemon
-	mu   sync.Mutex
-	// queue[head:] are the undelivered entries. The head index (instead of
-	// re-slicing queue[1:]) lets a drained queue rewind to the start of its
-	// backing array, so a steady consumer costs zero appends after warm-up.
-	queue  []Delivery
-	head   int
+	// lanes is the client's delivery queue, one column per daemon lane:
+	// lane workers and local publishers enqueue into the column their
+	// subject hashes to, under that column's lock only. Consumers merge
+	// the columns back into one stream in strict ticket order.
+	lanes  []clientQueue
 	signal chan struct{}
-	closed bool
-	pats   map[string]subject.Pattern
 
-	// depth mirrors len(queue)-head as an atomic so the alarm engine can
-	// watch the client's backlog without touching c.mu.
+	// ticket is the client's arrival counter. Every enqueued delivery
+	// draws the next ticket under its column's lock, so tickets are
+	// strictly increasing within a column, hole-free overall, and a
+	// sender's sequential publishes carry increasing tickets even when
+	// their subjects hash to different columns — which is exactly the
+	// per-sender FIFO a merged pop in ticket order preserves.
+	ticket atomic.Uint64
+	closed atomic.Bool
+
+	// mu guards pats and popNext; it serializes concurrent consumers
+	// (Next/TryNext) without ever being touched by enqueuers.
+	mu      sync.Mutex
+	pats    map[string]subject.Pattern
+	popNext uint64 // last ticket popped; the next pop takes popNext+1
+
+	// depth mirrors the total queued count (all columns) as an atomic so
+	// the alarm engine can watch the client's backlog without locks. It is
+	// the cross-lane aggregate on purpose: a stalled client must trip the
+	// slow-consumer watermark no matter which lane its backlog sits on.
 	depth atomic.Int64
 	watch *telemetry.Watch // slow-consumer watch; nil when health is off
+}
+
+// clientQueue is one lane's column of a client's delivery queue.
+// queue[head:] are the undelivered entries. The head index (instead of
+// re-slicing queue[1:]) lets a drained column rewind to the start of its
+// backing array, so a steady consumer costs zero appends after warm-up.
+type clientQueue struct {
+	mu     sync.Mutex
+	queue  []queued
+	head   int
+	closed bool
+	// n mirrors len(queue)-head so a pop can skip empty columns without
+	// taking their locks.
+	n atomic.Int32
+}
+
+// queued is one delivery plus its arrival ticket.
+type queued struct {
+	dv   Delivery
+	tick uint64
 }
 
 // NewClient registers a local application with the daemon.
@@ -550,6 +668,7 @@ func (d *Daemon) NewClient(name string) (*Client, error) {
 	c := &Client{
 		name:   name,
 		d:      d,
+		lanes:  make([]clientQueue, len(d.lanes)),
 		signal: make(chan struct{}, 1),
 		pats:   make(map[string]subject.Pattern),
 	}
@@ -575,7 +694,7 @@ func (c *Client) Subscribe(pat subject.Pattern) error {
 	defer c.d.mu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed || c.d.closed {
+	if c.closed.Load() || c.d.closed {
 		return ErrClosed
 	}
 	c.pats[pat.String()] = pat
@@ -591,7 +710,7 @@ func (c *Client) Unsubscribe(pat subject.Pattern) error {
 	defer c.d.mu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed || c.d.closed {
+	if c.closed.Load() || c.d.closed {
 		return ErrClosed
 	}
 	delete(c.pats, pat.String())
@@ -621,9 +740,9 @@ func (c *Client) Next(stop <-chan struct{}) (Delivery, bool) {
 			c.mu.Unlock()
 			return dv, true
 		}
-		closed := c.closed
 		c.mu.Unlock()
-		if closed {
+		if c.closed.Load() {
+			// Drained (the pop above found nothing) and closed.
 			return Delivery{}, false
 		}
 		select {
@@ -634,22 +753,41 @@ func (c *Client) Next(stop <-chan struct{}) (Delivery, bool) {
 	}
 }
 
-// popLocked removes and returns the oldest queued delivery. A drained
-// queue rewinds to reuse its backing array; the vacated slot is zeroed so
-// a queued payload cannot outlive its delivery.
+// popLocked removes and returns the oldest queued delivery: the one
+// holding ticket popNext+1. Tickets are hole-free (drawn under the column
+// lock that also appends) and strictly increasing within each column, so
+// the wanted ticket — if enqueued — is at some column's head; scanning
+// every non-empty column either finds it or proves the client's queue is
+// empty up to tickets still mid-append (whose enqueuer will signal).
+// Popping in strict ticket order is what preserves per-sender FIFO across
+// lanes. The vacated slot is zeroed so a queued payload cannot outlive
+// its delivery; a drained column rewinds to reuse its backing array.
 func (c *Client) popLocked() (Delivery, bool) {
-	if c.head == len(c.queue) {
-		return Delivery{}, false
+	want := c.popNext + 1
+	for i := range c.lanes {
+		q := &c.lanes[i]
+		if q.n.Load() == 0 {
+			continue
+		}
+		q.mu.Lock()
+		if q.head < len(q.queue) && q.queue[q.head].tick == want {
+			dv := q.queue[q.head].dv
+			q.queue[q.head] = queued{}
+			q.head++
+			if q.head == len(q.queue) {
+				q.queue = q.queue[:0]
+				q.head = 0
+			}
+			q.n.Add(-1)
+			c.depth.Add(-1)
+			c.d.lanes[i].depth.Add(-1)
+			q.mu.Unlock()
+			c.popNext = want
+			return dv, true
+		}
+		q.mu.Unlock()
 	}
-	dv := c.queue[c.head]
-	c.queue[c.head] = Delivery{}
-	c.head++
-	if c.head == len(c.queue) {
-		c.queue = c.queue[:0]
-		c.head = 0
-	}
-	c.depth.Add(-1)
-	return dv, true
+	return Delivery{}, false
 }
 
 // TryNext returns a pending delivery without blocking.
@@ -661,9 +799,7 @@ func (c *Client) TryNext() (Delivery, bool) {
 
 // Pending returns the number of queued deliveries.
 func (c *Client) Pending() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.queue) - c.head
+	return int(c.depth.Load())
 }
 
 // Close detaches the client from the daemon.
@@ -690,30 +826,42 @@ func (c *Client) Close() error {
 }
 
 func (c *Client) shutdown() {
-	c.mu.Lock()
-	if !c.closed {
-		c.closed = true
+	c.closed.Store(true)
+	// Closing every column under its own lock guarantees no enqueue can
+	// draw a ticket after this point, so the queued ticket range stays
+	// hole-free and Next can drain it to exactly the last entry.
+	for i := range c.lanes {
+		q := &c.lanes[i]
+		q.mu.Lock()
+		q.closed = true
+		q.mu.Unlock()
 	}
-	c.mu.Unlock()
 	select {
 	case c.signal <- struct{}{}:
 	default:
 	}
 }
 
-// enqueue appends a delivery to the client's unbounded queue. The queue is
-// unbounded so one slow application cannot stall the host daemon (the
-// trade-off the paper's daemon makes by dropping; we prefer losslessness
-// and expose Pending for monitoring).
-func (c *Client) enqueue(dv Delivery) bool {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+// enqueue appends a delivery to the client's queue column for ln. The
+// queue is unbounded so one slow application cannot stall the host daemon
+// (the trade-off the paper's daemon makes by dropping; we prefer
+// losslessness and expose Pending for monitoring). Only the column's lock
+// is taken: enqueues on different lanes never contend.
+func (c *Client) enqueue(ln *lane, dv Delivery) bool {
+	q := &c.lanes[ln.idx]
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
 		return false
 	}
-	c.queue = append(c.queue, dv)
+	// Ticket draw and append are atomic with respect to poppers (both
+	// under q.mu), so a drawn ticket is visible the moment the lock is
+	// released and column order equals ticket order.
+	q.queue = append(q.queue, queued{dv: dv, tick: c.ticket.Add(1)})
+	q.n.Add(1)
 	c.depth.Add(1)
-	c.mu.Unlock()
+	ln.depth.Add(1)
+	q.mu.Unlock()
 	select {
 	case c.signal <- struct{}{}:
 	default:
@@ -724,8 +872,27 @@ func (c *Client) enqueue(dv Delivery) bool {
 // ---------------------------------------------------------------------------
 // Inbound routing
 
+// recvLoop drains the reliable connection. With one lane it handles every
+// message inline (the seed path); with several it dispatches to the
+// long-lived worker keyed by the sender's address hash, so one sender's
+// messages are always handled by one worker in arrival order — per-sender
+// FIFO survives the parallelism, and the qledger invariant that an ack
+// record never overtakes its message record rides on exactly that. A full
+// worker channel blocks this loop (backpressure), never drops or spawns.
 func (d *Daemon) recvLoop() {
 	defer d.wg.Done()
+	if d.workers != nil {
+		// Registered after the wg.Done defer so it runs first (LIFO):
+		// d.wg.Wait() returning means every worker has drained and exited,
+		// which is what lets Close shut clients down without racing a
+		// worker mid-enqueue.
+		defer func() {
+			for _, w := range d.workers {
+				close(w.ch)
+			}
+			d.inWg.Wait()
+		}()
+	}
 	for {
 		select {
 		case <-d.done:
@@ -734,12 +901,25 @@ func (d *Daemon) recvLoop() {
 			if !ok {
 				return
 			}
-			d.handleMessage(m)
+			if d.workers == nil {
+				d.handleMessage(d.interner, m)
+				continue
+			}
+			d.workers[addrHash(m.From)%uint32(len(d.workers))].ch <- m
 		}
 	}
 }
 
-func (d *Daemon) handleMessage(m reliable.Message) {
+// workerLoop is one inbound worker: it handles its channel's messages in
+// order with a private interner until recvLoop closes the channel.
+func (d *Daemon) workerLoop(w *inWorker) {
+	defer d.inWg.Done()
+	for m := range w.ch {
+		d.handleMessage(w.interner, m)
+	}
+}
+
+func (d *Daemon) handleMessage(in *subject.Interner, m reliable.Message) {
 	env, err := busproto.Decode(m.Payload)
 	if err != nil {
 		d.ctr.corruptDropped.Inc()
@@ -750,7 +930,7 @@ func (d *Daemon) handleMessage(m reliable.Message) {
 	}
 	switch env.Base() {
 	case busproto.KindPublish, busproto.KindGuaranteed:
-		subj, err := d.interner.Parse(env.Subject)
+		subj, err := in.Parse(env.Subject)
 		if err != nil {
 			d.ctr.corruptDropped.Inc()
 			return
@@ -771,11 +951,25 @@ func (d *Daemon) handleMessage(m reliable.Message) {
 				}
 			}
 		}
-		if guaranteed && d.guarAlreadyDelivered(env.Origin, env.ID) {
-			// Already delivered locally; re-acknowledge in case the
-			// publisher missed our first ack, but do not re-deliver.
-			d.sendGuarAck(m.From, env.ID, env.Origin)
-			return
+		var claimed bool
+		if guaranteed {
+			var seen bool
+			claimed, seen = d.guarBegin(env.Origin, env.ID)
+			if seen {
+				// Already delivered locally; re-acknowledge in case the
+				// publisher missed our first ack, but do not re-deliver.
+				d.sendGuarAck(m.From, env.ID, env.Origin)
+				return
+			}
+			if !claimed {
+				// Another worker is fanning this very publication out right
+				// now (the origin's retransmission and a recovery replayer's
+				// copy arriving on different workers). Skip both delivery and
+				// ack: if the racing copy delivers, the publisher's next
+				// retransmission is answered from guarSeen; acking here could
+				// confirm a delivery that ends up not happening.
+				return
+			}
 		}
 		dv := Delivery{
 			Subject:    subj,
@@ -787,12 +981,14 @@ func (d *Daemon) handleMessage(m reliable.Message) {
 			Trace:      env.Trace,
 		}
 		delivered := d.routeLocal(dv)
-		if guaranteed && delivered > 0 {
-			d.guarRecordDelivered(env.Origin, env.ID)
-			// Acknowledge on behalf of our subscribers, unicast to the
-			// publisher.
-			d.ctr.guarAcksSent.Inc()
-			d.sendGuarAck(m.From, env.ID, env.Origin)
+		if guaranteed {
+			d.guarEnd(env.Origin, env.ID, delivered > 0)
+			if delivered > 0 {
+				// Acknowledge on behalf of our subscribers, unicast to the
+				// publisher.
+				d.ctr.guarAcksSent.Inc()
+				d.sendGuarAck(m.From, env.ID, env.Origin)
+			}
 		}
 	case busproto.KindGuarAck:
 		if env.Origin != d.identity {
@@ -827,18 +1023,24 @@ func (d *Daemon) sendGuarAck(to string, id uint64, origin string) {
 	bufpool.Put(buf)
 }
 
-// routeLocal fans a delivery out to every matching local client.
+// routeLocal fans a delivery out to every matching local client through
+// the delivery lane the subject hashes to: the lane's match-cache shard
+// answers the subscription lookup and the lane's column of each client's
+// queue takes the enqueue, so publications on subjects of different lanes
+// share no locks here at all.
 func (d *Daemon) routeLocal(dv Delivery) int {
-	matches := d.subs.Match(dv.Subject)
+	ln := d.lanes[dv.Subject.LaneIndex(len(d.lanes))]
+	matches := ln.cache.Match(d.subs, dv.Subject)
 	delivered := 0
 	for _, c := range matches {
-		if c.enqueue(dv) {
+		if c.enqueue(ln, dv) {
 			delivered++
 		}
 	}
 	if delivered == 0 {
 		d.ctr.noSubscriber.Inc()
 	} else {
+		ln.delivered.Add(uint64(delivered))
 		d.ctr.deliveredLocal.Add(uint64(delivered))
 	}
 	return delivered
@@ -908,27 +1110,51 @@ func aggregateInterest(patterns []string, cap int) []string {
 	return out
 }
 
-// guarAlreadyDelivered reports whether a guaranteed publication was
-// already delivered to local subscribers.
-func (d *Daemon) guarAlreadyDelivered(origin string, id uint64) bool {
+// guarBegin opens the fan-out of a guaranteed publication. seen reports
+// that the key was already delivered locally (caller re-acks, does not
+// re-deliver); claimed reports that this caller now owns the fan-out and
+// must finish with guarEnd. (false, false) means another goroutine holds
+// the claim right now — with several inbound workers the origin's
+// retransmission and a recovery replayer's copy can arrive on different
+// workers at once, and without the claim both would pass the seen check
+// and double-deliver.
+func (d *Daemon) guarBegin(origin string, id uint64) (claimed, seen bool) {
 	key := guarKey{origin: origin, id: id}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	_, seen := d.guarSeen[key]
-	return seen
+	if _, ok := d.guarSeen[key]; ok {
+		return false, true
+	}
+	if _, ok := d.guarInflight[key]; ok {
+		return false, false
+	}
+	if d.guarInflight == nil {
+		d.guarInflight = make(map[guarKey]struct{})
+	}
+	d.guarInflight[key] = struct{}{}
+	return true, false
 }
 
-// guarRecordDelivered marks a guaranteed publication as delivered, so
-// publisher retransmissions are suppressed ("if there is no failure, then
-// the message will be delivered exactly once"). Only delivered messages
-// are recorded: a daemon with no matching subscriber keeps accepting
-// retries, so a subscriber that appears later still receives the message.
-// Recording an already-seen key is a no-op, so the ring holds no
-// duplicates and every slot's eviction removes exactly its own key.
-func (d *Daemon) guarRecordDelivered(origin string, id uint64) {
+// guarEnd closes a fan-out claimed by guarBegin. Delivered publications
+// are recorded so publisher retransmissions are suppressed ("if there is
+// no failure, then the message will be delivered exactly once"). Only
+// delivered messages are recorded: a daemon with no matching subscriber
+// keeps accepting retries, so a subscriber that appears later still
+// receives the message.
+func (d *Daemon) guarEnd(origin string, id uint64, delivered bool) {
 	key := guarKey{origin: origin, id: id}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	delete(d.guarInflight, key)
+	if delivered {
+		d.guarRecordLocked(key)
+	}
+}
+
+// guarRecordLocked marks a key delivered under d.mu. Recording an
+// already-seen key is a no-op, so the ring holds no duplicates and every
+// slot's eviction removes exactly its own key.
+func (d *Daemon) guarRecordLocked(key guarKey) {
 	if _, dup := d.guarSeen[key]; dup {
 		return
 	}

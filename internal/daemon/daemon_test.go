@@ -308,11 +308,22 @@ func TestGuarRingEviction(t *testing.T) {
 	guarSeenCap = 8
 	defer func() { guarSeenCap = old }()
 	da, _ := newPair(t)
+	record := func(origin string, id uint64) {
+		if claimed, _ := da.guarBegin(origin, id); claimed {
+			da.guarEnd(origin, id, true)
+		}
+	}
+	seenKey := func(origin string, id uint64) bool {
+		da.mu.Lock()
+		defer da.mu.Unlock()
+		_, ok := da.guarSeen[guarKey{origin: origin, id: id}]
+		return ok
+	}
 	const total = 20 // > 2x cap
 	for id := uint64(0); id < total; id++ {
-		da.guarRecordDelivered("origin-a", id)
+		record("origin-a", id)
 		// Idempotent re-record: must not consume another ring slot.
-		da.guarRecordDelivered("origin-a", id)
+		record("origin-a", id)
 	}
 	da.mu.Lock()
 	seen, ringLen := len(da.guarSeen), len(da.guarRing)
@@ -321,18 +332,18 @@ func TestGuarRingEviction(t *testing.T) {
 		t.Fatalf("seen=%d ring=%d, want cap=8 for both", seen, ringLen)
 	}
 	for id := uint64(total - 8); id < total; id++ {
-		if !da.guarAlreadyDelivered("origin-a", id) {
+		if !seenKey("origin-a", id) {
 			t.Errorf("id %d within the window was forgotten", id)
 		}
 	}
 	for id := uint64(0); id < total-8; id++ {
-		if da.guarAlreadyDelivered("origin-a", id) {
+		if seenKey("origin-a", id) {
 			t.Errorf("id %d beyond the window still seen", id)
 		}
 	}
 	// Distinct origins with equal ids are distinct keys.
-	da.guarRecordDelivered("origin-b", total-1)
-	if !da.guarAlreadyDelivered("origin-b", total-1) || !da.guarAlreadyDelivered("origin-a", total-1) {
+	record("origin-b", total-1)
+	if !seenKey("origin-b", total-1) || !seenKey("origin-a", total-1) {
 		t.Error("(origin, id) keys collided across origins")
 	}
 }

@@ -15,7 +15,6 @@ package discovery
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -82,7 +81,7 @@ func Announce(bus *core.Bus, service string, info func() mop.Value) (*Announcer,
 	}
 	a := &Announcer{
 		bus:     bus,
-		who:     fmt.Sprintf("%s#%d", bus.Host().Addr(), rand.Uint64()),
+		who:     fmt.Sprintf("%s#%d", bus.Host().Addr(), bus.Host().Token()),
 		service: service,
 		sub:     sub,
 		info:    info,
@@ -173,7 +172,7 @@ func Discover(bus *core.Bus, service string, opts Options) ([]Found, error) {
 	}
 	defer sub.Cancel()
 
-	token := fmt.Sprintf("%s-%d", bus.Host().Addr(), rand.Uint64())
+	token := fmt.Sprintf("%s-%d", bus.Host().Addr(), bus.Host().Token())
 	query := mop.MustNew(QueryType).MustSet("token", token)
 	if err := bus.Publish(queryPrefix+service, query); err != nil {
 		return nil, fmt.Errorf("discovery: publishing query for %q: %w", service, err)

@@ -312,16 +312,20 @@ func (c *Conn) Close() error {
 
 // Publish sends one message on the connection's broadcast stream.
 func (c *Conn) Publish(payload []byte) error {
+	// Copy into the pooled window buffer before taking c.mu: the memcpy is
+	// the bulk of the publish cost, and with delivery lanes several local
+	// publishers hit this lock concurrently.
+	wp := bufpool.CopyOf(payload)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
+		bufpool.Put(wp)
 		return ErrClosed
 	}
 	c.ctr.published.Inc()
 	c.ctr.publishedBytes.Add(uint64(len(payload)))
 	c.nextSeq++
 	seq := c.nextSeq
-	wp := bufpool.CopyOf(payload)
 	c.retain(seq, wp)
 	cp := *wp
 

@@ -2,7 +2,6 @@ package rmi
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -91,7 +90,7 @@ func Dial(bus *core.Bus, seg transport.Segment, service string, opts DialOptions
 	if len(infos) == 0 {
 		return nil, fmt.Errorf("service %q: %w", service, ErrNoServer)
 	}
-	chosen := choose(infos, opts.Policy)
+	chosen := choose(infos, opts.Policy, bus.Host().Token())
 
 	ep, err := seg.NewEndpoint("rmi-client:" + service)
 	if err != nil {
@@ -155,7 +154,9 @@ func serverInfos(found []discovery.Found) []serverInfo {
 	return out
 }
 
-func choose(infos []serverInfo, p Policy) serverInfo {
+// choose picks a server. draw is one value from the host's seeded token
+// stream (core.Host.Token), used only by PickRandom.
+func choose(infos []serverInfo, p Policy, draw uint64) serverInfo {
 	switch p {
 	case PickLeastLoaded:
 		best := infos[0]
@@ -166,7 +167,7 @@ func choose(infos []serverInfo, p Policy) serverInfo {
 		}
 		return best
 	case PickRandom:
-		return infos[rand.Intn(len(infos))]
+		return infos[draw%uint64(len(infos))]
 	default:
 		return infos[0]
 	}

@@ -2,7 +2,6 @@ package rmi
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -90,7 +89,7 @@ func NewElection(bus *core.Bus, cand Candidate, service string, opts ElectionOpt
 		bus:     bus,
 		cand:    cand,
 		subject: subjectName,
-		token:   fmt.Sprintf("%016x-%s", rand.Uint64(), bus.Host().Addr()),
+		token:   fmt.Sprintf("%016x-%s", bus.Host().Token(), bus.Host().Addr()),
 		opts:    opts,
 		members: make(map[string]time.Time),
 		done:    make(chan struct{}),

@@ -1,0 +1,81 @@
+package subject
+
+import "sync"
+
+// MatchCache is one externally owned shard of a trie's match cache. A
+// daemon running several delivery lanes gives each lane its own shard, so
+// publications on unrelated subjects (different lanes) never contend on
+// one cache mutex — the built-in Trie cache is a single serializer by
+// design, which is fine for a router but caps a multicore daemon.
+//
+// Invalidation is lazy: the shard never registers with the trie. Every
+// lookup compares the shard's generation against Trie.Gen(); a mutation
+// since the last fill clears the shard on its next use. Fills that raced a
+// mutation are discarded by the same generation check, exactly like the
+// built-in cache.
+//
+// A shard is safe for concurrent use, but the intended discipline is one
+// shard per lane with all lookups for a subject going through the lane the
+// subject hashes to (Subject.LaneIndex) — that is what makes the sharding
+// contention-free.
+type MatchCache[V comparable] struct {
+	mu  sync.Mutex
+	gen uint64
+	max int
+	m   map[string][]V
+}
+
+// NewMatchCache returns a shard holding at most max subjects (0 selects
+// the trie's built-in cap). When full, new subjects re-walk the trie
+// rather than evicting (see maxMatchCache).
+func NewMatchCache[V comparable](max int) *MatchCache[V] {
+	if max <= 0 {
+		max = maxMatchCache
+	}
+	return &MatchCache[V]{max: max}
+}
+
+// Match returns every distinct value of t whose pattern matches the
+// subject, serving repeats from the shard. The returned slice is an
+// immutable snapshot with the same ownership rules as Trie.Match.
+func (c *MatchCache[V]) Match(t *Trie[V], s Subject) []V {
+	cur := t.Gen()
+	c.mu.Lock()
+	if c.gen == cur {
+		if vs, ok := c.m[s.raw]; ok {
+			c.mu.Unlock()
+			return vs
+		}
+	}
+	c.mu.Unlock()
+
+	out, gen := t.MatchUncached(s)
+
+	c.mu.Lock()
+	switch {
+	case gen > c.gen:
+		// First fill at a newer generation: everything cached is stale.
+		clear(c.m)
+		c.gen = gen
+		fallthrough
+	case gen == c.gen:
+		if len(c.m) < c.max {
+			if c.m == nil {
+				c.m = make(map[string][]V)
+			}
+			c.m[s.raw] = out
+		}
+	}
+	// gen < c.gen: a concurrent fill already advanced the shard past this
+	// walk; the stale result must not enter the map (it is still a correct
+	// answer for the caller — the walk happened-before the newer mutation).
+	c.mu.Unlock()
+	return out
+}
+
+// Len returns the number of cached subjects (for tests and monitoring).
+func (c *MatchCache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,124 @@
+package subject
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLaneIndexDeterministicAndBounded(t *testing.T) {
+	for _, raw := range []string{"a", "a.b", "a.b.c", "fab5.cc.litho8.thick"} {
+		s := MustParse(raw)
+		for _, n := range []int{1, 2, 4, 7, 64} {
+			i := s.LaneIndex(n)
+			if i < 0 || i >= n {
+				t.Fatalf("LaneIndex(%q, %d) = %d out of range", raw, n, i)
+			}
+			if j := MustParse(raw).LaneIndex(n); j != i {
+				t.Fatalf("LaneIndex(%q, %d) not deterministic: %d vs %d", raw, n, i, j)
+			}
+		}
+		if s.LaneIndex(1) != 0 || s.LaneIndex(0) != 0 {
+			t.Fatalf("LaneIndex(%q) with <=1 lanes must be 0", raw)
+		}
+	}
+}
+
+// TestLaneIndexPrefixFamily: subjects sharing a two-element prefix land on
+// one lane (their match-cache entries stay on one shard); the third
+// element does not matter.
+func TestLaneIndexPrefixFamily(t *testing.T) {
+	base := MustParse("fan.grp.a").LaneIndex(8)
+	for _, raw := range []string{"fan.grp.b", "fan.grp.zzz", "fan.grp.a.b.c"} {
+		if got := MustParse(raw).LaneIndex(8); got != base {
+			t.Errorf("%q lane %d, want %d (shared two-element prefix)", raw, got, base)
+		}
+	}
+}
+
+// TestLaneIndexSpreads: distinct two-element prefixes must not collapse
+// onto a single lane — the whole point of the hash is spreading subject
+// families across the delivery lanes.
+func TestLaneIndexSpreads(t *testing.T) {
+	used := make(map[int]bool)
+	for i := 0; i < 64; i++ {
+		used[MustParse(fmt.Sprintf("fam%d.x.data", i)).LaneIndex(8)] = true
+	}
+	if len(used) < 4 {
+		t.Fatalf("64 prefixes hit only %d of 8 lanes", len(used))
+	}
+	// Separator is part of the hash: "a.bc" and "ab.c" are different
+	// prefixes (they may still collide mod n, so compare the raw keys).
+	if laneHash([]string{"a", "bc"}) == laneHash([]string{"ab", "c"}) {
+		t.Error(`laneHash("a"."bc") == laneHash("ab"."c")`)
+	}
+}
+
+func TestMatchCacheServesAndInvalidates(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Add(MustParsePattern("a.>"), 1)
+	c := NewMatchCache[int](0)
+	s := MustParse("a.b")
+
+	got := c.Match(tr, s)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("first match = %v", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache len = %d after fill", c.Len())
+	}
+	// Served from the shard (same snapshot slice).
+	again := c.Match(tr, s)
+	if len(again) != 1 || &again[0] != &got[0] {
+		t.Fatal("second match did not come from the cache")
+	}
+
+	// A trie mutation invalidates lazily: the next lookup re-walks.
+	tr.Add(MustParsePattern("a.b"), 2)
+	got = c.Match(tr, s)
+	if len(got) != 2 {
+		t.Fatalf("post-mutation match = %v, want 2 values", got)
+	}
+	tr.Remove(MustParsePattern("a.b"), 2)
+	got = c.Match(tr, s)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("post-remove match = %v", got)
+	}
+}
+
+// TestMatchCacheCapSkipsNotEvicts: a full shard stops caching new subjects
+// but keeps serving (and never evicts) the ones it has — same policy as
+// the trie's built-in cache.
+func TestMatchCacheCapSkipsNotEvicts(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Add(MustParsePattern(">"), 7)
+	c := NewMatchCache[int](2)
+	c.Match(tr, MustParse("a.one"))
+	c.Match(tr, MustParse("a.two"))
+	c.Match(tr, MustParse("a.three")) // over cap: not cached
+	if c.Len() != 2 {
+		t.Fatalf("cache len = %d, want 2 (cap)", c.Len())
+	}
+	if got := c.Match(tr, MustParse("a.three")); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("uncached subject answered %v", got)
+	}
+}
+
+// TestMatchCacheShardsIndependent: two shards over one trie invalidate
+// independently and never see each other's entries.
+func TestMatchCacheShardsIndependent(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Add(MustParsePattern("x.>"), 1)
+	a, b := NewMatchCache[int](0), NewMatchCache[int](0)
+	a.Match(tr, MustParse("x.a"))
+	if a.Len() != 1 || b.Len() != 0 {
+		t.Fatalf("shard lens = %d/%d, want 1/0", a.Len(), b.Len())
+	}
+	b.Match(tr, MustParse("x.b"))
+	tr.Add(MustParsePattern("x.a"), 2)
+	if got := a.Match(tr, MustParse("x.a")); len(got) != 2 {
+		t.Fatalf("shard a stale after mutation: %v", got)
+	}
+	if got := b.Match(tr, MustParse("x.b")); len(got) != 1 {
+		t.Fatalf("shard b answered %v", got)
+	}
+}

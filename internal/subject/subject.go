@@ -72,6 +72,11 @@ var (
 type Subject struct {
 	raw      string
 	elements []string
+	// laneKey is a hash of the subject-prefix (the first two elements),
+	// computed once at parse time so delivery-lane selection costs the hot
+	// path nothing. Subjects sharing a two-element prefix share a lane,
+	// which keeps one subject family's match-cache entries on one shard.
+	laneKey uint32
 }
 
 // Pattern is a parsed subscription pattern: a subject that may contain
@@ -96,7 +101,41 @@ func Parse(s string) (Subject, error) {
 			return Subject{}, fmt.Errorf("element %d of %q: %w", i, s, ErrWildcardInName)
 		}
 	}
-	return Subject{raw: s, elements: elems}, nil
+	return Subject{raw: s, elements: elems, laneKey: laneHash(elems)}, nil
+}
+
+// laneHash is FNV-1a over the subject-prefix: the first two elements (or
+// the single element of a depth-1 subject), with the separator included so
+// ("a.bc", "ab.c") hash differently.
+func laneHash(elems []string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	n := len(elems)
+	if n > 2 {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			h = (h ^ '.') * prime32
+		}
+		for j := 0; j < len(elems[i]); j++ {
+			h = (h ^ uint32(elems[i][j])) * prime32
+		}
+	}
+	return h
+}
+
+// LaneIndex maps the subject onto one of n delivery lanes by its
+// precomputed prefix hash. Deterministic: the same subject always lands on
+// the same lane, and all subjects sharing a two-element prefix share one.
+func (s Subject) LaneIndex(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(s.laneKey % uint32(n))
 }
 
 // MustParse is like Parse but panics on error. It is intended for

@@ -187,6 +187,30 @@ func (t *Trie[V]) Match(s Subject) []V {
 	}
 	t.cacheMu.Unlock()
 
+	out, gen := t.MatchUncached(s)
+
+	t.cacheMu.Lock()
+	// Discard fills that raced a mutation; skip (don't evict) when full.
+	if t.gen.Load() == gen && len(t.cache) < maxMatchCache {
+		if t.cache == nil {
+			t.cache = make(map[string][]V)
+		}
+		t.cache[s.raw] = out
+	}
+	t.cacheMu.Unlock()
+	return out
+}
+
+// Gen returns the trie's mutation generation. It advances on every Add and
+// Remove that changes the set; external caches (MatchCache shards) compare
+// it to detect staleness without registering with the trie.
+func (t *Trie[V]) Gen() uint64 { return t.gen.Load() }
+
+// MatchUncached walks the trie for the subject's match set without
+// consulting or filling the built-in cache, and returns the generation the
+// walk was performed at (pinned for the whole walk: mutations take the
+// write lock). External caches store the result keyed by that generation.
+func (t *Trie[V]) MatchUncached(s Subject) ([]V, uint64) {
 	t.mu.RLock()
 	gen := t.gen.Load() // mutation holds mu for writing, so this pins the walk's state
 	var out []V
@@ -201,17 +225,7 @@ func (t *Trie[V]) Match(s Subject) []V {
 	}
 	matchWalk(t.root, s.elements, collect)
 	t.mu.RUnlock()
-
-	t.cacheMu.Lock()
-	// Discard fills that raced a mutation; skip (don't evict) when full.
-	if t.gen.Load() == gen && len(t.cache) < maxMatchCache {
-		if t.cache == nil {
-			t.cache = make(map[string][]V)
-		}
-		t.cache[s.raw] = out
-	}
-	t.cacheMu.Unlock()
-	return out
+	return out, gen
 }
 
 // MatchAny reports whether at least one registered pattern matches the

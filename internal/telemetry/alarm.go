@@ -127,6 +127,14 @@ type Watch struct {
 	above  int // consecutive ticks at/above Raise
 	below  int // consecutive ticks at/below Clear
 	value  int64
+
+	// raiseValue and raiseAt freeze the raise edge so Active can report
+	// the event that actually tripped the alarm. While an alarm is held
+	// raised by hysteresis, the latest tick's sample can legitimately sit
+	// below the threshold (a rate watch catching a quiet window); the
+	// synthetic raise event must not inherit that transient.
+	raiseValue int64
+	raiseAt    time.Time
 }
 
 // Engine evaluates a set of Watches on a fixed tick. Tick may be driven
@@ -271,6 +279,7 @@ func (e *Engine) Tick(now time.Time) {
 		}
 		if !w.raised && w.above >= w.cfg.RaiseHold {
 			w.raised = true
+			w.raiseValue, w.raiseAt = v, now
 			fired = append(fired, w)
 			events = append(events, AlarmEvent{
 				Node: e.node, Kind: w.cfg.Kind, Target: w.cfg.Target,
@@ -324,7 +333,8 @@ func (e *Engine) Active() []AlarmEvent {
 		if w.raised {
 			out = append(out, AlarmEvent{
 				Node: e.node, Kind: w.cfg.Kind, Target: w.cfg.Target,
-				Raised: true, Value: w.value, Threshold: w.cfg.Raise,
+				Raised: true, Value: w.raiseValue, Threshold: w.cfg.Raise,
+				At: w.raiseAt,
 			})
 		}
 	}

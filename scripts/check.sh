@@ -38,6 +38,9 @@ go test -run 'TestCompactGoldenBytes|TestSendDictSteadyStateAllocs' -count=1 ./i
 echo "==> quorum-liveness gate (replicated guaranteed delivery reaches quorum)"
 go test -run TestQuorumLiveness -count=1 ./internal/qledger/
 
+echo "==> lane-scaling gate (sharded delivery >= 3x at 8 cores; skips below 4 cores)"
+go test -run TestLaneScalingGate -count=1 -v ./internal/bench/
+
 if [ "$quick" -eq 0 ]; then
     echo "==> go test -race ./..."
     go test -race ./...
