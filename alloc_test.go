@@ -90,6 +90,92 @@ func TestPublishDeliverAllocBudget(t *testing.T) {
 	}
 }
 
+// TestPublishDeliverHistoryAllocBudget is the flight-data variant of the
+// gate above: the SAME 1-alloc/op budget must hold while a history
+// sampler concurrently ticks rate, level, and percentile rings over the
+// daemon's live instruments. The sampler is single-writer over
+// preallocated rings (seqlock slots, no maps, no boxing), so turning the
+// tier on must not add a single allocation to the publish→deliver path —
+// scripts/check.sh runs this as a gate.
+func TestPublishDeliverHistoryAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the budget is pinned by the non-race run in scripts/check.sh")
+	}
+	netCfg := netsim.DefaultConfig()
+	netCfg.Speedup = 2000
+	seg := transport.NewSimSegment(netCfg)
+	defer seg.Close()
+	ep, err := seg.NewEndpoint("histalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	hcfg := telemetry.HealthConfig{Interval: time.Hour}.WithDefaults()
+	rec := telemetry.NewRecorder(hcfg.RecorderSize)
+	engine := telemetry.NewEngine("histalloc", reg, rec)
+	d := daemon.New(ep, reliable.Config{
+		Batching:           true,
+		NakInterval:        2 * time.Millisecond,
+		RetransmitInterval: 3 * time.Millisecond,
+		HeartbeatInterval:  10 * time.Millisecond,
+		Recorder:           rec,
+	}, daemon.Options{
+		Metrics:           reg,
+		Health:            engine,
+		Recorder:          rec,
+		SlowConsumerDepth: hcfg.SlowConsumerDepth,
+	})
+	defer d.Close()
+	// The same series mix the host's historyAgent tracks: counter deltas,
+	// a computed level, and a histogram's percentile cut, sampled at a
+	// busy 2 ms so dozens of ticks land inside the measured run.
+	hist := telemetry.NewHistory(telemetry.HistoryConfig{Interval: 2 * time.Millisecond})
+	hist.TrackRate("daemon.inbound", reg.Counter("daemon.inbound"))
+	hist.TrackRate("daemon.delivered_local", reg.Counter("daemon.delivered_local"))
+	hist.TrackLevelFunc("daemon.lane_depth", func() int64 {
+		var sum int64
+		for _, depth := range d.LaneDepths() {
+			sum += depth
+		}
+		return sum
+	})
+	hist.TrackHist("daemon.trace_e2e_ns", reg.Histogram("daemon.trace_e2e_ns"))
+	hist.Start()
+	defer hist.Stop()
+	c, err := d.NewClient("sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe(subject.MustParsePattern("fan.bench.data")); err != nil {
+		t.Fatal(err)
+	}
+	subj := subject.MustParse("fan.bench.data")
+	payload := make([]byte, 256)
+	publishDeliver := func() {
+		if err := d.Publish(subj, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.TryNext(); !ok {
+			t.Fatal("missing local delivery")
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		publishDeliver()
+	}
+	best := testing.AllocsPerRun(100000, publishDeliver)
+	for attempt := 0; attempt < 4 && best > 1.5; attempt++ {
+		if a := testing.AllocsPerRun(100000, publishDeliver); a < best {
+			best = a
+		}
+	}
+	if best > 1.5 {
+		t.Fatalf("publish→deliver with history = %.2f allocs/op, budget 1 (+0.5 netsim slack)", best)
+	}
+	if hist.Snapshot(0).Ticks == 0 {
+		t.Fatal("sampler never ticked during the measured run")
+	}
+}
+
 // TestGuaranteedPublishAllocBudget pins the full guaranteed QoS round —
 // marshal, group-committed ledger append, daemon publish, local delivery,
 // ack, ledger ack staging — at its current allocation count so the

@@ -793,6 +793,42 @@ func BenchmarkHealthOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkHistoryOverhead (A13) measures what the flight-data tier costs
+// on the Figure 6 workload: every host samples its standing rate, level,
+// and percentile series into the history rings (at a 5 ms interval, far
+// busier than the 250 ms production default) while the messages flow. The
+// sampler only reads atomics and writes preallocated seqlock slots, so
+// the acceptance bar is overhead within run-to-run noise versus off —
+// the same bar the health tier met (EXPERIMENTS.md A13 records the
+// measured numbers at Speedup 10 via cmd/ibbench).
+func BenchmarkHistoryOverhead(b *testing.B) {
+	cases := []struct {
+		name string
+		tc   core.TelemetryConfig
+	}{
+		{"off", core.TelemetryConfig{}},
+		{"on", core.TelemetryConfig{HistoryInterval: 5 * time.Millisecond}},
+	}
+	for _, tc := range cases {
+		b.Run("history="+tc.name, func(b *testing.B) {
+			n := b.N
+			if n < 50 {
+				n = 50
+			}
+			if n > 2000 {
+				n = 2000
+			}
+			cfg := benchConfig(14)
+			cfg.Telemetry = tc.tc
+			r, err := bench.MeasureThroughput(cfg, 64, n, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.MsgsPerSec, "model-msgs/sec")
+		})
+	}
+}
+
 type countingWriter struct{ n int }
 
 func (w *countingWriter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }

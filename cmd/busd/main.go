@@ -29,11 +29,15 @@
 // With -health <interval> the host runs the health tier: slow-consumer /
 // retransmit-storm / dedup-pressure / ledger-backlog alarms publish on
 // "_sys.alarm.<name>.<kind>", and "_sys.dump" probes are answered with the
-// flight recorder. With -debug-addr the host serves net/http/pprof, a
-// /metrics JSON snapshot, and the /dump flight-recorder text over HTTP.
-// The debug server is off by default and meant for loopback addresses
-// only — it exposes profiling data and is entirely unauthenticated; never
-// bind it to a public interface.
+// flight recorder. With -history <interval> it runs the flight-data tier:
+// rates, depths, and latency percentiles sampled into ≈64 s rings,
+// answering "_sys.history" probes (and publishing periodic digests) on
+// "_sys.history.<name>". With -debug-addr the host serves net/http/pprof,
+// a /metrics JSON snapshot, the /dump flight-recorder text, and the
+// /history time-series window over HTTP. The debug server is off by
+// default and meant for loopback addresses only — it exposes profiling
+// data and is entirely unauthenticated; never bind it to a public
+// interface.
 //
 // Anything received on a subscription is pretty-printed through the
 // generic introspective print utility, whatever its type (P2).
@@ -60,7 +64,8 @@ func main() {
 	statsEvery := flag.Duration("stats-interval", 0, "publish host stats on _sys.stats.<name> at this interval (0 disables)")
 	sampling := flag.Float64("trace-sampling", 0, "fraction of publications to trace per-hop (0 disables, 1 every message)")
 	healthEvery := flag.Duration("health", 0, "run the health tier (alarms on _sys.alarm.>, flight recorder) sampling at this interval (0 disables)")
-	debugAddr := flag.String("debug-addr", "", "serve pprof + /metrics + /dump on this address (UNAUTHENTICATED: loopback only, e.g. 127.0.0.1:6060; empty disables)")
+	historyEvery := flag.Duration("history", 0, "run the flight-data tier (time-series history on _sys.history.<name>) sampling at this interval (0 disables; 250ms is typical)")
+	debugAddr := flag.String("debug-addr", "", "serve pprof + /metrics + /dump + /history on this address (UNAUTHENTICATED: loopback only, e.g. 127.0.0.1:6060; empty disables)")
 	compact := flag.Bool("compact", false, "publish with type-dictionary compression (class descriptors cross the wire once; receivers need no flag)")
 	ledgerPath := flag.String("ledger", "", "write-ahead log path enabling guaranteed delivery (pubg); empty disables")
 	replication := flag.Int("replication", 0, "mirror committed guaranteed batches to this many peer replicas and ack at majority durability (needs -ledger)")
@@ -81,9 +86,10 @@ func main() {
 		ReplicaDir:        *replicaDir,
 		DeliveryLanes:     *deliveryLanes,
 		Telemetry: infobus.TelemetryConfig{
-			StatsInterval: *statsEvery,
-			TraceSampling: *sampling,
-			Health:        infobus.HealthConfig{Interval: *healthEvery},
+			StatsInterval:   *statsEvery,
+			TraceSampling:   *sampling,
+			Health:          infobus.HealthConfig{Interval: *healthEvery},
+			HistoryInterval: *historyEvery,
 		},
 	})
 	if err != nil {
@@ -92,10 +98,10 @@ func main() {
 	}
 	defer host.Close()
 	if *debugAddr != "" {
-		handler := telemetry.DebugHandler(host.Metrics(), host.Recorder())
+		handler := telemetry.DebugHandler(host.Metrics(), host.Recorder(), host.History())
 		srv := &http.Server{Addr: *debugAddr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
-			fmt.Printf("busd: debug server on http://%s/ (pprof, /metrics, /dump) — do not expose beyond loopback\n", *debugAddr)
+			fmt.Printf("busd: debug server on http://%s/ (pprof, /metrics, /dump, /history) — do not expose beyond loopback\n", *debugAddr)
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "busd: debug server: %v\n", err)
 			}

@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to run: 5, 6, 7, 8, i1, i2, a8, a9, a10, a11, a12, or all")
+	fig := flag.String("fig", "all", "figure to run: 5, 6, 7, 8, i1, i2, a8, a9, a10, a11, a12, a13, or all")
 	consumers := flag.Int("consumers", 14, "number of consumer hosts")
 	speedup := flag.Float64("speedup", 20, "simulation speedup factor")
 	msgs := flag.Int("msgs", 1000, "messages per throughput point")
@@ -132,6 +132,31 @@ func main() {
 			}
 			oncfg := cfg
 			oncfg.Telemetry.Health = telemetry.HealthConfig{Interval: 5 * time.Millisecond}
+			on, err := bench.MeasureThroughput(oncfg, size, *msgs, 1)
+			if err != nil {
+				return err
+			}
+			delta := (on.MsgsPerSec - off.MsgsPerSec) / off.MsgsPerSec * 100
+			fmt.Printf("%10d %18.0f %18.0f %8.1f%%\n", size, off.MsgsPerSec, on.MsgsPerSec, delta)
+		}
+		return nil
+	})
+	run("a13", func() error {
+		// A13: flight-data tier overhead on the Figure 6 workload. Every
+		// host samples its standing rate/level/percentile series into the
+		// history rings at 5 ms (the production default is 250 ms) and
+		// publishes periodic SysHistory digests; the sampler reads atomics
+		// and writes preallocated seqlock slots, so overhead should be
+		// within noise like A8.
+		fmt.Println("A13: flight-data history tier overhead (Figure 6 workload)")
+		fmt.Printf("%10s %18s %18s %9s\n", "size", "off msgs/s", "on msgs/s", "delta")
+		for _, size := range bench.PaperSizes {
+			off, err := bench.MeasureThroughput(cfg, size, *msgs, 1)
+			if err != nil {
+				return err
+			}
+			oncfg := cfg
+			oncfg.Telemetry.HistoryInterval = 5 * time.Millisecond
 			on, err := bench.MeasureThroughput(oncfg, size, *msgs, 1)
 			if err != nil {
 				return err

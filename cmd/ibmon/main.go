@@ -13,13 +13,23 @@
 // differenced into per-interval rates (msgs/s, bytes/s, retransmits/s);
 // SysAlarm raise/clear edges and SysDump flight-recorder answers render as
 // one-line events and verbatim text. Sampled per-hop traces riding on
-// observed publications are assembled into publisher→router→consumer
-// paths with per-hop latency percentiles, printed on exit (and
-// periodically with -traces). The stats render through the same generic
+// observed publications are assembled into full stage paths —
+// publisher → ledger-stage → group-commit → quorum-ack → … → consumer
+// lane hops — with per-stage latency percentiles, printed on exit (and
+// periodically with -traces); SysTrace sidecars on "_sys.trace.>" (the
+// quorum-ack stamp of replicated guaranteed publications) merge into the
+// assembled routes by trace id. The stats render through the same generic
 // print path — ibmon links no telemetry schema.
 //
 //	ibmon -listen 127.0.0.1:7009 -peers 127.0.0.1:7001 -sys
 //	ibmon -listen 127.0.0.1:7009 -peers 127.0.0.1:7001 -sys -dump
+//
+// With -sys -watch it renders live flight-data columns instead of raw
+// events: each "_sys.history.<node>" digest (history-enabled nodes
+// publish them every couple of seconds) becomes one line of rates, lane
+// depth, commit/quorum percentiles, and the heaviest subject families.
+//
+//	ibmon -listen 127.0.0.1:7009 -peers 127.0.0.1:7001 -sys -watch
 package main
 
 import (
@@ -43,7 +53,11 @@ func main() {
 	pingEvery := flag.Duration("ping", 5*time.Second, "probe interval in -sys mode (0 disables)")
 	dump := flag.Bool("dump", false, "publish a _sys.dump probe on each ping tick (prints flight recorders)")
 	traces := flag.Duration("traces", 0, "print the assembled trace table at this interval (0: only on exit)")
+	watch := flag.Bool("watch", false, "live flight-data mode: render _sys.history digests as rate/percentile columns (implies -sys)")
 	flag.Parse()
+	if *watch {
+		*sys = true
+	}
 
 	seg := infobus.NewStaticUDPSegment(*listen, strings.Split(*peers, ","))
 	host, err := infobus.NewHost(seg, "ibmon", infobus.HostConfig{})
@@ -61,6 +75,7 @@ func main() {
 	mon := &monitor{
 		rates: make(map[string]*snapshot),
 		asm:   telemetry.NewTraceAssembler(),
+		watch: *watch,
 	}
 
 	patterns := strings.Split(*subFlag, ",")
@@ -131,8 +146,10 @@ func main() {
 // pattern, so no locking is needed — the assembler locks internally for
 // the periodic Render goroutine.
 type monitor struct {
-	rates map[string]*snapshot
-	asm   *telemetry.TraceAssembler
+	rates  map[string]*snapshot
+	asm    *telemetry.TraceAssembler
+	watch  bool
+	header bool
 }
 
 type snapshot struct {
@@ -142,11 +159,27 @@ type snapshot struct {
 
 func (m *monitor) handle(ev infobus.Event) {
 	if len(ev.Trace) >= 2 {
-		m.asm.Add(ev.Trace)
+		m.asm.AddTraced(ev.TraceID, ev.Trace)
 	}
 	subj := ev.Subject.String()
 	switch {
+	case strings.HasPrefix(subj, infobus.SysTracePrefix+"."):
+		// Trace sidecar: late stage hops (quorum ack) merging by trace id.
+		if o, ok := ev.Value.(*mop.Object); ok {
+			if _, id, hops, ok := telemetry.ParseTraceObject(o); ok {
+				m.asm.AddSidecar(id, hops)
+				return
+			}
+		}
+	case strings.HasPrefix(subj, infobus.SysHistoryPrefix+"."):
+		if line, ok := m.historyLine(ev.Value); ok {
+			fmt.Println(line)
+			return
+		}
 	case strings.HasPrefix(subj, infobus.SysStatsPrefix+"."):
+		if m.watch {
+			return
+		}
 		if line, ok := m.statsLine(ev.Value); ok {
 			fmt.Println(line)
 			return
@@ -162,11 +195,95 @@ func (m *monitor) handle(ev infobus.Event) {
 			return
 		}
 	}
+	if m.watch {
+		return // live mode shows digests and alarms only
+	}
 	qos := ""
 	if ev.Guaranteed {
 		qos = " (guaranteed)"
 	}
 	fmt.Printf("[%s]%s %s\n", subj, qos, infobus.Print(ev.Value))
+}
+
+// historyLine renders one SysHistory digest as a row of rate/percentile
+// columns: publication and delivery rates averaged over the digest
+// window, the delivery-lane backlog, commit and quorum latency p95s, and
+// the heaviest subject families.
+func (m *monitor) historyLine(v infobus.Value) (string, bool) {
+	o, ok := v.(*mop.Object)
+	if !ok {
+		return "", false
+	}
+	d, ok := telemetry.ParseHistoryObject(o)
+	if !ok {
+		return "", false
+	}
+	var b strings.Builder
+	if m.watch && !m.header {
+		m.header = true
+		b.WriteString(fmt.Sprintf("%-12s %9s %9s %9s %7s %10s %10s  %s\n",
+			"node", "pub/s", "in/s", "dlv/s", "depth", "commit p95", "quorum p95", "top families"))
+	}
+	rate := func(name string) string {
+		for _, s := range d.Snapshot.Series {
+			if s.Name != name || len(s.Samples) == 0 {
+				continue
+			}
+			var sum int64
+			for _, smp := range s.Samples {
+				sum += smp.V
+			}
+			per := d.Snapshot.RatePerSec(sum) / float64(len(s.Samples))
+			return fmt.Sprintf("%.0f", per)
+		}
+		return "-"
+	}
+	level := func(name string) string {
+		for _, s := range d.Snapshot.Series {
+			if s.Name != name || len(s.Samples) == 0 {
+				continue
+			}
+			return fmt.Sprintf("%d", s.Samples[len(s.Samples)-1].V)
+		}
+		return "-"
+	}
+	p95 := func(name string) string {
+		for _, s := range d.Snapshot.Series {
+			if s.Name != name || len(s.Samples) == 0 {
+				continue
+			}
+			// Latest window with observations; earlier ones may be idle.
+			for i := len(s.Samples) - 1; i >= 0; i-- {
+				if s.Samples[i].V > 0 {
+					return time.Duration(s.Samples[i].P95).Round(time.Microsecond).String()
+				}
+			}
+			return "idle"
+		}
+		return "-"
+	}
+	fams := make([]string, 0, 3)
+	for i, f := range d.Families {
+		if i == 3 {
+			break
+		}
+		fams = append(fams, fmt.Sprintf("%s(%d)", f.Family, f.Msgs))
+	}
+	b.WriteString(fmt.Sprintf("%-12s %9s %9s %9s %7s %10s %10s  %s",
+		d.Node, rate("bus.published"), rate("daemon.inbound"),
+		rate("daemon.delivered_local"), level("daemon.lane_depth"),
+		p95("ledger.commit_ns"), p95("qledger.quorum_wait_ns"),
+		strings.Join(fams, " ")))
+	for _, a := range d.Snapshot.Alarms {
+		edge := "CLEAR"
+		if a.Raised {
+			edge = "RAISE"
+		}
+		b.WriteString(fmt.Sprintf("\n[alarm edge %s] %s %s:%s value=%d at %s",
+			d.Node, edge, a.Kind, a.Target, a.Value,
+			time.Unix(0, a.At).Format("15:04:05.000")))
+	}
+	return b.String(), true
 }
 
 // statsLine differences a SysStats snapshot against the node's previous

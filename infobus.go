@@ -142,6 +142,16 @@ type (
 	// TraceAssembler groups sampled hop traces (Event.Trace) into
 	// per-route latency breakdowns; ibmon -sys uses it.
 	TraceAssembler = telemetry.TraceAssembler
+	// History is the flight-data recorder: fixed-window time-series rings
+	// over a host's rates, depths, and latency percentiles
+	// (TelemetryConfig.HistoryInterval, Host.History()).
+	History = telemetry.History
+	// HistoryDigest is a decoded SysHistory publication
+	// (telemetry.ParseHistoryObject); ibmon -sys -watch renders these.
+	HistoryDigest = telemetry.HistoryDigest
+	// TopKEntry is one subject family's accounting row in the daemon's
+	// bounded per-lane tables (published with every SysHistory object).
+	TopKEntry = telemetry.TopKEntry
 )
 
 // System subjects. The "_sys.>" space is reserved: user publications are
@@ -161,6 +171,19 @@ const (
 	SysDumpSubject = telemetry.DumpSubject
 	// SysDumpedPrefix: flight-recorder dump answers.
 	SysDumpedPrefix = telemetry.DumpedSubjectPrefix
+	// SysHistorySubject: the third user-publishable system subject; every
+	// history-enabled node answers a probe here with its flight-data window
+	// (a SysHistory object) on "_sys.history.<node>", where it also
+	// publishes periodic digests unprompted.
+	SysHistorySubject = telemetry.HistorySubject
+	// SysHistoryPrefix: per-node flight-data publications; subscribe
+	// "_sys.history.>" for every node's windows and digests.
+	SysHistoryPrefix = telemetry.HistorySubjectPrefix
+	// SysTracePrefix: trace sidecars — stage hops known only after a traced
+	// envelope departed (the quorum-ack stamp of a replicated guaranteed
+	// publish) publish as SysTrace objects on "_sys.trace.<node>"; a
+	// TraceAssembler merges them by trace id (AddSidecar).
+	SysTracePrefix = telemetry.TraceSubjectPrefix
 )
 
 // ErrReservedSubject rejects user publications into "_sys.>".

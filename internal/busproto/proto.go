@@ -66,17 +66,60 @@ func DataKind(guaranteed, compact, traced bool) byte {
 // MaxHops bounds how many routers a publication may cross.
 const MaxHops = 8
 
-// MaxTraceHops bounds the per-hop trace list: publisher daemon + up to
-// MaxHops routers + consumer daemon, with slack for future hop kinds. A
-// traced envelope whose list is full is forwarded without appending.
-const MaxTraceHops = 16
+// MaxTraceHops bounds the per-hop trace list: publisher daemon + the
+// guaranteed-path stage hops (lane/ledger/quorum) + up to MaxHops routers +
+// consumer daemon, with slack for future hop kinds. A traced envelope whose
+// list is full is forwarded without appending.
+const MaxTraceHops = 24
+
+// Trace hop kinds. HopNode is the original network hop (a daemon or router
+// touched the message); the rest are intra-node stages of the guaranteed
+// path, stamped by internal/daemon, internal/ledger and internal/qledger so
+// the trace assembler can render a publish→commit→quorum→deliver timeline.
+const (
+	HopNode           = 0 // publisher/router/consumer network hop
+	HopLaneEnqueue    = 1 // delivery lane accepted the message (daemon routeLocal)
+	HopLanePop        = 2 // client queue popped the delivery (daemon)
+	HopLedgerStage    = 3 // record staged into the group-commit batch (ledger Append)
+	HopGroupCommit    = 4 // batch write completed (ledger committer)
+	HopFsync          = 5 // batch fsync completed (ledger committer, Sync mode)
+	HopReplicaChunk   = 6 // committed batch mirrored as replication chunk (qledger)
+	HopQuorumAck      = 7 // write quorum of replica acks reached (qledger)
+	HopRecoveryReplay = 8 // entry re-published by the recovery coordinator (qledger)
+)
+
+// HopKindName renders a hop kind for monitors; unknown kinds print as node
+// hops so newer producers stay readable on older monitors.
+func HopKindName(k byte) string {
+	switch k {
+	case HopLaneEnqueue:
+		return "lane-enq"
+	case HopLanePop:
+		return "lane-pop"
+	case HopLedgerStage:
+		return "ledger-stage"
+	case HopGroupCommit:
+		return "group-commit"
+	case HopFsync:
+		return "fsync"
+	case HopReplicaChunk:
+		return "repl-chunk"
+	case HopQuorumAck:
+		return "quorum-ack"
+	case HopRecoveryReplay:
+		return "recovery-replay"
+	default:
+		return "node"
+	}
+}
 
 // TraceHop is one recorded hop of a traced publication: which node touched
-// the message and when (unix nanoseconds of that node's clock; on the
-// simulated network all nodes share the host clock, so per-hop deltas are
-// directly meaningful).
+// the message, what stage it was (a Hop* kind), and when (unix nanoseconds
+// of that node's clock; on the simulated network all nodes share the host
+// clock, so per-hop deltas are directly meaningful).
 type TraceHop struct {
 	Node string
+	Kind byte
 	At   int64
 }
 
@@ -130,9 +173,15 @@ func (e Envelope) Compact() bool {
 	return false
 }
 
-// AppendHop records a hop on a traced envelope, dropping the record (not
-// the message) when the trace list is already at MaxTraceHops.
+// AppendHop records a network hop on a traced envelope, dropping the
+// record (not the message) when the trace list is already at MaxTraceHops.
 func (e *Envelope) AppendHop(node string, at int64) {
+	e.AppendStageHop(HopNode, node, at)
+}
+
+// AppendStageHop records a hop of an explicit kind (a guaranteed-path
+// stage or a network hop) under the same cap-and-drop discipline.
+func (e *Envelope) AppendStageHop(kind byte, node string, at int64) {
 	if !e.Traced() || len(e.Trace) >= MaxTraceHops {
 		return
 	}
@@ -140,7 +189,7 @@ func (e *Envelope) AppendHop(node string, at int64) {
 	// decoded Trace slice may be shared.
 	trace := make([]TraceHop, len(e.Trace), len(e.Trace)+1)
 	copy(trace, e.Trace)
-	e.Trace = append(trace, TraceHop{Node: node, At: at})
+	e.Trace = append(trace, TraceHop{Node: node, Kind: kind, At: at})
 }
 
 // Envelope errors.
@@ -212,6 +261,7 @@ func appendTrace(b []byte, e Envelope) []byte {
 	}
 	b = binary.AppendUvarint(b, uint64(len(trace)))
 	for _, h := range trace {
+		b = append(b, h.Kind)
 		b = appendString(b, h.Node)
 		b = binary.AppendVarint(b, h.At)
 	}
@@ -256,6 +306,9 @@ func (r *envReader) trace(e *Envelope) error {
 	}
 	for i := uint64(0); i < count; i++ {
 		var h TraceHop
+		if h.Kind, err = r.byteVal(); err != nil {
+			return err
+		}
 		if h.Node, err = r.str(maxNodeLen); err != nil {
 			return err
 		}

@@ -42,6 +42,19 @@ func TestTracedEnvelopeRoundTrip(t *testing.T) {
 		{Kind: KindGuaranteedTraced, Hops: 1, ID: 42, Origin: "sim:0#abc", Subject: "g.s",
 			Payload: []byte{1, 2}, TraceID: 9,
 			Trace: []TraceHop{{Node: "sim:0", At: 1690000000000000000}}},
+		{Kind: KindGuaranteedTraced, ID: 7, Origin: "o", Subject: "g.k", TraceID: 11,
+			Trace: []TraceHop{
+				{Node: "sim:0", Kind: HopNode, At: 10},
+				{Node: "sim:0", Kind: HopLedgerStage, At: 11},
+				{Node: "sim:0", Kind: HopGroupCommit, At: 15},
+				{Node: "sim:0", Kind: HopFsync, At: 17},
+				{Node: "sim:0", Kind: HopReplicaChunk, At: 18},
+				{Node: "sim:0", Kind: HopQuorumAck, At: 30},
+				{Node: "sim:1", Kind: HopLaneEnqueue, At: 31},
+				{Node: "sim:1", Kind: HopLanePop, At: 32},
+				{Node: "sim:1", Kind: HopRecoveryReplay, At: 33},
+				{Node: "sim:1", Kind: 200, At: 34}, // unknown kinds survive the wire
+			}},
 	}
 	for _, e := range cases {
 		got, err := Decode(Encode(e))
@@ -83,6 +96,22 @@ func TestTracedHelpers(t *testing.T) {
 	}
 	if len(e.Trace) != MaxTraceHops {
 		t.Fatalf("trace grew to %d, cap is %d", len(e.Trace), MaxTraceHops)
+	}
+	// AppendHop is the HopNode special case of AppendStageHop.
+	s := Envelope{Kind: KindGuaranteedTraced}
+	s.AppendStageHop(HopGroupCommit, "n", 5)
+	s.AppendHop("m", 6)
+	if s.Trace[0].Kind != HopGroupCommit || s.Trace[1].Kind != HopNode {
+		t.Fatalf("stage hop kinds: %+v", s.Trace)
+	}
+	for _, k := range []byte{HopLaneEnqueue, HopLanePop, HopLedgerStage, HopGroupCommit,
+		HopFsync, HopReplicaChunk, HopQuorumAck, HopRecoveryReplay} {
+		if HopKindName(k) == "node" {
+			t.Errorf("HopKindName(%d) fell through to node", k)
+		}
+	}
+	if HopKindName(HopNode) != "node" || HopKindName(99) != "node" {
+		t.Error("HopKindName default must be node")
 	}
 	// AppendHop must not alias a shared slice (router fan-out).
 	shared := Envelope{Kind: KindPublishTraced, Trace: make([]TraceHop, 1, 8)}

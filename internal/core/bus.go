@@ -51,18 +51,25 @@ type Host struct {
 	sendDict    *wire.SendDict
 	nakInterval time.Duration
 
-	mu     sync.Mutex
-	ledger *ledger.Ledger
-	retry  *guaranteeRetrier
-	sys    *sysExporter
-	health *healthAgent
-	csync  *classSync
-	buses  []*Bus
-	closed bool
+	mu      sync.Mutex
+	ledger  *ledger.Ledger
+	retry   *guaranteeRetrier
+	sys     *sysExporter
+	health  *healthAgent
+	history *historyAgent
+	csync   *classSync
+	buses   []*Bus
+	closed  bool
 	// guarGate, when set, blocks PublishGuaranteed returns until the
 	// replication tier confirms quorum durability (internal/qledger). Nil —
 	// the default — costs one pointer load under the mutex already taken.
-	guarGate func(id uint64) error
+	// The returned stamp is when the write quorum was reached (unix ns, 0
+	// unknown); it becomes the traced publication's quorum-ack hop.
+	guarGate func(id uint64) (int64, error)
+	// tracing mirrors Telemetry.TraceSampling > 0: the guaranteed path
+	// only assembles stage-hop slices when some publication could carry
+	// them (the untraced path must stay allocation-flat).
+	tracing bool
 	// closeHooks run first in Close, in reverse registration order, so
 	// layers stacked above the host (replication agents) detach before the
 	// daemon and ledger go away underneath them.
@@ -113,6 +120,20 @@ type TelemetryConfig struct {
 	// answered with the flight recorder's recent-event ring. Zero (its
 	// Interval in particular) disables the tier entirely.
 	Health telemetry.HealthConfig
+	// HistoryInterval enables the flight-data tier: a sampler snapshots the
+	// host's key rates, queue depths, and latency percentiles into
+	// fixed-window rings every interval (telemetry.History), answers
+	// "_sys.history" probes with the full window as a SysHistory object on
+	// "_sys.history.<node>", and publishes short digests of the same series
+	// there unprompted. 0 disables the tier.
+	HistoryInterval time.Duration
+	// HistorySlots is the per-series ring length; 0 selects the telemetry
+	// default (256 slots ≈ 64 s at the default 250 ms interval).
+	HistorySlots int
+	// HistoryDigestTicks is how many sampler ticks between unsolicited
+	// digests; 0 selects the default (8 — every 2 s at the default
+	// interval), negative disables digests (probe-only).
+	HistoryDigestTicks int
 }
 
 // tracePeriod converts a sampling fraction to the daemon's every-Nth
@@ -270,6 +291,7 @@ func NewHost(seg transport.Segment, name string, cfg HostConfig) (*Host, error) 
 		},
 		typeCache:   wire.NewTypeCache(0),
 		nakInterval: cfg.CompactNakInterval,
+		tracing:     cfg.Telemetry.tracePeriod() > 0,
 	}
 	if cfg.CompactTypes {
 		h.sendDict = wire.NewSendDict(cfg.CompactResendEvery)
@@ -307,11 +329,22 @@ func NewHost(seg transport.Segment, name string, cfg HostConfig) (*Host, error) 
 			return nil, err
 		}
 	}
-	if engine != nil {
-		prefix := rcfg.MetricsPrefix
-		if prefix == "" {
-			prefix = "reliable"
+	prefix := rcfg.MetricsPrefix
+	if prefix == "" {
+		prefix = "reliable"
+	}
+	if cfg.Telemetry.HistoryInterval > 0 {
+		// Before the health agent: its alarm sink feeds edges into the
+		// history ring it finds installed here.
+		replicated := cfg.ReplicationFactor > 0 || cfg.ReplicaDir != ""
+		hist, err := startHistoryAgent(h, cfg.Telemetry, replicated, prefix)
+		if err != nil {
+			_ = h.Close()
+			return nil, err
 		}
+		h.history = hist
+	}
+	if engine != nil {
 		agent, err := startHealthAgent(h, engine, rec, hcfg, prefix)
 		if err != nil {
 			_ = h.Close()
@@ -381,11 +414,26 @@ func (h *Host) Ledger() *ledger.Ledger {
 // tier is disabled (TelemetryConfig.Health).
 func (h *Host) HealthEngine() *telemetry.Engine { return h.engine }
 
+// History returns the host's flight-data recorder, or nil when the tier
+// is disabled (TelemetryConfig.HistoryInterval). Layers above the host
+// may register extra series on it before traffic starts.
+func (h *Host) History() *telemetry.History {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.history == nil {
+		return nil
+	}
+	return h.history.hist
+}
+
 // SetGuaranteeGate installs (or, with nil, removes) the quorum gate:
 // PublishGuaranteed calls it with the ledger id after local durability and
 // dissemination, and propagates its error. The entry stays pending on
-// error, so the retrier and crash recovery still cover it.
-func (h *Host) SetGuaranteeGate(gate func(id uint64) error) {
+// error, so the retrier and crash recovery still cover it. On success the
+// gate reports when the write quorum was reached (unix ns, 0 when
+// unknown); a traced publication publishes that stamp as a quorum-ack
+// sidecar hop on "_sys.trace.<node>".
+func (h *Host) SetGuaranteeGate(gate func(id uint64) (int64, error)) {
 	h.mu.Lock()
 	h.guarGate = gate
 	h.mu.Unlock()
@@ -425,6 +473,8 @@ func (h *Host) Close() error {
 	h.sys = nil
 	health := h.health
 	h.health = nil
+	history := h.history
+	h.history = nil
 	csync := h.csync
 	h.csync = nil
 	hooks := h.closeHooks
@@ -435,6 +485,9 @@ func (h *Host) Close() error {
 	}
 	if health != nil {
 		health.stop()
+	}
+	if history != nil {
+		history.stop()
 	}
 	if sys != nil {
 		sys.stop()
@@ -587,9 +640,10 @@ func (b *Bus) Registry() *mop.Registry { return b.host.reg }
 // reliable delivery.
 //
 // The "_sys.>" subject space is reserved: only the bus machinery publishes
-// there (so subscribers can trust "_sys.stats.<node>" objects), with two
+// there (so subscribers can trust "_sys.stats.<node>" objects), with three
 // exceptions — any application may publish on "_sys.ping" to probe the
-// exporting nodes and on "_sys.dump" to request flight-recorder dumps.
+// exporting nodes, on "_sys.dump" to request flight-recorder dumps, and on
+// "_sys.history" to request flight-data windows.
 func (b *Bus) Publish(subj string, value mop.Value) error {
 	b.mu.Lock()
 	closed := b.closed
@@ -602,7 +656,8 @@ func (b *Bus) Publish(subj string, value mop.Value) error {
 		return err
 	}
 	if subject.IsSys(s) {
-		if str := s.String(); str != telemetry.PingSubject && str != telemetry.DumpSubject {
+		if str := s.String(); str != telemetry.PingSubject && str != telemetry.DumpSubject &&
+			str != telemetry.HistorySubject {
 			return fmt.Errorf("%q: %w", subj, ErrReservedSubject)
 		}
 	}
@@ -659,17 +714,34 @@ func (b *Bus) PublishGuaranteed(subj string, value mop.Value) (uint64, error) {
 	}
 	// Log before sending (§3.1). The ledger stores the payload as
 	// encoded; the retrier re-detects the compact format by its header.
-	id, err := led.Append(s.String(), payload)
+	id, tm, err := led.AppendTimed(s.String(), payload)
 	if err != nil {
 		return 0, err
 	}
 	b.host.ctr.publishedGuaranteed.Inc()
+	// Guaranteed-path stage hops: only assembled when tracing is enabled
+	// at all; the daemon transmits them only on sampled publications.
+	var pre []busproto.TraceHop
+	if b.host.tracing {
+		pre = make([]busproto.TraceHop, 0, 4)
+		pre = append(pre, busproto.TraceHop{Kind: busproto.HopLedgerStage, Node: b.host.name, At: tm.StagedAt})
+		if tm.CommitAt != 0 {
+			pre = append(pre, busproto.TraceHop{Kind: busproto.HopGroupCommit, Node: b.host.name, At: tm.CommitAt})
+		}
+		if tm.SyncedAt != 0 {
+			pre = append(pre, busproto.TraceHop{Kind: busproto.HopFsync, Node: b.host.name, At: tm.SyncedAt})
+		}
+		if gate != nil {
+			// The ledger's commit hook mirrored the batch as a replication
+			// chunk before AppendTimed returned (the qledger ordering
+			// contract), so now is an upper bound on the chunk broadcast.
+			pre = append(pre, busproto.TraceHop{Kind: busproto.HopReplicaChunk, Node: b.host.name, At: time.Now().UnixNano()})
+		}
+	}
 	if compact {
 		b.host.ctr.compactPublished.Inc()
-		err = b.host.daemon.PublishGuaranteedCompact(s, payload, id)
-	} else {
-		err = b.host.daemon.PublishGuaranteed(s, payload, id)
 	}
+	traceID, err := b.host.daemon.PublishGuaranteedTraced(s, payload, id, compact, pre)
 	if err != nil {
 		return id, err
 	}
@@ -679,11 +751,41 @@ func (b *Bus) PublishGuaranteed(subj string, value mop.Value) (uint64, error) {
 		// acknowledged the commit batch carrying this id. On error the entry
 		// is already pending locally and disseminated, so nothing is lost —
 		// the caller just lacks the quorum guarantee.
-		if gerr := gate(id); gerr != nil {
+		quorumAt, gerr := gate(id)
+		if gerr != nil {
 			return id, gerr
+		}
+		if traceID != 0 && quorumAt != 0 {
+			// The quorum ack landed after the envelope left: publish it as
+			// a sidecar trace monitors merge by trace id.
+			b.host.publishTraceSidecar(traceID, quorumAt)
 		}
 	}
 	return id, nil
+}
+
+// publishTraceSidecar emits the late stage of a sampled guaranteed
+// publication — the quorum-ack hop, known only after the envelope has
+// been disseminated — as a SysTrace object on "_sys.trace.<node>". Trace
+// assemblers (ibmon) merge it into the delivery trace by trace id.
+func (h *Host) publishTraceSidecar(traceID uint64, quorumAt int64) {
+	types, err := telemetry.DefineSysTypes(h.reg)
+	if err != nil {
+		return
+	}
+	node := telemetry.SanitizeNode(h.name)
+	obj := types.TraceObject(node, traceID,
+		[]busproto.TraceHop{{Kind: busproto.HopQuorumAck, Node: h.name, At: quorumAt}})
+	payload, err := wire.Marshal(obj)
+	if err != nil {
+		return
+	}
+	s, err := subject.Parse(telemetry.TraceSubject(node))
+	if err != nil {
+		return
+	}
+	_ = h.daemon.Publish(s, payload)
+	_ = h.daemon.Flush()
 }
 
 // Subscribe registers interest in a subject pattern ("news.equity.*",

@@ -93,8 +93,14 @@ func (a *healthAgent) stop() {
 }
 
 // publishAlarm is the engine sink: one SysAlarm publication per edge,
-// flushed immediately — an alarm must not sit in a batch buffer.
+// flushed immediately — an alarm must not sit in a batch buffer. The edge
+// is also noted into the flight-data ring (when the history tier runs),
+// so "_sys.history" windows show it aligned with the metric samples that
+// tripped it.
 func (a *healthAgent) publishAlarm(ev telemetry.AlarmEvent) {
+	if hist := a.h.History(); hist != nil {
+		hist.NoteAlarm(ev)
+	}
 	subj, err := subject.Parse(telemetry.AlarmSubject(ev.Node, ev.Kind))
 	if err != nil {
 		return

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"infobus/internal/daemon"
+	"infobus/internal/subject"
+	"infobus/internal/telemetry"
+	"infobus/internal/wire"
+)
+
+// historyAgent is the host's flight-data recorder: it owns the telemetry
+// history sampler (fixed-window rings over the host's key rates, depths,
+// and latency percentiles), answers "_sys.history" probes with the full
+// window as a self-describing SysHistory object on "_sys.history.<node>",
+// and publishes a short digest of the same series on the same subject
+// unprompted. Like sysExporter it publishes through the daemon directly —
+// the internal path — so the "_sys.>" reservation on Bus.Publish does not
+// apply to it.
+type historyAgent struct {
+	h      *Host
+	types  telemetry.SysTypes
+	client *daemon.Client
+	hist   *telemetry.History
+	node   string
+
+	digestTicks int
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// historyFamilies bounds the subject-family table published with each
+// SysHistory object (merged across the daemon's per-lane tables).
+const historyFamilies = 16
+
+// digestSamples is how many trailing ticks a periodic digest carries per
+// series — enough for a monitor's rate/percentile columns without
+// re-shipping the whole window every time.
+const digestSamples = 8
+
+func startHistoryAgent(h *Host, cfg TelemetryConfig, replicated bool, relPrefix string) (*historyAgent, error) {
+	types, err := telemetry.DefineSysTypes(h.reg)
+	if err != nil {
+		return nil, err
+	}
+	client, err := h.daemon.NewClient("_sys-history")
+	if err != nil {
+		return nil, err
+	}
+	if err := client.Subscribe(subject.MustParsePattern(telemetry.HistorySubject)); err != nil {
+		_ = client.Close()
+		return nil, err
+	}
+	hist := telemetry.NewHistory(telemetry.HistoryConfig{
+		Interval: cfg.HistoryInterval,
+		Slots:    cfg.HistorySlots,
+	})
+	a := &historyAgent{
+		h:           h,
+		types:       types,
+		client:      client,
+		hist:        hist,
+		node:        telemetry.SanitizeNode(h.name),
+		digestTicks: cfg.HistoryDigestTicks,
+		done:        make(chan struct{}),
+	}
+	if a.digestTicks == 0 {
+		a.digestTicks = digestSamples
+	}
+	a.trackDefaults(replicated, relPrefix)
+	hist.Start()
+	a.wg.Add(1)
+	go a.probeLoop()
+	if a.digestTicks > 0 {
+		a.wg.Add(1)
+		go a.digestLoop()
+	}
+	return a, nil
+}
+
+// trackDefaults registers the host's standing series. Instruments are
+// fetched by name from the shared metrics registry, so layers that attach
+// later (the qledger replication agent) feed the same rings.
+func (a *historyAgent) trackDefaults(replicated bool, relPrefix string) {
+	m := a.h.metrics
+	hist := a.hist
+	hist.TrackRate("bus.published", m.Counter("bus.published"))
+	hist.TrackRate("bus.events", m.Counter("bus.events"))
+	hist.TrackRate("bus.published_guaranteed", m.Counter("bus.published_guaranteed"))
+	hist.TrackRate("daemon.inbound", m.Counter("daemon.inbound"))
+	hist.TrackRate("daemon.delivered_local", m.Counter("daemon.delivered_local"))
+	hist.TrackRate(relPrefix+".retransmits", m.Counter(relPrefix+".retransmits"))
+	// Aggregate delivery backlog across the daemon's lanes: where a slow
+	// consumer's queue actually sits.
+	hist.TrackLevelFunc("daemon.lane_depth", func() int64 {
+		var sum int64
+		for _, d := range a.h.daemon.LaneDepths() {
+			sum += d
+		}
+		return sum
+	})
+	if a.h.ledger != nil {
+		hist.TrackRate("ledger.commits", m.Counter("ledger.commits"))
+		hist.TrackRate("ledger.fsyncs", m.Counter("ledger.fsyncs"))
+		hist.TrackLevel("ledger.pending", m.Gauge("ledger.pending"))
+		hist.TrackHist("ledger.commit_ns", m.Histogram("ledger.commit_ns"))
+	}
+	if replicated {
+		// Registered before the qledger agent attaches; the registry hands
+		// the agent the same instruments by name.
+		hist.TrackRate("qledger.acks_recv", m.Counter("qledger.acks_recv"))
+		hist.TrackLevel("qledger.repl_lag", m.Gauge("qledger.repl_lag"))
+		hist.TrackHist("qledger.quorum_wait_ns", m.Histogram("qledger.quorum_wait_ns"))
+	}
+	if a.h.tracing {
+		hist.TrackHist("daemon.trace_e2e_ns", m.Histogram("daemon.trace_e2e_ns"))
+	}
+}
+
+func (a *historyAgent) stop() {
+	close(a.done)
+	a.hist.Stop()
+	_ = a.client.Close()
+	a.wg.Wait()
+}
+
+// probeLoop answers "_sys.history" probes with the full readable window.
+func (a *historyAgent) probeLoop() {
+	defer a.wg.Done()
+	for {
+		_, ok := a.client.Next(a.done)
+		if !ok {
+			return
+		}
+		a.publishHistory(0)
+	}
+}
+
+// digestLoop publishes a short unsolicited digest every digestTicks
+// sampler intervals.
+func (a *historyAgent) digestLoop() {
+	defer a.wg.Done()
+	ticker := time.NewTicker(time.Duration(a.digestTicks) * a.hist.Interval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.done:
+			return
+		case <-ticker.C:
+			a.publishHistory(digestSamples)
+		}
+	}
+}
+
+// publishHistory renders the flight-data window (maxSamples 0 = full) plus
+// the merged subject-family table and publishes it on "_sys.history.<node>".
+func (a *historyAgent) publishHistory(maxSamples int) {
+	snap := a.hist.Snapshot(maxSamples)
+	fams := a.h.daemon.TopSubjects(historyFamilies)
+	obj := a.types.HistoryObject(a.node, time.Now(), snap, fams)
+	payload, err := wire.Marshal(obj)
+	if err != nil {
+		return
+	}
+	s, err := subject.Parse(telemetry.HistoryNodeSubject(a.node))
+	if err != nil {
+		return
+	}
+	// Best-effort: a closing daemon returns ErrClosed, which is fine.
+	_ = a.h.daemon.Publish(s, payload)
+	_ = a.h.daemon.Flush()
+}

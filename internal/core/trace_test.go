@@ -30,11 +30,22 @@ func TestTraceSampledLocalDelivery(t *testing.T) {
 	if ev.TraceID == 0 {
 		t.Error("sampled event has zero trace id")
 	}
-	if len(ev.Trace) != 1 {
-		t.Fatalf("local trace = %v, want exactly the publisher hop", ev.Trace)
+	// Publisher hop plus the delivery-lane stage hops (enqueue, pop).
+	wantKinds := []byte{busproto.HopNode, busproto.HopLaneEnqueue, busproto.HopLanePop}
+	if len(ev.Trace) != len(wantKinds) {
+		t.Fatalf("local trace = %v, want publisher + lane hops", ev.Trace)
 	}
-	if ev.Trace[0].Node == "" || ev.Trace[0].At == 0 {
-		t.Errorf("hop = %+v", ev.Trace[0])
+	for i, h := range ev.Trace {
+		if h.Kind != wantKinds[i] {
+			t.Errorf("hop %d kind = %s, want %s", i,
+				busproto.HopKindName(h.Kind), busproto.HopKindName(wantKinds[i]))
+		}
+		if h.Node == "" || h.At == 0 {
+			t.Errorf("hop %d = %+v", i, h)
+		}
+		if i > 0 && h.At < ev.Trace[i-1].At {
+			t.Errorf("hop %d timestamp precedes hop %d", i, i-1)
+		}
 	}
 }
 

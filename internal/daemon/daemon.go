@@ -44,9 +44,23 @@ type Delivery struct {
 	ID         uint64
 	// TraceID and Trace carry the per-hop telemetry trace when the
 	// publication was sampled (Options.TracePeriod); Trace is empty
-	// otherwise. The receiving daemon's own hop is already appended.
+	// otherwise. The receiving daemon's own hop is already appended,
+	// followed by the intra-daemon stage hops (lane enqueue, lane pop).
 	TraceID uint64
 	Trace   []busproto.TraceHop
+}
+
+// appendHop records an intra-node stage hop on a traced delivery, with
+// the same copy-on-append and cap-and-drop discipline as
+// busproto.Envelope.AppendStageHop (queued deliveries share the decoded
+// trace slice, so append-in-place would race sibling subscribers).
+func (dv *Delivery) appendHop(kind byte, node string, at int64) {
+	if dv.TraceID == 0 || len(dv.Trace) >= busproto.MaxTraceHops {
+		return
+	}
+	trace := make([]busproto.TraceHop, len(dv.Trace), len(dv.Trace)+1)
+	copy(trace, dv.Trace)
+	dv.Trace = append(trace, busproto.TraceHop{Kind: kind, Node: node, At: at})
 }
 
 // Daemon errors.
@@ -315,6 +329,18 @@ func (d *Daemon) Token() uint64 { return d.tokens.Next() }
 // Lanes returns the effective delivery-lane count.
 func (d *Daemon) Lanes() int { return len(d.lanes) }
 
+// TopSubjects merges the per-lane subject-family accounting tables and
+// returns the heaviest k families by routed publications (k <= 0 keeps
+// all tabled families). Accuracy is space-saving: counts may overestimate
+// by at most each entry's Err.
+func (d *Daemon) TopSubjects(k int) []telemetry.TopKEntry {
+	tables := make([][]telemetry.TopKEntry, len(d.lanes))
+	for i, ln := range d.lanes {
+		tables[i] = ln.topk.Snapshot()
+	}
+	return telemetry.MergeTopK(k, tables...)
+}
+
 // LaneDepths returns a coherent per-lane snapshot of outstanding
 // deliveries (the "daemon.lane<N>.depth" gauges). The gauges are atomics
 // updated under their lane locks; the pass is repeated until two
@@ -483,21 +509,45 @@ func (d *Daemon) publishData(subj subject.Subject, payload []byte, kind byte) er
 // ledger id. The caller is responsible for logging before calling and for
 // retransmitting until the ack callback fires (see the bus layer).
 func (d *Daemon) PublishGuaranteed(subj subject.Subject, payload []byte, id uint64) error {
-	return d.publishGuaranteed(subj, payload, id, busproto.KindGuaranteed)
+	_, err := d.publishGuaranteed(subj, payload, id, busproto.KindGuaranteed, nil)
+	return err
 }
 
 // PublishGuaranteedCompact is PublishGuaranteed for a compact-format
 // payload (see PublishCompact).
 func (d *Daemon) PublishGuaranteedCompact(subj subject.Subject, payload []byte, id uint64) error {
-	return d.publishGuaranteed(subj, payload, id, busproto.KindGuaranteedCompact)
+	_, err := d.publishGuaranteed(subj, payload, id, busproto.KindGuaranteedCompact, nil)
+	return err
 }
 
-func (d *Daemon) publishGuaranteed(subj subject.Subject, payload []byte, id uint64, kind byte) error {
+// PublishGuaranteedTraced is PublishGuaranteed with the guaranteed-path
+// stage hops the bus layer recorded before dissemination (ledger stage /
+// group commit / fsync, replication chunk): when this publication is
+// sampled for tracing, pre is prepended ahead of the publisher hop. It
+// reports the assigned trace id (0 when unsampled) so the caller can
+// attach late stages — the quorum ack lands after the publish — as a
+// sidecar trace (telemetry.SysTrace).
+func (d *Daemon) PublishGuaranteedTraced(subj subject.Subject, payload []byte, id uint64, compact bool, pre []busproto.TraceHop) (uint64, error) {
+	kind := byte(busproto.KindGuaranteed)
+	if compact {
+		kind = busproto.KindGuaranteedCompact
+	}
+	return d.publishGuaranteed(subj, payload, id, kind, pre)
+}
+
+func (d *Daemon) publishGuaranteed(subj subject.Subject, payload []byte, id uint64, kind byte, pre []busproto.TraceHop) (uint64, error) {
 	e := busproto.Envelope{
 		Kind: kind, ID: id, Origin: d.identity,
 		Subject: subj.String(), Payload: payload,
 	}
+	// Pre-hops are only transmitted when traceSample picks this
+	// publication: it appends the publisher hop after them, and the
+	// untraced encode ignores Trace entirely.
+	e.Trace = pre
 	d.traceSample(&e)
+	if e.TraceID == 0 {
+		e.Trace = nil // unsampled: the local fan-out must not carry pre
+	}
 	buf := bufpool.Get(len(e.Origin) + len(e.Subject) + len(payload) + 32)
 	env := busproto.AppendEncode((*buf)[:0], e)
 	*buf = env
@@ -505,20 +555,20 @@ func (d *Daemon) publishGuaranteed(subj subject.Subject, payload []byte, id uint
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	onAck := d.onAck
 	d.mu.Unlock()
 	d.ctr.publishedLocal.Inc()
 	if err := d.conn.Publish(env); err != nil {
-		return err
+		return e.TraceID, err
 	}
 	claimed, seen := d.guarBegin(d.identity, id)
 	if seen || !claimed {
 		// A retransmission (already delivered locally — remote daemons that
 		// missed it will take it from the broadcast), or the retrier racing
 		// the original publish mid-delivery.
-		return nil
+		return e.TraceID, nil
 	}
 	delivered := d.routeLocal(Delivery{
 		Subject: subj, Payload: payload, From: d.Addr(), Guaranteed: true, ID: id,
@@ -529,7 +579,7 @@ func (d *Daemon) publishGuaranteed(subj subject.Subject, payload []byte, id uint
 		// A local subscriber consumed it: self-acknowledge.
 		onAck(id, d.Addr())
 	}
-	return nil
+	return e.TraceID, nil
 }
 
 // PublishGuaranteedOrigin re-publishes a guaranteed publication on behalf
@@ -547,6 +597,13 @@ func (d *Daemon) PublishGuaranteedOrigin(subj subject.Subject, payload []byte, i
 	e := busproto.Envelope{
 		Kind: kind, ID: id, Origin: origin,
 		Subject: subj.String(), Payload: payload,
+	}
+	d.traceSample(&e)
+	if e.Traced() {
+		// Mark the hop as a recovery replay: the timeline downstream
+		// monitors assemble must distinguish a replayed publication from
+		// the origin's own transmission.
+		e.AppendStageHop(busproto.HopRecoveryReplay, d.traceNode, time.Now().UnixNano())
 	}
 	buf := bufpool.Get(len(e.Origin) + len(e.Subject) + len(payload) + 32)
 	env := busproto.AppendEncode((*buf)[:0], e)
@@ -569,6 +626,7 @@ func (d *Daemon) PublishGuaranteedOrigin(subj subject.Subject, payload []byte, i
 	}
 	delivered := d.routeLocal(Delivery{
 		Subject: subj, Payload: payload, From: d.Addr(), Guaranteed: true, ID: id,
+		TraceID: e.TraceID, Trace: e.Trace,
 	})
 	d.guarEnd(origin, id, delivered > 0)
 	if delivered > 0 && foster != nil {
@@ -783,6 +841,11 @@ func (c *Client) popLocked() (Delivery, bool) {
 			c.d.lanes[i].depth.Add(-1)
 			q.mu.Unlock()
 			c.popNext = want
+			if dv.TraceID != 0 {
+				// The enqueue→pop delta is the lane residency time (client
+				// backlog included); stamped outside the column lock.
+				dv.appendHop(busproto.HopLanePop, c.d.traceNode, time.Now().UnixNano())
+			}
 			return dv, true
 		}
 		q.mu.Unlock()
@@ -1030,6 +1093,11 @@ func (d *Daemon) sendGuarAck(to string, id uint64, origin string) {
 // share no locks here at all.
 func (d *Daemon) routeLocal(dv Delivery) int {
 	ln := d.lanes[dv.Subject.LaneIndex(len(d.lanes))]
+	if dv.TraceID != 0 {
+		// One lane-enqueue hop per publication (not per subscriber): the
+		// fan-out below shares the stamped trace.
+		dv.appendHop(busproto.HopLaneEnqueue, d.traceNode, time.Now().UnixNano())
+	}
 	matches := ln.cache.Match(d.subs, dv.Subject)
 	delivered := 0
 	for _, c := range matches {
@@ -1043,6 +1111,9 @@ func (d *Daemon) routeLocal(dv Delivery) int {
 		ln.delivered.Add(uint64(delivered))
 		d.ctr.deliveredLocal.Add(uint64(delivered))
 	}
+	// Per-subject-family accounting: one note per publication routed on
+	// this lane, a map probe under the lane table's own mutex.
+	ln.topk.Note(dv.Subject.Family(), len(dv.Payload), delivered < len(matches))
 	return delivered
 }
 

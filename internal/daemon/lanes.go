@@ -76,7 +76,15 @@ type lane struct {
 	// delivered counts fan-out deliveries routed via this lane
 	// ("daemon.lane<N>.delivered").
 	delivered *telemetry.Counter
+	// topk is the lane's bounded subject-family accounting table
+	// (telemetry.TopK): one Note per publication routed through the lane,
+	// contending only with the lane's own deliveries.
+	topk *telemetry.TopK
 }
+
+// laneTopK bounds each lane's subject-family table. Families beyond the
+// bound fold into the space-saving overestimate instead of growing state.
+const laneTopK = 128
 
 func newLanes(n int, metrics *telemetry.Registry) []*lane {
 	lanes := make([]*lane, n)
@@ -86,6 +94,7 @@ func newLanes(n int, metrics *telemetry.Registry) []*lane {
 			cache:     subject.NewMatchCache[*Client](0),
 			depth:     metrics.Gauge(fmt.Sprintf("daemon.lane%d.depth", i)),
 			delivered: metrics.Counter(fmt.Sprintf("daemon.lane%d.delivered", i)),
+			topk:      telemetry.NewTopK(laneTopK),
 		}
 	}
 	return lanes

@@ -140,11 +140,16 @@ func (l *Ledger) writeBatch(f *os.File, b *batch) error {
 	var err error
 	if _, err = f.Write(b.buf); err != nil {
 		err = fmt.Errorf("ledger: appending: %w", err)
-	} else if l.sync {
-		if serr := f.Sync(); serr != nil {
-			err = fmt.Errorf("ledger: syncing: %w", serr)
+	} else {
+		b.commitAt = time.Now().UnixNano()
+		if l.sync {
+			if serr := f.Sync(); serr != nil {
+				err = fmt.Errorf("ledger: syncing: %w", serr)
+			} else {
+				b.syncAt = time.Now().UnixNano()
+			}
+			l.ctr.fsyncs.Inc()
 		}
-		l.ctr.fsyncs.Inc()
 	}
 	l.ctr.commits.Inc()
 	l.ctr.commitNs.Observe(time.Since(start))

@@ -89,6 +89,13 @@ type batch struct {
 	rotate bool // a Compact waiter asked for rotation after this batch
 	err    error
 	done   chan struct{}
+	// Stage timestamps (unix nanoseconds), written by writeBatch before
+	// done closes so AppendTimed waiters read them race-free: commitAt
+	// after the segment write, syncAt after the fsync (0 without Sync).
+	// They feed the guaranteed-path trace hops (busproto.HopGroupCommit,
+	// HopFsync); cost is two clock reads per batch, not per record.
+	commitAt int64
+	syncAt   int64
 }
 
 // Ledger is a crash-safe append-only message log. It is safe for
@@ -255,11 +262,30 @@ func Open(path string, opts Options) (*Ledger, error) {
 // sharing the write and fsync with every other Append staged into the
 // same batch.
 func (l *Ledger) Append(subject string, payload []byte) (uint64, error) {
+	id, _, err := l.AppendTimed(subject, payload)
+	return id, err
+}
+
+// AppendTimings are the intra-ledger stage timestamps of one append, in
+// unix nanoseconds. They become the guaranteed-path trace hops
+// (busproto.HopLedgerStage / HopGroupCommit / HopFsync) when the
+// publication is sampled for tracing.
+type AppendTimings struct {
+	StagedAt int64 // record staged into the forming group-commit batch
+	CommitAt int64 // batch write completed (0 if the write failed)
+	SyncedAt int64 // batch fsync completed (0 without Options.Sync)
+}
+
+// AppendTimed is Append plus the stage timestamps of the batch the record
+// committed in. The stamps are per batch (one clock read per stage per
+// flush), so two appends sharing a batch report identical CommitAt.
+func (l *Ledger) AppendTimed(subject string, payload []byte) (uint64, AppendTimings, error) {
 	start := time.Now()
+	tm := AppendTimings{StagedAt: start.UnixNano()}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
-		return 0, ErrClosed
+		return 0, tm, ErrClosed
 	}
 	id := l.nextID
 	l.nextID++
@@ -272,15 +298,17 @@ func (l *Ledger) Append(subject string, payload []byte) (uint64, error) {
 	l.ctr.pending.Set(int64(len(l.pending)))
 	if !l.group {
 		err := l.commitBatchLocked(b)
+		tm.CommitAt, tm.SyncedAt = b.commitAt, b.syncAt
 		l.mu.Unlock()
 		l.ctr.appendNs.Observe(time.Since(start))
-		return id, err
+		return id, tm, err
 	}
 	l.mu.Unlock()
 	l.kickCommitter()
-	<-b.done
+	<-b.done // close(done) orders the committer's stamp writes before these reads
+	tm.CommitAt, tm.SyncedAt = b.commitAt, b.syncAt
 	l.ctr.appendNs.Observe(time.Since(start))
-	return id, b.err
+	return id, tm, b.err
 }
 
 // Ack records that the message with the given ID was acknowledged; it

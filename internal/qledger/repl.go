@@ -77,6 +77,15 @@ type Config struct {
 	// Costs its value in quorum latency when traffic is sparse. 0
 	// disables (the default).
 	GatherDelay time.Duration
+	// ReplLagRaise is the replica-ack latency watermark: the "repl-lag"
+	// alarm raises when the oldest outstanding (not yet at quorum) chunk
+	// is older than this, and clears with the engine's hysteresis once the
+	// age halves. Default AckTimeout / 2; negative disables the watch.
+	ReplLagRaise time.Duration
+	// QuorumStallRaise is the quorum-pending backlog watermark: the
+	// "quorum-stall" alarm raises when this many chunks sit in the outbox
+	// awaiting replica acks. Default 64; negative disables the watch.
+	QuorumStallRaise int64
 	// Election tunes the recovery-coordinator election.
 	Election rmi.ElectionOptions
 	// DisableRecovery keeps this replica out of the coordinator election
@@ -100,6 +109,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryInterval <= 0 {
 		c.RetryInterval = 100 * time.Millisecond
 	}
+	if c.ReplLagRaise == 0 {
+		c.ReplLagRaise = c.AckTimeout / 2
+	}
+	if c.QuorumStallRaise == 0 {
+		c.QuorumStallRaise = 64
+	}
 	return c
 }
 
@@ -118,6 +133,14 @@ type chunk struct {
 	acks  map[string]struct{}
 	done  chan struct{} // closed at quorum
 	sent  time.Time     // last (re)transmission, for retry pacing
+	// created is the chunk's build time: the repl-lag watch reports the
+	// age of the oldest outstanding chunk, and quorumAt - created is the
+	// quorum-wait observation.
+	created time.Time
+	// quorumAt (unix ns) is stamped under a.mu when the write quorum is
+	// reached, before done closes, so a Gate waiter reads it race-free.
+	// It becomes the trace timeline's HopQuorumAck stamp.
+	quorumAt int64
 }
 
 // Agent is one host's replication tier: the publisher side mirrors ledger
@@ -145,6 +168,7 @@ type Agent struct {
 	nextSeq    uint64
 	outbox     map[uint64]*chunk
 	idSeq      map[uint64]uint64 // ledger id -> chunk seq, until quorum
+	recentQ    map[uint64]int64  // ledger id -> quorum stamp, for gates arriving after the ack
 	ackBuf     []byte            // deferred ack records, piggybacked on the next chunk
 	heard      map[string]time.Time
 	recovering map[string]bool
@@ -166,6 +190,7 @@ type counters struct {
 	batchesStored, acksSent   *telemetry.Counter
 	recoveries, replayedMsgs  *telemetry.Counter
 	quorumTimeouts, retransms *telemetry.Counter
+	quorumWait                *telemetry.Histogram // chunk build -> write quorum
 }
 
 // Attach starts the replication tier on a host. With Factor > 0 the host
@@ -198,6 +223,7 @@ func Attach(h *core.Host, cfg Config) (*Agent, error) {
 		readQ:      cfg.Factor + 1 - (cfg.Factor+1)/2,
 		outbox:     make(map[uint64]*chunk),
 		idSeq:      make(map[uint64]uint64),
+		recentQ:    make(map[uint64]int64),
 		heard:      make(map[string]time.Time),
 		recovering: make(map[string]bool),
 		readReps:   make(map[uint64]chan Frame),
@@ -216,6 +242,7 @@ func Attach(h *core.Host, cfg Config) (*Agent, error) {
 		replayedMsgs:   m.Counter("qledger.replayed_msgs"),
 		quorumTimeouts: m.Counter("qledger.quorum_timeouts"),
 		retransms:      m.Counter("qledger.retransmits"),
+		quorumWait:     m.Histogram("qledger.quorum_wait_ns"),
 	}
 	if cfg.Dir != "" {
 		store, err := OpenStore(cfg.Dir, cfg.FsyncPolicy != "lazy", m)
@@ -262,6 +289,16 @@ func Attach(h *core.Host, cfg Config) (*Agent, error) {
 		if eng := h.HealthEngine(); eng != nil {
 			eng.Watch(telemetry.WatchConfig{Kind: "quorum-lost", Raise: 1},
 				a.lost.Load)
+			if cfg.ReplLagRaise > 0 {
+				// Replica-ack latency watermark: the engine's default clear
+				// threshold (Raise/2) gives the edge hysteresis.
+				eng.Watch(telemetry.WatchConfig{Kind: "repl-lag",
+					Raise: cfg.ReplLagRaise.Milliseconds()}, a.oldestOutstandingMs)
+			}
+			if cfg.QuorumStallRaise > 0 {
+				eng.Watch(telemetry.WatchConfig{Kind: "quorum-stall",
+					Raise: cfg.QuorumStallRaise}, a.lag.Load)
+			}
 		}
 	}
 	a.wg.Add(2)
@@ -399,15 +436,17 @@ func (a *Agent) buildChunksLocked(records []byte) [][]byte {
 			end += n
 		}
 		a.nextSeq++
+		now := time.Now()
 		c := &chunk{
 			frame: AppendFrame(nil, Frame{
 				Type: FrameBatch, Origin: a.origin, Seq: a.nextSeq,
 				Records: records[:end],
 			}),
-			ids:  ids,
-			acks: make(map[string]struct{}),
-			done: make(chan struct{}),
-			sent: time.Now(),
+			ids:     ids,
+			acks:    make(map[string]struct{}),
+			done:    make(chan struct{}),
+			sent:    now,
+			created: now,
 		}
 		a.outbox[a.nextSeq] = c
 		for _, id := range ids {
@@ -421,20 +460,26 @@ func (a *Agent) buildChunksLocked(records []byte) [][]byte {
 
 // Gate blocks a PublishGuaranteed caller until the chunk carrying its
 // ledger id reaches quorum, the timeout passes, or the agent closes. It
-// is installed as the host's guarantee gate.
-func (a *Agent) Gate(id uint64) error {
+// is installed as the host's guarantee gate. On success it reports when
+// the write quorum was reached (unix ns; 0 when the stamp is unknown —
+// e.g. the id was never replicated), which the bus layer turns into the
+// trace timeline's HopQuorumAck hop.
+func (a *Agent) Gate(id uint64) (int64, error) {
 	a.mu.Lock()
 	seq, ok := a.idSeq[id]
 	if !ok {
 		// Already at quorum (acks can land between the commit hook and
-		// the publisher waking up), or not replicated at all.
+		// the publisher waking up — handleAck parked the stamp), or not
+		// replicated at all.
+		at := a.recentQ[id]
+		delete(a.recentQ, id)
 		a.mu.Unlock()
-		return nil
+		return at, nil
 	}
 	c := a.outbox[seq]
 	a.mu.Unlock()
 	if c == nil {
-		return nil
+		return 0, nil
 	}
 	timer := time.NewTimer(a.cfg.AckTimeout)
 	defer timer.Stop()
@@ -442,13 +487,14 @@ func (a *Agent) Gate(id uint64) error {
 	case <-c.done:
 		a.mu.Lock()
 		closed := a.closed
+		delete(a.recentQ, id) // collected via the chunk below
 		a.mu.Unlock()
 		if closed {
-			return ErrClosed
+			return 0, ErrClosed
 		}
-		return nil
+		return c.quorumAt, nil
 	case <-a.done:
-		return ErrClosed
+		return 0, ErrClosed
 	case <-timer.C:
 		a.lost.Set(1)
 		a.ctr.quorumTimeouts.Inc()
@@ -458,9 +504,29 @@ func (a *Agent) Gate(id uint64) error {
 		a.mu.Lock()
 		got := len(c.acks)
 		a.mu.Unlock()
-		return fmt.Errorf("%w (id %d, %d/%d replica acks)",
+		return 0, fmt.Errorf("%w (id %d, %d/%d replica acks)",
 			ErrQuorumTimeout, id, got, a.need)
 	}
+}
+
+// oldestOutstandingMs reports the age, in milliseconds, of the oldest
+// chunk still awaiting its write quorum (0 with an empty outbox). It is
+// the "repl-lag" watch's sample: a healthy group keeps it near the
+// replica round trip, a stalled or partitioned replica set lets it grow
+// toward AckTimeout.
+func (a *Agent) oldestOutstandingMs() int64 {
+	a.mu.Lock()
+	var oldest time.Time
+	for _, c := range a.outbox {
+		if oldest.IsZero() || c.created.Before(oldest) {
+			oldest = c.created
+		}
+	}
+	a.mu.Unlock()
+	if oldest.IsZero() {
+		return 0
+	}
+	return time.Since(oldest).Milliseconds()
 }
 
 // handleAck credits one replica ack to the publisher's outbox. MaxSeq
@@ -473,6 +539,7 @@ func (a *Agent) handleAck(f Frame) {
 	}
 	a.ctr.acksRecv.Inc()
 	var ready []*chunk
+	now := time.Now()
 	a.mu.Lock()
 	for seq, c := range a.outbox {
 		if seq != f.Seq && seq > f.MaxSeq {
@@ -483,11 +550,19 @@ func (a *Agent) handleAck(f Frame) {
 		}
 		c.acks[f.Replica] = struct{}{}
 		if len(c.acks) >= a.need {
+			c.quorumAt = now.UnixNano()
 			delete(a.outbox, seq)
+			if len(a.recentQ) > 4096 {
+				// Crude epoch clear: a gate for an evicted id reports an
+				// unknown (zero) quorum stamp, nothing worse.
+				clear(a.recentQ)
+			}
 			for _, id := range c.ids {
 				delete(a.idSeq, id)
+				a.recentQ[id] = c.quorumAt
 			}
 			ready = append(ready, c)
+			a.ctr.quorumWait.Observe(now.Sub(c.created))
 		}
 	}
 	if len(ready) > 0 {

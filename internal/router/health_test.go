@@ -51,7 +51,8 @@ func TestTraceAssemblyAcrossRouter(t *testing.T) {
 	if len(r.Path) < 3 {
 		t.Fatalf("path = %v, want publisher + router + consumer", r.Path)
 	}
-	if r.Path[0] != "pubhost" || r.Path[len(r.Path)-1] != "conhost" {
+	// The route ends at the consumer daemon's delivery-lane stage hops.
+	if r.Path[0] != "pubhost" || r.Path[len(r.Path)-1] != "conhost/lane-pop" {
 		t.Fatalf("path endpoints = %v", r.Path)
 	}
 	sawRouter := false

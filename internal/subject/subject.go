@@ -221,6 +221,18 @@ func (s Subject) Elements() []string { return s.elements }
 // Depth returns the number of elements.
 func (s Subject) Depth() int { return len(s.elements) }
 
+// Family returns the subject's two-element prefix ("fab5.cc" for
+// "fab5.cc.litho8.thick"), the same grouping laneHash keys delivery lanes
+// by. The result is a substring of the canonical form — no allocation —
+// so per-message accounting (telemetry top-K tables) can key on it from
+// the delivery hot path.
+func (s Subject) Family() string {
+	if len(s.elements) <= 2 {
+		return s.raw
+	}
+	return s.raw[:len(s.elements[0])+1+len(s.elements[1])]
+}
+
 // IsZero reports whether s is the (invalid) zero Subject.
 func (s Subject) IsZero() bool { return len(s.elements) == 0 }
 

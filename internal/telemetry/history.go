@@ -1,0 +1,385 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The flight-data tier: fixed-window time-series history over the live
+// registry instruments. A single sampler goroutine ticks every Interval
+// and snapshots each tracked counter/gauge/histogram into a per-series
+// ring of Slots samples (the defaults, 250 ms × 256 slots, keep ≈64 s of
+// history per series). Rings are single-writer and read lock-free: every
+// slot carries the tick sequence that wrote it, so readers detect and
+// skip slots the sampler is concurrently recycling instead of locking it
+// out. The steady-state tick performs no allocation — all ring and
+// scratch storage is laid out at Track time — so an idle bus with history
+// enabled stays within the PR 3 idle-overhead budget.
+//
+// Alarm raise/clear edges (satellite of the same PR) are noted into a
+// separate bounded ring, timestamped on the same clock as the samples, so
+// a monitor reading "_sys.history" sees the edge aligned with the metric
+// window that tripped it.
+
+// Series kinds.
+type SeriesKind uint8
+
+const (
+	// SeriesRate samples a counter: each slot's V is the count delta over
+	// that tick window (rate = V / Interval).
+	SeriesRate SeriesKind = iota + 1
+	// SeriesLevel samples a gauge: each slot's V is the level at tick time.
+	SeriesLevel
+	// SeriesPercentile samples a histogram: each slot holds the windowed
+	// observation count (V) and interpolated P50/P95/P99 of observations
+	// that arrived during that tick window (bucket-snapshot diffing).
+	SeriesPercentile
+)
+
+func (k SeriesKind) String() string {
+	switch k {
+	case SeriesRate:
+		return "rate"
+	case SeriesLevel:
+		return "level"
+	case SeriesPercentile:
+		return "percentile"
+	default:
+		return "unknown"
+	}
+}
+
+// HistoryConfig sizes the flight-data tier.
+type HistoryConfig struct {
+	// Interval is the sampling tick. Default 250 ms.
+	Interval time.Duration
+	// Slots is the ring length per series. Default 256 (≈64 s at 250 ms).
+	Slots int
+	// AlarmSlots bounds the alarm-edge ring. Default 64.
+	AlarmSlots int
+}
+
+// WithDefaults fills zero fields.
+func (c HistoryConfig) WithDefaults() HistoryConfig {
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.Slots <= 0 {
+		c.Slots = 256
+	}
+	if c.AlarmSlots <= 0 {
+		c.AlarmSlots = 64
+	}
+	return c
+}
+
+// histSlot is one ring sample. seq is the 1-based tick that wrote it;
+// readers reload seq after reading the values and discard the slot when it
+// moved (the sampler lapped them mid-read).
+type histSlot struct {
+	seq        atomic.Uint64
+	v          atomic.Int64
+	p50        atomic.Int64
+	p95        atomic.Int64
+	p99        atomic.Int64
+	settledSeq atomic.Uint64 // seq re-stamped after the values: both match ⇒ consistent
+}
+
+// series is one tracked instrument's ring. Only the sampler writes ring
+// slots and the prev* scratch.
+type series struct {
+	name string
+	kind SeriesKind
+	ctr  *Counter
+	ctrF func() int64 // SeriesRate alternative source (aggregates)
+	gag  *Gauge
+	gagF func() int64 // SeriesLevel alternative source
+	hist *Histogram
+
+	ring []histSlot
+	// Sampler scratch: previous cumulative state for windowed deltas.
+	prevCount uint64
+	prevBkt   [histBuckets]uint64
+}
+
+// AlarmEdge is one alarm raise/clear event as kept by the history ring.
+type AlarmEdge struct {
+	At     int64 // unix nanoseconds
+	Kind   string
+	Target string
+	Raised bool
+	Value  int64
+}
+
+// History is the flight-data recorder: call Track* once per signal at
+// wiring time, then Start (or drive Tick directly in tests).
+type History struct {
+	cfg HistoryConfig
+
+	mu     sync.Mutex // guards series registration and the alarm ring
+	series []*series
+
+	ticks  atomic.Uint64 // completed ticks; slot index = (tick-1) % Slots
+	tickAt []atomic.Int64
+
+	alarms     []AlarmEdge
+	alarmNext  int
+	alarmTotal uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewHistory creates an idle history tier (no sampler running).
+func NewHistory(cfg HistoryConfig) *History {
+	cfg = cfg.WithDefaults()
+	return &History{
+		cfg:    cfg,
+		tickAt: make([]atomic.Int64, cfg.Slots),
+		alarms: make([]AlarmEdge, 0, cfg.AlarmSlots),
+	}
+}
+
+// Interval returns the sampling tick.
+func (h *History) Interval() time.Duration { return h.cfg.Interval }
+
+// Slots returns the ring length.
+func (h *History) Slots() int { return h.cfg.Slots }
+
+// TrackRate samples c's per-tick delta into a SeriesRate ring.
+func (h *History) TrackRate(name string, c *Counter) {
+	h.add(&series{name: name, kind: SeriesRate, ctr: c})
+}
+
+// TrackRateFunc samples a cumulative count supplied by f (an aggregate
+// over several counters). f must be safe to call from the sampler
+// goroutine and should not allocate.
+func (h *History) TrackRateFunc(name string, f func() int64) {
+	h.add(&series{name: name, kind: SeriesRate, ctrF: f})
+}
+
+// TrackLevel samples g's level into a SeriesLevel ring.
+func (h *History) TrackLevel(name string, g *Gauge) {
+	h.add(&series{name: name, kind: SeriesLevel, gag: g})
+}
+
+// TrackLevelFunc samples a level supplied by f.
+func (h *History) TrackLevelFunc(name string, f func() int64) {
+	h.add(&series{name: name, kind: SeriesLevel, gagF: f})
+}
+
+// TrackHist samples hist's windowed count and P50/P95/P99 into a
+// SeriesPercentile ring.
+func (h *History) TrackHist(name string, hist *Histogram) {
+	h.add(&series{name: name, kind: SeriesPercentile, hist: hist})
+}
+
+func (h *History) add(s *series) {
+	s.ring = make([]histSlot, h.cfg.Slots)
+	h.mu.Lock()
+	h.series = append(h.series, s)
+	h.mu.Unlock()
+}
+
+// NoteAlarm records an alarm edge into the bounded edge ring. Safe from
+// any goroutine; allocation-free (the strings are the engine's own).
+func (h *History) NoteAlarm(ev AlarmEvent) {
+	h.mu.Lock()
+	e := AlarmEdge{At: ev.At.UnixNano(), Kind: ev.Kind, Target: ev.Target,
+		Raised: ev.Raised, Value: ev.Value}
+	if len(h.alarms) < cap(h.alarms) {
+		h.alarms = append(h.alarms, e)
+	} else {
+		h.alarms[h.alarmNext] = e
+		h.alarmNext = (h.alarmNext + 1) % cap(h.alarms)
+	}
+	h.alarmTotal++
+	h.mu.Unlock()
+}
+
+// Tick performs one sampling pass at the given time. Normally driven by
+// the Start goroutine; exposed so tests and external tickers can step the
+// clock deterministically. Not safe for concurrent Tick calls (single
+// writer), but safe against concurrent readers and Track/NoteAlarm.
+func (h *History) Tick(now time.Time) {
+	tick := h.ticks.Load() + 1
+	slot := int((tick - 1) % uint64(h.cfg.Slots))
+	h.tickAt[slot].Store(now.UnixNano())
+	h.mu.Lock()
+	ss := h.series
+	h.mu.Unlock()
+	for _, s := range ss {
+		sl := &s.ring[slot]
+		sl.seq.Store(tick)
+		switch s.kind {
+		case SeriesRate:
+			var cur uint64
+			if s.ctr != nil {
+				cur = s.ctr.Load()
+			} else {
+				cur = uint64(s.ctrF())
+			}
+			sl.v.Store(int64(cur - s.prevCount))
+			s.prevCount = cur
+		case SeriesLevel:
+			if s.gag != nil {
+				sl.v.Store(s.gag.Load())
+			} else {
+				sl.v.Store(s.gagF())
+			}
+		case SeriesPercentile:
+			var win [histBuckets]uint64
+			var total uint64
+			for i := range s.hist.bkt {
+				c := s.hist.bkt[i].Load()
+				win[i] = c - s.prevBkt[i]
+				s.prevBkt[i] = c
+				total += win[i]
+			}
+			sl.v.Store(int64(total))
+			if total == 0 {
+				sl.p50.Store(0)
+				sl.p95.Store(0)
+				sl.p99.Store(0)
+			} else {
+				sl.p50.Store(int64(quantile(&win, total, 0.50)))
+				sl.p95.Store(int64(quantile(&win, total, 0.95)))
+				sl.p99.Store(int64(quantile(&win, total, 0.99)))
+			}
+		}
+		sl.settledSeq.Store(tick)
+	}
+	h.ticks.Store(tick)
+}
+
+// Start launches the sampler goroutine. Stop tears it down.
+func (h *History) Start() {
+	h.mu.Lock()
+	if h.stop != nil {
+		h.mu.Unlock()
+		return
+	}
+	h.stop = make(chan struct{})
+	h.done = make(chan struct{})
+	stop, done := h.stop, h.done
+	h.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(h.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case now := <-t.C:
+				h.Tick(now)
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the sampler. Idempotent.
+func (h *History) Stop() {
+	h.mu.Lock()
+	stop, done := h.stop, h.done
+	h.stop, h.done = nil, nil
+	h.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Sample is one tick's values for a series; field meaning depends on the
+// series kind (see SeriesKind).
+type Sample struct {
+	Tick int64 // tick sequence, 1-based
+	At   int64 // unix nanoseconds of the tick
+	V    int64
+	P50  int64
+	P95  int64
+	P99  int64
+}
+
+// SeriesSnapshot is one series' readable window.
+type SeriesSnapshot struct {
+	Name    string
+	Kind    SeriesKind
+	Samples []Sample // oldest first
+}
+
+// HistorySnapshot is a consistent-enough view of the whole tier: each
+// sample is individually consistent (seq-validated), the window is the
+// last ≤Slots ticks at the time of the call.
+type HistorySnapshot struct {
+	IntervalNs int64
+	Ticks      uint64
+	Series     []SeriesSnapshot
+	Alarms     []AlarmEdge // oldest first
+	AlarmTotal uint64      // lifetime edge count (ring may have dropped some)
+}
+
+// Snapshot copies the readable window of every series plus the alarm-edge
+// ring. maxSamples>0 limits each series to its most recent maxSamples
+// ticks (0 = full window).
+func (h *History) Snapshot(maxSamples int) HistorySnapshot {
+	h.mu.Lock()
+	ss := make([]*series, len(h.series))
+	copy(ss, h.series)
+	alarms := append([]AlarmEdge(nil), h.alarms[h.alarmNext:]...)
+	alarms = append(alarms, h.alarms[:h.alarmNext]...)
+	alarmTotal := h.alarmTotal
+	h.mu.Unlock()
+
+	out := HistorySnapshot{
+		IntervalNs: int64(h.cfg.Interval),
+		Ticks:      h.ticks.Load(),
+		Alarms:     alarms,
+		AlarmTotal: alarmTotal,
+	}
+	n := int(out.Ticks)
+	if n > h.cfg.Slots {
+		n = h.cfg.Slots
+	}
+	if maxSamples > 0 && n > maxSamples {
+		n = maxSamples
+	}
+	first := out.Ticks - uint64(n) + 1 // oldest tick still expected live
+	out.Series = make([]SeriesSnapshot, 0, len(ss))
+	for _, s := range ss {
+		snap := SeriesSnapshot{Name: s.name, Kind: s.kind, Samples: make([]Sample, 0, n)}
+		for tick := first; tick <= out.Ticks; tick++ {
+			slot := &s.ring[(tick-1)%uint64(h.cfg.Slots)]
+			// Seqlock read: settledSeq==tick means tick's write finished;
+			// re-checking seq==tick afterwards means no later lap began
+			// before the value loads, so the sample is untorn.
+			if slot.settledSeq.Load() != tick {
+				continue // series registered after this tick, or mid-write
+			}
+			smp := Sample{
+				Tick: int64(tick),
+				At:   h.tickAt[(tick-1)%uint64(h.cfg.Slots)].Load(),
+				V:    slot.v.Load(),
+				P50:  slot.p50.Load(),
+				P95:  slot.p95.Load(),
+				P99:  slot.p99.Load(),
+			}
+			if slot.seq.Load() != tick {
+				continue // sampler lapped this slot while we read it
+			}
+			snap.Samples = append(snap.Samples, smp)
+		}
+		out.Series = append(out.Series, snap)
+	}
+	return out
+}
+
+// ratePerSec converts a per-tick delta to an events/second rate.
+func (s HistorySnapshot) RatePerSec(v int64) float64 {
+	if s.IntervalNs <= 0 {
+		return 0
+	}
+	return float64(v) * float64(time.Second) / float64(s.IntervalNs)
+}

@@ -12,33 +12,179 @@ import (
 
 // Trace assembly: the sampled per-hop records that ride traced envelopes
 // (busproto.TraceHop) arrive at a monitor one delivery at a time; the
-// assembler groups them by route — the exact node path
-// publisher→router…→consumer — and accumulates per-hop latency
-// histograms, so "this publication took 40 ms because it sat in
-// router-2's queue" is readable straight off the per-route table.
+// assembler groups them by route — the exact stage path
+// publisher→ledger→quorum→router…→consumer — and accumulates per-hop
+// latency histograms, so "this publication took 40 ms because it sat in
+// the group-commit batch" is readable straight off the per-route table.
+//
+// Intra-node stage hops (lane enqueue/pop, ledger stage/commit/fsync,
+// replica chunk) ride the envelope itself; the quorum-ack stamp of a
+// replicated publish is only known after the envelope has left, so it
+// arrives out-of-band as a SysTrace sidecar on "_sys.trace.<node>" and is
+// merged here by trace id before the route is assembled.
+
+// maxPendingTraces bounds both the deliveries parked awaiting a sidecar
+// and the sidecars parked awaiting a delivery. On overflow the oldest
+// parked delivery is assembled without its sidecar (the route simply
+// lacks the quorum hop) and the oldest sidecar is dropped.
+const maxPendingTraces = 256
 
 // TraceAssembler collects hop traces into per-route latency breakdowns.
 // Safe for concurrent use.
 type TraceAssembler struct {
 	mu     sync.Mutex
 	routes map[string]*traceRoute
+
+	// Deliveries whose trace shows a replica chunk but no quorum ack yet:
+	// parked until the sidecar arrives (or eviction). FIFO by arrival.
+	pendDeliv  map[uint64][]busproto.TraceHop
+	pendDOrder []uint64
+	// Sidecars that arrived before (or after) their delivery. A sidecar is
+	// kept until evicted, not consumed on merge: one traced publish fans
+	// out to several consumers, each delivery merging the same stamps.
+	sidecars map[uint64][]busproto.TraceHop
+	scOrder  []uint64
 }
 
 type traceRoute struct {
-	nodes []string
-	hops  []*Histogram // hops[i]: latency from nodes[i] to nodes[i+1]
-	e2e   *Histogram   // first hop to last hop; its count is the route count
+	labels []string
+	hops   []*Histogram // hops[i]: latency from labels[i] to labels[i+1]
+	e2e    *Histogram   // first hop to last hop; its count is the route count
 }
 
 // NewTraceAssembler creates an empty assembler.
 func NewTraceAssembler() *TraceAssembler {
-	return &TraceAssembler{routes: make(map[string]*traceRoute)}
+	return &TraceAssembler{
+		routes:    make(map[string]*traceRoute),
+		pendDeliv: make(map[uint64][]busproto.TraceHop),
+		sidecars:  make(map[uint64][]busproto.TraceHop),
+	}
 }
 
-// Add feeds one delivery's hop trace. Traces with fewer than two hops
-// (nothing to measure) are ignored. Negative hop deltas (distinct clocks
-// on a real network) are clamped to zero by the histogram.
+// hopLabel renders one hop for route keys and tables: bare node name for
+// the classic inter-node hop, "node/stage" for intra-node stage hops.
+func hopLabel(h busproto.TraceHop) string {
+	if h.Kind == busproto.HopNode {
+		return h.Node
+	}
+	return h.Node + "/" + busproto.HopKindName(h.Kind)
+}
+
+// Add feeds one delivery's hop trace with no trace id: it is assembled
+// immediately, never parked for a sidecar merge. Traces with fewer than
+// two hops (nothing to measure) are ignored.
 func (a *TraceAssembler) Add(trace []busproto.TraceHop) {
+	a.AddTraced(0, trace)
+}
+
+// AddTraced feeds one delivery's hop trace. If the trace shows a replica
+// chunk without its quorum ack and no sidecar for id has arrived yet, the
+// trace is parked until AddSidecar supplies the missing stamp (bounded;
+// evicted traces assemble without it). Negative hop deltas (distinct
+// clocks on a real network) are clamped to zero by the histogram.
+func (a *TraceAssembler) AddTraced(id uint64, trace []busproto.TraceHop) {
+	if len(trace) < 2 {
+		return
+	}
+	if id != 0 && wantsSidecar(trace) {
+		a.mu.Lock()
+		if sc, ok := a.sidecars[id]; ok {
+			trace = mergeSidecar(trace, sc)
+			a.mu.Unlock()
+			a.ingest(trace)
+			return
+		}
+		if _, dup := a.pendDeliv[id]; !dup {
+			if len(a.pendDOrder) >= maxPendingTraces {
+				old := a.pendDOrder[0]
+				a.pendDOrder = a.pendDOrder[1:]
+				evicted := a.pendDeliv[old]
+				delete(a.pendDeliv, old)
+				a.mu.Unlock()
+				a.ingest(evicted) // assemble without its sidecar
+				a.mu.Lock()
+			}
+			a.pendDeliv[id] = append([]busproto.TraceHop(nil), trace...)
+			a.pendDOrder = append(a.pendDOrder, id)
+			a.mu.Unlock()
+			return
+		}
+		a.mu.Unlock()
+		// A second delivery of the same traced publish while the first is
+		// parked: assemble it as-is rather than double-parking.
+	}
+	a.ingest(trace)
+}
+
+// AddSidecar feeds an out-of-band SysTrace: stage hops for trace id that
+// were published after the envelope departed. A parked delivery merges
+// and assembles immediately; otherwise the sidecar is kept for deliveries
+// still in flight.
+func (a *TraceAssembler) AddSidecar(id uint64, hops []busproto.TraceHop) {
+	if id == 0 || len(hops) == 0 {
+		return
+	}
+	a.mu.Lock()
+	if _, ok := a.sidecars[id]; !ok {
+		if len(a.scOrder) >= maxPendingTraces {
+			old := a.scOrder[0]
+			a.scOrder = a.scOrder[1:]
+			delete(a.sidecars, old)
+		}
+		a.sidecars[id] = append([]busproto.TraceHop(nil), hops...)
+		a.scOrder = append(a.scOrder, id)
+	}
+	deliv, ok := a.pendDeliv[id]
+	if ok {
+		delete(a.pendDeliv, id)
+		for i, pid := range a.pendDOrder {
+			if pid == id {
+				a.pendDOrder = append(a.pendDOrder[:i], a.pendDOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	a.mu.Unlock()
+	if ok {
+		a.ingest(mergeSidecar(deliv, hops))
+	}
+}
+
+// wantsSidecar reports whether the trace shows a replica chunk whose
+// quorum ack has not been merged yet.
+func wantsSidecar(trace []busproto.TraceHop) bool {
+	chunk := false
+	for _, h := range trace {
+		switch h.Kind {
+		case busproto.HopReplicaChunk:
+			chunk = true
+		case busproto.HopQuorumAck:
+			return false
+		}
+	}
+	return chunk
+}
+
+// mergeSidecar inserts the sidecar hops right after the replica-chunk hop
+// — a deterministic position, so every delivery of the same publish keys
+// the same route regardless of clock skew between the stamps.
+func mergeSidecar(trace, sidecar []busproto.TraceHop) []busproto.TraceHop {
+	at := len(trace)
+	for i, h := range trace {
+		if h.Kind == busproto.HopReplicaChunk {
+			at = i + 1
+			break
+		}
+	}
+	out := make([]busproto.TraceHop, 0, len(trace)+len(sidecar))
+	out = append(out, trace[:at]...)
+	out = append(out, sidecar...)
+	out = append(out, trace[at:]...)
+	return out
+}
+
+// ingest assembles one completed trace into its route's histograms.
+func (a *TraceAssembler) ingest(trace []busproto.TraceHop) {
 	if len(trace) < 2 {
 		return
 	}
@@ -47,18 +193,18 @@ func (a *TraceAssembler) Add(trace []busproto.TraceHop) {
 		if i > 0 {
 			key.WriteByte('\x00')
 		}
-		key.WriteString(h.Node)
+		key.WriteString(hopLabel(h))
 	}
 	a.mu.Lock()
 	r, ok := a.routes[key.String()]
 	if !ok {
 		r = &traceRoute{
-			nodes: make([]string, len(trace)),
-			hops:  make([]*Histogram, len(trace)-1),
-			e2e:   &Histogram{},
+			labels: make([]string, len(trace)),
+			hops:   make([]*Histogram, len(trace)-1),
+			e2e:    &Histogram{},
 		}
 		for i, h := range trace {
-			r.nodes[i] = h.Node
+			r.labels[i] = hopLabel(h)
 		}
 		for i := range r.hops {
 			r.hops[i] = &Histogram{}
@@ -81,7 +227,7 @@ type HopSummary struct {
 
 // RouteSummary is one assembled route.
 type RouteSummary struct {
-	Path  []string // node names in hop order
+	Path  []string // hop labels (node, or node/stage) in order
 	Count uint64   // deliveries assembled (e2e histogram count)
 	Hops  []HopSummary
 	E2E   HistogramSummary
@@ -98,13 +244,13 @@ func (a *TraceAssembler) Routes() []RouteSummary {
 	out := make([]RouteSummary, 0, len(routes))
 	for _, r := range routes {
 		s := RouteSummary{
-			Path: append([]string(nil), r.nodes...),
+			Path: append([]string(nil), r.labels...),
 			E2E:  r.e2e.Summary(),
 		}
 		s.Count = s.E2E.Count
 		for i, h := range r.hops {
 			s.Hops = append(s.Hops, HopSummary{
-				From: r.nodes[i], To: r.nodes[i+1], HistogramSummary: h.Summary(),
+				From: r.labels[i], To: r.labels[i+1], HistogramSummary: h.Summary(),
 			})
 		}
 		out = append(out, s)
@@ -130,13 +276,13 @@ func (a *TraceAssembler) Render() string {
 	for _, r := range routes {
 		fmt.Fprintf(&b, "route %s  (%d sampled deliveries)\n",
 			strings.Join(r.Path, " → "), r.Count)
-		fmt.Fprintf(&b, "  %-44s %10s %10s %10s %10s\n", "hop", "mean", "p50", "p95", "p99")
+		fmt.Fprintf(&b, "  %-58s %10s %10s %10s %10s\n", "hop", "mean", "p50", "p95", "p99")
 		for _, h := range r.Hops {
-			fmt.Fprintf(&b, "  %-44s %10s %10s %10s %10s\n",
+			fmt.Fprintf(&b, "  %-58s %10s %10s %10s %10s\n",
 				h.From+" → "+h.To,
 				fmtNs(h.MeanNs), fmtNs(h.P50Ns), fmtNs(h.P95Ns), fmtNs(h.P99Ns))
 		}
-		fmt.Fprintf(&b, "  %-44s %10s %10s %10s %10s\n", "end-to-end",
+		fmt.Fprintf(&b, "  %-58s %10s %10s %10s %10s\n", "end-to-end",
 			fmtNs(r.E2E.MeanNs), fmtNs(r.E2E.P50Ns), fmtNs(r.E2E.P95Ns), fmtNs(r.E2E.P99Ns))
 	}
 	return b.String()

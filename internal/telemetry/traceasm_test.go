@@ -66,6 +66,83 @@ func TestTraceAssemblyNegativeDelta(t *testing.T) {
 	}
 }
 
+func stageHop(node string, kind byte, at time.Duration) busproto.TraceHop {
+	return busproto.TraceHop{Node: node, Kind: kind, At: int64(at)}
+}
+
+// replicatedTrace is a factor-N guaranteed publish as the consumer sees
+// it: stage pre-hops, the publisher daemon, then the delivery-lane hops.
+func replicatedTrace(base time.Duration) []busproto.TraceHop {
+	return []busproto.TraceHop{
+		stageHop("pub", busproto.HopLedgerStage, base),
+		stageHop("pub", busproto.HopGroupCommit, base+time.Millisecond),
+		stageHop("pub", busproto.HopReplicaChunk, base+2*time.Millisecond),
+		hop("pub", base+3*time.Millisecond),
+		hop("con", base+5*time.Millisecond),
+		stageHop("con", busproto.HopLaneEnqueue, base+6*time.Millisecond),
+		stageHop("con", busproto.HopLanePop, base+7*time.Millisecond),
+	}
+}
+
+// TestTraceSidecarMerge covers both arrival orders of the out-of-band
+// quorum-ack stamp: sidecar first (delivery merges on arrival) and
+// delivery first (parked until the sidecar lands). Either way the merged
+// route is identical — the quorum hop sits right after the replica chunk
+// regardless of its timestamp — and the sidecar survives to serve later
+// deliveries of the same fanned-out publish.
+func TestTraceSidecarMerge(t *testing.T) {
+	a := NewTraceAssembler()
+	quorum := []busproto.TraceHop{stageHop("pub", busproto.HopQuorumAck, 9*time.Millisecond)}
+
+	// Order 1: sidecar before its delivery.
+	a.AddSidecar(1, quorum)
+	a.AddTraced(1, replicatedTrace(0))
+	// Order 2: delivery first — parked, no route yet for id 2.
+	a.AddTraced(2, replicatedTrace(time.Millisecond))
+	if n := len(a.Routes()); n != 1 {
+		t.Fatalf("routes before sidecar 2 = %d, want 1 (delivery must park)", n)
+	}
+	a.AddSidecar(2, []busproto.TraceHop{stageHop("pub", busproto.HopQuorumAck, 10*time.Millisecond)})
+	// A second consumer's delivery of publish 1: the kept sidecar merges again.
+	a.AddTraced(1, replicatedTrace(2*time.Millisecond))
+
+	routes := a.Routes()
+	if len(routes) != 1 {
+		t.Fatalf("routes = %d, want 1 merged stage chain (%+v)", len(routes), routes)
+	}
+	r := routes[0]
+	want := "pub/ledger-stage,pub/group-commit,pub/repl-chunk,pub/quorum-ack,pub,con,con/lane-enq,con/lane-pop"
+	if got := strings.Join(r.Path, ","); got != want {
+		t.Fatalf("path = %q, want %q", got, want)
+	}
+	if r.Count != 3 {
+		t.Fatalf("count = %d, want 3", r.Count)
+	}
+
+	// A trace with no replica chunk never parks, id or not.
+	a.AddTraced(7, []busproto.TraceHop{hop("pub", 0), hop("con", time.Millisecond)})
+	if n := len(a.Routes()); n != 2 {
+		t.Fatalf("unreplicated trace must assemble immediately (routes = %d)", n)
+	}
+}
+
+// TestTraceSidecarEviction pins the bounded-parking behavior: once more
+// than maxPendingTraces deliveries wait for sidecars, the oldest is
+// assembled without its quorum hop instead of leaking.
+func TestTraceSidecarEviction(t *testing.T) {
+	a := NewTraceAssembler()
+	for id := uint64(1); id <= maxPendingTraces+1; id++ {
+		a.AddTraced(id, replicatedTrace(0))
+	}
+	routes := a.Routes()
+	if len(routes) != 1 || routes[0].Count != 1 {
+		t.Fatalf("eviction should assemble exactly the oldest parked trace: %+v", routes)
+	}
+	if strings.Contains(strings.Join(routes[0].Path, ","), "quorum-ack") {
+		t.Fatalf("evicted trace has a quorum hop it never received: %v", routes[0].Path)
+	}
+}
+
 func TestTraceRender(t *testing.T) {
 	a := NewTraceAssembler()
 	if got := a.Render(); !strings.Contains(got, "no complete routes") {

@@ -26,6 +26,9 @@ go test ./...
 echo "==> alloc gate (publish->deliver budget)"
 go test -run TestPublishDeliverAllocBudget -count=1 .
 
+echo "==> alloc gate (publish->deliver budget with the history tier sampling)"
+go test -run TestPublishDeliverHistoryAllocBudget -count=1 .
+
 echo "==> alloc gate (guaranteed publish budget)"
 go test -run TestGuaranteedPublishAllocBudget -count=1 .
 
@@ -44,6 +47,9 @@ go test -run TestLaneScalingGate -count=1 -v ./internal/bench/
 if [ "$quick" -eq 0 ]; then
     echo "==> go test -race ./..."
     go test -race ./...
+
+    echo "==> history-overhead smoke (tier on vs off must both complete; compare by eye against EXPERIMENTS.md A13)"
+    go test -run xxx -bench BenchmarkHistoryOverhead -benchtime 100x -count=1 .
 
     echo "==> fuzz smoke (5s each)"
     go test -run xxx -fuzz 'FuzzUnmarshal$'        -fuzztime 5s ./internal/wire/
