@@ -30,6 +30,15 @@
 // depth, commit/quorum percentiles, and the heaviest subject families.
 //
 //	ibmon -listen 127.0.0.1:7009 -peers 127.0.0.1:7001 -sys -watch
+//
+// With -sys -mesh it renders the router mesh: each "_sys.mesh.status.<node>"
+// snapshot (routers publish them periodically when the mesh is enabled)
+// becomes one line of spanning-tree state — elected root, hop cost, tree
+// parent, and per-link port state / live peer count / aggregated remote
+// interest. Mesh-flap alarms arrive through the ordinary "_sys.alarm"
+// rendering.
+//
+//	ibmon -listen 127.0.0.1:7009 -peers 127.0.0.1:7001 -sys -mesh
 package main
 
 import (
@@ -41,6 +50,7 @@ import (
 	"time"
 
 	"infobus"
+	"infobus/internal/mesh"
 	"infobus/internal/mop"
 	"infobus/internal/telemetry"
 )
@@ -54,8 +64,9 @@ func main() {
 	dump := flag.Bool("dump", false, "publish a _sys.dump probe on each ping tick (prints flight recorders)")
 	traces := flag.Duration("traces", 0, "print the assembled trace table at this interval (0: only on exit)")
 	watch := flag.Bool("watch", false, "live flight-data mode: render _sys.history digests as rate/percentile columns (implies -sys)")
+	meshMode := flag.Bool("mesh", false, "render router-mesh status ads as spanning-tree/link rows (implies -sys)")
 	flag.Parse()
-	if *watch {
+	if *watch || *meshMode {
 		*sys = true
 	}
 
@@ -76,6 +87,7 @@ func main() {
 		rates: make(map[string]*snapshot),
 		asm:   telemetry.NewTraceAssembler(),
 		watch: *watch,
+		mesh:  *meshMode,
 	}
 
 	patterns := strings.Split(*subFlag, ",")
@@ -146,10 +158,12 @@ func main() {
 // pattern, so no locking is needed — the assembler locks internally for
 // the periodic Render goroutine.
 type monitor struct {
-	rates  map[string]*snapshot
-	asm    *telemetry.TraceAssembler
-	watch  bool
-	header bool
+	rates      map[string]*snapshot
+	asm        *telemetry.TraceAssembler
+	watch      bool
+	mesh       bool
+	header     bool
+	meshHeader bool
 }
 
 type snapshot struct {
@@ -171,13 +185,20 @@ func (m *monitor) handle(ev infobus.Event) {
 				return
 			}
 		}
+	case strings.HasPrefix(subj, mesh.StatusSubjectPrefix+"."):
+		if m.mesh {
+			if line, ok := m.meshLine(ev.Value); ok {
+				fmt.Println(line)
+			}
+			return
+		}
 	case strings.HasPrefix(subj, infobus.SysHistoryPrefix+"."):
 		if line, ok := m.historyLine(ev.Value); ok {
 			fmt.Println(line)
 			return
 		}
 	case strings.HasPrefix(subj, infobus.SysStatsPrefix+"."):
-		if m.watch {
+		if m.watch || m.mesh {
 			return
 		}
 		if line, ok := m.statsLine(ev.Value); ok {
@@ -195,8 +216,8 @@ func (m *monitor) handle(ev infobus.Event) {
 			return
 		}
 	}
-	if m.watch {
-		return // live mode shows digests and alarms only
+	if m.watch || m.mesh {
+		return // live modes show their tables and alarms only
 	}
 	qos := ""
 	if ev.Guaranteed {
@@ -283,6 +304,51 @@ func (m *monitor) historyLine(v infobus.Value) (string, bool) {
 			d.Node, edge, a.Kind, a.Target, a.Value,
 			time.Unix(0, a.At).Format("15:04:05.000")))
 	}
+	return b.String(), true
+}
+
+// meshLine renders one MeshStatus snapshot as a spanning-tree row: the
+// elected root, this router's hop cost and tree parent, then one cell per
+// link with its port state, live peer count, and the aggregated remote
+// interest heard there (first few prefixes). The ad is self-describing —
+// the decoder walks the generic object, so a monitor built before a field
+// was added still renders the rest.
+func (m *monitor) meshLine(v infobus.Value) (string, bool) {
+	o, ok := v.(*mop.Object)
+	if !ok {
+		return "", false
+	}
+	ad, ok := mesh.ParseStatusObject(o)
+	if !ok {
+		return "", false
+	}
+	var b strings.Builder
+	if !m.meshHeader {
+		m.meshHeader = true
+		b.WriteString(fmt.Sprintf("%-12s %-10s %4s %-10s  %s\n",
+			"router", "root", "cost", "parent", "links (state/peers/remote-interest)"))
+	}
+	parent := ad.Parent
+	if parent == "" {
+		parent = "-" // the root has no parent
+	}
+	cells := make([]string, 0, len(ad.Links))
+	for _, l := range ad.Links {
+		pats := ""
+		if n := len(l.Patterns); n > 0 {
+			show := l.Patterns
+			if n > 3 {
+				show = show[:3]
+			}
+			pats = " " + strings.Join(show, ",")
+			if n > 3 {
+				pats += fmt.Sprintf(",+%d", n-3)
+			}
+		}
+		cells = append(cells, fmt.Sprintf("%s[%s/%d%s]", l.Name, l.State, l.Peers, pats))
+	}
+	b.WriteString(fmt.Sprintf("%-12s %-10s %4d %-10s  %s",
+		ad.Router, ad.Root, ad.Cost, parent, strings.Join(cells, " ")))
 	return b.String(), true
 }
 

@@ -6,6 +6,15 @@
 //	  -a.listen 127.0.0.1:7101 -a.peers 127.0.0.1:7001 \
 //	  -b.listen 127.0.0.1:7102 -b.peers 127.0.0.1:8001 \
 //	  -b.rewrite fab5=plants.east.fab5
+//
+// With -mesh the router joins the interest-routed router mesh: routers
+// sharing a segment discover each other over "_sys.mesh.>", elect a
+// spanning tree (lowest -name wins root), and propagate aggregated
+// interest hop by hop, so publications traverse only subscriber-bearing
+// segments. Every router on the bus must agree on -mesh, and -name must be
+// unique per router. Watch the tree with `ibmon -sys -mesh`.
+//
+//	ibrouter -name r-east -mesh -a.listen ... -b.listen ...
 package main
 
 import (
@@ -17,6 +26,7 @@ import (
 	"time"
 
 	"infobus"
+	"infobus/internal/mesh"
 	"infobus/internal/router"
 	"infobus/internal/subject"
 )
@@ -29,14 +39,19 @@ func main() {
 	bPeers := flag.String("b.peers", "", "side B bus hosts")
 	bRewrite := flag.String("b.rewrite", "", "prefix rewrite applied to traffic forwarded ONTO side B (from=to)")
 	verbose := flag.Bool("v", false, "log every forwarded message")
+	name := flag.String("name", "ibrouter", "router name (mesh id: must be unique per router, lowest becomes root)")
+	meshOn := flag.Bool("mesh", false, "join the router mesh: spanning-tree election + hop-by-hop aggregated interest")
 	flag.Parse()
 
 	segA := infobus.NewStaticUDPSegment(*aListen, strings.Split(*aPeers, ","))
 	segB := infobus.NewStaticUDPSegment(*bListen, strings.Split(*bPeers, ","))
 
-	opts := infobus.RouterOptions{Name: "ibrouter"}
+	opts := infobus.RouterOptions{Name: *name}
 	if *verbose {
 		opts.Log = os.Stdout
+	}
+	if *meshOn {
+		opts.Mesh = &mesh.Config{} // defaults: 100ms hellos, 50ms debounce
 	}
 	r, err := infobus.NewRouter(opts,
 		infobus.RouterAttachment{Segment: segA, Name: "A", Rules: parseRules(*aRewrite)},
@@ -60,6 +75,10 @@ func main() {
 			return
 		case <-ticker.C:
 			fmt.Printf("ibrouter: stats %+v\n", r.Stats())
+			if st, ok := r.MeshStatus(); ok {
+				fmt.Printf("ibrouter: mesh root=%s cost=%d parent=%q topo-changes=%d\n",
+					st.Root, st.Cost, st.Parent, st.TopoChanges)
+			}
 		}
 	}
 }

@@ -18,8 +18,6 @@ package daemon
 import (
 	"errors"
 	"fmt"
-	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -1154,31 +1152,11 @@ func (d *Daemon) AdvertiseInterest() {
 
 // aggregateInterest collapses an oversized pattern set to first-element
 // wildcard prefixes ("bench.>"), and to a single ">" if even that is too
-// many. Aggregation only widens interest, never narrows it.
+// many. Aggregation only widens interest, never narrows it. The algorithm
+// lives in subject.AggregatePatterns so mesh routers apply the exact same
+// widening transitively at every hop.
 func aggregateInterest(patterns []string, cap int) []string {
-	if len(patterns) <= cap {
-		return patterns
-	}
-	prefixes := make(map[string]struct{})
-	for _, p := range patterns {
-		first, _, found := strings.Cut(p, ".")
-		if !found {
-			first = p
-		}
-		if first == subject.WildcardOne || first == subject.WildcardRest {
-			return []string{subject.WildcardRest}
-		}
-		prefixes[first] = struct{}{}
-	}
-	if len(prefixes) > cap {
-		return []string{subject.WildcardRest}
-	}
-	out := make([]string, 0, len(prefixes))
-	for p := range prefixes {
-		out = append(out, p+"."+subject.WildcardRest)
-	}
-	sort.Strings(out)
-	return out
+	return subject.AggregatePatterns(patterns, cap)
 }
 
 // guarBegin opens the fan-out of a guaranteed publication. seen reports

@@ -8,9 +8,15 @@
 // itself as a name service. A subject is mapped to a specific set of
 // servers by allowing the servers to choose themselves."
 //
-// Subject conventions: for a service subject S, queries travel on
-// "_disc.q.S" and replies on "_disc.r.S". The query carries a token that
-// replies echo, so concurrent discoveries do not confuse each other.
+// Subject conventions: for a service subject S under prefix P (default
+// "_disc"), queries travel on "P.q.S" and replies on "P.r.S". The query
+// carries a token that replies echo, so concurrent discoveries do not
+// confuse each other.
+//
+// The protocol runs over any publish/subscribe surface (the PubSub
+// interface), not just a core.Bus: information routers speak it on their
+// raw segment attachments under the "_sys.mesh" prefix to bootstrap the
+// router mesh, where no daemon or bus exists at all.
 package discovery
 
 import (
@@ -22,11 +28,31 @@ import (
 	"infobus/internal/mop"
 )
 
-// Subject prefixes for the discovery conversation.
-const (
-	queryPrefix = "_disc.q."
-	replyPrefix = "_disc.r."
-)
+// DefaultPrefix is the subject prefix of the application discovery
+// conversation.
+const DefaultPrefix = "_disc"
+
+// Event is one publication delivered through a PubSub subscription.
+type Event struct {
+	// Value is the decoded self-describing object.
+	Value mop.Value
+	// From is the transport address the publication arrived from.
+	From string
+}
+
+// PubSub is the minimal conversation surface discovery needs. core.Bus
+// satisfies it via FromBus; the router mesh satisfies it per attachment.
+type PubSub interface {
+	// Identity returns a globally unique participant identity.
+	Identity() string
+	// Publish broadcasts a self-describing object on a subject.
+	Publish(subject string, v mop.Value) error
+	// Flush pushes buffered publications onto the wire.
+	Flush() error
+	// Subscribe registers interest in a pattern, returning the delivery
+	// channel and a cancel function. The channel closes after cancel.
+	Subscribe(pattern string) (<-chan Event, func(), error)
+}
 
 // Discovery message classes. They travel self-describing like any other
 // object, so even these protocol types need no pre-arranged schema.
@@ -45,6 +71,9 @@ var (
 	}, nil)
 )
 
+func querySubject(prefix, service string) string { return prefix + ".q." + service }
+func replySubject(prefix, service string) string { return prefix + ".r." + service }
+
 // Found is one discovered participant.
 type Found struct {
 	// Who is the participant's unique identity (distinct even for two
@@ -58,10 +87,11 @@ type Found struct {
 
 // Announcer answers discovery queries for one service subject.
 type Announcer struct {
-	bus     *core.Bus
+	ps      PubSub
 	who     string
-	service string
-	sub     *core.Subscription
+	subject string // reply subject
+	events  <-chan Event
+	cancel  func()
 	info    func() mop.Value
 	done    chan struct{}
 	wg      sync.WaitGroup
@@ -71,19 +101,28 @@ type Announcer struct {
 	closed  bool
 }
 
-// Announce registers a participant that serves the given service subject.
-// info is called per query to produce the "I am" state (it may be nil for
-// a bare presence announcement).
+// Announce registers a participant that serves the given service subject
+// on a bus, under the default prefix. info is called per query to produce
+// the "I am" state (it may be nil for a bare presence announcement).
 func Announce(bus *core.Bus, service string, info func() mop.Value) (*Announcer, error) {
-	sub, err := bus.Subscribe(queryPrefix + service)
+	return AnnounceOn(FromBus(bus), DefaultPrefix, service, info)
+}
+
+// AnnounceOn is Announce over any PubSub surface and subject prefix.
+func AnnounceOn(ps PubSub, prefix, service string, info func() mop.Value) (*Announcer, error) {
+	if prefix == "" {
+		prefix = DefaultPrefix
+	}
+	events, cancel, err := ps.Subscribe(querySubject(prefix, service))
 	if err != nil {
 		return nil, fmt.Errorf("discovery: subscribing to queries for %q: %w", service, err)
 	}
 	a := &Announcer{
-		bus:     bus,
-		who:     fmt.Sprintf("%s#%d", bus.Host().Addr(), bus.Host().Token()),
-		service: service,
-		sub:     sub,
+		ps:      ps,
+		who:     ps.Identity(),
+		subject: replySubject(prefix, service),
+		events:  events,
+		cancel:  cancel,
 		info:    info,
 		done:    make(chan struct{}),
 	}
@@ -109,7 +148,7 @@ func (a *Announcer) Close() {
 	a.closed = true
 	a.mu.Unlock()
 	close(a.done)
-	a.sub.Cancel()
+	a.cancel()
 	a.wg.Wait()
 }
 
@@ -119,7 +158,7 @@ func (a *Announcer) serve() {
 		select {
 		case <-a.done:
 			return
-		case ev, ok := <-a.sub.C:
+		case ev, ok := <-a.events:
 			if !ok {
 				return
 			}
@@ -140,9 +179,10 @@ func (a *Announcer) serve() {
 				MustSet("token", tok).
 				MustSet("who", a.who).
 				MustSet("info", info)
-			if err := a.bus.Publish(replyPrefix+a.service, reply); err != nil {
+			if err := a.ps.Publish(a.subject, reply); err != nil {
 				continue
 			}
+			_ = a.ps.Flush()
 			a.mu.Lock()
 			a.replies++
 			a.mu.Unlock()
@@ -157,27 +197,39 @@ type Options struct {
 	// Max stops collection early once this many participants replied.
 	// Zero means no cap.
 	Max int
+	// Prefix is the subject prefix of the conversation. Default "_disc";
+	// the router mesh uses "_sys.mesh".
+	Prefix string
 }
 
-// Discover performs one "Who's out there?" round for a service subject and
-// returns the participants that answered within the window.
+// Discover performs one "Who's out there?" round for a service subject on
+// a bus and returns the participants that answered within the window.
 func Discover(bus *core.Bus, service string, opts Options) ([]Found, error) {
+	return DiscoverOn(FromBus(bus), service, opts)
+}
+
+// DiscoverOn is Discover over any PubSub surface.
+func DiscoverOn(ps PubSub, service string, opts Options) ([]Found, error) {
 	if opts.Window <= 0 {
 		opts.Window = 50 * time.Millisecond
 	}
+	if opts.Prefix == "" {
+		opts.Prefix = DefaultPrefix
+	}
 	// Subscribe to replies before asking, so no reply can be missed.
-	sub, err := bus.Subscribe(replyPrefix + service)
+	events, cancel, err := ps.Subscribe(replySubject(opts.Prefix, service))
 	if err != nil {
 		return nil, fmt.Errorf("discovery: subscribing to replies for %q: %w", service, err)
 	}
-	defer sub.Cancel()
+	defer cancel()
 
-	token := fmt.Sprintf("%s-%d", bus.Host().Addr(), bus.Host().Token())
+	token := ps.Identity()
 	query := mop.MustNew(QueryType).MustSet("token", token)
-	if err := bus.Publish(queryPrefix+service, query); err != nil {
+	qsubj := querySubject(opts.Prefix, service)
+	if err := ps.Publish(qsubj, query); err != nil {
 		return nil, fmt.Errorf("discovery: publishing query for %q: %w", service, err)
 	}
-	_ = bus.Flush()
+	_ = ps.Flush()
 
 	var found []Found
 	seen := make(map[string]bool) // dedupe by participant identity
@@ -200,11 +252,11 @@ func Discover(bus *core.Bus, service string, opts Options) ([]Found, error) {
 				return found, nil
 			default:
 			}
-			_ = bus.Publish(queryPrefix+service, query)
-			_ = bus.Flush()
+			_ = ps.Publish(qsubj, query)
+			_ = ps.Flush()
 		case <-deadline.C:
 			return found, nil
-		case ev, ok := <-sub.C:
+		case ev, ok := <-events:
 			if !ok {
 				return found, nil
 			}
@@ -228,4 +280,55 @@ func Discover(bus *core.Bus, service string, opts Options) ([]Found, error) {
 			}
 		}
 	}
+}
+
+// busPubSub adapts a core.Bus to the PubSub interface.
+type busPubSub struct{ bus *core.Bus }
+
+// FromBus wraps a core.Bus as a discovery PubSub.
+func FromBus(bus *core.Bus) PubSub { return busPubSub{bus: bus} }
+
+func (b busPubSub) Identity() string {
+	return fmt.Sprintf("%s#%d", b.bus.Host().Addr(), b.bus.Host().Token())
+}
+
+func (b busPubSub) Publish(subject string, v mop.Value) error {
+	return b.bus.Publish(subject, v)
+}
+
+func (b busPubSub) Flush() error { return b.bus.Flush() }
+
+func (b busPubSub) Subscribe(pattern string) (<-chan Event, func(), error) {
+	sub, err := b.bus.Subscribe(pattern)
+	if err != nil {
+		return nil, nil, err
+	}
+	ch := make(chan Event, 64)
+	quit := make(chan struct{})
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			sub.Cancel()
+			close(quit)
+		})
+	}
+	go func() {
+		defer close(ch)
+		for {
+			select {
+			case ev, ok := <-sub.C:
+				if !ok {
+					return
+				}
+				select {
+				case ch <- Event{Value: ev.Value, From: ev.From}:
+				case <-quit:
+					return
+				}
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return ch, cancel, nil
 }

@@ -1,0 +1,449 @@
+package router
+
+import (
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"infobus/internal/core"
+	"infobus/internal/mesh"
+	"infobus/internal/mop"
+	"infobus/internal/netsim"
+	"infobus/internal/subject"
+	"infobus/internal/telemetry"
+	"infobus/internal/transport"
+)
+
+// fastMesh scales the mesh protocol timers down to the simulated network's
+// pace, like fastReliable does for the stream protocol: detection within
+// tens of milliseconds, interest expiry within a few hundred.
+func fastMesh() mesh.Config {
+	return mesh.Config{
+		HelloInterval:   10 * time.Millisecond,
+		Debounce:        4 * time.Millisecond,
+		InterestRefresh: 60 * time.Millisecond,
+		StatusInterval:  -1,
+	}
+}
+
+// triangle builds the canonical redundant topology: three segments in a
+// physical ring, each bridged to the next by one mesh router.
+//
+//	S1 --ra-- S2 --rb-- S3 --rc-- S1
+func triangle(t *testing.T, cfg mesh.Config) (s1, s2, s3 *transport.SimSegment, ra, rb, rc *Router) {
+	t.Helper()
+	s1, s2, s3 = fastSeg(), fastSeg(), fastSeg()
+	t.Cleanup(func() { s1.Close(); s2.Close(); s3.Close() })
+	ra = newRouter(t, Options{Name: "ra", Mesh: &cfg},
+		Attachment{Segment: s1, Name: "S1"},
+		Attachment{Segment: s2, Name: "S2"},
+	)
+	rb = newRouter(t, Options{Name: "rb", Mesh: &cfg},
+		Attachment{Segment: s2, Name: "S2"},
+		Attachment{Segment: s3, Name: "S3"},
+	)
+	rc = newRouter(t, Options{Name: "rc", Mesh: &cfg},
+		Attachment{Segment: s3, Name: "S3"},
+		Attachment{Segment: s1, Name: "S1"},
+	)
+	return
+}
+
+// blockedPorts counts blocked ports across the given routers' snapshots.
+func blockedPorts(routers ...*Router) int {
+	n := 0
+	for _, r := range routers {
+		st, ok := r.MeshStatus()
+		if !ok {
+			continue
+		}
+		for _, l := range st.Links {
+			if l.State != "forwarding" {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// waitBlockedPorts polls until the mesh settles with exactly want blocked
+// ports across the routers.
+func waitBlockedPorts(t *testing.T, want int, routers ...*Router) {
+	t.Helper()
+	deadline := time.After(15 * time.Second)
+	for {
+		if blockedPorts(routers...) == want {
+			return
+		}
+		select {
+		case <-deadline:
+			for _, r := range routers {
+				st, _ := r.MeshStatus()
+				t.Logf("mesh status: %+v", st)
+			}
+			t.Fatalf("mesh never settled at %d blocked ports", want)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestMeshTriangleDeliversExactlyOnce: a physical ring of segments is a
+// forwarding loop for pairwise routers (TestParallelRoutersBoundedByHopLimit
+// shows the hop limit merely bounds the copies). With the mesh on, the
+// election cuts the ring into a tree: the subscriber sees exactly ONE copy
+// per publication, and exactly one port in the mesh is blocked.
+func TestMeshTriangleDeliversExactlyOnce(t *testing.T) {
+	s1, _, s3, ra, rb, rc := triangle(t, fastMesh())
+	waitBlockedPorts(t, 1, ra, rb, rc)
+
+	pub := newBus(t, s1, "pubhost", core.HostConfig{})
+	con := newBus(t, s3, "conhost", core.HostConfig{})
+	sub, err := con.Subscribe("tri.>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishUntil(t, pub, "tri.warm", int64(0), sub)
+
+	// One unique publication after convergence: exactly one copy may arrive.
+	if err := pub.Publish("tri.unique", int64(777)); err != nil {
+		t.Fatal(err)
+	}
+	copies := 0
+	drain := time.After(400 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case ev := <-sub.C:
+			if ev.Subject.String() == "tri.unique" {
+				copies++
+			}
+		case <-drain:
+			done = true
+		}
+	}
+	if copies != 1 {
+		t.Fatalf("subscriber saw %d copies across the ring, want exactly 1", copies)
+	}
+	if lost := ra.Stats().LoopDropped + rb.Stats().LoopDropped + rc.Stats().LoopDropped; lost != 0 {
+		t.Errorf("hop limit fired %d times on a loop-free tree", lost)
+	}
+}
+
+// TestMeshGuaranteedSurvivesRouterDeath is the healing half of the tentpole:
+// kill the router carrying the active path and the tree re-elects around it
+// — the blocked redundant link takes over, interest re-advertises, and the
+// publisher's retrier converges every guaranteed message with no loss.
+func TestMeshGuaranteedSurvivesRouterDeath(t *testing.T) {
+	s1, _, s3, ra, rb, rc := triangle(t, fastMesh())
+	waitBlockedPorts(t, 1, ra, rb, rc)
+
+	pub := newBus(t, s1, "pubhost", core.HostConfig{
+		LedgerPath:    filepath.Join(t.TempDir(), "pub.ledger"),
+		RetryInterval: 20 * time.Millisecond,
+	})
+	con := newBus(t, s3, "conhost", core.HostConfig{})
+	sub, err := con.Subscribe("g.mesh")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(map[string]bool)
+	recvInto := func(within time.Duration) {
+		deadline := time.After(within)
+		for {
+			select {
+			case ev := <-sub.C:
+				if s, ok := ev.Value.(string); ok {
+					got[s] = true
+				}
+			case <-deadline:
+				return
+			}
+		}
+	}
+
+	if _, err := pub.PublishGuaranteed("g.mesh", "before-death"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(15 * time.Second)
+	for !got["before-death"] {
+		recvInto(20 * time.Millisecond)
+		select {
+		case <-deadline:
+			t.Fatal("guaranteed message never crossed the converged mesh")
+		default:
+		}
+	}
+
+	// Kill the router on the S1->S3 tree path, then publish more. The
+	// messages sit in the ledger until the survivors re-elect.
+	_ = rb.Close()
+	if _, err := pub.PublishGuaranteed("g.mesh", "during-outage"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.PublishGuaranteed("g.mesh", "after-reelection"); err != nil {
+		t.Fatal(err)
+	}
+	for !got["during-outage"] || !got["after-reelection"] {
+		recvInto(20 * time.Millisecond)
+		select {
+		case <-deadline:
+			st, _ := rc.MeshStatus()
+			t.Fatalf("guaranteed loss across re-election: got %v, rc mesh %+v", got, st)
+		default:
+		}
+	}
+	// The ledger drains: acks retrace the healed path back to the origin.
+	for len(pub.Host().PendingGuaranteed()) > 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("ledger never drained after re-election; pending %d",
+				len(pub.Host().PendingGuaranteed()))
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	// The survivors' tree is a 2-node line: every port forwarding.
+	waitBlockedPorts(t, 0, ra, rc)
+}
+
+// TestMeshPartitionHeal drives the netsim partition model: isolating rb's
+// S2 endpoint severs the tree path without killing the router, the mesh
+// re-elects around the cut, and healing the partition re-converges back to
+// a single blocked port with publications still delivered exactly once.
+func TestMeshPartitionHeal(t *testing.T) {
+	s1, s2, s3, ra, rb, rc := triangle(t, fastMesh())
+	waitBlockedPorts(t, 1, ra, rb, rc)
+
+	pub := newBus(t, s1, "pubhost", core.HostConfig{})
+	con := newBus(t, s3, "conhost", core.HostConfig{})
+	sub, err := con.Subscribe("ph.>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishUntil(t, pub, "ph.warm", int64(0), sub)
+
+	// Partition rb away from S2: hellos stop crossing, ra and rb declare
+	// each other dead on that link, and rc's blocked port must take over.
+	var rbS2 int
+	for _, att := range rb.atts {
+		if att.name == "S2" {
+			id, err := strconv.Atoi(strings.TrimPrefix(att.conn.Addr(), "sim:"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rbS2 = id
+		}
+	}
+	s2.Network().Partition(netsim.NodeID(rbS2))
+	waitBlockedPorts(t, 0, ra, rb, rc)
+	ev := publishUntil(t, pub, "ph.cut", int64(1), sub)
+	if ev.Subject.String() != "ph.cut" {
+		t.Fatalf("event = %+v", ev)
+	}
+
+	// Heal: the redundant link comes back, the election must re-block it,
+	// and a post-heal publication still arrives exactly once.
+	s2.Network().Heal()
+	waitBlockedPorts(t, 1, ra, rb, rc)
+	if err := pub.Publish("ph.healed", int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	copies := 0
+	drain := time.After(400 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case ev := <-sub.C:
+			if ev.Subject.String() == "ph.healed" {
+				copies++
+			}
+		case <-drain:
+			done = true
+		}
+	}
+	if copies != 1 {
+		t.Fatalf("post-heal publication arrived %d times, want exactly 1", copies)
+	}
+}
+
+// TestMeshWantsCacheInvalidatedOnTopologyChange is the PR 9 regression fix:
+// an attachment's wants memo caches "forward into S2" because a subscriber
+// lives BEHIND that link (mesh remote interest, not local interest). When
+// that subtree dies, nothing on the attachment itself changes — only the
+// mesh generation moves. The stale cache entry must not keep answering yes.
+func TestMeshWantsCacheInvalidatedOnTopologyChange(t *testing.T) {
+	cfg := fastMesh()
+	s1, s2, s3 := fastSeg(), fastSeg(), fastSeg()
+	defer s1.Close()
+	defer s2.Close()
+	defer s3.Close()
+	// A line: S1 --ra-- S2 --rb-- S3, subscriber on the far end.
+	ra := newRouter(t, Options{Name: "ra", Mesh: &cfg},
+		Attachment{Segment: s1, Name: "S1"},
+		Attachment{Segment: s2, Name: "S2"},
+	)
+	rb := newRouter(t, Options{Name: "rb", Mesh: &cfg},
+		Attachment{Segment: s2, Name: "S2"},
+		Attachment{Segment: s3, Name: "S3"},
+	)
+	con := newBus(t, s3, "conhost", core.HostConfig{})
+	if _, err := con.Subscribe("inv.leaf"); err != nil {
+		t.Fatal(err)
+	}
+	subj := subject.MustParse("inv.leaf")
+	deadline := time.After(15 * time.Second)
+	// The answer comes from rb's hop-propagated interest ad, lands in ra's
+	// mesh state, and gets memoized in the S2 attachment's wants cache.
+	for !ra.WantsOn("S2", subj) {
+		select {
+		case <-deadline:
+			t.Fatal("remote interest never propagated through the mesh")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// Kill the subtree. ra's S2 attachment sees no local interest change
+	// ever (no hosts live on S2) — only the mesh generation moves when rb's
+	// hello and interest expire. The memoized true must flip.
+	_ = rb.Close()
+	for ra.WantsOn("S2", subj) {
+		select {
+		case <-deadline:
+			t.Fatal("wants cache kept forwarding into a dead subtree")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestMeshForwardDecisionZeroAlloc pins the steady-state forward decision —
+// port-state check plus wants-cache hit — at zero allocations. Pure state
+// machine, no live network: exactly what runs per forwarded publication
+// between envelope decode and encode.
+func TestMeshForwardDecisionZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	m := mesh.New("za", []string{"A", "B"}, mesh.Config{})
+	now := time.Unix(1000, 0)
+	m.HandleInterest(1, mesh.InterestAd{Router: "zb", Seq: 1, Patterns: []string{"za.>"}}, now)
+	att := &attachment{name: "B", index: 1, interest: map[string]interestEntry{}}
+	subj := subject.MustParse("za.data")
+	if !m.Forwarding(1) || !att.wants(subj, m) {
+		t.Fatal("precondition: remote interest should match")
+	}
+	allocs := testing.AllocsPerRun(10000, func() {
+		if !m.Forwarding(1) || !att.wants(subj, m) {
+			t.Fatal("forward decision flipped mid-run")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state forward decision = %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestMeshStatusAdObservable: status snapshots are ordinary self-describing
+// publications, so a monitor host ANYWHERE on the bridged bus (ibmon -mesh)
+// can render every router's tree state without linking against the router.
+func TestMeshStatusAdObservable(t *testing.T) {
+	cfg := fastMesh()
+	cfg.StatusInterval = 20 * time.Millisecond
+	_, _, s3, _, _, _ := triangle(t, cfg)
+	mon := newBus(t, s3, "monhost", core.HostConfig{})
+	sub, err := mon.Subscribe(mesh.StatusSubjectPrefix + ".>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect until a status ad from ra — two mesh hops away from the
+	// monitor's segment — arrives and parses.
+	deadline := time.After(15 * time.Second)
+	for {
+		select {
+		case ev := <-sub.C:
+			obj, ok := ev.Value.(*mop.Object)
+			if !ok {
+				t.Fatalf("status ad decoded to %T, want *mop.Object", ev.Value)
+			}
+			st, ok := mesh.ParseStatusObject(obj)
+			if !ok {
+				t.Fatalf("unparseable status ad %v", obj)
+			}
+			if st.Router != "ra" {
+				continue
+			}
+			if st.Root != "ra" {
+				t.Fatalf("status ad root = %q, want ra", st.Root)
+			}
+			if st.Node != telemetry.SanitizeNode("router-ra") {
+				t.Fatalf("status ad node = %q", st.Node)
+			}
+			if len(st.Links) != 2 {
+				t.Fatalf("status ad links = %+v", st.Links)
+			}
+			return
+		case <-deadline:
+			t.Fatal("no status ad from the far router reached the monitor")
+		}
+	}
+}
+
+// TestMeshFlapAlarm: a flapping neighbor drives re-advertisement churn; the
+// router's health tier must raise the "mesh-flap" alarm and the churn series
+// must be visible in the "_sys.history" flight-data window.
+func TestMeshFlapAlarm(t *testing.T) {
+	cfg := fastMesh()
+	s1, s2 := fastSeg(), fastSeg()
+	defer s1.Close()
+	defer s2.Close()
+	r := newRouter(t, Options{
+		Name: "rh",
+		Mesh: &cfg,
+		Health: telemetry.HealthConfig{
+			Interval:     5 * time.Millisecond,
+			MeshFlapRate: 5, // readvertisements/s; flap churn far exceeds it
+		},
+	},
+		Attachment{Segment: s1, Name: "S1"},
+		Attachment{Segment: s2, Name: "S2"},
+	)
+	mon := newBus(t, s1, "monhost", core.HostConfig{})
+	alarms, err := mon.Subscribe("_sys.alarm.>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthesize a flapping peer: alternate two interest sets into the mesh
+	// faster than the debounce can fully coalesce. Driving the state
+	// machine directly keeps the churn source deterministic.
+	if _, ok := r.MeshStatus(); !ok {
+		t.Fatal("mesh tier inactive")
+	}
+	go func() {
+		pats := [][]string{{"flap.a"}, {"flap.b"}}
+		for i := 0; i < 400; i++ {
+			r.agent.m.HandleInterest(0, mesh.InterestAd{
+				Router: "zz-flapper", Seq: int64(i), Patterns: pats[i%2],
+			}, time.Now())
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	deadline := time.After(15 * time.Second)
+	for {
+		select {
+		case ev := <-alarms.C:
+			if !strings.Contains(ev.Subject.String(), "mesh-flap") {
+				continue
+			}
+			// The churn series must be visible in the flight-data ring once
+			// the sampler has ticked (its period is coarser than the alarm's).
+			for r.hist.Snapshot(0).Ticks == 0 {
+				select {
+				case <-deadline:
+					t.Fatal("history sampler never ticked")
+				case <-time.After(10 * time.Millisecond):
+				}
+			}
+			return
+		case <-deadline:
+			t.Fatalf("mesh-flap alarm never raised; readverts=%d",
+				r.agent.readverts.Load())
+		}
+	}
+}

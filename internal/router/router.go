@@ -29,6 +29,7 @@ import (
 
 	"infobus/internal/bufpool"
 	"infobus/internal/busproto"
+	"infobus/internal/mesh"
 	"infobus/internal/mop"
 	"infobus/internal/reliable"
 	"infobus/internal/subject"
@@ -46,6 +47,12 @@ type Options struct {
 	// InterestTTL is how long a heard interest advertisement stays valid
 	// without refresh. Default 4x daemon.InterestInterval (1s).
 	InterestTTL time.Duration
+	// RelayInterval is the period of the pairwise interest reflection
+	// (the union re-advertisement that propagates interest transitively
+	// through router chains when no mesh is active) and of expired-entry
+	// pruning. Default 200ms. It paces how fast interest spreads, not
+	// which segments end up carrying traffic.
+	RelayInterval time.Duration
 	// Log, if non-nil, receives a line per forwarded message.
 	Log io.Writer
 	// Metrics is the telemetry registry the router's counters live in
@@ -62,6 +69,17 @@ type Options struct {
 	// "_sys.dump" probes are answered with the recorder's text dump. Zero
 	// disables the tier.
 	Health telemetry.HealthConfig
+	// Mesh, when non-nil, makes the router self-organizing: it discovers
+	// peer routers over "_sys.mesh.>", elects into a loop-free spanning
+	// tree (redundant links block instead of duplicating traffic), and
+	// propagates aggregated interest hop by hop so publications traverse
+	// only subscriber-bearing segments plus the connecting tree path.
+	// Options.Name doubles as the mesh router id and MUST be unique
+	// across the mesh (lowest name becomes the tree root). The zero
+	// mesh.Config takes protocol defaults. When enabled, the legacy
+	// pairwise interest reflection (interestRelayLoop) is off and the
+	// envelope hop budget is Mesh.MaxHops instead of busproto.MaxHops.
+	Mesh *mesh.Config
 }
 
 // Rule rewrites subjects crossing from one segment to another ("the router
@@ -89,6 +107,7 @@ type Attachment struct {
 
 type attachment struct {
 	name  string
+	index int // position in Router.atts == mesh link index
 	conn  *reliable.Conn
 	rules []Rule
 
@@ -97,8 +116,14 @@ type attachment struct {
 	// wantsCache memoizes wants() by subject: the linear scan over the
 	// interest table runs per forwarded message, but interest changes only
 	// on advertisement arrival or expiry. Cleared whenever the interest SET
-	// changes (a refresh of an existing pattern does not).
+	// changes (a refresh of an existing pattern does not). With the mesh
+	// active the memo covers the combined host+mesh answer, and meshGen
+	// pins the mesh generation it was computed against: any topology or
+	// remote-interest change bumps the generation and invalidates the memo
+	// wholesale — a stale entry would otherwise keep forwarding into a
+	// dead subtree (or keep suppressing toward a new one).
 	wantsCache map[string]bool
+	meshGen    uint64
 }
 
 // maxWantsCache bounds each attachment's wants memo; when full, further
@@ -142,6 +167,13 @@ type Router struct {
 	rec      *telemetry.Recorder
 	sysTypes telemetry.SysTypes
 	sysNode  string
+
+	// Mesh tier (nil unless Options.Mesh is set).
+	agent *meshAgent
+	// hist is the mesh flight-data ring (health + mesh both on): the
+	// re-advertisement and topology-change rates, with alarm edges noted
+	// in-window, answered on "_sys.history" probes like a host's tier.
+	hist *telemetry.History
 }
 
 type guarPath struct {
@@ -222,6 +254,7 @@ func New(opts Options, atts ...Attachment) (*Router, error) {
 		}
 		att := &attachment{
 			name:     a.Name,
+			index:    len(r.atts),
 			conn:     reliable.New(ep, rcfg),
 			rules:    a.Rules,
 			interest: make(map[string]interestEntry),
@@ -241,9 +274,35 @@ func New(opts Options, atts ...Attachment) (*Router, error) {
 			}, rcfg.Metrics.Counter(prefix+".retransmits"))
 		}
 	}
+	if opts.Mesh != nil {
+		r.agent = newMeshAgent(r, *opts.Mesh)
+		if r.engine != nil {
+			// Mesh churn watch: a flapping link re-elects and re-advertises
+			// in a tight loop; the readvertisement rate is the symptom every
+			// segment pays for (Figure-8 medium occupancy), so it is the
+			// alarmed signal.
+			r.engine.WatchRate(telemetry.WatchConfig{
+				Kind:   "mesh-flap",
+				Target: "mesh",
+				Raise:  hcfg.MeshFlapRate,
+			}, r.agent.readverts)
+			// Flight-data ring for the mesh churn series: answered on
+			// "_sys.history" probes so a monitor can see a flap window after
+			// the fact, aligned with the alarm edges that fired in it.
+			r.hist = telemetry.NewHistory(telemetry.HistoryConfig{})
+			r.hist.TrackRate("mesh.readvertisements", r.agent.readverts)
+			r.hist.TrackRate("mesh.topology_changes", r.agent.topoChanges)
+			r.hist.TrackRate("router.forwarded", r.ctr.forwarded)
+			r.hist.TrackRate("router.suppressed", r.ctr.suppressed)
+			r.hist.Start()
+		}
+	}
 	for _, att := range r.atts {
 		r.wg.Add(1)
 		go r.attachmentLoop(att)
+	}
+	if r.agent != nil {
+		r.agent.start()
 	}
 	r.wg.Add(1)
 	go r.interestRelayLoop()
@@ -286,6 +345,12 @@ func (r *Router) Close() error {
 	if r.engine != nil {
 		r.engine.Stop()
 	}
+	if r.agent != nil {
+		r.agent.stop()
+	}
+	if r.hist != nil {
+		r.hist.Stop()
+	}
 	r.closeAttachments()
 	r.wg.Wait()
 	return nil
@@ -319,13 +384,28 @@ func (r *Router) handle(att *attachment, m reliable.Message) {
 	}
 	switch env.Base() {
 	case busproto.KindInterest:
-		att.recordInterest(env.Patterns, time.Now().Add(r.opts.InterestTTL))
+		if att.recordInterest(env.Patterns, time.Now().Add(r.opts.InterestTTL)) && r.agent != nil {
+			r.agent.m.HostInterestChanged(att.index)
+		}
 	case busproto.KindPublish, busproto.KindGuaranteed:
+		if r.agent != nil && meshLinkLocal(env.Subject) {
+			// Hello/interest/discovery traffic defines this link's adjacency;
+			// it never crosses to another segment.
+			if env.Base() == busproto.KindPublish {
+				r.agent.handle(att, m.From, env)
+			}
+			return
+		}
 		if r.engine != nil && env.Base() == busproto.KindPublish && env.Subject == telemetry.DumpSubject {
 			// A "_sys.dump" probe: answer with this router's flight recorder
 			// on every segment, then forward the probe so hosts behind other
 			// attachments answer too.
 			r.publishDump()
+		}
+		if r.hist != nil && env.Base() == busproto.KindPublish && env.Subject == telemetry.HistorySubject {
+			// A "_sys.history" probe: answer with the mesh flight-data
+			// window, then forward so hosts answer too.
+			r.publishHistory()
 		}
 		if env.Compact() && wire.CompactCarriesDefs(env.Payload) {
 			// Class definitions are crossing this segment: harvest them so
@@ -352,7 +432,22 @@ func (r *Router) handle(att *attachment, m reliable.Message) {
 // forward re-publishes a data envelope on every other segment with a
 // matching subscription, applying that segment's subject rules.
 func (r *Router) forward(src *attachment, from string, env busproto.Envelope) {
-	if env.Hops >= busproto.MaxHops {
+	var m *mesh.Mesh
+	maxHops := uint8(busproto.MaxHops)
+	if r.agent != nil {
+		// Mesh mode: the spanning tree is loop-free by construction, so the
+		// hop budget only bounds pathology and can cover the tree diameter
+		// (the flat default would truncate long chains of segments).
+		m = r.agent.m
+		maxHops = uint8(m.MaxHops())
+		if !m.Forwarding(src.index) {
+			// A blocked port receives (hellos keep the tree alive) but never
+			// forwards: the redundant link's traffic travels the tree path.
+			r.ctr.suppressed.Inc()
+			return
+		}
+	}
+	if env.Hops >= maxHops {
 		r.ctr.loopDropped.Inc()
 		return
 	}
@@ -370,8 +465,11 @@ func (r *Router) forward(src *attachment, from string, env busproto.Envelope) {
 		if dst == src {
 			continue
 		}
+		if m != nil && !m.Forwarding(dst.index) {
+			continue
+		}
 		outSubj, transformed := dst.transform(subj)
-		if !dst.wants(outSubj) {
+		if !dst.wants(outSubj, m) {
 			continue
 		}
 		out := env
@@ -452,9 +550,19 @@ func (r *Router) forwardAck(src *attachment, env busproto.Envelope) {
 // interestRelayLoop periodically re-advertises, on each segment, the union
 // of interest heard on all OTHER segments, so that chains of routers
 // propagate interest transitively; it also prunes expired entries.
+//
+// With the mesh active the pairwise union reflection is OFF: the mesh
+// propagates aggregated interest hop by hop along the spanning tree with
+// split horizon (internal/mesh), and reflecting raw host patterns here
+// would re-introduce the pairwise flood the tree exists to remove. The
+// loop still prunes expired host interest, notifying the mesh on change.
 func (r *Router) interestRelayLoop() {
 	defer r.wg.Done()
-	ticker := time.NewTicker(200 * time.Millisecond)
+	interval := r.opts.RelayInterval
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {
 		select {
@@ -462,7 +570,12 @@ func (r *Router) interestRelayLoop() {
 			return
 		case now := <-ticker.C:
 			for _, att := range r.atts {
-				att.prune(now)
+				if att.prune(now) && r.agent != nil {
+					r.agent.m.HostInterestChanged(att.index)
+				}
+			}
+			if r.agent != nil {
+				continue
 			}
 			for _, dst := range r.atts {
 				union := make(map[string]struct{})
@@ -495,7 +608,7 @@ func (r *Router) interestRelayLoop() {
 // ---------------------------------------------------------------------------
 // attachment helpers
 
-func (a *attachment) recordInterest(patterns []string, expires time.Time) {
+func (a *attachment) recordInterest(patterns []string, expires time.Time) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	changed := false
@@ -517,9 +630,10 @@ func (a *attachment) recordInterest(patterns []string, expires time.Time) {
 	if changed {
 		clear(a.wantsCache)
 	}
+	return changed
 }
 
-func (a *attachment) prune(now time.Time) {
+func (a *attachment) prune(now time.Time) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	changed := false
@@ -532,13 +646,26 @@ func (a *attachment) prune(now time.Time) {
 	if changed {
 		clear(a.wantsCache)
 	}
+	return changed
 }
 
-// wants reports whether any live interest on this attachment's segment
-// matches the subject, memoized per subject until the interest set changes.
-func (a *attachment) wants(s subject.Subject) bool {
+// wants reports whether the subject should be forwarded onto this
+// attachment's segment: a live host interest matches, or (mesh mode, m
+// non-nil) a remote router behind this link advertised matching interest.
+// The answer is memoized per subject; the memo is cleared when the local
+// interest set changes, and — because the mesh half of the answer lives
+// outside the attachment — whenever the mesh generation moves (topology or
+// remote-interest change). The steady-state hit path is one mutex hold,
+// one atomic load, and a map probe: no allocation.
+func (a *attachment) wants(s subject.Subject, m *mesh.Mesh) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if m != nil {
+		if gen := m.Gen(); gen != a.meshGen {
+			clear(a.wantsCache)
+			a.meshGen = gen
+		}
+	}
 	raw := s.String()
 	if w, ok := a.wantsCache[raw]; ok {
 		return w
@@ -549,6 +676,9 @@ func (a *attachment) wants(s subject.Subject) bool {
 			w = true
 			break
 		}
+	}
+	if !w && m != nil {
+		w = m.WantsRemote(a.index, s)
 	}
 	if len(a.wantsCache) < maxWantsCache {
 		if a.wantsCache == nil {
@@ -637,6 +767,11 @@ func (r *Router) statsLoop() {
 // raise/clear edge, broadcast on every attached segment so a monitor
 // anywhere on the bridged bus sees the router's health.
 func (r *Router) publishAlarm(ev telemetry.AlarmEvent) {
+	if r.hist != nil {
+		// Note the edge into the flight-data ring so a "_sys.history" window
+		// shows it aligned with the churn samples that tripped it.
+		r.hist.NoteAlarm(ev)
+	}
 	payload, err := wire.Marshal(r.sysTypes.AlarmObject(ev))
 	if err != nil {
 		return
@@ -663,11 +798,40 @@ func (r *Router) publishDump() {
 	r.broadcastSys(env)
 }
 
+// publishHistory answers a "_sys.history" probe with the router's mesh
+// flight-data window (churn series plus in-window alarm edges), on every
+// attached segment, like a flight-data host answers for itself.
+func (r *Router) publishHistory() {
+	now := time.Now()
+	obj := r.sysTypes.HistoryObject(r.sysNode, now, r.hist.Snapshot(0), nil)
+	payload, err := wire.Marshal(obj)
+	if err != nil {
+		return
+	}
+	env := busproto.Encode(busproto.Envelope{
+		Kind:    busproto.KindPublish,
+		Subject: telemetry.HistoryNodeSubject(r.sysNode),
+		Payload: payload,
+	})
+	r.broadcastSys(env)
+}
+
 func (r *Router) broadcastSys(env []byte) {
 	for _, att := range r.atts {
 		_ = att.conn.Publish(env)
 		_ = att.conn.Flush()
 	}
+}
+
+// MeshStatus returns a snapshot of the router's spanning-tree state and
+// true when the mesh tier (Options.Mesh) is active. Tests and operational
+// tooling use it to observe elections and port roles without decoding
+// status publications.
+func (r *Router) MeshStatus() (mesh.Status, bool) {
+	if r.agent == nil {
+		return mesh.Status{}, false
+	}
+	return r.agent.m.Snapshot(), true
 }
 
 // WantsOn reports whether the named attachment's segment currently holds a
@@ -679,8 +843,15 @@ func (r *Router) WantsOn(segmentName string, s subject.Subject) bool {
 		if att.name != segmentName {
 			continue
 		}
+		var m *mesh.Mesh
+		if r.agent != nil {
+			m = r.agent.m
+			if !m.Forwarding(att.index) {
+				return false
+			}
+		}
 		out, _ := att.transform(s)
-		return att.wants(out)
+		return att.wants(out, m)
 	}
 	return false
 }

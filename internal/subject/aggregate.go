@@ -1,0 +1,43 @@
+package subject
+
+import (
+	"sort"
+	"strings"
+)
+
+// AggregatePatterns collapses an oversized interest-pattern set to
+// first-element wildcard prefixes ("bench.>"), and to a single ">" if even
+// that is too many. Aggregation only widens interest, never narrows it: a
+// router acting on the aggregate may over-forward slightly, which is safe,
+// instead of the advertisement occupying the shared medium (the Figure 8
+// constraint).
+//
+// The operation is idempotent and transitive-safe: feeding its own output
+// (or a union of outputs from several hops) back in yields an equally wide
+// or wider set, never a narrower one, so mesh routers can re-aggregate at
+// every hop. Sets at or under max are returned unchanged.
+func AggregatePatterns(patterns []string, max int) []string {
+	if len(patterns) <= max {
+		return patterns
+	}
+	prefixes := make(map[string]struct{})
+	for _, p := range patterns {
+		first, _, found := strings.Cut(p, ".")
+		if !found {
+			first = p
+		}
+		if first == WildcardOne || first == WildcardRest {
+			return []string{WildcardRest}
+		}
+		prefixes[first] = struct{}{}
+	}
+	if len(prefixes) > max {
+		return []string{WildcardRest}
+	}
+	out := make([]string, 0, len(prefixes))
+	for p := range prefixes {
+		out = append(out, p+"."+WildcardRest)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -41,6 +41,12 @@ type HealthConfig struct {
 	LedgerBacklog int64
 	// RecorderSize is the flight-recorder ring capacity. Default 256.
 	RecorderSize int
+	// MeshFlapRate raises "mesh-flap" on a mesh-enabled router when its
+	// interest re-advertisement rate reaches it (ads/second): a healthy
+	// mesh is quiet in steady state, so sustained churn means a flapping
+	// subscriber, link, or election fight occupying every segment on the
+	// tree path. Default 50.
+	MeshFlapRate int64
 }
 
 // Enabled reports whether the health tier is on.
@@ -61,6 +67,9 @@ func (c HealthConfig) WithDefaults() HealthConfig {
 	}
 	if c.RecorderSize <= 0 {
 		c.RecorderSize = 256
+	}
+	if c.MeshFlapRate <= 0 {
+		c.MeshFlapRate = 50
 	}
 	return c
 }

@@ -30,6 +30,7 @@ const (
 	EventTrace                           // a sampled traced delivery completed; A=end-to-end ns, B=hops
 	EventDump                            // a _sys.dump probe was answered
 	EventRepl                            // a replication-tier event (quorum timeout, recovery); A=context
+	EventMesh                            // a mesh topology change (re-election, port flip); A=cumulative count
 )
 
 func (k EventKind) String() string {
@@ -52,6 +53,8 @@ func (k EventKind) String() string {
 		return "dump"
 	case EventRepl:
 		return "repl"
+	case EventMesh:
+		return "mesh"
 	default:
 		return "event"
 	}

@@ -44,6 +44,9 @@ go test -run TestQuorumLiveness -count=1 ./internal/qledger/
 echo "==> lane-scaling gate (sharded delivery >= 3x at 8 cores; skips below 4 cores)"
 go test -run TestLaneScalingGate -count=1 -v ./internal/bench/
 
+echo "==> mesh-locality gate (50-segment ring: mesh confines flow to <= 4 segments)"
+go test -run TestMeshLocalityGate -count=1 -v ./internal/bench/
+
 if [ "$quick" -eq 0 ]; then
     echo "==> go test -race ./..."
     go test -race ./...
@@ -60,6 +63,7 @@ if [ "$quick" -eq 0 ]; then
     go test -run xxx -fuzz 'FuzzParseRecord$'      -fuzztime 5s ./internal/ledger/
     go test -run xxx -fuzz 'FuzzSegmentedReplay$'  -fuzztime 5s ./internal/ledger/
     go test -run xxx -fuzz 'FuzzReplFrame$'        -fuzztime 5s ./internal/qledger/
+    go test -run xxx -fuzz 'FuzzMeshAd$'           -fuzztime 5s ./internal/mesh/
 fi
 
 echo "==> all checks passed"
