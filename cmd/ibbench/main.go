@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to run: 5, 6, 7, 8, i1, i2, a8, a9, a10, a11, a12, a13, a14, or all")
+	fig := flag.String("fig", "all", "figure to run: 5, 6, 7, 8, i1, i2, a8, a9, a10, a11, a12, a13, a14, a15, or all")
 	consumers := flag.Int("consumers", 14, "number of consumer hosts")
 	speedup := flag.Float64("speedup", 20, "simulation speedup factor")
 	msgs := flag.Int("msgs", 1000, "messages per throughput point")
@@ -242,6 +242,19 @@ func main() {
 			return err
 		}
 		bench.PrintFigureA14(os.Stdout, rows)
+		return nil
+	})
+
+	run("a15", func() error {
+		// A15: the router's zero-copy data plane. CPU-bound (in-process
+		// pipe transport, no netsim): msgs/s through a 4-segment router
+		// fan-out, decode/re-encode baseline vs the single-copy fast path.
+		// -speedup does not apply; -msgs scales the per-point sample.
+		rows, err := bench.FigureA15([]int{64, 512, 4096}, *msgs*20)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigureA15(os.Stdout, rows)
 		return nil
 	})
 

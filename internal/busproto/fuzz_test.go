@@ -44,6 +44,41 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzEnvelopePeek: Peek must agree with Decode on arbitrary bytes — both
+// accept (with identical header fields) or both reject. The router's fast
+// path trusts Peek's validation in place of a full Decode, so any frame
+// the two parsers disagree on is a forwarding bug.
+func FuzzEnvelopePeek(f *testing.F) {
+	f.Add(Encode(Envelope{Kind: KindPublish, Hops: 2, Subject: "a.b", Payload: []byte("x")}))
+	f.Add(Encode(Envelope{Kind: KindGuaranteed, ID: 9, Origin: "o", Subject: "s", Payload: nil}))
+	f.Add(Encode(Envelope{Kind: KindGuarAck, ID: 1, Origin: "o"}))
+	f.Add(Encode(Envelope{Kind: KindInterest, Patterns: []string{"a.>", "*"}}))
+	f.Add([]byte{})
+	addCompactSeeds(f)
+	f.Add(Encode(Envelope{Kind: KindPublishTraced, Hops: 2, Subject: "t", TraceID: 1,
+		Trace: []TraceHop{{Node: "sim:0", At: 123456789}, {Node: "router:r:a", At: -1}}}))
+	f.Add(Encode(Envelope{Kind: KindGuaranteedTraced, ID: 4, Origin: "o", Subject: "g",
+		TraceID: 99, Trace: []TraceHop{{Node: "n", At: 1690000000000000000}}}))
+	f.Add([]byte{KindPublishTraced, 0, 1, MaxTraceHops + 1, 1, 'n', 2})
+	f.Add([]byte{KindPublishTraced, 0, 1, 5, 1, 'n', 2})
+	f.Add([]byte{KindGuaranteedTraced, 0, 9, 1, 'o', 1, 1, 0xff, 0xff, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, perr := Peek(data)
+		e, derr := Decode(data)
+		if (perr == nil) != (derr == nil) {
+			t.Fatalf("peek err=%v decode err=%v on % x", perr, derr, data)
+		}
+		if perr != nil {
+			return
+		}
+		if h.Kind != e.Kind || h.Hops != e.Hops || h.ID != e.ID ||
+			string(h.Origin) != e.Origin || string(h.Subject) != e.Subject ||
+			string(h.Payload) != string(e.Payload) {
+			t.Fatalf("peek %+v disagrees with decode %+v on % x", h, e, data)
+		}
+	})
+}
+
 // Compact-kind seeds exercise the shared layout paths under the new kind
 // bytes (added with the dictionary compression of the broadcast path).
 func addCompactSeeds(f *testing.F) {

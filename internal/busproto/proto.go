@@ -186,10 +186,13 @@ func (e *Envelope) AppendStageHop(kind byte, node string, at int64) {
 		return
 	}
 	// Copy-on-append: traced envelopes fan out through routers, and the
-	// decoded Trace slice may be shared.
-	trace := make([]TraceHop, len(e.Trace), len(e.Trace)+1)
+	// decoded Trace slice may be shared. One allocation: the copy is made
+	// at its final length and the new hop written in place.
+	n := len(e.Trace)
+	trace := make([]TraceHop, n+1)
 	copy(trace, e.Trace)
-	e.Trace = append(trace, TraceHop{Node: node, Kind: kind, At: at})
+	trace[n] = TraceHop{Node: node, Kind: kind, At: at}
+	e.Trace = trace
 }
 
 // Envelope errors.
@@ -321,16 +324,53 @@ func (r *envReader) trace(e *Envelope) error {
 }
 
 func (r *envReader) str(maxLen int) (string, error) {
-	n, err := r.uvarint()
+	b, err := r.view(maxLen)
 	if err != nil {
 		return "", err
 	}
-	if n > uint64(maxLen) || r.pos+int(n) > len(r.data) {
-		return "", ErrEnvelopeCorrupt
+	return string(b), nil
+}
+
+// view reads a length-prefixed byte string as a slice aliasing the frame:
+// the zero-copy counterpart of str, with identical validation.
+func (r *envReader) view(maxLen int) ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
 	}
-	s := string(r.data[r.pos : r.pos+int(n)])
+	if n > uint64(maxLen) || r.pos+int(n) > len(r.data) {
+		return nil, ErrEnvelopeCorrupt
+	}
+	b := r.data[r.pos : r.pos+int(n)]
 	r.pos += int(n)
-	return s, nil
+	return b, nil
+}
+
+// skipTrace walks a trace id plus hop list without materializing it,
+// applying exactly the caps and truncation checks trace applies.
+func (r *envReader) skipTrace() error {
+	if _, err := r.uvarint(); err != nil {
+		return err
+	}
+	count, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if count > MaxTraceHops {
+		return ErrEnvelopeCorrupt
+	}
+	for i := uint64(0); i < count; i++ {
+		if _, err := r.byteVal(); err != nil {
+			return err
+		}
+		if _, err := r.view(maxNodeLen); err != nil {
+			return err
+		}
+		if _, err := r.varint(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (r *envReader) byteVal() (byte, error) {
@@ -414,4 +454,143 @@ func Decode(data []byte) (Envelope, error) {
 		return Envelope{}, fmt.Errorf("kind %d: %w", e.Kind, ErrEnvelopeCorrupt)
 	}
 	return e, nil
+}
+
+// Header is a lazy, zero-copy view of an envelope: the fields a forwarding
+// engine dispatches on (kind, hops, origin/id, subject) plus the payload
+// tail, all as slices aliasing the encoded frame. Peek validates exactly
+// what Decode validates — same caps, same truncation checks, including a
+// full walk of the trace list and interest patterns — but materializes
+// nothing: no trace slice, no pattern slice, no string copies. The views
+// are valid only while the frame's backing array is; callers that retain
+// a field beyond the frame's lifetime must copy it.
+type Header struct {
+	Kind    byte
+	Hops    uint8  // data kinds only
+	ID      uint64 // guaranteed kinds and KindGuarAck
+	Origin  []byte // guaranteed kinds and KindGuarAck; aliases the frame
+	Subject []byte // data kinds only; aliases the frame
+	Payload []byte // data kinds only; aliases the frame
+}
+
+// Base is Envelope.Base for a peeked header.
+func (h Header) Base() byte {
+	switch h.Kind {
+	case KindPublishTraced, KindPublishCompact, KindPublishCompactTraced:
+		return KindPublish
+	case KindGuaranteedTraced, KindGuaranteedCompact, KindGuaranteedCompactTraced:
+		return KindGuaranteed
+	default:
+		return h.Kind
+	}
+}
+
+// Traced is Envelope.Traced for a peeked header.
+func (h Header) Traced() bool {
+	switch h.Kind {
+	case KindPublishTraced, KindGuaranteedTraced,
+		KindPublishCompactTraced, KindGuaranteedCompactTraced:
+		return true
+	}
+	return false
+}
+
+// Compact is Envelope.Compact for a peeked header.
+func (h Header) Compact() bool {
+	switch h.Kind {
+	case KindPublishCompact, KindGuaranteedCompact,
+		KindPublishCompactTraced, KindGuaranteedCompactTraced:
+		return true
+	}
+	return false
+}
+
+// hopsOffset is the position of the hops byte in every encoded data
+// envelope: the kind byte is first, hops second, for all eight data kinds
+// (see AppendEncode). SetHops relies on this layout invariant.
+const hopsOffset = 1
+
+// SetHops overwrites the hops byte of an encoded DATA envelope in place.
+// The caller must own the frame (routers call it on their pooled copy,
+// never on the inbound buffer, which the transport may share between
+// receivers) and must have validated it as a data kind via Peek — the two
+// non-data kinds (KindGuarAck, KindInterest) carry no hops byte.
+func SetHops(frame []byte, hops uint8) {
+	frame[hopsOffset] = hops
+}
+
+// Peek parses the envelope header without materializing anything. It
+// accepts exactly the frames Decode accepts and rejects exactly the frames
+// Decode rejects (FuzzEnvelopePeek pins the agreement); on success the
+// returned Header's view fields alias data.
+func Peek(data []byte) (Header, error) {
+	if len(data) == 0 {
+		return Header{}, ErrEnvelopeCorrupt
+	}
+	h := Header{Kind: data[0]}
+	r := &envReader{data: data, pos: 1}
+	var err error
+	switch h.Kind {
+	case KindPublish, KindPublishTraced, KindPublishCompact, KindPublishCompactTraced:
+		if h.Hops, err = r.byteVal(); err != nil {
+			return Header{}, err
+		}
+		if h.Traced() {
+			if err = r.skipTrace(); err != nil {
+				return Header{}, err
+			}
+		}
+		if h.Subject, err = r.view(maxSubjectLen); err != nil {
+			return Header{}, err
+		}
+		h.Payload = data[r.pos:]
+	case KindGuaranteed, KindGuaranteedTraced, KindGuaranteedCompact, KindGuaranteedCompactTraced:
+		if h.Hops, err = r.byteVal(); err != nil {
+			return Header{}, err
+		}
+		if h.ID, err = r.uvarint(); err != nil {
+			return Header{}, err
+		}
+		if h.Origin, err = r.view(maxOriginLen); err != nil {
+			return Header{}, err
+		}
+		if h.Traced() {
+			if err = r.skipTrace(); err != nil {
+				return Header{}, err
+			}
+		}
+		if h.Subject, err = r.view(maxSubjectLen); err != nil {
+			return Header{}, err
+		}
+		h.Payload = data[r.pos:]
+	case KindGuarAck:
+		if h.ID, err = r.uvarint(); err != nil {
+			return Header{}, err
+		}
+		if h.Origin, err = r.view(maxOriginLen); err != nil {
+			return Header{}, err
+		}
+		if r.pos != len(data) {
+			return Header{}, ErrEnvelopeCorrupt
+		}
+	case KindInterest:
+		count, err := r.uvarint()
+		if err != nil {
+			return Header{}, err
+		}
+		if count > maxPatternsLen {
+			return Header{}, ErrEnvelopeCorrupt
+		}
+		for i := uint64(0); i < count; i++ {
+			if _, err := r.view(maxSubjectLen); err != nil {
+				return Header{}, err
+			}
+		}
+		if r.pos != len(data) {
+			return Header{}, ErrEnvelopeCorrupt
+		}
+	default:
+		return Header{}, fmt.Errorf("kind %d: %w", h.Kind, ErrEnvelopeCorrupt)
+	}
+	return h, nil
 }

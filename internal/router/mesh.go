@@ -210,18 +210,19 @@ func (a *meshAgent) broadcast(li int, subj string, payload []byte) {
 }
 
 // handle consumes one link-local mesh publication received on an
-// attachment. Returns without forwarding side effects: the caller already
-// knows these subjects never cross segments.
-func (a *meshAgent) handle(att *attachment, from string, env busproto.Envelope) {
-	switch env.Subject {
+// attachment, off the peeked subject and payload views (the caller never
+// fully decodes these). Returns without forwarding side effects: the
+// caller already knows these subjects never cross segments.
+func (a *meshAgent) handle(att *attachment, from string, subj string, payload []byte) {
+	switch subj {
 	case mesh.HelloSubject:
-		if v, err := mesh.ParseAd(env.Payload); err == nil {
+		if v, err := mesh.ParseAd(payload); err == nil {
 			if ad, ok := v.(mesh.HelloAd); ok {
 				a.m.HandleHello(att.index, ad, time.Now())
 			}
 		}
 	case mesh.InterestSubject:
-		if v, err := mesh.ParseAd(env.Payload); err == nil {
+		if v, err := mesh.ParseAd(payload); err == nil {
 			if ad, ok := v.(mesh.InterestAd); ok {
 				a.m.HandleInterest(att.index, ad, time.Now())
 			}
@@ -234,7 +235,7 @@ func (a *meshAgent) handle(att *attachment, from string, env busproto.Envelope) 
 		subs := a.subs[att]
 		var targets []*meshSub
 		for _, s := range subs {
-			if s.prefix == env.Subject {
+			if s.prefix == subj {
 				targets = append(targets, s)
 			}
 		}
@@ -242,7 +243,7 @@ func (a *meshAgent) handle(att *attachment, from string, env busproto.Envelope) 
 		if len(targets) == 0 {
 			return
 		}
-		v, err := wire.Unmarshal(env.Payload, mop.NewRegistry())
+		v, err := wire.Unmarshal(payload, mop.NewRegistry())
 		if err != nil {
 			return
 		}

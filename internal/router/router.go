@@ -69,6 +69,12 @@ type Options struct {
 	// "_sys.dump" probes are answered with the recorder's text dump. Zero
 	// disables the tier.
 	Health telemetry.HealthConfig
+	// DisableFastPath forces every forwarded publication through the full
+	// decode/re-encode slow path. Diagnostic and benchmarking escape
+	// hatch only (the A15 baseline measures against it); the fast path is
+	// byte-for-byte equivalent on the traffic it accepts, so production
+	// routers never need this.
+	DisableFastPath bool
 	// Mesh, when non-nil, makes the router self-organizing: it discovers
 	// peer routers over "_sys.mesh.>", elects into a loop-free spanning
 	// tree (redundant links block instead of duplicating traffic), and
@@ -111,6 +117,12 @@ type attachment struct {
 	conn  *reliable.Conn
 	rules []Rule
 
+	// fwdBuf is the fast path's egress frame scratch, owned by this
+	// attachment's single receive goroutine (attachmentLoop): the frame is
+	// built here, handed to each egress Publish (which copies before
+	// returning), and reused for the next message — no pool round trip.
+	fwdBuf []byte
+
 	mu       sync.Mutex
 	interest map[string]interestEntry // pattern -> entry
 	// wantsCache memoizes wants() by subject: the linear scan over the
@@ -146,6 +158,14 @@ type Router struct {
 	// repeat far more often than they vary).
 	interner *subject.Interner
 
+	// fastOK gates the zero-copy forwarding fast path at router level:
+	// computed once in New, true when no attachment carries rewrite rules
+	// and per-message logging is off (both would make egress frames differ
+	// from the ingress bytes, or need decoded fields per message). The
+	// remaining per-message conditions — untraced, non-_sys — are checked
+	// in forward off the peeked header.
+	fastOK bool
+
 	// typeCache holds class definitions harvested from def-carrying
 	// compact publications crossing the router, keyed by fingerprint.
 	// Definitions resolve structurally (no registry): the router never
@@ -155,7 +175,11 @@ type Router struct {
 	// round trip to the origin.
 	typeCache *wire.TypeCache
 
-	mu     sync.Mutex
+	// mu guards guar and closed. Readers dominate: every guaranteed
+	// publication checks its origin's path and every ack looks one up, but
+	// the path only changes when a publisher moves or a topology shifts,
+	// so forward takes the read lock and upgrades only on change.
+	mu     sync.RWMutex
 	atts   []*attachment
 	guar   map[string]guarPath // origin token -> where it entered
 	closed bool
@@ -184,6 +208,7 @@ type guarPath struct {
 // Stats counts router events.
 type Stats struct {
 	Forwarded     uint64 // publications re-published on another segment
+	FastForwarded uint64 // subset of Forwarded taken by the zero-copy fast path
 	Suppressed    uint64 // publications with no remote interest
 	LoopDropped   uint64 // publications dropped at the hop limit
 	AcksForwarded uint64
@@ -192,9 +217,10 @@ type Stats struct {
 
 // counters holds the router's telemetry handles.
 type counters struct {
-	forwarded, suppressed, loopDropped  *telemetry.Counter
-	acksForwarded, transformed          *telemetry.Counter
-	classDefsHarvested, classNaksServed *telemetry.Counter
+	forwarded, fastForwarded, suppressed *telemetry.Counter
+	loopDropped                          *telemetry.Counter
+	acksForwarded, transformed           *telemetry.Counter
+	classDefsHarvested, classNaksServed  *telemetry.Counter
 }
 
 // New creates a router bridging the given attachments.
@@ -231,6 +257,7 @@ func New(opts Options, atts ...Attachment) (*Router, error) {
 	}
 	r.ctr = counters{
 		forwarded:          metrics.Counter("router.forwarded"),
+		fastForwarded:      metrics.Counter("router.fastpath_forwarded"),
 		suppressed:         metrics.Counter("router.suppressed"),
 		loopDropped:        metrics.Counter("router.loop_dropped"),
 		acksForwarded:      metrics.Counter("router.acks_forwarded"),
@@ -272,6 +299,12 @@ func New(opts Options, atts ...Attachment) (*Router, error) {
 				Target: a.Name,
 				Raise:  hcfg.RetransmitStormRate,
 			}, rcfg.Metrics.Counter(prefix+".retransmits"))
+		}
+	}
+	r.fastOK = !opts.DisableFastPath && opts.Log == nil
+	for _, att := range r.atts {
+		if len(att.rules) > 0 {
+			r.fastOK = false
 		}
 	}
 	if opts.Mesh != nil {
@@ -325,6 +358,7 @@ func (r *Router) Metrics() *telemetry.Registry { return r.metrics }
 func (r *Router) Stats() Stats {
 	return Stats{
 		Forwarded:     r.ctr.forwarded.Load(),
+		FastForwarded: r.ctr.fastForwarded.Load(),
 		Suppressed:    r.ctr.suppressed.Load(),
 		LoopDropped:   r.ctr.loopDropped.Load(),
 		AcksForwarded: r.ctr.acksForwarded.Load(),
@@ -377,61 +411,89 @@ func (r *Router) attachmentLoop(att *attachment) {
 	}
 }
 
+// handle dispatches one inbound message off a lazy header peek. The
+// common case — a data envelope crossing segments — never fully decodes:
+// every slow-path side handler (mesh link-local, "_sys.dump"/"_sys.history"
+// probes, compact class-def harvest, class requests) keys off the peeked
+// kind/subject/payload views, and only the handlers that genuinely need
+// decoded fields (interest pattern lists, acks) decode.
 func (r *Router) handle(att *attachment, m reliable.Message) {
-	env, err := busproto.Decode(m.Payload)
+	hdr, err := busproto.Peek(m.Payload)
 	if err != nil {
 		return
 	}
-	switch env.Base() {
+	switch hdr.Base() {
 	case busproto.KindInterest:
+		env, err := busproto.Decode(m.Payload)
+		if err != nil {
+			return
+		}
 		if att.recordInterest(env.Patterns, time.Now().Add(r.opts.InterestTTL)) && r.agent != nil {
 			r.agent.m.HostInterestChanged(att.index)
 		}
 	case busproto.KindPublish, busproto.KindGuaranteed:
-		if r.agent != nil && meshLinkLocal(env.Subject) {
-			// Hello/interest/discovery traffic defines this link's adjacency;
-			// it never crosses to another segment.
-			if env.Base() == busproto.KindPublish {
-				r.agent.handle(att, m.From, env)
+		// System traffic: every check below compares the subject view
+		// against a constant ([]byte==const string compiles to an
+		// allocation-free comparison), so plain application traffic pays
+		// one leading-byte test.
+		if len(hdr.Subject) > 0 && hdr.Subject[0] == '_' {
+			if r.agent != nil && meshLinkLocal(string(hdr.Subject)) {
+				// Hello/interest/discovery traffic defines this link's
+				// adjacency; it never crosses to another segment.
+				if hdr.Base() == busproto.KindPublish {
+					r.agent.handle(att, m.From, string(hdr.Subject), hdr.Payload)
+				}
+				return
 			}
-			return
+			if r.engine != nil && hdr.Base() == busproto.KindPublish && string(hdr.Subject) == telemetry.DumpSubject {
+				// A "_sys.dump" probe: answer with this router's flight
+				// recorder on every segment, then forward the probe so hosts
+				// behind other attachments answer too.
+				r.publishDump()
+			}
+			if r.hist != nil && hdr.Base() == busproto.KindPublish && string(hdr.Subject) == telemetry.HistorySubject {
+				// A "_sys.history" probe: answer with the mesh flight-data
+				// window, then forward so hosts answer too.
+				r.publishHistory()
+			}
+			if string(hdr.Subject) == telemetry.ClassReqSubject {
+				// Answer on the requester's segment with whatever definitions
+				// this router holds, then forward the request — the origin or
+				// holders on other segments fill in the rest.
+				r.serveClassReq(att, hdr.Payload)
+			}
 		}
-		if r.engine != nil && env.Base() == busproto.KindPublish && env.Subject == telemetry.DumpSubject {
-			// A "_sys.dump" probe: answer with this router's flight recorder
-			// on every segment, then forward the probe so hosts behind other
-			// attachments answer too.
-			r.publishDump()
-		}
-		if r.hist != nil && env.Base() == busproto.KindPublish && env.Subject == telemetry.HistorySubject {
-			// A "_sys.history" probe: answer with the mesh flight-data
-			// window, then forward so hosts answer too.
-			r.publishHistory()
-		}
-		if env.Compact() && wire.CompactCarriesDefs(env.Payload) {
+		if hdr.Compact() && wire.CompactCarriesDefs(hdr.Payload) {
 			// Class definitions are crossing this segment: harvest them so
 			// this router can answer "_sys.class.req" locally. Resolution
 			// is structural (nil registry) — the router keeps every
 			// fingerprint it sees, including superseded TDL definitions
 			// still referenced by old publications.
-			if err := wire.HarvestDefs(env.Payload, nil, r.typeCache); err == nil {
+			if err := wire.HarvestDefs(hdr.Payload, nil, r.typeCache); err == nil {
 				r.ctr.classDefsHarvested.Inc()
 			}
 		}
-		if env.Subject == telemetry.ClassReqSubject {
-			// Answer on the requester's segment with whatever definitions
-			// this router holds, then forward the request — the origin or
-			// holders on other segments fill in the rest.
-			r.serveClassReq(att, env)
-		}
-		r.forward(att, m.From, env)
+		r.forward(att, m.From, hdr, m.Payload)
 	case busproto.KindGuarAck:
+		env, err := busproto.Decode(m.Payload)
+		if err != nil {
+			return
+		}
 		r.forwardAck(att, env)
 	}
 }
 
 // forward re-publishes a data envelope on every other segment with a
-// matching subscription, applying that segment's subject rules.
-func (r *Router) forward(src *attachment, from string, env busproto.Envelope) {
+// matching subscription. The common case — untraced envelope, no rewrite
+// rules, ordinary (non-_sys) subject — takes the zero-copy fast path: the
+// egress frame is the ingress bytes with only the hops byte changed, and
+// the same value for every egress, so the router copies the frame ONCE
+// into a pooled buffer and hands that single buffer to every matching
+// attachment (safe: Publish copies into the retransmit window before
+// returning). Traced, transformed, logged, and _sys traffic falls back to
+// the full decode/re-encode path, which stays byte-golden with the fast
+// path on the traffic both could carry.
+func (r *Router) forward(src *attachment, from string, hdr busproto.Header, frame []byte) {
 	var m *mesh.Mesh
 	maxHops := uint8(busproto.MaxHops)
 	if r.agent != nil {
@@ -447,19 +509,74 @@ func (r *Router) forward(src *attachment, from string, env busproto.Envelope) {
 			return
 		}
 	}
-	if env.Hops >= maxHops {
+	if hdr.Hops >= maxHops {
 		r.ctr.loopDropped.Inc()
 		return
 	}
-	subj, err := r.interner.Parse(env.Subject)
+	subj, err := r.interner.ParseBytes(hdr.Subject)
 	if err != nil {
 		return
 	}
-	if env.Base() == busproto.KindGuaranteed && env.Origin != "" {
-		r.mu.Lock()
-		r.guar[env.Origin] = guarPath{att: src, from: from}
-		r.mu.Unlock()
+	if hdr.Base() == busproto.KindGuaranteed && len(hdr.Origin) > 0 {
+		r.noteGuarPath(hdr.Origin, src, from)
 	}
+	if r.fastOK && !hdr.Traced() && !subject.IsSys(subj) {
+		r.forwardFast(src, hdr, frame, subj, m)
+		return
+	}
+	env, err := busproto.Decode(frame)
+	if err != nil {
+		return
+	}
+	r.forwardSlow(src, env, subj, m)
+}
+
+// forwardFast is the zero-copy fan-out: one copy of the inbound frame with
+// the hops byte bumped, built in the ingress attachment's scratch buffer
+// and published on every wanting egress. The copy is made lazily — a
+// publication nobody wants touches no buffer at all.
+func (r *Router) forwardFast(src *attachment, hdr busproto.Header, frame []byte, subj subject.Subject, m *mesh.Mesh) {
+	copied := false
+	var forwarded uint64
+	for _, dst := range r.atts {
+		if dst == src {
+			continue
+		}
+		if m != nil && !m.Forwarding(dst.index) {
+			continue
+		}
+		if !dst.wants(subj, m) {
+			continue
+		}
+		if !copied {
+			// The inbound frame may share its backing array with other
+			// receivers on the segment (the transport broadcasts one copy),
+			// so the hops bump happens on the router's own copy — in the
+			// ingress attachment's scratch, which only its receive goroutine
+			// (the caller) touches.
+			src.fwdBuf = append(src.fwdBuf[:0], frame...)
+			busproto.SetHops(src.fwdBuf, hdr.Hops+1)
+			copied = true
+		}
+		// Publish copies into the retransmit window before returning, so
+		// the single buffer is safely handed to every egress in turn.
+		if err := dst.conn.Publish(src.fwdBuf); err != nil {
+			continue
+		}
+		forwarded++
+	}
+	if forwarded > 0 {
+		r.ctr.forwarded.Add(forwarded)
+		r.ctr.fastForwarded.Add(forwarded)
+	} else {
+		r.ctr.suppressed.Inc()
+	}
+}
+
+// forwardSlow is the full decode/re-encode path: per-egress subject
+// transforms, per-egress trace hops, and per-message logging all need
+// decoded fields and a fresh encode per attachment.
+func (r *Router) forwardSlow(src *attachment, env busproto.Envelope, subj subject.Subject, m *mesh.Mesh) {
 	forwardedAnywhere := false
 	for _, dst := range r.atts {
 		if dst == src {
@@ -502,11 +619,29 @@ func (r *Router) forward(src *attachment, from string, env busproto.Envelope) {
 	}
 }
 
+// noteGuarPath records where a guaranteed publication entered so its acks
+// can retrace the path. The steady state — same origin keeps arriving via
+// the same attachment and sender — is a read-lock map probe with a
+// zero-copy []byte key; only an actual path change (publisher moved,
+// topology shifted, first sighting) takes the write lock and materializes
+// the key string.
+func (r *Router) noteGuarPath(origin []byte, src *attachment, from string) {
+	r.mu.RLock()
+	p, ok := r.guar[string(origin)]
+	r.mu.RUnlock()
+	if ok && p.att == src && p.from == from {
+		return
+	}
+	r.mu.Lock()
+	r.guar[string(origin)] = guarPath{att: src, from: from}
+	r.mu.Unlock()
+}
+
 // serveClassReq answers a "_sys.class.req" fingerprint request with the
 // definitions this router has harvested, published on "_sys.class.def" on
 // the segment the request arrived from.
-func (r *Router) serveClassReq(att *attachment, env busproto.Envelope) {
-	v, err := wire.UnmarshalWith(env.Payload, nil, r.typeCache)
+func (r *Router) serveClassReq(att *attachment, payload []byte) {
+	v, err := wire.UnmarshalWith(payload, nil, r.typeCache)
 	if err != nil {
 		return
 	}
@@ -519,12 +654,12 @@ func (r *Router) serveClassReq(att *attachment, env busproto.Envelope) {
 	if len(held) == 0 {
 		return
 	}
-	payload, err := wire.MarshalDefs(held)
+	defs, err := wire.MarshalDefs(held)
 	if err != nil {
 		return
 	}
 	out := busproto.Encode(busproto.Envelope{
-		Kind: busproto.KindPublishCompact, Subject: telemetry.ClassDefSubject, Payload: payload,
+		Kind: busproto.KindPublishCompact, Subject: telemetry.ClassDefSubject, Payload: defs,
 	})
 	if err := att.conn.Publish(out); err == nil {
 		r.ctr.classNaksServed.Inc()
@@ -535,9 +670,9 @@ func (r *Router) serveClassReq(att *attachment, env busproto.Envelope) {
 // forwardAck sends a guaranteed-delivery acknowledgement back toward the
 // segment the publication entered from.
 func (r *Router) forwardAck(src *attachment, env busproto.Envelope) {
-	r.mu.Lock()
+	r.mu.RLock()
 	path, ok := r.guar[env.Origin]
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	if !ok || path.att == src {
 		return
 	}
@@ -821,6 +956,24 @@ func (r *Router) broadcastSys(env []byte) {
 		_ = att.conn.Publish(env)
 		_ = att.conn.Flush()
 	}
+}
+
+// Inject processes one encoded envelope as if it had been reliably
+// received on the named attachment's segment from sender `from` — the
+// forwarding engine runs exactly as for wire traffic (peek, interest
+// match, fan-out, counters). Replay tooling and the A15 benchmark drive
+// the data plane directly with it. Concurrent Injects on the SAME
+// attachment (or an Inject racing live traffic on that attachment) are
+// not allowed: the fast path uses a per-attachment scratch buffer owned
+// by whichever goroutine is delivering for it.
+func (r *Router) Inject(segment, from string, frame []byte) error {
+	for _, att := range r.atts {
+		if att.name == segment {
+			r.handle(att, reliable.Message{From: from, Payload: frame})
+			return nil
+		}
+	}
+	return fmt.Errorf("router: no attachment %q", segment)
 }
 
 // MeshStatus returns a snapshot of the router's spanning-tree state and

@@ -52,3 +52,19 @@ func (in *Interner) Parse(raw string) (Subject, error) {
 	in.mu.Unlock()
 	return s, nil
 }
+
+// ParseBytes is Parse for a subject that arrived as a byte slice (a
+// busproto.Header view aliasing a wire frame). On a cache hit — the
+// steady state of a forwarding engine — it allocates nothing: the map
+// probe uses the compiler's zero-copy []byte→string lookup. Only a miss
+// pays the string conversion, and the interned key copies the bytes, so
+// the cache never aliases the caller's frame.
+func (in *Interner) ParseBytes(raw []byte) (Subject, error) {
+	in.mu.Lock()
+	if s, ok := in.m[string(raw)]; ok {
+		in.mu.Unlock()
+		return s, nil
+	}
+	in.mu.Unlock()
+	return in.Parse(string(raw))
+}

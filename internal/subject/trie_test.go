@@ -324,3 +324,37 @@ func TestInterner(t *testing.T) {
 		}
 	}
 }
+
+func TestInternerParseBytes(t *testing.T) {
+	in := NewInterner(8)
+	raw := []byte("wire.frame.subject")
+	s1, err := in.ParseBytes(raw)
+	if err != nil || s1.String() != "wire.frame.subject" {
+		t.Fatalf("ParseBytes = %v, %v", s1, err)
+	}
+	// The interned key must not alias the caller's frame: scribbling over
+	// the byte slice (as frame-buffer reuse would) must not corrupt hits.
+	for i := range raw {
+		raw[i] = 'z'
+	}
+	s2, err := in.ParseBytes([]byte("wire.frame.subject"))
+	if err != nil || s2.String() != "wire.frame.subject" {
+		t.Fatalf("re-lookup after scribble = %v, %v", s2, err)
+	}
+	if _, err := in.ParseBytes([]byte("..bad")); err == nil {
+		t.Fatal("ParseBytes accepted an invalid subject")
+	}
+	// Cache hits are the forwarding steady state and must not allocate.
+	key := []byte("hot.path.subject")
+	if _, err := in.ParseBytes(key); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := in.ParseBytes(key); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ParseBytes cache hit allocates %.1f, want 0", allocs)
+	}
+}
